@@ -1,0 +1,62 @@
+"""Ablation: FCFS vs SSTF vs CSCAN head scheduling.
+
+Extends Table 5's two-way comparison with the classic greedy scheduler.
+Expected shape: both reordering disciplines beat FCFS when queues are deep
+(I/O-bound, batched); SSTF's greed approaches CSCAN's sweep on these
+queue depths, while CSCAN retains the readahead-direction advantage the
+paper chose it for.
+"""
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import once
+
+DISCIPLINES = ("fcfs", "sstf", "cscan")
+TRACES = ("postgres-select", "glimpse")
+
+
+def test_ablation_disciplines(benchmark, setting):
+    def sweep():
+        table = {}
+        for trace in TRACES:
+            for discipline in DISCIPLINES:
+                for disks in (1, 2):
+                    table[(trace, discipline, disks)] = run_one(
+                        setting, trace, "aggressive", disks,
+                        config_overrides={"discipline": discipline},
+                    )
+        return table
+
+    table = once(benchmark, sweep)
+    rows = []
+    for trace in TRACES:
+        for disks in (1, 2):
+            rows.append(
+                (trace, disks)
+                + tuple(
+                    round(table[(trace, d, disks)].elapsed_s, 2)
+                    for d in DISCIPLINES
+                )
+                + tuple(
+                    round(table[(trace, d, disks)].average_fetch_ms, 1)
+                    for d in DISCIPLINES
+                )
+            )
+    print()
+    print("Ablation — head scheduling (aggressive): elapsed_s | avg fetch ms")
+    print(format_table(
+        ("trace", "disks") + DISCIPLINES + tuple(f"{d}_ms" for d in DISCIPLINES),
+        rows,
+    ))
+
+    for trace in TRACES:
+        fcfs = table[(trace, "fcfs", 1)]
+        sstf = table[(trace, "sstf", 1)]
+        cscan = table[(trace, "cscan", 1)]
+        # Reordering shortens service times at 1 disk (deep queues).
+        assert sstf.average_fetch_ms <= fcfs.average_fetch_ms * 1.02
+        assert cscan.average_fetch_ms <= fcfs.average_fetch_ms * 1.02
+        # And neither reordering discipline loses badly end-to-end.
+        best = min(fcfs.elapsed_ms, sstf.elapsed_ms, cscan.elapsed_ms)
+        assert cscan.elapsed_ms <= best * 1.10

@@ -1,0 +1,46 @@
+"""Ablation: the drive's readahead cache.
+
+The paper attributes sequential traces' 3–4 ms average response times to
+the HP 97560's 128 KB readahead buffer (and chooses CSCAN because it scans
+in the readahead direction).  Disabling readahead in the drive model must
+drive sequential service times toward full mechanical costs and lengthen
+the I/O-bound traces substantially.
+"""
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_breakdown_table
+
+from benchmarks.conftest import once
+
+
+def test_ablation_readahead_cache(benchmark, setting):
+    def sweep():
+        results = {}
+        for readahead in (True, False):
+            overrides = {"readahead": readahead}
+            for trace in ("dinero", "synth"):
+                results[(trace, readahead)] = run_one(
+                    setting, trace, "aggressive", 1,
+                    config_overrides=overrides,
+                )
+        return results
+
+    results = once(benchmark, sweep)
+    rows = [results[key] for key in sorted(results, key=str)]
+    print()
+    print(format_breakdown_table(
+        rows, title="Ablation — drive readahead cache on/off (1 disk)"
+    ))
+
+    for trace in ("dinero", "synth"):
+        with_ra = results[(trace, True)]
+        without = results[(trace, False)]
+        # Sequential traces must see much faster average service with
+        # readahead...
+        assert with_ra.average_fetch_ms < without.average_fetch_ms * 0.6, (
+            f"readahead should cut {trace}'s service times"
+        )
+        # ...and no worse elapsed time.
+        assert with_ra.elapsed_ms <= without.elapsed_ms * 1.001
+    # The sequential hit path lands in the paper's 3-4 ms neighbourhood.
+    assert results[("synth", True)].average_fetch_ms < 7.0

@@ -1,0 +1,51 @@
+"""Appendix A: baseline measurements for every trace.
+
+Regenerates the per-trace tables (fetches, driver/stall/elapsed time,
+average fetch time, utilization for all four algorithms across disk
+counts).  Under the default scale a representative disk subset is used;
+``REPRO_FULL=1`` runs the paper's full grid.
+"""
+
+import pytest
+
+from repro.analysis.experiments import baseline_rows
+from repro.analysis.tables import format_appendix_table
+
+from benchmarks.common import index_results
+from benchmarks.conftest import disk_counts, full_run, once
+
+ALL_TRACES = (
+    "dinero", "cscope1", "cscope2", "cscope3", "glimpse",
+    "ld", "postgres-join", "postgres-select", "xds", "synth",
+)
+
+
+def _traces():
+    if full_run():
+        return ALL_TRACES
+    # a representative cross-section: sequential-loop, search, linker,
+    # database, visualization
+    return ("dinero", "cscope2", "ld", "postgres-select", "xds")
+
+
+@pytest.mark.parametrize("trace", _traces())
+def test_appendix_a_baseline(benchmark, setting, trace):
+    counts = disk_counts(limit=8 if not full_run() else 16)
+    table = once(
+        benchmark,
+        lambda: baseline_rows(setting, trace, counts, tuned_reverse=False),
+    )
+    print()
+    print(f"Appendix A — baseline, {trace}")
+    print(format_appendix_table(table, counts))
+
+    flat = [r for row in table.values() for r in row]
+    by_key = index_results(flat)
+    # Paper's invariant: fixed horizon never fetches more than aggressive.
+    for disks in counts:
+        fh = by_key[("fixed-horizon", disks)]
+        agg = by_key[("aggressive", disks)]
+        assert fh.fetches <= agg.fetches * 1.001
+        # driver time == fetches x 0.5 ms in every cell
+        assert fh.driver_ms == pytest.approx(fh.fetches * 0.5)
+        assert agg.driver_ms == pytest.approx(agg.fetches * 0.5)

@@ -1,0 +1,44 @@
+"""Appendix B: the baseline grid re-run under FCFS disk-head scheduling.
+
+Paper shape: FCFS mostly degrades I/O-bound configurations relative to
+CSCAN (the appendix-A numbers) and changes little where compute dominates.
+"""
+
+import pytest
+
+from repro.analysis.experiments import baseline_rows
+from repro.analysis.tables import format_appendix_table
+
+from benchmarks.conftest import disk_counts, full_run, once
+
+TRACES = ("cscope2", "postgres-select") if not full_run() else (
+    "dinero", "cscope1", "cscope2", "cscope3", "glimpse",
+    "ld", "postgres-join", "postgres-select", "xds", "synth",
+)
+
+
+@pytest.mark.parametrize("trace", TRACES)
+def test_appendix_b_fcfs(benchmark, setting, fcfs_setting, trace):
+    counts = disk_counts(limit=8)
+
+    def sweep():
+        fcfs = baseline_rows(
+            fcfs_setting, trace, counts,
+            policies=("fixed-horizon", "aggressive"), tuned_reverse=False,
+        )
+        cscan = baseline_rows(
+            setting, trace, counts,
+            policies=("fixed-horizon", "aggressive"), tuned_reverse=False,
+        )
+        return fcfs, cscan
+
+    fcfs, cscan = once(benchmark, sweep)
+    print()
+    print(f"Appendix B — FCFS scheduling, {trace}")
+    print(format_appendix_table(fcfs, counts))
+
+    # At the most I/O-bound configuration (1 disk), CSCAN's reordering
+    # should not lose to FCFS for the deep-queue aggressive algorithm.
+    agg_fcfs = fcfs["aggressive"][0]
+    agg_cscan = cscan["aggressive"][0]
+    assert agg_cscan.elapsed_ms <= agg_fcfs.elapsed_ms * 1.02

@@ -1,0 +1,52 @@
+"""Appendix C: the xds trace with a double-speed CPU.
+
+Paper shape: halving compute times makes the application more I/O-bound,
+increasing the payoff of disks and prefetching, and pushing the point where
+fixed horizon overtakes aggressive out to larger arrays.  Fixed horizon's
+prefetch horizon doubles to 124 (the paper's choice).
+"""
+
+from repro.analysis.experiments import ExperimentSetting, run_one
+from repro.analysis.tables import format_breakdown_table
+
+from benchmarks.conftest import disk_counts, once
+
+
+def test_appendix_c_double_speed_cpu(benchmark, setting):
+    fast = ExperimentSetting(scale=setting.scale, cpu_speedup=2.0)
+    counts = disk_counts(limit=8)
+    doubled_horizon = max(16, int(124 * setting.scale))
+
+    def sweep():
+        table = {}
+        for disks in counts:
+            table[("fast-fh", disks)] = run_one(
+                fast, "xds", "fixed-horizon", disks, horizon=doubled_horizon
+            )
+            table[("fast-agg", disks)] = run_one(fast, "xds", "aggressive", disks)
+            table[("base-fh", disks)] = run_one(
+                setting, "xds", "fixed-horizon", disks
+            )
+        return table
+
+    table = once(benchmark, sweep)
+    results = [table[key] for key in sorted(table)]
+    print()
+    print(format_breakdown_table(
+        results, title="Appendix C — xds, double-speed CPU (H doubled)"
+    ))
+
+    fast_fh = [table[("fast-fh", d)] for d in counts]
+    base_fh = [table[("base-fh", d)] for d in counts]
+    # Faster CPU: compute halves, so stall makes up a larger share.
+    assert fast_fh[0].compute_ms < base_fh[0].compute_ms * 0.55
+    first_fast, first_base = fast_fh[0], base_fh[0]
+    assert (
+        first_fast.stall_ms / first_fast.elapsed_ms
+        >= first_base.stall_ms / first_base.elapsed_ms
+    )
+    # More disks pay off more with the fast CPU: relative improvement from
+    # 1 disk to the max array is at least as large.
+    fast_gain = fast_fh[0].elapsed_ms / fast_fh[-1].elapsed_ms
+    base_gain = base_fh[0].elapsed_ms / base_fh[-1].elapsed_ms
+    assert fast_gain >= base_gain * 0.95

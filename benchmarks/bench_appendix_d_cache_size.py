@@ -1,0 +1,57 @@
+"""Appendix D: baseline algorithms under varying cache sizes (640 and 1920
+blocks alongside the default 1280), on the traces the paper reports.
+
+Paper shape: everyone improves with cache; the aggressive prefetchers gain
+more in I/O-bound configurations.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetting, run_one
+from repro.analysis.tables import format_breakdown_table
+
+from benchmarks.conftest import full_run, once
+
+TRACES = ("glimpse", "postgres-select") if not full_run() else (
+    "glimpse", "postgres-join", "postgres-select", "xds",
+)
+CACHES = (640, 1280, 1920)
+
+
+@pytest.mark.parametrize("trace", TRACES)
+def test_appendix_d_cache_sizes(benchmark, setting, trace):
+    scale = setting.scale
+    counts = (1, 2, 4)
+
+    def sweep():
+        results = {}
+        for cache in CACHES:
+            sized = ExperimentSetting(
+                scale=scale, cache_blocks=max(16, int(cache * scale))
+            )
+            for policy in ("fixed-horizon", "aggressive"):
+                for disks in counts:
+                    results[(cache, policy, disks)] = run_one(
+                        sized, trace, policy, disks
+                    )
+        return results
+
+    results = once(benchmark, sweep)
+    print()
+    for cache in CACHES:
+        rows = [
+            results[(cache, p, d)]
+            for d in counts
+            for p in ("fixed-horizon", "aggressive")
+        ]
+        print(format_breakdown_table(
+            rows, title=f"Appendix D — {trace}, cache {cache} blocks (scaled)"
+        ))
+
+    # Monotone improvement with cache size for both policies, all arrays.
+    for policy in ("fixed-horizon", "aggressive"):
+        for disks in counts:
+            small = results[(CACHES[0], policy, disks)]
+            large = results[(CACHES[-1], policy, disks)]
+            assert large.elapsed_ms <= small.elapsed_ms * 1.02
+            assert large.fetches <= small.fetches

@@ -1,0 +1,50 @@
+"""Appendix E: aggressive's full measurement vector across batch sizes.
+
+Extends Figure 6 from elapsed time to the full per-run vector, on more
+traces.  Paper shape: larger batches help I/O-bound configs through
+scheduling, then hurt through out-of-order fetching and early replacement;
+the number of fetches grows with batch size in cache-pressured traces.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_breakdown_table
+
+from benchmarks.conftest import full_run, once
+
+TRACES = ("dinero", "cscope2") if not full_run() else (
+    "dinero", "cscope1", "cscope2", "cscope3", "glimpse",
+    "ld", "postgres-join", "postgres-select", "xds",
+)
+BASE_BATCHES = (4, 16, 40, 80, 160)
+
+
+@pytest.mark.parametrize("trace", TRACES)
+def test_appendix_e_aggressive_batch(benchmark, setting, trace):
+    batches = sorted({max(2, int(b * setting.scale)) for b in BASE_BATCHES})
+    counts = (1, 2, 4)
+
+    def sweep():
+        return {
+            (batch, disks): run_one(
+                setting, trace, "aggressive", disks, batch_size=batch
+            )
+            for batch in batches
+            for disks in counts
+        }
+
+    results = once(benchmark, sweep)
+    print()
+    rows = [results[(b, d)] for b in batches for d in counts]
+    print(format_breakdown_table(
+        rows, title=f"Appendix E — aggressive batch-size grid, {trace}"
+    ))
+
+    # Fetch count is nondecreasing-ish in batch size at 1 disk (early
+    # replacement); allow slack for ties.
+    one_disk_fetches = [results[(b, 1)].fetches for b in batches]
+    assert one_disk_fetches[-1] >= one_disk_fetches[0] * 0.98
+    # Every cell satisfies driver = fetches x 0.5 ms.
+    for result in results.values():
+        assert result.driver_ms == pytest.approx(result.fetches * 0.5)

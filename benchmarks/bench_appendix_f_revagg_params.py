@@ -1,0 +1,53 @@
+"""Appendix F: reverse aggressive's elapsed time as a function of its
+fetch-time estimate F and reverse-pass batch size.
+
+Paper shape: smaller F makes the schedule more aggressive (better when
+I/O-bound, wasteful when compute-bound); larger batch sizes behave like
+larger batches in aggressive.  The best cell varies per disk count, which
+is why the paper's baseline tunes (F, batch) per configuration.
+"""
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_elapsed_grid
+
+from benchmarks.conftest import full_run, once
+
+FETCH_TIMES = (2, 4, 8, 16, 32, 64) if full_run() else (2, 8, 32)
+BATCHES = (4, 16, 40, 80, 160) if full_run() else (8, 40)
+
+
+def test_appendix_f_reverse_aggressive_grid(benchmark, setting):
+    trace = "cscope2"
+    counts = (1, 2, 4)
+
+    def sweep():
+        grid = {}
+        for fetch_time in FETCH_TIMES:
+            for batch in BATCHES:
+                scaled_batch = max(2, int(batch * setting.scale))
+                grid[(fetch_time, batch)] = [
+                    run_one(
+                        setting, trace, "reverse-aggressive", disks,
+                        fetch_time_estimate=fetch_time,
+                        reverse_batch_size=scaled_batch,
+                    ).elapsed_s
+                    for disks in counts
+                ]
+        return grid
+
+    grid = once(benchmark, sweep)
+    view = {
+        f"F={f},batch={b}": values for (f, b), values in grid.items()
+    }
+    print()
+    print(format_elapsed_grid(
+        view, "params", [f"{d} disks" for d in counts],
+        title=f"Appendix F — reverse aggressive parameter grid, {trace}",
+    ))
+
+    # The grid is not flat: parameters matter (>2% spread at 1 disk).
+    one_disk = [values[0] for values in grid.values()]
+    assert max(one_disk) > min(one_disk) * 1.02
+    # And the best F at 1 disk (I/O-bound) is not the most conservative one.
+    best_params = min(grid, key=lambda key: grid[key][0])
+    assert best_params[0] < max(FETCH_TIMES)

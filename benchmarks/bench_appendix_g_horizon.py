@@ -1,0 +1,55 @@
+"""Appendix G: fixed horizon's full measurement vector across horizons.
+
+Extends Figure 7 with the traces the appendix reports (dinero, cscope1,
+cscope2, postgres-select).  Paper shape: fetches grow with H (earlier
+replacement); I/O-bound traces benefit from larger H before declining.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_breakdown_table
+
+from benchmarks.conftest import full_run, once
+
+TRACES = ("dinero", "postgres-select") if not full_run() else (
+    "dinero", "cscope1", "cscope2", "postgres-select",
+)
+BASE_HORIZONS = (16, 64, 256, 1024)
+
+
+@pytest.mark.parametrize("trace", TRACES)
+def test_appendix_g_horizon(benchmark, setting, trace):
+    # Horizons at or above the cache size defeat the eviction proviso
+    # ("victim needed further than H ahead") and degrade to demand
+    # fetching; the sweep stays below K, as the paper's H < K note advises.
+    cache = setting.cache_for(trace)
+    horizons = sorted(
+        {
+            max(2, int(h * setting.scale))
+            for h in BASE_HORIZONS
+            if int(h * setting.scale) < cache
+        }
+    )
+    counts = (1, 2, 4)
+
+    def sweep():
+        return {
+            (horizon, disks): run_one(
+                setting, trace, "fixed-horizon", disks, horizon=horizon
+            )
+            for horizon in horizons
+            for disks in counts
+        }
+
+    results = once(benchmark, sweep)
+    print()
+    rows = [results[(h, d)] for h in horizons for d in counts]
+    print(format_breakdown_table(
+        rows, title=f"Appendix G — fixed horizon grid, {trace}"
+    ))
+
+    # Fetch count never shrinks as the horizon grows (earlier replacement
+    # can only add fetches).
+    fetch_series = [results[(h, 1)].fetches for h in horizons]
+    assert all(b >= a for a, b in zip(fetch_series, fetch_series[1:]))

@@ -1,0 +1,65 @@
+"""Extension: imperfect hints (the paper's section-6 future work).
+
+The paper conjectures that "since fixed horizon places the least load on
+the disks and the cache, it is likely to be least affected" by unhinted
+accesses, while aggressive prefetching suffers (busy disks, cache full of
+speculation).  Degrading the hint stream lets us test that conjecture:
+missing hints surface as demand misses, wrong hints waste prefetches.
+"""
+
+import repro
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import once
+
+POLICIES = ("fixed-horizon", "aggressive", "forestall")
+QUALITIES = (
+    ("perfect", repro.HintQuality()),
+    ("10% missing", repro.HintQuality(missing_fraction=0.10, seed=42)),
+    ("25% missing", repro.HintQuality(missing_fraction=0.25, seed=42)),
+    ("10% wrong", repro.HintQuality(wrong_fraction=0.10, seed=42)),
+    ("15%+10% bad", repro.HintQuality(missing_fraction=0.15,
+                                      wrong_fraction=0.10, seed=42)),
+)
+
+
+def test_ext_hint_quality(benchmark, setting):
+    trace = setting.trace("cscope2")
+    cache = setting.cache_for("cscope2")
+
+    def sweep():
+        table = {}
+        for label, quality in QUALITIES:
+            for policy in POLICIES:
+                table[(label, policy)] = repro.run_simulation(
+                    trace, policy=policy, num_disks=2, cache_blocks=cache,
+                    hint_quality=quality,
+                )
+        return table
+
+    table = once(benchmark, sweep)
+    rows = []
+    for label, _quality in QUALITIES:
+        rows.append(
+            (label,)
+            + tuple(round(table[(label, p)].elapsed_s, 2) for p in POLICIES)
+        )
+    print()
+    print("Extension — elapsed time (s) under degraded hints, cscope2, 2 disks")
+    print(format_table(("hint quality",) + POLICIES, rows))
+
+    # Degradation is monotone in hint badness for every policy.
+    for policy in POLICIES:
+        perfect = table[("perfect", policy)].elapsed_ms
+        worst = table[("15%+10% bad", policy)].elapsed_ms
+        assert worst >= perfect
+
+    # The paper's conjecture: fixed horizon is hurt least (relative
+    # slowdown) by imperfect hints; aggressive most.
+    def slowdown(policy):
+        return (
+            table[("15%+10% bad", policy)].elapsed_ms
+            / table[("perfect", policy)].elapsed_ms
+        )
+
+    assert slowdown("fixed-horizon") <= slowdown("aggressive")

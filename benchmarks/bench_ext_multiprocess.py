@@ -1,0 +1,71 @@
+"""Extension: multiple hinting processes sharing cache and disks.
+
+The paper defers multi-process buffer allocation to TIP2 and future work;
+this benchmark runs two of its workloads concurrently on one array and
+compares static partitioning against the simplified cost-benefit
+allocator (buffers migrate toward the staller).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import SimConfig, make_policy
+from repro.core.multiprocess import (
+    CostBenefitAllocator,
+    MultiProcessSimulator,
+    StaticAllocator,
+)
+
+from benchmarks.conftest import once
+
+
+def test_ext_multiprocess_allocation(benchmark, setting):
+    trace_a = setting.trace("cscope1")
+    trace_b = setting.trace("postgres-select")
+    cache_total = setting.cache_for("postgres-select")
+    horizon = max(8, int(62 * setting.scale))
+
+    def build(allocator):
+        return MultiProcessSimulator(
+            [
+                (trace_a, make_policy("fixed-horizon", horizon=horizon)),
+                (trace_b, make_policy("forestall", horizon=horizon)),
+            ],
+            num_disks=2,
+            config=SimConfig(cache_blocks=cache_total),
+            allocator=allocator,
+        )
+
+    def sweep():
+        return {
+            "static": build(StaticAllocator()).run(),
+            "static 3:1": build(StaticAllocator([3, 1])).run(),
+            "cost-benefit": build(CostBenefitAllocator()).run(),
+        }
+
+    outcomes = once(benchmark, sweep)
+    rows = []
+    for label, result in outcomes.items():
+        rows.append(
+            (
+                label,
+                round(result[0].elapsed_s, 2),
+                round(result[1].elapsed_s, 2),
+                round(result.makespan_ms / 1000.0, 2),
+                round(result.total_stall_ms / 1000.0, 2),
+            )
+        )
+    print()
+    print("Extension — two processes sharing 2 disks "
+          f"({trace_a.name} + {trace_b.name})")
+    print(format_table(
+        ("allocator", "proc0_s", "proc1_s", "makespan_s", "total_stall_s"),
+        rows,
+    ))
+
+    # Both processes complete under every allocator.
+    for result in outcomes.values():
+        assert len(result.results) == 2
+    # The dynamic allocator never loses badly to an even static split.
+    assert (
+        outcomes["cost-benefit"].makespan_ms
+        <= outcomes["static"].makespan_ms * 1.10
+    )

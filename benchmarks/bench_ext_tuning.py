@@ -1,0 +1,87 @@
+"""Extension: scoring the analytic parameter recommendations.
+
+The paper's open problem is choosing H, batch sizes, and F without search.
+This bench compares the analytic recommendations (from trace statistics
+alone) against exhaustively searched optima: the recommendation must land
+within a modest factor of the best searched value on every trace.
+"""
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_table
+from repro.analysis.tuning import (
+    recommend_batch_size,
+    recommend_horizon,
+    search_parameter,
+)
+
+from benchmarks.conftest import once
+
+TRACES = ("cscope2", "postgres-select", "dinero")
+
+
+def test_ext_analytic_tuning(benchmark, setting):
+    def sweep():
+        table = {}
+        for trace_name in TRACES:
+            trace = setting.trace(trace_name)
+            cache = setting.cache_for(trace_name)
+
+            # --- horizon for fixed horizon at 1 disk -------------------
+            recommended_h = recommend_horizon(trace)
+
+            def eval_h(h):
+                return run_one(
+                    setting, trace_name, "fixed-horizon", 1, horizon=h
+                ).elapsed_ms
+
+            ladder = sorted({
+                max(2, int(x * setting.scale)) for x in (8, 16, 32, 64, 128)
+            })
+            best_h, best_h_score, _ = search_parameter(eval_h, ladder)
+            rec_h_score = eval_h(min(recommended_h, cache - 1))
+
+            # --- batch for aggressive at 1 disk -------------------------
+            recommended_b = recommend_batch_size(trace, 1, cache)
+
+            def eval_b(b):
+                return run_one(
+                    setting, trace_name, "aggressive", 1, batch_size=b
+                ).elapsed_ms
+
+            ladder_b = sorted({
+                max(2, int(x * setting.scale)) for x in (4, 16, 40, 80, 160)
+            })
+            best_b, best_b_score, _ = search_parameter(eval_b, ladder_b)
+            rec_b_score = eval_b(recommended_b)
+
+            table[trace_name] = {
+                "best_h": best_h, "best_h_s": best_h_score / 1000,
+                "rec_h": recommended_h, "rec_h_s": rec_h_score / 1000,
+                "best_b": best_b, "best_b_s": best_b_score / 1000,
+                "rec_b": recommended_b, "rec_b_s": rec_b_score / 1000,
+            }
+        return table
+
+    table = once(benchmark, sweep)
+    rows = [
+        (
+            name,
+            row["best_h"], round(row["best_h_s"], 2),
+            row["rec_h"], round(row["rec_h_s"], 2),
+            row["best_b"], round(row["best_b_s"], 2),
+            row["rec_b"], round(row["rec_b_s"], 2),
+        )
+        for name, row in table.items()
+    ]
+    print()
+    print("Extension — analytic recommendations vs searched optima (1 disk)")
+    print(format_table(
+        ("trace", "H*", "s", "H_rec", "s", "B*", "s", "B_rec", "s"),
+        rows,
+    ))
+
+    for name, row in table.items():
+        # The analytic recommendation lands within 15% of the searched
+        # optimum on both parameters.
+        assert row["rec_h_s"] <= row["best_h_s"] * 1.15, f"{name} horizon"
+        assert row["rec_b_s"] <= row["best_b_s"] * 1.15, f"{name} batch"

@@ -1,0 +1,64 @@
+"""Extension: what are the hints worth?
+
+Pits the paper's hint-based algorithms against the classic unhinted
+heuristics (LRU demand, sequential readahead, stride prefetching) on three
+structurally different workloads.  The paper's motivation in one table:
+readahead keeps up only while access is sequential; hints win everywhere.
+"""
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import once
+
+POLICIES = (
+    "lru-demand", "seq-readahead", "stride-prefetch",
+    "demand", "fixed-horizon", "forestall",
+)
+TRACES = ("dinero", "postgres-select", "xds")
+
+
+def test_ext_value_of_hints(benchmark, setting):
+    def sweep():
+        return {
+            (trace, policy): run_one(setting, trace, policy, 2)
+            for trace in TRACES
+            for policy in POLICIES
+        }
+
+    table = once(benchmark, sweep)
+    rows = []
+    for trace in TRACES:
+        rows.append(
+            (trace,)
+            + tuple(round(table[(trace, p)].elapsed_s, 2) for p in POLICIES)
+        )
+    print()
+    print("Extension — unhinted heuristics vs hinted algorithms "
+          "(elapsed s, 2 disks)")
+    print(format_table(("trace",) + POLICIES, rows))
+
+    for trace in TRACES:
+        hinted_best = min(
+            table[(trace, p)].elapsed_ms
+            for p in ("fixed-horizon", "forestall")
+        )
+        # Hints never lose to any unhinted heuristic...
+        for policy in ("lru-demand", "seq-readahead", "stride-prefetch"):
+            assert hinted_best <= table[(trace, policy)].elapsed_ms * 1.02
+    # ...and on the index-driven trace they win by a wide margin.
+    select_gap = (
+        table[("postgres-select", "seq-readahead")].elapsed_ms
+        / min(
+            table[("postgres-select", p)].elapsed_ms
+            for p in ("fixed-horizon", "forestall")
+        )
+    )
+    assert select_gap > 1.15
+
+    # Belady beats LRU on every trace (the other thing hints buy).
+    for trace in TRACES:
+        assert (
+            table[(trace, "demand")].fetches
+            <= table[(trace, "lru-demand")].fetches
+        )

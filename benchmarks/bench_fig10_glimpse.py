@@ -1,0 +1,32 @@
+"""Figure 10: fixed horizon / aggressive / forestall on glimpse, 1–16 disks.
+
+Paper shape: same story as Figure 9 on the index-heavy glimpse trace —
+forestall tracks the best of the two practical algorithms everywhere.
+"""
+
+from benchmarks.common import figure_sweep, index_results, print_crossover, print_figure
+from benchmarks.conftest import disk_counts, once
+
+POLICIES = ("fixed-horizon", "aggressive", "forestall")
+
+
+def test_fig10_glimpse(benchmark, setting):
+    counts = disk_counts()
+    results = once(
+        benchmark, lambda: figure_sweep(setting, "glimpse", POLICIES, counts)
+    )
+    print_figure("Figure 10 — glimpse", results)
+    print_crossover(results)
+    by_key = index_results(results)
+    for disks in counts:
+        best = min(
+            by_key[("fixed-horizon", disks)].elapsed_ms,
+            by_key[("aggressive", disks)].elapsed_ms,
+        )
+        assert by_key[("forestall", disks)].elapsed_ms <= best * 1.10
+    # I/O-bound end: aggressive-style prefetching (and forestall) cut stall
+    # relative to fixed horizon.
+    assert (
+        by_key[("forestall", 1)].stall_ms
+        <= by_key[("fixed-horizon", 1)].stall_ms
+    )

@@ -1,0 +1,33 @@
+"""Figure 2: postgres-select — demand fetching vs the three prefetchers.
+
+Paper shape: all prefetching algorithms beat optimal demand fetching by a
+wide margin, and stall time drops near-linearly with disks until the trace
+turns compute-bound (elapsed floor = compute + driver).
+"""
+
+from benchmarks.common import figure_sweep, index_results, print_crossover, print_figure
+from benchmarks.conftest import disk_counts, once
+
+POLICIES = ("demand", "fixed-horizon", "aggressive", "reverse-aggressive")
+
+
+def test_fig2_postgres_select(benchmark, setting):
+    counts = disk_counts()
+
+    results = once(
+        benchmark,
+        lambda: figure_sweep(setting, "postgres-select", POLICIES, counts),
+    )
+    print_figure("Figure 2 — postgres-select", results)
+    print_crossover(results)
+
+    by_key = index_results(results)
+    for disks in counts:
+        demand = by_key[("demand", disks)]
+        for policy in POLICIES[1:]:
+            assert by_key[(policy, disks)].elapsed_ms < demand.elapsed_ms, (
+                f"{policy} must beat demand at {disks} disks"
+            )
+    # near-linear stall reduction until compute-bound
+    fh = [by_key[("fixed-horizon", d)] for d in counts]
+    assert fh[0].stall_ms > fh[-1].stall_ms

@@ -1,0 +1,49 @@
+"""Figure 3: fundamental differences on synth (left) and cscope1 (right).
+
+Paper shape, synth: aggressive wins at 1–2 disks (I/O-bound); at ≥3 disks
+its extra fetches push elapsed time *above* fixed horizon's (the famous
+driver-overhead blowup).  cscope1 (CPU-bound) shows the same but milder.
+"""
+
+from benchmarks.common import figure_sweep, index_results, print_figure
+from benchmarks.conftest import once
+
+POLICIES = ("fixed-horizon", "aggressive", "reverse-aggressive")
+
+
+def test_fig3_synth(benchmark, setting):
+    results = once(
+        benchmark,
+        lambda: figure_sweep(setting, "synth", POLICIES, (1, 2, 3, 4)),
+    )
+    print_figure("Figure 3 (left) — synth", results)
+    by_key = index_results(results)
+
+    # I/O-bound end: aggressive beats fixed horizon.
+    assert (
+        by_key[("aggressive", 1)].elapsed_ms
+        < by_key[("fixed-horizon", 1)].elapsed_ms
+    )
+    # Compute-bound end: fixed horizon beats aggressive on driver overhead.
+    assert (
+        by_key[("fixed-horizon", 4)].elapsed_ms
+        < by_key[("aggressive", 4)].elapsed_ms
+    )
+    assert (
+        by_key[("aggressive", 4)].fetches
+        > by_key[("fixed-horizon", 4)].fetches
+    )
+
+
+def test_fig3_cscope1(benchmark, setting):
+    results = once(
+        benchmark,
+        lambda: figure_sweep(setting, "cscope1", POLICIES, (1, 2, 3, 4)),
+    )
+    print_figure("Figure 3 (right) — cscope1", results)
+    by_key = index_results(results)
+    # CPU-bound: aggressive issues more fetches, paying driver overhead.
+    assert (
+        by_key[("aggressive", 4)].driver_ms
+        >= by_key[("fixed-horizon", 4)].driver_ms
+    )

@@ -1,0 +1,34 @@
+"""Figure 4: the ld trace from 1 to 16 disks — the crossover figure.
+
+Paper shape: with few disks all algorithms are I/O-bound and aggressive's
+deeper prefetching wins; past the crossover the trade-off (idle-disk stalls
+vs driver overhead) favors fixed horizon.
+"""
+
+from benchmarks.common import figure_sweep, index_results, print_crossover, print_figure
+from benchmarks.conftest import disk_counts, once
+
+POLICIES = ("fixed-horizon", "aggressive", "reverse-aggressive")
+
+
+def test_fig4_ld(benchmark, setting):
+    counts = disk_counts()
+    results = once(
+        benchmark, lambda: figure_sweep(setting, "ld", POLICIES, counts)
+    )
+    print_figure("Figure 4 — ld", results)
+    print_crossover(results)
+    by_key = index_results(results)
+
+    # I/O-bound at 1 disk: both roughly comparable, aggressive not worse
+    # than FH by more than a whisker, and stall dominates elapsed time.
+    one_fh = by_key[("fixed-horizon", 1)]
+    assert one_fh.stall_ms > one_fh.compute_ms
+    # Aggressive reduces stall relative to FH while disks are scarce.
+    assert (
+        by_key[("aggressive", 2)].stall_ms
+        <= by_key[("fixed-horizon", 2)].stall_ms
+    )
+    # At the high-disk end the stall is essentially gone for everyone.
+    top = max(counts)
+    assert by_key[("fixed-horizon", top)].stall_ms < one_fh.stall_ms / 4

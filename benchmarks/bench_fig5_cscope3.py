@@ -1,0 +1,49 @@
+"""Figure 5: cscope3 — bursty compute times trip reverse aggressive.
+
+Paper shape: on a trace whose inter-reference compute times alternate
+between ~1 ms and ~7 ms runs, no single fetch-time estimate F suits the
+whole trace, and reverse aggressive's single-disk result is much worse than
+aggressive's (whose adaptivity is inherent).
+"""
+
+from repro.analysis.experiments import run_one, tuned_reverse_aggressive
+
+from benchmarks.common import figure_sweep, index_results, print_figure
+from benchmarks.conftest import disk_counts, once
+
+POLICIES = ("fixed-horizon", "aggressive", "reverse-aggressive")
+
+
+def test_fig5_cscope3(benchmark, setting):
+    counts = disk_counts(limit=8)
+    results = once(
+        benchmark, lambda: figure_sweep(setting, "cscope3", POLICIES, counts)
+    )
+    print_figure("Figure 5 — cscope3 (bursty compute)", results)
+    by_key = index_results(results)
+    # The burstiness penalty: even the tuned reverse aggressive cannot beat
+    # aggressive's inherent adaptivity at one disk by any useful margin.
+    agg = by_key[("aggressive", 1)]
+    reverse = by_key[("reverse-aggressive", 1)]
+    assert reverse.elapsed_ms >= agg.elapsed_ms * 0.95
+
+
+def test_fig5_fixed_estimate_hurts_on_bursty_trace(benchmark, setting):
+    """A deliberately bad single F (too large -> too conservative) visibly
+    degrades reverse aggressive on cscope3 at one disk."""
+
+    def runs():
+        good = tuned_reverse_aggressive(
+            setting, "cscope3", 1, fetch_times=(2, 8, 32)
+        )
+        bad = run_one(
+            setting, "cscope3", "reverse-aggressive", 1,
+            fetch_time_estimate=128,
+        )
+        return good, bad
+
+    good, bad = once(benchmark, runs)
+    print()
+    print(f"tuned F:   {good}")
+    print(f"F=128:     {bad}")
+    assert bad.elapsed_ms >= good.elapsed_ms

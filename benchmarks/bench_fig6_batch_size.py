@@ -1,0 +1,51 @@
+"""Figure 6: aggressive's elapsed time vs batch size on cscope2.
+
+Paper shape: performance first improves with batch size (better CSCAN
+scheduling), then degrades (out-of-order fetching + early replacement);
+the optimum shifts toward smaller batches as disks are added.
+"""
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_elapsed_grid
+
+from benchmarks.conftest import full_run, once
+
+
+def test_fig6_aggressive_batch_size(benchmark, setting):
+    scale = setting.scale
+    base_batches = (4, 8, 16, 40, 80, 160, 320, 640, 1280)
+    if not full_run():
+        base_batches = (4, 8, 16, 40, 80, 160, 320)
+    batches = sorted({max(2, int(b * scale)) for b in base_batches})
+    counts = (1, 2, 4) if not full_run() else (1, 2, 3, 4, 5)
+
+    def sweep():
+        grid = {}
+        for batch in batches:
+            grid[f"batch={batch}"] = [
+                run_one(
+                    setting, "cscope2", "aggressive", disks, batch_size=batch
+                ).elapsed_s
+                for disks in counts
+            ]
+        return grid
+
+    grid = once(benchmark, sweep)
+    print()
+    print(
+        format_elapsed_grid(
+            grid, "batch", [f"{d} disks" for d in counts],
+            title="Figure 6 — aggressive elapsed time (s) vs batch size, cscope2",
+        )
+    )
+
+    # At 1 disk, some mid-size batch beats both extremes (the U-shape).
+    one_disk = [grid[f"batch={b}"][0] for b in batches]
+    best = min(one_disk)
+    assert best <= one_disk[0]
+    assert best <= one_disk[-1]
+    # Variation shrinks as disks increase (compute-bound flattening).
+    spread_one = max(one_disk) - min(one_disk)
+    last_col = [grid[f"batch={b}"][-1] for b in batches]
+    spread_last = max(last_col) - min(last_col)
+    assert spread_last <= spread_one

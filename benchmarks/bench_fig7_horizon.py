@@ -1,0 +1,64 @@
+"""Figure 7: fixed horizon's elapsed time vs the prefetch horizon H, on
+cscope1 (CPU-bound, left) and cscope2 (more I/O-bound, right).
+
+Paper shape: on cscope1 performance degrades as H grows (out-of-order
+fetching and early replacement); on cscope2 a larger H first helps a lot
+(more aggressive prefetching eliminates stalling) before declining at
+extreme values.
+"""
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_elapsed_grid
+
+from benchmarks.conftest import full_run, once
+
+
+def _horizons(setting):
+    base = (16, 32, 64, 128, 256, 512, 1024, 2048)
+    if not full_run():
+        base = (16, 32, 64, 128, 256, 512)
+    scaled = sorted({max(2, int(h * setting.scale)) for h in base})
+    return scaled
+
+
+def test_fig7_horizon_cscope1_and_cscope2(benchmark, setting):
+    horizons = _horizons(setting)
+    counts = (1, 2, 3)
+
+    def sweep():
+        grid = {}
+        for trace in ("cscope1", "cscope2"):
+            for horizon in horizons:
+                grid[(trace, horizon)] = [
+                    run_one(
+                        setting, trace, "fixed-horizon", disks,
+                        horizon=horizon,
+                    )
+                    for disks in counts
+                ]
+        return grid
+
+    grid = once(benchmark, sweep)
+    for trace in ("cscope1", "cscope2"):
+        view = {
+            f"H={h}": [r.elapsed_s for r in grid[(trace, h)]]
+            for h in horizons
+        }
+        print()
+        print(
+            format_elapsed_grid(
+                view, "horizon", [f"{d} disks" for d in counts],
+                title=f"Figure 7 — fixed horizon vs H, {trace}",
+            )
+        )
+
+    # cscope1, multi-disk: very large H does not beat the best small H
+    # (early replacement costs fetches).
+    cscope1_3d = [grid[("cscope1", h)][2].elapsed_ms for h in horizons]
+    assert min(cscope1_3d[:2]) <= cscope1_3d[-1] * 1.005
+    # cscope1: fetch count grows with H (earlier replacements).
+    fetches = [grid[("cscope1", h)][0].fetches for h in horizons]
+    assert fetches[-1] >= fetches[0]
+    # cscope2, 1 disk: increasing H from the minimum helps substantially.
+    cscope2_1d = [grid[("cscope2", h)][0].elapsed_ms for h in horizons]
+    assert min(cscope2_1d[1:]) < cscope2_1d[0]

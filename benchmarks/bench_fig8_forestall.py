@@ -1,0 +1,46 @@
+"""Figure 8: forestall vs fixed horizon and aggressive on synth and xds.
+
+Paper shape: in I/O-bound configurations forestall prefetches aggressively
+enough to match (or beat) aggressive; in CPU-bound configurations it turns
+conservative, matching fixed horizon's low driver overhead.
+"""
+
+from benchmarks.common import figure_sweep, index_results, print_figure
+from benchmarks.conftest import once
+
+POLICIES = ("fixed-horizon", "aggressive", "forestall")
+
+
+def test_fig8_synth(benchmark, setting):
+    results = once(
+        benchmark,
+        lambda: figure_sweep(setting, "synth", POLICIES, (1, 2, 3, 4)),
+    )
+    print_figure("Figure 8 (left) — synth", results)
+    by_key = index_results(results)
+    # I/O-bound: forestall within a whisker of aggressive (or better).
+    assert (
+        by_key[("forestall", 1)].elapsed_ms
+        <= by_key[("aggressive", 1)].elapsed_ms * 1.02
+    )
+    # Compute-bound: forestall's driver overhead near fixed horizon's,
+    # far below aggressive's.
+    agg = by_key[("aggressive", 4)].driver_ms
+    fh = by_key[("fixed-horizon", 4)].driver_ms
+    forestall = by_key[("forestall", 4)].driver_ms
+    assert forestall < (fh + agg) / 2
+
+
+def test_fig8_xds(benchmark, setting):
+    results = once(
+        benchmark,
+        lambda: figure_sweep(setting, "xds", POLICIES, (1, 2, 3, 4, 6)),
+    )
+    print_figure("Figure 8 (right) — xds", results)
+    by_key = index_results(results)
+    for disks in (1, 2, 4, 6):
+        best = min(
+            by_key[("fixed-horizon", disks)].elapsed_ms,
+            by_key[("aggressive", disks)].elapsed_ms,
+        )
+        assert by_key[("forestall", disks)].elapsed_ms <= best * 1.10

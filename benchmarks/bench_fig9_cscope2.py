@@ -1,0 +1,29 @@
+"""Figure 9: fixed horizon / aggressive / forestall on cscope2, 1–16 disks.
+
+Paper shape: forestall has the best (or tied-best) performance of the three
+practical algorithms across the whole array-size range.
+"""
+
+from benchmarks.common import figure_sweep, index_results, print_crossover, print_figure
+from benchmarks.conftest import disk_counts, once
+
+POLICIES = ("fixed-horizon", "aggressive", "forestall")
+
+
+def test_fig9_cscope2(benchmark, setting):
+    counts = disk_counts()
+    results = once(
+        benchmark, lambda: figure_sweep(setting, "cscope2", POLICIES, counts)
+    )
+    print_figure("Figure 9 — cscope2", results)
+    print_crossover(results)
+    by_key = index_results(results)
+    for disks in counts:
+        best = min(
+            by_key[("fixed-horizon", disks)].elapsed_ms,
+            by_key[("aggressive", disks)].elapsed_ms,
+        )
+        forestall = by_key[("forestall", disks)].elapsed_ms
+        assert forestall <= best * 1.10, (
+            f"forestall strays from the best practical at {disks} disks"
+        )

@@ -1,0 +1,82 @@
+"""Table 2: cross-validation of the simulators on xds and synth.
+
+The paper validated its results by running fixed horizon and aggressive on
+two independently-written simulators (UW's HP 97560 model, CMU's RaidSim
+with IBM 0661 drives).  We run three disk models — the detailed HP 97560,
+the detailed IBM 0661 (Lee & Katz constants), and a structurally different
+uniform-time model — and require the algorithm *rankings* to agree even
+though absolute times differ.
+"""
+
+from repro.analysis.experiments import ExperimentSetting, run_one
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import once
+
+POLICIES = ("fixed-horizon", "aggressive")
+COUNTS = (1, 2, 3, 4)
+
+
+def test_table2_simulator_crossvalidation(benchmark, setting):
+    models = {
+        "hp": setting,
+        "ibm": ExperimentSetting(scale=setting.scale, disk_model="ibm0661"),
+        "uni": ExperimentSetting(scale=setting.scale, disk_model="simple"),
+    }
+
+    def sweep():
+        table = {}
+        for trace in ("xds", "synth"):
+            for disks in COUNTS:
+                for policy in POLICIES:
+                    for label, model_setting in models.items():
+                        table[(trace, disks, policy, label)] = run_one(
+                            model_setting, trace, policy, disks
+                        )
+        return table
+
+    table = once(benchmark, sweep)
+    for trace in ("xds", "synth"):
+        rows = []
+        for disks in COUNTS:
+            row = [disks]
+            for label in models:
+                row.append(
+                    round(table[(trace, disks, "fixed-horizon", label)].elapsed_s, 2)
+                )
+                row.append(
+                    round(table[(trace, disks, "aggressive", label)].elapsed_s, 2)
+                )
+            rows.append(tuple(row))
+        print()
+        print(f"Table 2 — simulator comparison, {trace} "
+              "(HP 97560 | IBM 0661 | uniform)")
+        print(
+            format_table(
+                ("disks", "FH/hp", "Agg/hp", "FH/ibm", "Agg/ibm",
+                 "FH/uni", "Agg/uni"),
+                rows,
+            )
+        )
+
+    # Cross-validation criterion: whenever the HP model shows a material
+    # (>5%) winner, the other models must agree on who it is.
+    for other in ("ibm", "uni"):
+        agreements, decisions = 0, 0
+        for trace in ("xds", "synth"):
+            for disks in COUNTS:
+                fh_d = table[(trace, disks, "fixed-horizon", "hp")]
+                ag_d = table[(trace, disks, "aggressive", "hp")]
+                margin = abs(fh_d.elapsed_ms - ag_d.elapsed_ms) / fh_d.elapsed_ms
+                if margin < 0.05:
+                    continue
+                decisions += 1
+                if (fh_d.elapsed_ms < ag_d.elapsed_ms) == (
+                    table[(trace, disks, "fixed-horizon", other)].elapsed_ms
+                    < table[(trace, disks, "aggressive", other)].elapsed_ms
+                ):
+                    agreements += 1
+        if decisions:
+            assert agreements >= decisions * 0.7, (
+                f"{other} disagrees too often: {agreements}/{decisions}"
+            )

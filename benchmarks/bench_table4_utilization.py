@@ -1,0 +1,46 @@
+"""Table 4: average disk utilization on postgres-select.
+
+Paper shape: for moderate disk counts aggressive loads the disks most,
+then reverse aggressive, then fixed horizon; demand fetching least.
+Utilization falls as the array grows.
+"""
+
+from repro.analysis.tables import format_table
+
+from benchmarks.common import figure_sweep, index_results
+from benchmarks.conftest import disk_counts, once
+
+POLICIES = ("demand", "fixed-horizon", "aggressive", "reverse-aggressive")
+
+
+def test_table4_disk_utilization(benchmark, setting):
+    counts = disk_counts()
+    results = once(
+        benchmark,
+        lambda: figure_sweep(setting, "postgres-select", POLICIES, counts),
+    )
+    by_key = index_results(results)
+    rows = []
+    for disks in counts:
+        rows.append(
+            (disks,)
+            + tuple(
+                round(by_key[(p, disks)].disk_utilization, 2)
+                for p in POLICIES
+            )
+        )
+    print()
+    print("Table 4 — disk utilization, postgres-select")
+    print(format_table(("disks",) + POLICIES, rows))
+
+    for disks in counts[:3]:
+        demand = by_key[("demand", disks)].disk_utilization
+        fh = by_key[("fixed-horizon", disks)].disk_utilization
+        agg = by_key[("aggressive", disks)].disk_utilization
+        assert demand <= fh <= agg * 1.02, (
+            f"utilization ordering broken at {disks} disks"
+        )
+    # utilization decreases with array size for every policy
+    for policy in POLICIES:
+        series = [by_key[(policy, d)].disk_utilization for d in counts]
+        assert series[0] >= series[-1]

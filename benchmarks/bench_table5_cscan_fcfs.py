@@ -1,0 +1,46 @@
+"""Table 5: percentage improvement of CSCAN over FCFS on postgres-select.
+
+Paper shape: CSCAN helps most in I/O-bound configurations (up to ~24% for
+reverse aggressive, ~19% aggressive, ~15% fixed horizon at 1-4 disks) and
+fades to ~zero — occasionally slightly negative (out-of-order fetching) —
+once the trace is compute-bound.
+"""
+
+from repro.analysis.experiments import compare_disciplines
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import disk_counts, once
+
+POLICIES = ("fixed-horizon", "aggressive", "reverse-aggressive")
+
+
+def test_table5_cscan_vs_fcfs(benchmark, setting):
+    counts = disk_counts(limit=8)
+
+    def sweep():
+        return {
+            policy: compare_disciplines(setting, "postgres-select", policy, counts)
+            for policy in POLICIES
+        }
+
+    table = once(benchmark, sweep)
+    rows = []
+    for disks_index, disks in enumerate(counts):
+        row = [disks]
+        for policy in POLICIES:
+            _d, _cscan, _fcfs, improvement = table[policy][disks_index]
+            row.append(round(improvement, 2))
+        rows.append(tuple(row))
+    print()
+    print("Table 5 — % improvement of CSCAN over FCFS, postgres-select")
+    print(format_table(("disks",) + POLICIES, rows))
+
+    # I/O-bound end: CSCAN must help the deep-queue algorithms.
+    for policy in ("aggressive", "reverse-aggressive"):
+        _d, cscan, fcfs, improvement = table[policy][0]
+        assert improvement > 0, f"CSCAN should help {policy} at 1 disk"
+    # Compute-bound end: the effect shrinks substantially.
+    for policy in POLICIES:
+        first = table[policy][0][3]
+        last = table[policy][-1][3]
+        assert last < max(first, 5.0)

@@ -1,0 +1,57 @@
+"""Table 7: fixed horizon vs aggressive as cache size varies, on glimpse.
+
+Paper shape: everyone improves with a bigger cache; in I/O-bound configs a
+larger cache helps the aggressive prefetchers more, while in compute-bound
+configs aggressive's extra driver overhead grows with cache size, improving
+fixed horizon's *relative* standing.
+"""
+
+from repro.analysis.experiments import ExperimentSetting, run_one
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import once
+
+#: Paper cache sizes (blocks), scaled at runtime.
+CACHE_SIZES = (640, 1280, 1920)
+
+
+def test_table7_cache_size_glimpse(benchmark, setting):
+    scale = setting.scale
+    counts = (1, 2, 4, 8)
+
+    def sweep():
+        table = {}
+        for cache in CACHE_SIZES:
+            sized = ExperimentSetting(
+                scale=scale, cache_blocks=max(16, int(cache * scale))
+            )
+            for disks in counts:
+                fh = run_one(sized, "glimpse", "fixed-horizon", disks)
+                agg = run_one(sized, "glimpse", "aggressive", disks)
+                table[(cache, disks)] = (fh, agg)
+        return table
+
+    table = once(benchmark, sweep)
+    rows = []
+    for cache in CACHE_SIZES:
+        row = [cache]
+        for disks in counts:
+            fh, agg = table[(cache, disks)]
+            pct = 100.0 * (fh.elapsed_ms - agg.elapsed_ms) / agg.elapsed_ms
+            row.append(round(pct, 1))
+        rows.append(tuple(row))
+    print()
+    print(
+        "Table 7 — fixed horizon relative to aggressive (% elapsed-time\n"
+        "difference; positive = FH slower), glimpse"
+    )
+    print(format_table(("cache",) + tuple(f"{d} disks" for d in counts), rows))
+
+    # Bigger cache improves everyone in absolute terms.
+    for disks in counts:
+        fh_small, _ = table[(CACHE_SIZES[0], disks)]
+        fh_large, _ = table[(CACHE_SIZES[-1], disks)]
+        assert fh_large.elapsed_ms <= fh_small.elapsed_ms * 1.02
+        _, agg_small = table[(CACHE_SIZES[0], disks)]
+        _, agg_large = table[(CACHE_SIZES[-1], disks)]
+        assert agg_large.elapsed_ms <= agg_small.elapsed_ms * 1.02

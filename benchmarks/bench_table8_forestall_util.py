@@ -1,0 +1,43 @@
+"""Table 8: disk utilization of forestall on postgres-select.
+
+Paper shape: forestall's utilization falls between aggressive's and fixed
+horizon's — near aggressive when I/O-bound, near fixed horizon when
+compute-bound.
+"""
+
+from repro.analysis.experiments import run_one
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import disk_counts, once
+
+POLICIES = ("fixed-horizon", "forestall", "aggressive")
+
+
+def test_table8_forestall_utilization(benchmark, setting):
+    counts = disk_counts()
+
+    def sweep():
+        return {
+            (policy, disks): run_one(setting, "postgres-select", policy, disks)
+            for policy in POLICIES
+            for disks in counts
+        }
+
+    table = once(benchmark, sweep)
+    rows = [
+        (disks,)
+        + tuple(round(table[(p, disks)].disk_utilization, 2) for p in POLICIES)
+        for disks in counts
+    ]
+    print()
+    print("Table 8 — forestall disk utilization, postgres-select")
+    print(format_table(("disks",) + POLICIES, rows))
+
+    for disks in counts:
+        fh = table[("fixed-horizon", disks)].disk_utilization
+        agg = table[("aggressive", disks)].disk_utilization
+        forestall = table[("forestall", disks)].disk_utilization
+        low, high = min(fh, agg), max(fh, agg)
+        assert low * 0.9 <= forestall <= high * 1.1, (
+            f"forestall utilization out of band at {disks} disks"
+        )

@@ -1,0 +1,58 @@
+"""Shared helpers for the figure/table benchmarks."""
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.experiments import (
+    ExperimentSetting,
+    run_one,
+    tuned_reverse_aggressive,
+)
+from repro.analysis.tables import format_breakdown_table, format_table
+from repro.core.results import SimulationResult
+
+
+def figure_sweep(
+    setting: ExperimentSetting,
+    trace_name: str,
+    policies: Sequence[str],
+    disk_counts: Sequence[int],
+    tuned_reverse: bool = True,
+) -> List[SimulationResult]:
+    """The standard figure layout: per disk count, one bar per policy."""
+    results = []
+    for disks in disk_counts:
+        for policy in policies:
+            if policy == "reverse-aggressive" and tuned_reverse:
+                results.append(
+                    tuned_reverse_aggressive(
+                        setting, trace_name, disks, fetch_times=(2, 8, 32)
+                    )
+                )
+            else:
+                results.append(run_one(setting, trace_name, policy, disks))
+    return results
+
+
+def print_figure(title: str, results: List[SimulationResult]) -> None:
+    print()
+    print(format_breakdown_table(results, title=title))
+
+
+def print_crossover(results: List[SimulationResult]) -> None:
+    """Who wins at each disk count (the figures' qualitative content)."""
+    by_disks: Dict[int, List[SimulationResult]] = {}
+    for result in results:
+        by_disks.setdefault(result.num_disks, []).append(result)
+    rows = []
+    for disks in sorted(by_disks):
+        best = min(by_disks[disks], key=lambda r: r.elapsed_ms)
+        rows.append((disks, best.policy_name, round(best.elapsed_s, 3)))
+    print(format_table(("disks", "best policy", "elapsed_s"), rows))
+
+
+def index_results(results) -> Dict:
+    """Index results by (base policy name, disks) — parameter suffixes like
+    ``fixed-horizon(H=15)`` are stripped."""
+    return {
+        (r.policy_name.split("(")[0], r.num_disks): r for r in results
+    }

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rows (run pytest with ``-s`` to see them; the numbers also land
+in the benchmark JSON if requested).  Traces are scaled by ``REPRO_SCALE``
+(default 0.25) unless ``REPRO_FULL=1`` requests paper-scale runs; device
+parameters (horizon, batch sizes) scale alongside, preserving regimes.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import (
+    PAPER_DISK_COUNTS,
+    ExperimentSetting,
+    default_scale,
+)
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_FULL") == "1"
+
+
+def disk_counts(limit: int = 16):
+    """Paper disk counts under REPRO_FULL, a representative subset else."""
+    counts = PAPER_DISK_COUNTS if full_run() else (1, 2, 3, 4, 6, 8)
+    return tuple(d for d in counts if d <= limit)
+
+
+@pytest.fixture(scope="session")
+def setting():
+    return ExperimentSetting(scale=default_scale())
+
+
+@pytest.fixture(scope="session")
+def fcfs_setting():
+    return ExperimentSetting(scale=default_scale(), discipline="fcfs")
+
+
+def once(benchmark, fn):
+    """Run the experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Write your own prefetching/caching policy against the public API.
+
+Implements *sequential readahead* — the classic file-system heuristic the
+paper's related-work section contrasts with hint-based prefetching: on
+every fetch, also prefetch the next N blocks of the same file, evicting by
+the optimal rule.  Pitting it against the hint-based algorithms on two
+workloads shows why hints matter: readahead shines on purely sequential
+traces and collapses on index-driven ones.
+
+Run:  python examples/custom_policy.py
+"""
+
+import repro
+from repro.core.nextref import INFINITE
+from repro.core.policy import PrefetchPolicy
+
+
+class SequentialReadahead(PrefetchPolicy):
+    """Demand fetching plus N-block same-file readahead (no hints used)."""
+
+    def __init__(self, depth: int = 8):
+        super().__init__()
+        self.depth = depth
+
+    @property
+    def name(self) -> str:
+        return f"readahead({self.depth})"
+
+    def on_miss(self, cursor: int, now: float) -> None:
+        block = self.sim.blocks[cursor]
+        self._fetch(block, cursor)
+        for successor in range(block + 1, block + 1 + self.depth):
+            if not self._same_file(block, successor):
+                break
+            if self.sim.cache.present_or_coming(successor):
+                continue
+            if not self._fetch(successor, cursor):
+                break
+
+    def _same_file(self, block: int, successor: int) -> bool:
+        files = self.sim.trace.files or {}
+        if block not in files or successor not in files:
+            return successor in self.sim.index.positions
+        return files[block][0] == files[successor][0]
+
+    def _fetch(self, block: int, cursor: int) -> bool:
+        if block not in self.sim.index.positions:
+            return False  # never referenced; don't pollute the cache
+        victim = self.choose_victim(cursor)
+        next_use = self.sim.index.next_use(block, cursor)
+        if victim is not None:
+            victim_use = self.sim.index.next_use(victim, cursor)
+            if victim_use is not INFINITE and next_use is not INFINITE \
+                    and victim_use <= next_use:
+                return False  # do no harm
+        self.issue(block, victim)
+        return True
+
+
+def main() -> None:
+    for trace_name in ("dinero", "postgres-select"):
+        trace = repro.build_workload(trace_name)
+        print(f"\n{trace.name} ({trace.description}):")
+        for policy in (
+            SequentialReadahead(depth=8),
+            "fixed-horizon",
+            "forestall",
+        ):
+            result = repro.run_simulation(trace, policy=policy, num_disks=2)
+            print(f"  {result.policy_name:<18} elapsed {result.elapsed_s:>8.2f}s "
+                  f"stall {result.stall_s:>7.2f}s fetches {result.fetches}")
+    print("\nHeuristic readahead keeps up on the sequential trace and falls")
+    print("behind once accesses are index-driven — the paper's case for")
+    print("application hints in one table.")
+
+
+if __name__ == "__main__":
+    main()

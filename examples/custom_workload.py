@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Bring your own workload: build a Trace from scratch and evaluate it.
+
+Models a small media server: one large video file streamed sequentially
+while a metadata index is consulted every few frames — a hint-friendly
+pattern the paper's motivation section calls out (multimedia servers).
+Demonstrates the BlockSpace / Trace construction API and a cache-size
+sensitivity sweep.
+
+Run:  python examples/custom_workload.py
+"""
+
+import random
+
+import repro
+from repro.trace import Trace
+from repro.trace.synthetic import BlockSpace, exponential_gaps
+
+
+def build_media_trace(frames: int = 4000, seed: int = 11) -> Trace:
+    rng = random.Random(seed)
+    space = BlockSpace()
+    video = space.new_file(frames)       # streamed once, sequentially
+    index = space.new_file(32)           # hot metadata blocks
+
+    blocks = []
+    for frame_number, frame_block in enumerate(video):
+        blocks.append(frame_block)
+        if frame_number % 8 == 0:        # periodic index lookup
+            blocks.append(rng.choice(index))
+    compute_ms = exponential_gaps(len(blocks), mean_ms=2.0, rng=rng)
+    return Trace(
+        name="media-server",
+        blocks=blocks,
+        compute_ms=compute_ms,
+        files=space.files,
+        description="sequential video stream with hot index lookups",
+    )
+
+
+def main() -> None:
+    trace = build_media_trace()
+    print(f"{trace.name}: {trace.reads} reads, "
+          f"{trace.distinct_blocks} distinct blocks, "
+          f"{trace.compute_time_s:.1f}s compute\n")
+
+    print("cache-size sensitivity (2 disks, forestall vs demand):")
+    print(f"{'cache blocks':>12} {'demand':>10} {'forestall':>10} {'speedup':>8}")
+    for cache_blocks in (64, 256, 1024):
+        demand = repro.run_simulation(
+            trace, policy="demand", num_disks=2, cache_blocks=cache_blocks
+        )
+        forestall = repro.run_simulation(
+            trace, policy="forestall", num_disks=2, cache_blocks=cache_blocks
+        )
+        speedup = demand.elapsed_ms / forestall.elapsed_ms
+        print(f"{cache_blocks:>12} {demand.elapsed_s:>9.2f}s "
+              f"{forestall.elapsed_s:>9.2f}s {speedup:>7.2f}x")
+
+    print("\nStreaming workloads barely need cache, but they love")
+    print("prefetching: forestall hides nearly every fetch behind compute.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Two applications sharing one I/O system.
+
+The paper's single-process study is the building block; a real system
+(TIP2) runs several processes against the same cache and disks.  This
+example co-schedules the interactive cscope1 search with the postgres
+selection query on a 2-disk array, and shows what the buffer allocator
+does to each process's completion time.
+
+Run:  python examples/shared_system.py
+"""
+
+import repro
+from repro.core import SimConfig, make_policy
+from repro.core.multiprocess import (
+    CostBenefitAllocator,
+    MultiProcessSimulator,
+    StaticAllocator,
+)
+
+
+def run(allocator):
+    cscope = repro.build_workload("cscope1", scale=0.5)
+    postgres = repro.build_workload("postgres-select", scale=0.5)
+    sim = MultiProcessSimulator(
+        [
+            (cscope, make_policy("fixed-horizon", horizon=31)),
+            (postgres, make_policy("forestall", horizon=31)),
+        ],
+        num_disks=2,
+        config=SimConfig(cache_blocks=640),
+        allocator=allocator,
+    )
+    return sim.run()
+
+
+def main() -> None:
+    print("two processes, one array — allocator comparison\n")
+    for allocator in (
+        StaticAllocator(),                 # even split
+        StaticAllocator([3, 1]),           # favour the interactive search
+        CostBenefitAllocator(),            # buffers chase the stalls
+    ):
+        label = allocator.name
+        if allocator.weights:
+            label += f" {allocator.weights}"
+        results = run(allocator)
+        print(f"{label}:")
+        for r in results:
+            print(f"  {r.trace_name:<22} {r.policy_name:<16} "
+                  f"elapsed {r.elapsed_s:7.2f}s  stall {r.stall_s:6.2f}s  "
+                  f"buffers {r.cache_blocks}")
+        print(f"  makespan {results.makespan_ms / 1000:.2f}s\n")
+
+    print("Static splits trade one process against the other; the")
+    print("cost-benefit allocator moves buffers toward whoever is")
+    print("stalling, which is TIP2's answer in miniature.")
+
+
+if __name__ == "__main__":
+    main()

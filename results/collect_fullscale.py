@@ -1,0 +1,70 @@
+"""Collect full-scale paper-vs-measured numbers for EXPERIMENTS.md.
+
+Run from the repository root:  python results/collect_fullscale.py
+Takes ~10 minutes; writes results/fullscale.json and prints progress.
+"""
+import json, time
+from repro.analysis.experiments import ExperimentSetting, run_one, tuned_reverse_aggressive, compare_disciplines
+
+s = ExperimentSetting(scale=1.0)
+out = {}
+t0 = time.time()
+
+def rec(key, r):
+    out[key] = dict(elapsed_s=round(r.elapsed_s,3), stall_s=round(r.stall_s,3),
+                    driver_s=round(r.driver_s,3), fetches=r.fetches,
+                    util=round(r.disk_utilization,2), avg_fetch_ms=round(r.average_fetch_ms,2))
+    print(f"[{time.time()-t0:7.1f}s] {key}: {out[key]}")
+
+# Figure 2 + Table 4: postgres-select
+for d in (1,2,4,8,16):
+    for p in ("demand","fixed-horizon","aggressive"):
+        rec(f"pselect/{p}/{d}", run_one(s,"postgres-select",p,d))
+    rec(f"pselect/reverse-aggressive/{d}", tuned_reverse_aggressive(s,"postgres-select",d,fetch_times=(2,8,32)))
+    rec(f"pselect/forestall/{d}", run_one(s,"postgres-select","forestall",d))
+
+# Figure 3: synth + cscope1
+for d in (1,2,3,4):
+    for p in ("fixed-horizon","aggressive","forestall"):
+        rec(f"synth/{p}/{d}", run_one(s,"synth",p,d))
+    rec(f"synth/reverse-aggressive/{d}", tuned_reverse_aggressive(s,"synth",d,fetch_times=(4,8,16)))
+    for p in ("fixed-horizon","aggressive","forestall"):
+        rec(f"cscope1/{p}/{d}", run_one(s,"cscope1",p,d))
+
+# Figure 4: ld
+for d in (1,2,4,8,10,16):
+    for p in ("fixed-horizon","aggressive","forestall"):
+        rec(f"ld/{p}/{d}", run_one(s,"ld",p,d))
+
+# Figure 5: cscope3
+for d in (1,2,4,8):
+    for p in ("fixed-horizon","aggressive"):
+        rec(f"cscope3/{p}/{d}", run_one(s,"cscope3",p,d))
+    rec(f"cscope3/reverse-aggressive/{d}", tuned_reverse_aggressive(s,"cscope3",d,fetch_times=(2,8,32)))
+
+# Figures 9/10: cscope2, glimpse
+for d in (1,2,4,8,16):
+    for p in ("fixed-horizon","aggressive","forestall"):
+        rec(f"cscope2/{p}/{d}", run_one(s,"cscope2",p,d))
+        rec(f"glimpse/{p}/{d}", run_one(s,"glimpse",p,d))
+
+# Figure 8: xds
+for d in (1,2,3,4,6):
+    for p in ("fixed-horizon","aggressive","forestall"):
+        rec(f"xds/{p}/{d}", run_one(s,"xds",p,d))
+
+# Table 5: CSCAN vs FCFS on postgres-select
+for p in ("fixed-horizon","aggressive"):
+    rows = compare_disciplines(s,"postgres-select",p,(1,2,4,8))
+    for d,c,f,imp in rows:
+        out[f"t5/{p}/{d}"] = round(imp,2)
+        print(f"t5/{p}/{d}: {imp:.2f}%")
+
+# dinero + postgres-join baselines (appendix A flavor)
+for d in (1,2,4):
+    for p in ("fixed-horizon","aggressive","forestall"):
+        rec(f"dinero/{p}/{d}", run_one(s,"dinero",p,d))
+        rec(f"pjoin/{p}/{d}", run_one(s,"postgres-join",p,d))
+
+json.dump(out, open("results/fullscale.json","w"), indent=1)
+print("DONE", time.time()-t0)

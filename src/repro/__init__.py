@@ -1,0 +1,101 @@
+"""repro — integrated parallel prefetching and caching, reproduced.
+
+A trace-driven simulation library re-implementing Kimbrel et al.,
+"A Trace-Driven Comparison of Algorithms for Parallel Prefetching and
+Caching" (OSDI 1996): the *fixed horizon*, *aggressive*, *reverse
+aggressive*, and *forestall* algorithms, a demand-fetching baseline, an
+HP 97560-class disk model with CSCAN/FCFS scheduling, striped disk arrays,
+and synthetic re-creations of the paper's nine application traces.
+
+Quickstart::
+
+    import repro
+
+    trace = repro.build_workload("postgres-select")
+    result = repro.run_simulation(trace, policy="forestall", num_disks=4)
+    print(result)
+"""
+
+from repro.core import (
+    CostBenefitAllocator,
+    HintQuality,
+    MultiProcessSimulator,
+    POLICIES,
+    ProcessResult,
+    StaticAllocator,
+    Aggressive,
+    DemandFetching,
+    FixedHorizon,
+    Forestall,
+    PrefetchPolicy,
+    ReverseAggressive,
+    SimConfig,
+    SimulationResult,
+    Simulator,
+    make_policy,
+)
+from repro.trace import TABLE3, WORKLOADS, Trace, cache_blocks_for
+from repro.trace import build as build_workload
+
+__version__ = "1.0.0"
+
+
+def run_simulation(
+    trace,
+    policy="fixed-horizon",
+    num_disks: int = 1,
+    cache_blocks: int = None,
+    config: SimConfig = None,
+    hint_quality: HintQuality = None,
+    **policy_kwargs,
+) -> SimulationResult:
+    """Simulate ``trace`` under ``policy`` on a ``num_disks`` array.
+
+    ``policy`` may be a registry name (see :data:`POLICIES`) or a
+    :class:`PrefetchPolicy` instance.  ``cache_blocks`` defaults to the
+    paper's per-trace choice (512 or 1280 blocks).  ``hint_quality``
+    degrades the hints the policy sees (missing/wrong fractions) while the
+    application still follows the true reference stream.  Any extra keyword
+    arguments are forwarded to the policy constructor.
+    """
+    if config is None:
+        config = SimConfig()
+    if cache_blocks is None:
+        cache_blocks = cache_blocks_for(trace.name)
+    if cache_blocks != config.cache_blocks:
+        config = config.with_(cache_blocks=cache_blocks)
+    hints = None
+    if hint_quality is not None and not hint_quality.perfect:
+        from repro.core.hints import degrade_hints
+
+        hints = degrade_hints(trace, hint_quality)
+    policy_instance = make_policy(policy, **policy_kwargs)
+    simulator = Simulator(trace, policy_instance, num_disks, config,
+                          hints=hints)
+    return simulator.run()
+
+
+__all__ = [
+    "Aggressive",
+    "CostBenefitAllocator",
+    "HintQuality",
+    "MultiProcessSimulator",
+    "ProcessResult",
+    "StaticAllocator",
+    "DemandFetching",
+    "FixedHorizon",
+    "Forestall",
+    "POLICIES",
+    "PrefetchPolicy",
+    "ReverseAggressive",
+    "SimConfig",
+    "SimulationResult",
+    "Simulator",
+    "TABLE3",
+    "Trace",
+    "WORKLOADS",
+    "build_workload",
+    "cache_blocks_for",
+    "make_policy",
+    "run_simulation",
+]

@@ -1,0 +1,45 @@
+"""Analysis: experiment drivers, table renderers, terminal figures, and
+trace-locality tools for every figure and table in the paper's evaluation."""
+
+from repro.analysis.experiments import (
+    ExperimentSetting,
+    baseline_rows,
+    compare_disciplines,
+    sweep_policies,
+    tuned_reverse_aggressive,
+)
+from repro.analysis.figures import render_figure, render_sweep_curve
+from repro.analysis.locality import (
+    characterize,
+    hot_block_share,
+    miss_ratio_curve,
+    reuse_distances,
+    sequentiality,
+    working_set_curve,
+)
+from repro.analysis.tables import (
+    format_appendix_table,
+    format_breakdown_table,
+    format_elapsed_grid,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentSetting",
+    "baseline_rows",
+    "characterize",
+    "compare_disciplines",
+    "format_appendix_table",
+    "format_breakdown_table",
+    "format_elapsed_grid",
+    "format_table",
+    "hot_block_share",
+    "miss_ratio_curve",
+    "render_figure",
+    "render_sweep_curve",
+    "reuse_distances",
+    "sequentiality",
+    "sweep_policies",
+    "tuned_reverse_aggressive",
+    "working_set_curve",
+]

@@ -1,0 +1,119 @@
+"""Terminal renderings of the paper's stacked-bar figures.
+
+Each figure in the paper is a group of bars per disk count, one bar per
+algorithm, stacked into CPU time, driver time, and stall time.  This
+module draws the same thing in monospace so the benchmarks and CLI can
+show a *figure*, not just a table::
+
+    Figure 3 (left) -- synth
+    1 disk   fixed-horizon  |######################====!!!!!!!!!!!!!| 219.5s
+             aggressive     |##########################====!!!!!!!  | 174.9s
+    ...
+    legend: # compute  = driver  ! stall
+
+Bars share one scale (the slowest run) so relative heights read the same
+way the paper's bars do.
+"""
+
+from typing import Dict, List, Sequence
+
+from repro.core.results import SimulationResult
+
+#: Bar glyphs for the three elapsed-time components.
+COMPUTE_GLYPH = "#"
+DRIVER_GLYPH = "="
+STALL_GLYPH = "!"
+
+LEGEND = f"legend: {COMPUTE_GLYPH} compute   {DRIVER_GLYPH} driver   {STALL_GLYPH} stall"
+
+
+def _bar(result: SimulationResult, scale_ms: float, width: int) -> str:
+    if scale_ms <= 0:
+        return " " * width
+    def span(ms):
+        return int(round(width * ms / scale_ms))
+    compute = span(result.compute_ms)
+    driver = span(result.driver_ms)
+    stall = span(result.stall_ms)
+    bar = (
+        COMPUTE_GLYPH * compute + DRIVER_GLYPH * driver + STALL_GLYPH * stall
+    )
+    return bar[:width].ljust(width)
+
+
+def render_figure(
+    title: str,
+    results: Sequence[SimulationResult],
+    width: int = 46,
+) -> str:
+    """Render grouped stacked bars: one group per disk count, one bar per
+    policy, drawn in first-appearance order (the paper's bar order)."""
+    if not results:
+        return f"{title}\n(no results)"
+    def base(name):
+        return name.split("(")[0]
+
+    by_disks: Dict[int, List[SimulationResult]] = {}
+    policy_order: List[str] = []
+    for result in results:
+        by_disks.setdefault(result.num_disks, []).append(result)
+        if base(result.policy_name) not in policy_order:
+            policy_order.append(base(result.policy_name))
+    scale = max(r.elapsed_ms for r in results)
+    name_width = max(len(r.policy_name) for r in results)
+    lines = [title]
+    for disks in sorted(by_disks):
+        group = sorted(
+            by_disks[disks],
+            key=lambda r: policy_order.index(base(r.policy_name)),
+        )
+        label = f"{disks} disk" + ("s" if disks != 1 else "")
+        for i, result in enumerate(group):
+            prefix = f"{label:<9}" if i == 0 else " " * 9
+            lines.append(
+                f"{prefix}{result.policy_name:<{name_width}} "
+                f"|{_bar(result, scale, width)}| {result.elapsed_s:7.2f}s"
+            )
+        lines.append("")
+    lines.append(LEGEND)
+    return "\n".join(lines)
+
+
+def render_sweep_curve(
+    title: str,
+    series: Dict[str, Dict[int, float]],
+    width: int = 50,
+    height: int = 12,
+) -> str:
+    """ASCII line plot: one glyph per named series, x = parameter value,
+    y = elapsed seconds (used for the Figure 6/7 parameter sweeps)."""
+    if not series:
+        return f"{title}\n(no data)"
+    xs = sorted({x for values in series.values() for x in values})
+    ys = [v for values in series.values() for v in values.values()]
+    lo, hi = min(ys), max(ys)
+    if hi <= lo:
+        hi = lo + 1.0
+    glyphs = "abcdefghij"
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for s_index, (name, values) in enumerate(sorted(series.items())):
+        glyph = glyphs[s_index % len(glyphs)]
+        for col, x in enumerate(xs):
+            if x not in values:
+                continue
+            row = int(round((hi - values[x]) / (hi - lo) * (height - 1)))
+            grid[row][col] = glyph
+    unit = max(1, width // max(1, len(xs)))
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        y_value = hi - (hi - lo) * row_index / (height - 1)
+        label = f"{y_value:9.1f}s |" if row_index % 3 == 0 else "           |"
+        lines.append(label + "".join(cell * unit for cell in row))
+    axis = "           +" + "-" * (unit * len(xs))
+    lines.append(axis)
+    lines.append(
+        "            " + "".join(f"{x:<{unit}}" for x in xs)
+    )
+    for s_index, name in enumerate(sorted(series)):
+        lines.append(f"  {glyphs[s_index % len(glyphs)]} = {name}")
+    return "\n".join(lines)

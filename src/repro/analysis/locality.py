@@ -1,0 +1,159 @@
+"""Trace locality analysis: reuse distances, miss-ratio curves, and
+sequentiality metrics.
+
+The paper picks cache sizes (Table 7) and explains results through each
+trace's locality structure ("the index files are accessed repeatedly,
+whereas the data files are accessed infrequently").  These tools make that
+structure measurable:
+
+* :func:`reuse_distances` — per-reference LRU stack distances (Mattson);
+* :func:`miss_ratio_curve` — cold+capacity miss ratios for every cache
+  size at once, from one pass over the distances;
+* :func:`sequentiality` — fraction of references that continue a
+  sequential run (what the drive's readahead cache sees);
+* :func:`working_set_curve` — distinct blocks per window (Denning);
+* :func:`hot_block_share` — how concentrated references are on the
+  hottest blocks (glimpse's index-vs-data split in one number).
+
+The Mattson computation uses a Fenwick tree: O(n log m) for n references
+over m distinct blocks.
+"""
+
+from typing import Dict, List, Sequence
+
+from repro.core.nextref import INFINITE
+
+
+class _FenwickTree:
+    """Binary indexed tree over reference timestamps (prefix sums)."""
+
+    def __init__(self, size: int):
+        self._tree = [0] * (size + 1)
+        self.size = size
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self.size:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries in [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+
+def reuse_distances(blocks: Sequence[int]) -> List[float]:
+    """LRU stack distance of every reference.
+
+    The distance is the number of *distinct* blocks referenced since the
+    previous access to the same block; first-ever accesses get
+    ``INFINITE`` (cold misses at any cache size).
+    """
+    n = len(blocks)
+    tree = _FenwickTree(n)
+    last_position: Dict[int, int] = {}
+    distances: List[float] = []
+    for position, block in enumerate(blocks):
+        previous = last_position.get(block)
+        if previous is None:
+            distances.append(INFINITE)
+        else:
+            # distinct blocks touched in (previous, position)
+            distinct = tree.prefix_sum(position - 1) - tree.prefix_sum(previous)
+            distances.append(float(distinct))
+            tree.add(previous, -1)
+        tree.add(position, 1)
+        last_position[block] = position
+    return distances
+
+
+def miss_ratio_curve(
+    blocks: Sequence[int], cache_sizes: Sequence[int]
+) -> Dict[int, float]:
+    """Fraction of references that miss an LRU cache of each given size.
+
+    One pass over the reuse distances serves every size simultaneously
+    (Mattson's inclusion property); cold misses count at all sizes.
+    """
+    if not blocks:
+        return {size: 0.0 for size in cache_sizes}
+    distances = reuse_distances(blocks)
+    n = len(distances)
+    out = {}
+    for size in cache_sizes:
+        if size < 1:
+            raise ValueError("cache sizes must be positive")
+        misses = sum(1 for d in distances if d is INFINITE or d >= size)
+        out[size] = misses / n
+    return out
+
+
+def sequentiality(blocks: Sequence[int]) -> float:
+    """Fraction of references that immediately follow their predecessor
+    (block == previous + 1) — the runs the readahead cache can absorb."""
+    if len(blocks) < 2:
+        return 0.0
+    runs = sum(1 for a, b in zip(blocks, blocks[1:]) if b == a + 1)
+    return runs / (len(blocks) - 1)
+
+
+def working_set_curve(
+    blocks: Sequence[int], window_sizes: Sequence[int]
+) -> Dict[int, float]:
+    """Mean number of distinct blocks per window of each size (Denning).
+
+    Uses non-overlapping windows, which is accurate enough for trace
+    characterization and O(n) per window size.
+    """
+    out = {}
+    n = len(blocks)
+    for window in window_sizes:
+        if window < 1:
+            raise ValueError("window sizes must be positive")
+        if n == 0:
+            out[window] = 0.0
+            continue
+        totals = []
+        for start in range(0, n, window):
+            chunk = blocks[start:start + window]
+            totals.append(len(set(chunk)))
+        out[window] = sum(totals) / len(totals)
+    return out
+
+
+def hot_block_share(blocks: Sequence[int], top_fraction: float = 0.1) -> float:
+    """Share of references landing on the hottest ``top_fraction`` of
+    distinct blocks (glimpse: a few index blocks absorb most reads)."""
+    if not blocks:
+        return 0.0
+    if not 0 < top_fraction <= 1:
+        raise ValueError("top_fraction must be in (0, 1]")
+    from collections import Counter
+
+    counts = Counter(blocks)
+    top_count = max(1, int(len(counts) * top_fraction))
+    hottest = sum(count for _b, count in counts.most_common(top_count))
+    return hottest / len(blocks)
+
+
+def characterize(trace) -> Dict[str, float]:
+    """One-call locality fingerprint of a trace."""
+    blocks = trace.blocks
+    distinct = len(set(blocks))
+    curve = miss_ratio_curve(
+        blocks, [max(1, distinct // 8), max(1, distinct // 2), distinct]
+    )
+    return {
+        "references": len(blocks),
+        "distinct_blocks": distinct,
+        "sequentiality": round(sequentiality(blocks), 3),
+        "hot10_share": round(hot_block_share(blocks, 0.1), 3),
+        "miss_ratio_small_cache": round(curve[max(1, distinct // 8)], 3),
+        "miss_ratio_half_cache": round(curve[max(1, distinct // 2)], 3),
+        "miss_ratio_full_cache": round(curve[distinct], 3),
+    }

@@ -1,0 +1,78 @@
+"""Plain-text renderers that print results the way the paper's tables do."""
+
+from typing import Dict, List, Sequence
+
+from repro.core.results import SimulationResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered))
+        if rendered
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_breakdown_table(
+    results: List[SimulationResult], title: str = ""
+) -> str:
+    """Figure-style breakdown: one row per run, elapsed split into
+    compute / driver / stall (the paper's stacked bars, as numbers)."""
+    headers = (
+        "trace", "policy", "disks",
+        "cpu_s", "driver_s", "stall_s", "elapsed_s", "fetches", "util",
+    )
+    rows = [
+        (
+            r.trace_name, r.policy_name, r.num_disks,
+            round(r.compute_s, 3), round(r.driver_s, 3),
+            round(r.stall_s, 3), round(r.elapsed_s, 3),
+            r.fetches, round(r.disk_utilization, 2),
+        )
+        for r in results
+    ]
+    body = format_table(headers, rows)
+    return f"{title}\n{body}" if title else body
+
+
+def format_appendix_table(
+    table: Dict[str, List[SimulationResult]], disk_counts: Sequence[int]
+) -> str:
+    """Appendix-A layout: per policy, the six measurement rows across disks."""
+    sections = []
+    header = ["Disks"] + [str(d) for d in disk_counts]
+    for policy, results in table.items():
+        rows = [
+            ["fetches"] + [r.fetches for r in results],
+            ["driver time (sec)"] + [round(r.driver_s, 4) for r in results],
+            ["stall time (sec)"] + [round(r.stall_s, 3) for r in results],
+            ["elapsed time (sec)"] + [round(r.elapsed_s, 3) for r in results],
+            ["avg fetch (msec)"] + [round(r.average_fetch_ms, 3) for r in results],
+            ["avg disk util"] + [round(r.disk_utilization, 2) for r in results],
+        ]
+        sections.append(policy + "\n" + format_table(header, rows))
+    return "\n\n".join(sections)
+
+
+def format_elapsed_grid(
+    grid: Dict, row_label: str, col_labels: Sequence, title: str = ""
+) -> str:
+    """Parameter-sweep grid of elapsed seconds (Appendix F layout)."""
+    headers = [row_label] + [str(c) for c in col_labels]
+    rows = [[key] + [round(v, 3) for v in values] for key, values in grid.items()]
+    body = format_table(headers, rows)
+    return f"{title}\n{body}" if title else body

@@ -1,0 +1,238 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands::
+
+    repro-sim traces                        # Table 3 summary of all workloads
+    repro-sim run -t ld -p forestall -d 4   # one simulation
+    repro-sim sweep -t cscope2 -d 1,2,3,4   # all algorithms across an array
+    repro-sim figure -t synth -d 1,2,3,4    # paper-style stacked-bar figure
+    repro-sim characterize                  # locality fingerprints
+    repro-sim hints -t cscope2 -d 2         # degraded-hint sensitivity
+    repro-sim export -t ld -o ld.trace      # write a workload to a file
+
+Use ``--scale`` to shrink workloads for quick experiments.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.experiments import ExperimentSetting, run_one, sweep_policies
+from repro.analysis.figures import render_figure
+from repro.analysis.locality import characterize
+from repro.analysis.tables import format_breakdown_table, format_table
+from repro.core import POLICIES, HintQuality
+from repro.trace import TABLE3, WORKLOADS, build as build_workload
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", "-t", required=True, choices=sorted(WORKLOADS))
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--cache", type=int, default=None, help="cache blocks")
+    parser.add_argument(
+        "--discipline", choices=["cscan", "fcfs", "sstf"], default="cscan"
+    )
+
+
+def _setting(args) -> ExperimentSetting:
+    return ExperimentSetting(
+        scale=args.scale,
+        discipline=args.discipline,
+        cache_blocks=args.cache,
+    )
+
+
+def cmd_traces(_args) -> int:
+    rows = []
+    for name in WORKLOADS:
+        trace = build_workload(name)
+        paper = TABLE3[name]
+        rows.append(
+            (
+                name, trace.reads, trace.distinct_blocks,
+                round(trace.compute_time_s, 1),
+                paper[0], paper[1], paper[2],
+            )
+        )
+    print(
+        format_table(
+            (
+                "trace", "reads", "distinct", "compute_s",
+                "paper_reads", "paper_distinct", "paper_compute_s",
+            ),
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    result = run_one(
+        _setting(args), args.trace, args.policy, args.disks
+    )
+    print(format_breakdown_table([result]))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    disk_counts = [int(d) for d in args.disks.split(",")]
+    policies = args.policies.split(",") if args.policies else sorted(POLICIES)
+    results = sweep_policies(
+        _setting(args), args.trace, policies, disk_counts,
+        tuned_reverse=args.tuned_reverse,
+    )
+    print(format_breakdown_table(results))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    disk_counts = [int(d) for d in args.disks.split(",")]
+    policies = (
+        args.policies.split(",") if args.policies
+        else ["fixed-horizon", "aggressive", "forestall"]
+    )
+    setting = _setting(args)
+    results = sweep_policies(setting, args.trace, policies, disk_counts)
+    print(render_figure(f"{args.trace} — elapsed time breakdown", results))
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    names = args.traces.split(",") if args.traces else sorted(WORKLOADS)
+    rows = []
+    for name in names:
+        trace = build_workload(name, scale=args.scale)
+        fp = characterize(trace)
+        rows.append(
+            (
+                name, fp["references"], fp["distinct_blocks"],
+                fp["sequentiality"], fp["hot10_share"],
+                fp["miss_ratio_small_cache"], fp["miss_ratio_full_cache"],
+            )
+        )
+    print(
+        format_table(
+            (
+                "trace", "refs", "distinct", "sequentiality", "hot10",
+                "miss@K/8", "miss@K",
+            ),
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_export(args) -> int:
+    trace = build_workload(args.trace, scale=args.scale)
+    from repro.trace import io as trace_io
+
+    if args.output.endswith(".json"):
+        trace.save(args.output)
+    else:
+        trace_io.dump(trace, args.output)
+    print(f"wrote {trace.references} references "
+          f"({trace.distinct_blocks} distinct blocks) to {args.output}")
+    return 0
+
+
+def cmd_hints(args) -> int:
+    trace = build_workload(args.trace, scale=args.scale)
+    import repro
+
+    qualities = [
+        ("perfect", HintQuality()),
+        ("10% missing", HintQuality(missing_fraction=0.10, seed=42)),
+        ("25% missing", HintQuality(missing_fraction=0.25, seed=42)),
+        ("10% wrong", HintQuality(wrong_fraction=0.10, seed=42)),
+    ]
+    policies = args.policies.split(",") if args.policies else [
+        "fixed-horizon", "aggressive", "forestall",
+    ]
+    rows = []
+    for label, quality in qualities:
+        row = [label]
+        for policy in policies:
+            result = repro.run_simulation(
+                trace, policy=policy, num_disks=args.disks,
+                cache_blocks=args.cache, hint_quality=quality,
+            )
+            row.append(round(result.elapsed_s, 2))
+        rows.append(tuple(row))
+    print(format_table(("hint quality",) + tuple(policies), rows))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Trace-driven parallel prefetching/caching simulator "
+        "(Kimbrel et al., OSDI 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("traces", help="summarize the built-in workloads")
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    _add_common(run_parser)
+    run_parser.add_argument(
+        "--policy", "-p", default="forestall", choices=sorted(POLICIES)
+    )
+    run_parser.add_argument("--disks", "-d", type=int, default=1)
+
+    sweep_parser = sub.add_parser("sweep", help="sweep policies x disks")
+    _add_common(sweep_parser)
+    sweep_parser.add_argument(
+        "--policies", "-p", default=None, help="comma-separated policy names"
+    )
+    sweep_parser.add_argument("--disks", "-d", default="1,2,4")
+    sweep_parser.add_argument(
+        "--tuned-reverse", action="store_true",
+        help="grid-search reverse aggressive's parameters per disk count",
+    )
+
+    figure_parser = sub.add_parser(
+        "figure", help="render a paper-style stacked-bar figure"
+    )
+    _add_common(figure_parser)
+    figure_parser.add_argument("--policies", "-p", default=None)
+    figure_parser.add_argument("--disks", "-d", default="1,2,4")
+
+    char_parser = sub.add_parser(
+        "characterize", help="locality fingerprints of the workloads"
+    )
+    char_parser.add_argument("--traces", default=None,
+                             help="comma-separated workload names")
+    char_parser.add_argument("--scale", type=float, default=1.0)
+
+    hints_parser = sub.add_parser(
+        "hints", help="elapsed time under degraded hints"
+    )
+    _add_common(hints_parser)
+    hints_parser.add_argument("--policies", "-p", default=None)
+    hints_parser.add_argument("--disks", "-d", type=int, default=2)
+
+    export_parser = sub.add_parser(
+        "export", help="write a built-in workload to a trace file"
+    )
+    export_parser.add_argument("--trace", "-t", required=True,
+                               choices=sorted(WORKLOADS))
+    export_parser.add_argument("--scale", type=float, default=1.0)
+    export_parser.add_argument(
+        "--output", "-o", required=True,
+        help="destination (.json for native format, else text)",
+    )
+
+    args = parser.parse_args(argv)
+    handler = {
+        "traces": cmd_traces,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "figure": cmd_figure,
+        "characterize": cmd_characterize,
+        "hints": cmd_hints,
+        "export": cmd_export,
+    }
+    return handler[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

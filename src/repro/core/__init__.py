@@ -1,0 +1,89 @@
+"""Core: the integrated prefetching/caching algorithms and the simulator.
+
+The four algorithms from the paper plus the demand-fetching baseline are
+registered in :data:`POLICIES`; :func:`make_policy` builds one by name with
+optional keyword parameters.
+"""
+
+from repro.core.aggressive import Aggressive
+from repro.core.batching import TABLE6_BATCH_SIZES, TABLE6_DEFAULT, batch_size_for
+from repro.core.cache import BufferCache, CacheFullError
+from repro.core.demand import DemandFetching
+from repro.core.engine import SimConfig, Simulator
+from repro.core.fixed_horizon import DEFAULT_HORIZON, FixedHorizon
+from repro.core.hints import HintQuality, degrade_hints, resolve_hint_view
+from repro.core.multiprocess import (
+    CostBenefitAllocator,
+    MultiProcessSimulator,
+    ProcessResult,
+    StaticAllocator,
+)
+from repro.core.forestall import Forestall
+from repro.core.heuristics import LRUDemand, SequentialReadahead, StridePrefetcher
+from repro.core.nextref import INFINITE, EvictionHeap, NextRefIndex
+from repro.core.policy import MissingScanner, PrefetchPolicy
+from repro.core.results import SimulationResult
+from repro.core.timeline import StallEpisode, Timeline
+from repro.core.reverse_aggressive import ReverseAggressive
+
+POLICIES = {
+    "demand": DemandFetching,
+    "fixed-horizon": FixedHorizon,
+    "aggressive": Aggressive,
+    "reverse-aggressive": ReverseAggressive,
+    "forestall": Forestall,
+    # unhinted baselines (no future knowledge):
+    "lru-demand": LRUDemand,
+    "seq-readahead": SequentialReadahead,
+    "stride-prefetch": StridePrefetcher,
+}
+
+
+def make_policy(name, **kwargs) -> PrefetchPolicy:
+    """Instantiate a policy by registry name (or pass an instance through)."""
+    if isinstance(name, PrefetchPolicy):
+        return name
+    try:
+        policy_type = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {sorted(POLICIES)}"
+        ) from None
+    return policy_type(**kwargs)
+
+
+__all__ = [
+    "Aggressive",
+    "BufferCache",
+    "CacheFullError",
+    "CostBenefitAllocator",
+    "DEFAULT_HORIZON",
+    "DemandFetching",
+    "EvictionHeap",
+    "FixedHorizon",
+    "Forestall",
+    "HintQuality",
+    "INFINITE",
+    "LRUDemand",
+    "MissingScanner",
+    "MultiProcessSimulator",
+    "NextRefIndex",
+    "POLICIES",
+    "PrefetchPolicy",
+    "ProcessResult",
+    "ReverseAggressive",
+    "SimConfig",
+    "SequentialReadahead",
+    "SimulationResult",
+    "StaticAllocator",
+    "StallEpisode",
+    "StridePrefetcher",
+    "Timeline",
+    "Simulator",
+    "TABLE6_BATCH_SIZES",
+    "TABLE6_DEFAULT",
+    "batch_size_for",
+    "degrade_hints",
+    "make_policy",
+    "resolve_hint_view",
+]

@@ -1,0 +1,114 @@
+"""The multi-disk aggressive algorithm (after Cao et al.'s single-disk
+aggressive).
+
+    Whenever a disk is free, prefetch the first missing block on that disk,
+    replacing the block whose next reference is furthest in the future,
+    under the condition that the next access to the evicted block is after
+    the next access to the block being fetched (do no harm).
+
+Requests are submitted in batches (Table 6) so the disk scheduler can
+reorder them.  When several disks are free at once, missing blocks are
+considered in increasing request-index order, each routed to its disk,
+until every free disk's batch fills or do-no-harm stops further fetching —
+exactly the implementation described in section 2.7.
+"""
+
+from repro.core.batching import batch_size_for
+from repro.core.nextref import INFINITE
+from repro.core.policy import MissingScanner, PrefetchPolicy
+
+
+class Aggressive(PrefetchPolicy):
+    """Prefetch as early as the do-no-harm rule allows, in batches."""
+
+    def __init__(self, batch_size: int = None):
+        super().__init__()
+        self._batch_override = batch_size
+        self.batch_size = None
+        self._scanner = None
+
+    @property
+    def name(self) -> str:
+        if self._batch_override is None:
+            return "aggressive"
+        return f"aggressive(batch={self._batch_override})"
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self.batch_size = batch_size_for(sim.num_disks, self._batch_override)
+        self._scanner = MissingScanner(sim)
+
+    def on_evict(self, block, next_use) -> None:
+        self._scanner.invalidate(next_use)
+
+    def before_reference(self, cursor: int, now: float) -> None:
+        self._fill_free_disks(cursor)
+
+    def on_disk_idle(self, disk: int, now: float) -> None:
+        self._fill_free_disks(self.sim.cursor)
+
+    def on_miss(self, cursor: int, now: float) -> None:
+        super().on_miss(cursor, now)
+        self._scanner.floor = max(self._scanner.floor, cursor + 1)
+        self._fill_free_disks(cursor)
+
+    # -- batch construction ------------------------------------------------------
+
+    def _free_disks(self):
+        """Disks that are idle with an empty queue (ready for a new batch)."""
+        array = self.sim.array
+        return {
+            disk
+            for disk in range(array.num_disks)
+            if array.is_idle(disk) and array.queue_length(disk) == 0
+        }
+
+    def _fill_free_disks(self, cursor: int) -> None:
+        sim = self.sim
+        free = self._free_disks()
+        if not free:
+            return
+        budgets = {disk: self.batch_size for disk in free}
+        index = sim.index
+        new_floor = None
+        for position, block in self._scanner.missing_in(cursor, len(sim.blocks)):
+            disk = sim.disk_of(block)
+            budget = budgets.get(disk)
+            if budget is None or budget == 0:
+                # This block's disk is busy or its batch is full; it stays
+                # missing, so the scan floor cannot move past it.
+                if new_floor is None:
+                    new_floor = position
+                if all(b == 0 for b in budgets.values()):
+                    break
+                continue
+            victim = self._victim_for(cursor, position)
+            if victim is False:
+                # Do-no-harm disallows any further fetch (later positions
+                # would need an even later-referenced victim).
+                if new_floor is None:
+                    new_floor = position
+                break
+            self.issue(block, victim)
+            budgets[disk] = budget - 1
+        else:
+            if new_floor is None:
+                new_floor = len(sim.blocks)
+        if new_floor is None:
+            new_floor = len(sim.blocks)
+        self._scanner.floor = max(self._scanner.floor, new_floor)
+
+    def _victim_for(self, cursor: int, fetch_position: int):
+        """Free buffer (None), a do-no-harm-compatible victim, or False."""
+        sim = self.sim
+        if sim.cache.free_buffers > 0:
+            return None
+        victim = sim.eviction_heap.best_victim(
+            cursor, exclude=sim.protected_blocks()
+        )
+        if victim is None:
+            return False
+        next_use = sim.index.next_use(victim, cursor)
+        if next_use is not INFINITE and next_use <= fetch_position:
+            return False
+        return victim

@@ -1,0 +1,31 @@
+"""Batch-size policy (Table 6 of the paper).
+
+*Aggressive* (and *forestall*, which inherits the dependence) submit disk
+requests in batches so the CSCAN scheduler has requests to reorder; the
+paper tuned one batch size per array size:
+
+====== =====
+disks  batch
+====== =====
+1      80
+2–3    40
+4–5    16
+6–7    8
+>7     4
+====== =====
+"""
+
+#: Table 6: batch sizes used for aggressive, keyed by number of disks.
+TABLE6_BATCH_SIZES = {1: 80, 2: 40, 3: 40, 4: 16, 5: 16, 6: 8, 7: 8}
+
+#: Batch size for arrays larger than seven disks.
+TABLE6_DEFAULT = 4
+
+
+def batch_size_for(num_disks: int, override: int = None) -> int:
+    """Return the Table 6 batch size for ``num_disks`` (or the override)."""
+    if override is not None:
+        if override < 1:
+            raise ValueError("batch size must be positive")
+        return override
+    return TABLE6_BATCH_SIZES.get(num_disks, TABLE6_DEFAULT)

@@ -1,0 +1,18 @@
+"""Demand fetching with optimal offline replacement.
+
+The paper's baseline: no prefetching at all, but — to make the comparison
+"as favorable as possible to demand fetching" — every fetch replaces the
+cached block whose next reference is furthest in the future (Belady's MIN,
+feasible here because hints disclose the whole access sequence).
+"""
+
+from repro.core.policy import PrefetchPolicy
+
+
+class DemandFetching(PrefetchPolicy):
+    """Fetch only on a miss; evict by Belady's MIN rule."""
+
+    name = "demand"
+
+    # before_reference / on_disk_idle intentionally do nothing: the inherited
+    # on_miss already implements demand fetching with optimal replacement.

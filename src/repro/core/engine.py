@@ -1,0 +1,487 @@
+"""Event-driven trace simulator.
+
+One wall clock drives two kinds of timeline:
+
+* the **application**, which alternates compute (the traced inter-reference
+  CPU times), driver work (0.5 ms per I/O issued, charged to the CPU), and
+  stalls (waiting for a missing block to arrive); and
+* **d disks**, each serving one request at a time from its scheduling queue.
+
+Policies are consulted before every reference and at every disk completion;
+they issue fetch/eviction pairs, the engine does everything else.  The
+run's accounting identity — ``elapsed == compute + driver + stall`` — is
+checked exactly at the end of every simulation, which makes the engine
+self-auditing.
+"""
+
+import heapq
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.core.cache import BufferCache
+from repro.core.hints import resolve_hint_view
+from repro.core.nextref import EvictionHeap, NextRefIndex
+from repro.core.results import SimulationResult
+from repro.core.timeline import (
+    EVICTION,
+    FETCH_DONE,
+    FETCH_ISSUED,
+    STALL_END,
+    STALL_START,
+    Timeline,
+)
+from repro.disk.array import DiskArray, Placement
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import HP97560, HP97560_ZONED, IBM0661, DiskGeometry
+from repro.disk.seek import IBM0661_SEEK
+from repro.disk.simple import SimpleDrive
+
+_EVENT_DISK = 0  # completions processed before app steps at equal times
+_EVENT_APP = 1
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation-wide knobs, defaulting to the paper's baseline setup."""
+
+    cache_blocks: int = 1280
+    driver_overhead_ms: float = 0.5
+    discipline: str = "cscan"
+    disk_model: str = "hp97560"  # "hp97560", "hp97560-zoned", "ibm0661", "simple"
+    simple_access_ms: float = 15.0
+    simple_sequential_ms: float = 2.0
+    cpu_speedup: float = 1.0
+    placement_seed: int = 0
+    placement: str = "clustered"  # "clustered" (per-file groups) | "scatter"
+    #: RAID-1 mode: disks form mirror pairs; each block lives on both
+    #: spindles of its pair and reads dispatch to the less-loaded copy.
+    mirrored: bool = False
+    readahead: bool = True
+    #: Record a per-run event timeline (fetches, completions, stalls) for
+    #: post-hoc analysis via repro.core.timeline.
+    record_timeline: bool = False
+    geometry: DiskGeometry = HP97560
+
+    def with_(self, **changes) -> "SimConfig":
+        return replace(self, **changes)
+
+
+class Simulator:
+    """Run one (trace, policy, array) combination to completion."""
+
+    def __init__(
+        self,
+        trace,
+        policy,
+        num_disks: int,
+        config: SimConfig = None,
+        hints=None,
+    ):
+        self.config = config if config is not None else SimConfig()
+        self.trace = trace
+        self.policy = policy
+        self.num_disks = num_disks
+
+        # The application consumes the *actual* reference stream; policies
+        # see the (possibly degraded) hint view.  With perfect hints the two
+        # are the same list.
+        self.app_blocks = trace.blocks
+        if hints is None:
+            self.blocks = trace.blocks
+        else:
+            self.blocks = resolve_hint_view(trace.blocks, hints)
+        speedup = self.config.cpu_speedup
+        if speedup == 1.0:
+            self.compute_ms = trace.compute_ms
+        else:
+            self.compute_ms = [c / speedup for c in trace.compute_ms]
+
+        if self.config.mirrored:
+            if num_disks < 2 or num_disks % 2:
+                raise ValueError("mirroring needs an even number of disks")
+            from repro.disk.array import StripedLayout
+
+            self._mirror_layout = StripedLayout(num_disks // 2)
+        else:
+            self._mirror_layout = None
+        self.index = NextRefIndex(self.blocks)
+        self.cache = BufferCache(self.config.cache_blocks)
+        self.eviction_heap = EvictionHeap(self.index, self.cache.resident)
+        self.array = self._build_array()
+        self._disk: Dict[int, int] = {}
+        self._lbn: Dict[int, int] = {}
+        self._place_blocks()
+
+        self._events = []
+        self._event_seq = 0
+        self.cursor = 0
+        self.now = 0.0
+        self._debt = 0.0
+        self._waiting_block: Optional[int] = None
+        self._retry_miss = False
+        self._stall_start = 0.0
+        self._done = False
+
+        self._service_in_progress = [0.0] * num_disks
+        self._dirty = set()
+        self.write_count = 0
+        self.flush_count = 0
+        self._writes = trace.writes
+        self.compute_total = 0.0
+        self.driver_total = 0.0
+        self.stall_total = 0.0
+        self.elapsed = 0.0
+        self.fetch_count = 0
+        self._requests_started = 0
+        self.timeline = Timeline() if self.config.record_timeline else None
+
+        policy.bind(self)
+
+    # -- construction helpers --------------------------------------------------
+
+    def _build_array(self) -> DiskArray:
+        config = self.config
+        if config.disk_model == "hp97560":
+            factory = lambda: DiskDrive(config.geometry, readahead=config.readahead)
+        elif config.disk_model == "hp97560-zoned":
+            factory = lambda: DiskDrive(HP97560_ZONED, readahead=config.readahead)
+        elif config.disk_model == "ibm0661":
+            factory = lambda: DiskDrive(
+                IBM0661, seek_model=IBM0661_SEEK, readahead=config.readahead
+            )
+        elif config.disk_model == "simple":
+            factory = lambda: SimpleDrive(
+                access_ms=config.simple_access_ms,
+                sequential_ms=config.simple_sequential_ms,
+            )
+        else:
+            raise ValueError(f"unknown disk model {config.disk_model!r}")
+        geometry = {
+            "ibm0661": IBM0661,
+            "hp97560-zoned": HP97560_ZONED,
+        }.get(config.disk_model, config.geometry)
+        return DiskArray(
+            self.num_disks,
+            drive_factory=factory,
+            discipline=config.discipline,
+            geometry=geometry,
+        )
+
+    def _place_blocks(self) -> None:
+        effective_disks = (
+            self.num_disks // 2 if self.config.mirrored else self.num_disks
+        )
+        total = self.array.geometry.total_blocks * effective_disks
+        universe = set(self.index.positions) | set(self.app_blocks)
+        if self.config.placement == "scatter":
+            # Ablation mode: every block lands at an independent random
+            # address — no file clustering, no sequentiality for the drive
+            # readahead or the CSCAN sweep to exploit.
+            self._scatter_rng = random.Random(self.config.placement_seed)
+            self._placement = None
+            self._files = {}
+        elif self.config.placement == "clustered":
+            self._scatter_rng = None
+            self._placement = Placement(total, seed=self.config.placement_seed)
+            self._files = getattr(self.trace, "files", None) or {}
+        else:
+            raise ValueError(f"unknown placement {self.config.placement!r}")
+        self._placement_total = total
+        for block in sorted(universe, key=str):
+            self._place_one(block)
+
+    def _place_one(self, block: int) -> None:
+        """Assign a (disk, lbn) home to ``block``.
+
+        Called eagerly for every hinted/referenced block and lazily for
+        anything else a policy chooses to fetch (heuristic prefetchers may
+        speculate past the trace's footprint — any block is addressable).
+        In mirrored mode the home is a *pair* index in [0, d/2); the other
+        copy lives on spindle home + d/2 and disk_of picks between them.
+        """
+        layout = (
+            self._mirror_layout if self.config.mirrored else self.array.layout
+        )
+        if self._scatter_rng is not None:
+            global_block = self._scatter_rng.randrange(self._placement_total)
+        else:
+            identity = self._files.get(block, block)
+            global_block = self._placement.place(identity)
+        self._disk[block] = layout.disk_of(global_block)
+        self._lbn[block] = layout.lbn_of(global_block)
+
+    # -- policy-facing API -------------------------------------------------------
+
+    def protected_blocks(self):
+        """Blocks that must not be evicted right now: the block the
+        application is stalled on (or about to reference).  With perfect
+        hints these are never eviction candidates anyway (their next use is
+        the cursor itself); with degraded hints the lying next-use index
+        could nominate them, which would livelock the run on an endless
+        evict/refetch cycle."""
+        protected = set()
+        if self._waiting_block is not None:
+            protected.add(self._waiting_block)
+        if self.cursor < len(self.app_blocks):
+            protected.add(self.app_blocks[self.cursor])
+        return protected
+
+    def reference_block(self, cursor: int) -> int:
+        """The block the application will *actually* reference at ``cursor``
+        (identical to ``blocks[cursor]`` unless hints are degraded)."""
+        return self.app_blocks[cursor]
+
+    def disk_of(self, block: int) -> int:
+        if block not in self._disk:
+            self._place_one(block)
+        home = self._disk[block]
+        if not self.config.mirrored:
+            return home
+        # RAID-1: the block's pair owns spindles (home, home + pairs);
+        # dispatch to whichever is less loaded right now.
+        mirror = home + self.num_disks // 2
+        array = self.array
+        def load(disk):
+            return array.queue_length(disk) + (0 if array.is_idle(disk) else 1)
+        return home if load(home) <= load(mirror) else mirror
+
+    def lbn_of(self, block: int) -> int:
+        if block not in self._lbn:
+            self._place_one(block)
+        return self._lbn[block]
+
+    def is_write(self, cursor: int) -> bool:
+        return self._writes is not None and self._writes[cursor]
+
+    def _evict(self, victim: Optional[int]) -> None:
+        """Shared eviction path: notify the policy and flush dirty data."""
+        if victim is None:
+            return
+        victim_next_use = self.index.next_use(victim, self.cursor)
+        self.policy.on_evict(victim, victim_next_use)
+        if victim in self._dirty:
+            # Write-behind: the dirty block leaves the cache now and its
+            # contents drain to disk asynchronously (modelled as flushing
+            # from a staging buffer, so the cache buffer frees immediately).
+            self._dirty.discard(victim)
+            self.array.submit(
+                self.disk_of(victim), victim, self.lbn_of(victim),
+                kind="write",
+            )
+            self.driver_total += self.config.driver_overhead_ms
+            self._debt += self.config.driver_overhead_ms
+            self.flush_count += 1
+
+    def issue_fetch(self, block: int, victim: Optional[int]) -> None:
+        """Fetch ``block`` (evicting ``victim``); charges driver overhead."""
+        self.cache.begin_fetch(block, victim)
+        self._evict(victim)
+        disk = self.disk_of(block)
+        self.array.submit(disk, block, self.lbn_of(block))
+        self.driver_total += self.config.driver_overhead_ms
+        self._debt += self.config.driver_overhead_ms
+        self.fetch_count += 1
+        if self.timeline is not None:
+            self.timeline.record(self.now, FETCH_ISSUED, block, disk)
+            if victim is not None:
+                self.timeline.record(self.now, EVICTION, victim)
+
+    def write_allocate(self, block: int, victim: Optional[int]) -> None:
+        """Allocate a buffer for a whole-block write — no disk read."""
+        self.cache.begin_fetch(block, victim)
+        self._evict(victim)
+        self.cache.complete_fetch(block)
+        self.eviction_heap.push(block, self.cursor)
+
+    # -- event plumbing ---------------------------------------------------------
+
+    def _push(self, time: float, kind: int, payload: int = 0) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (time, kind, self._event_seq, payload))
+
+    def _start_disks(self, now: float) -> None:
+        for disk in range(self.num_disks):
+            started = self.array.start_next(disk, now)
+            if started is None:
+                continue
+            _request, completion, breakdown = started
+            self._requests_started += 1
+            self._service_in_progress[disk] = breakdown.total
+            self._push(completion, _EVENT_DISK, disk)
+
+    # -- event handlers -----------------------------------------------------------
+
+    def _disk_complete(self, disk: int, now: float) -> None:
+        request = self.array.complete(disk)
+        if request.kind == "write":
+            # A write-behind flush finished; nothing enters the cache, the
+            # disk is simply free again.
+            if not self._done:
+                self.policy.on_disk_idle(disk, now)
+            self._start_disks(now)
+            if self._retry_miss and self._waiting_block is not None:
+                if self.timeline is not None:
+                    self.timeline.record(
+                        max(now, self._stall_start), STALL_END,
+                        self._waiting_block,
+                    )
+                self._waiting_block = None
+                self._retry_miss = False
+                self.stall_total += max(0.0, now - self._stall_start)
+                self._push(max(now, self._stall_start), _EVENT_APP)
+            return
+        self.cache.complete_fetch(request.block)
+        self.eviction_heap.push(request.block, self.cursor)
+        if self.timeline is not None:
+            self.timeline.record(now, FETCH_DONE, request.block, disk)
+        self.policy.on_fetch_complete(disk, self._service_in_progress[disk])
+        if not self._done:
+            self.policy.on_disk_idle(disk, now)
+        self._start_disks(now)
+        if self._waiting_block == request.block:
+            if self.timeline is not None:
+                self.timeline.record(
+                    max(now, self._stall_start), STALL_END, request.block
+                )
+            self._waiting_block = None
+            self._retry_miss = False
+            self.stall_total += max(0.0, now - self._stall_start)
+            self._push(max(now, self._stall_start), _EVENT_APP)
+        elif self._retry_miss and self._waiting_block is not None:
+            # The app is parked on a miss it could not issue; a buffer may
+            # have just freed up — wake it to retry.
+            if self.timeline is not None:
+                self.timeline.record(
+                    max(now, self._stall_start), STALL_END, self._waiting_block
+                )
+            self._waiting_block = None
+            self._retry_miss = False
+            self.stall_total += max(0.0, now - self._stall_start)
+            self._push(max(now, self._stall_start), _EVENT_APP)
+
+    def _app_step(self, now: float) -> None:
+        if self._done:
+            return
+        if self._debt > 0.0:
+            debt, self._debt = self._debt, 0.0
+            self._push(now + debt, _EVENT_APP)
+            return
+        if self.cursor >= len(self.app_blocks):
+            self._done = True
+            self.elapsed = now
+            return
+        self.policy.before_reference(self.cursor, now)
+        if self._debt > 0.0:
+            self._start_disks(now)
+            debt, self._debt = self._debt, 0.0
+            self._push(now + debt, _EVENT_APP)
+            return
+        block = self.app_blocks[self.cursor]
+        if block in self.cache:
+            if self.is_write(self.cursor):
+                self._dirty.add(block)
+                self.write_count += 1
+            compute = self.compute_ms[self.cursor]
+            self.compute_total += compute
+            self.policy.on_reference_served(self.cursor, compute)
+            self.cursor += 1
+            self.eviction_heap.push(block, self.cursor)
+            self._push(now + compute, _EVENT_APP)
+        elif self.is_write(self.cursor) and not self.cache.is_in_flight(block):
+            # Whole-block write miss: allocate a buffer, no read needed.
+            victim = self.policy.choose_victim(self.cursor)
+            if victim is False:
+                self._start_disks(now)
+                debt, self._debt = self._debt, 0.0
+                self._waiting_block = block
+                self._retry_miss = True
+                self._stall_start = now + debt
+                if self.timeline is not None:
+                    self.timeline.record(self._stall_start, STALL_START, block)
+                return
+            self.write_allocate(block, victim)
+            self._start_disks(now)  # a dirty victim may have queued a flush
+            if self._debt > 0.0:
+                debt, self._debt = self._debt, 0.0
+                self._push(now + debt, _EVENT_APP)
+                return
+            self._push(now, _EVENT_APP)  # re-enter: block now resident
+        elif self.cache.is_in_flight(block):
+            self._waiting_block = block
+            self._stall_start = now
+            if self.timeline is not None:
+                self.timeline.record(now, STALL_START, block)
+        else:
+            self.policy.on_miss(self.cursor, now)
+            if not self.cache.present_or_coming(block):
+                if not self.cache.in_flight:
+                    raise RuntimeError(
+                        f"policy {self.policy.name!r} left block {block} "
+                        f"unfetched at a miss (cursor {self.cursor})"
+                    )
+                # No buffer could be freed for the demand fetch (all of
+                # them protected or riding in-flight prefetches).  Stall
+                # until the next completion frees one, then retry the miss.
+                self._start_disks(now)
+                debt, self._debt = self._debt, 0.0
+                self._waiting_block = block
+                self._retry_miss = True
+                self._stall_start = now + debt
+                if self.timeline is not None:
+                    self.timeline.record(self._stall_start, STALL_START, block)
+                return
+            self._start_disks(now)
+            debt, self._debt = self._debt, 0.0
+            self._waiting_block = block
+            self._stall_start = now + debt
+            if self.timeline is not None:
+                self.timeline.record(self._stall_start, STALL_START, block)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        self._push(0.0, _EVENT_APP)
+        events = self._events
+        while events and not self._done:
+            now, kind, _seq, payload = heapq.heappop(events)
+            self.now = now
+            if kind == _EVENT_DISK:
+                self._disk_complete(payload, now)
+            else:
+                self._app_step(now)
+        if not self._done:
+            raise RuntimeError("simulation deadlocked before trace completion")
+        return self._build_result()
+
+    def _build_result(self) -> SimulationResult:
+        elapsed = self.elapsed
+        busy = [min(b, elapsed) for b in self.array.busy_time]
+        if elapsed > 0:
+            utilization = sum(busy) / (self.num_disks * elapsed)
+        else:
+            utilization = 0.0
+        started = max(1, self._requests_started)
+        result = SimulationResult(
+            trace_name=self.trace.name,
+            policy_name=self.policy.name,
+            num_disks=self.num_disks,
+            cache_blocks=self.config.cache_blocks,
+            fetches=self.fetch_count,
+            compute_ms=self.compute_total,
+            driver_ms=self.driver_total,
+            stall_ms=self.stall_total,
+            elapsed_ms=elapsed,
+            average_fetch_ms=self.array.service_time_total / started,
+            disk_utilization=utilization,
+            per_disk_busy_ms=busy,
+            references=len(self.app_blocks),
+            cache_hits=len(self.app_blocks) - self.fetch_count,
+            extras=(
+                {"writes": self.write_count, "flushes": self.flush_count}
+                if self._writes is not None
+                else {}
+            ),
+        )
+        result.check_accounting(tolerance_ms=1e-6 * max(1.0, elapsed))
+        return result

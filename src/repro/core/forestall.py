@@ -1,0 +1,331 @@
+"""The forestall algorithm (section 5 — the paper's new contribution).
+
+Forestall tries to combine fixed horizon's late, high-quality replacement
+decisions with aggressive's refusal to let a disk idle while stalls loom.
+For each disk it watches the upcoming missing blocks: with ``d_i`` the
+distance (in references) from the cursor to the ``i``-th missing block on a
+disk and ``F'`` an (over)estimate of the fetch-time/compute-time ratio,
+processing *must* stall if ``i · F' > d_i`` for any ``i`` — there is not
+enough time left to fetch ``i`` blocks serially before the application
+needs them.  When that inequality fires, the disk starts prefetching
+(optimal fetching + optimal replacement + do-no-harm, batched per Table 6);
+until it fires, forestall sits back like fixed horizon and keeps its
+replacement options open.
+
+Practicalities from the paper, all implemented here:
+
+* ``F`` is tracked per disk as the ratio of the sums of the most recent 100
+  disk access times and the most recent 100 inter-reference compute times;
+* ``F' = F`` when recent accesses are fast (< 5 ms — heavy sequentiality),
+  ``F' = 4F`` otherwise, smoothing CSCAN reordering variance;
+* a fixed-horizon backstop issues any missing block within ``H`` references;
+* only missing blocks within ``2K`` references of the cursor are examined;
+* a fixed ``F'`` may be supplied instead of the dynamic estimate
+  (Appendix H studies exactly that).
+"""
+
+import bisect
+from collections import deque
+from typing import Dict, List
+
+from repro.core.batching import batch_size_for
+from repro.core.fixed_horizon import DEFAULT_HORIZON
+from repro.core.nextref import INFINITE
+from repro.core.policy import PrefetchPolicy
+
+#: Fixed F' values swept by Appendix H.
+APPENDIX_H_FETCH_TIMES = (1, 2, 4, 8, 15, 30, 60)
+
+
+class _MissingTracker:
+    """Exact sorted index of upcoming *missing* references, one per block.
+
+    Positions are discovered by a forward scan that never revisits covered
+    ground.  The structure is kept exact by the policy: issuing a fetch
+    removes the block's entry; an eviction re-inserts the victim at its
+    next use.  Walks are therefore proportional to the number of truly
+    missing blocks in the window, with no stale skipping.
+    """
+
+    def __init__(self, sim, window: int):
+        self.sim = sim
+        self.window = window
+        self.positions: List[int] = []  # sorted
+        self._position_of: Dict[int, int] = {}  # block -> its listed position
+        self.scanned_to = 0
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def extend(self, cursor: int) -> None:
+        blocks = self.sim.blocks
+        end = min(len(blocks), cursor + self.window)
+        start = max(self.scanned_to, cursor)
+        if start >= end:
+            return
+        present = self.sim.cache.present_or_coming
+        position_of = self._position_of
+        append = self.positions.append
+        for position in range(start, end):
+            block = blocks[position]
+            if block not in position_of and not present(block):
+                position_of[block] = position
+                append(position)
+        self.scanned_to = end
+
+    def remove(self, block: int) -> None:
+        """The block is being fetched; it is no longer missing."""
+        position = self._position_of.pop(block, None)
+        if position is None:
+            return
+        index = bisect.bisect_left(self.positions, position)
+        if index < len(self.positions) and self.positions[index] == position:
+            del self.positions[index]
+
+    def on_evict(self, block: int, next_use) -> None:
+        """The block was evicted; it is missing again from its next use."""
+        if next_use is INFINITE or next_use >= self.scanned_to:
+            return  # beyond the scanned window; a future extend finds it
+        position = int(next_use)
+        existing = self._position_of.get(block)
+        if existing is not None:
+            if existing <= position:
+                return
+            self.remove(block)
+        self._position_of[block] = position
+        bisect.insort(self.positions, position)
+
+    def walk(self, cursor: int, snapshot: bool = False):
+        """Yield (position, block) for missing references at/past the cursor.
+
+        Always iterates a copy, so callers may mutate the missing set
+        mid-walk (issuing a fetch removes its entry); ``snapshot`` is
+        accepted for interface clarity but the behaviour is identical.
+        """
+        positions = self.positions
+        start = bisect.bisect_left(positions, cursor)
+        if start > 256:  # entries behind the app can never matter again
+            for position in positions[:start]:
+                block = self.sim.blocks[position]
+                if self._position_of.get(block) == position:
+                    del self._position_of[block]
+            del positions[:start]
+            start = 0
+        blocks = self.sim.blocks
+        for position in positions[start:]:
+            block = blocks[position]
+            yield position, block
+
+
+class Forestall(PrefetchPolicy):
+    """Prefetch exactly early enough to forestall the coming stall."""
+
+    def __init__(
+        self,
+        batch_size: int = None,
+        horizon: int = DEFAULT_HORIZON,
+        fixed_estimate: float = None,
+        history: int = 100,
+        lookahead_caches: int = 2,
+        fast_disk_threshold_ms: float = 5.0,
+        overestimate_factor: float = 4.0,
+    ):
+        super().__init__()
+        self._batch_override = batch_size
+        self.horizon = horizon
+        self.fixed_estimate = fixed_estimate
+        self.history = history
+        self.lookahead_caches = lookahead_caches
+        self.fast_disk_threshold_ms = fast_disk_threshold_ms
+        self.overestimate_factor = overestimate_factor
+        self.batch_size = None
+        self._tracker = None
+        self._access_history = None  # per-disk deque of recent service times
+        self._compute_history = None
+        self._next_check_cursor = 0
+        self._pending_triggers = set()
+
+    @property
+    def name(self) -> str:
+        if self.fixed_estimate is None:
+            return "forestall"
+        return f"forestall(F'={self.fixed_estimate})"
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self.batch_size = batch_size_for(sim.num_disks, self._batch_override)
+        window = self.lookahead_caches * sim.cache.capacity
+        self._tracker = _MissingTracker(sim, window)
+        self._access_history = [
+            deque([15.0], maxlen=self.history) for _ in range(sim.num_disks)
+        ]
+        mean_compute = 1.0
+        if sim.compute_ms:
+            head = sim.compute_ms[: min(100, len(sim.compute_ms))]
+            mean_compute = max(1e-3, sum(head) / len(head))
+        self._compute_history = deque([mean_compute], maxlen=self.history)
+        self._next_check_cursor = 0
+
+    # -- observation hooks ----------------------------------------------------------
+
+    def on_fetch_complete(self, disk: int, service_ms: float) -> None:
+        # Estimates drift slowly (100-sample window); the bounded re-check
+        # interval (≤ 32 references) picks the drift up without a reset.
+        self._access_history[disk].append(service_ms)
+
+    def on_reference_served(self, cursor: int, compute_ms: float) -> None:
+        if compute_ms > 0:
+            self._compute_history.append(compute_ms)
+
+    def on_evict(self, block, next_use) -> None:
+        self._tracker.on_evict(block, next_use)
+        self._next_check_cursor = 0  # the missing set grew; recheck
+
+    def issue(self, block, victim) -> None:
+        self._tracker.remove(block)
+        super().issue(block, victim)
+
+    # -- estimation ---------------------------------------------------------------------
+
+    def estimate(self, disk: int) -> float:
+        """F' for ``disk``: recent fetch/compute ratio, overestimated when
+        access times say the workload is not sequential."""
+        if self.fixed_estimate is not None:
+            return float(self.fixed_estimate)
+        accesses = self._access_history[disk]
+        mean_access = sum(accesses) / len(accesses)
+        mean_compute = sum(self._compute_history) / len(self._compute_history)
+        ratio = mean_access / max(1e-6, mean_compute)
+        if mean_access < self.fast_disk_threshold_ms:
+            return max(1.0, ratio)
+        return max(1.0, ratio * self.overestimate_factor)
+
+    # -- decision points -----------------------------------------------------------------
+
+    def before_reference(self, cursor: int, now: float) -> None:
+        self._check(cursor)
+
+    def on_disk_idle(self, disk: int, now: float) -> None:
+        cursor = self.sim.cursor
+        if disk in self._pending_triggers and self._is_free(disk):
+            self._check(cursor, force=True)
+        else:
+            self._check(cursor)
+
+    def on_miss(self, cursor: int, now: float) -> None:
+        super().on_miss(cursor, now)
+        self._next_check_cursor = 0
+
+    def _is_free(self, disk: int) -> bool:
+        array = self.sim.array
+        return array.is_idle(disk) and array.queue_length(disk) == 0
+
+    def _free_disks(self):
+        array = self.sim.array
+        return {
+            disk
+            for disk in range(array.num_disks)
+            if array.is_idle(disk) and array.queue_length(disk) == 0
+        }
+
+    def _check(self, cursor: int, force: bool = False) -> None:
+        """Evaluate the stall-inevitability condition for every disk.
+
+        Triggered-but-busy disks are remembered in ``_pending_triggers`` so
+        their completion interrupt can start the batch without a re-walk.
+        """
+        if not force and cursor < self._next_check_cursor:
+            return
+        tracker = self._tracker
+        tracker.extend(cursor)
+        num_disks = self.sim.num_disks
+        estimates = [self.estimate(disk) for disk in range(num_disks)]
+        counts: Dict[int, int] = {}
+        triggered = set()
+        backstopped = set()
+        min_slack = None
+        first_distance = None
+        sim = self.sim
+        for position, block in tracker.walk(cursor):
+            distance = position - cursor
+            if first_distance is None:
+                first_distance = distance
+            disk = sim.disk_of(block)
+            count = counts.get(disk, 0) + 1
+            counts[disk] = count
+            if disk in triggered:
+                continue
+            if distance <= self.horizon:
+                # Fixed-horizon backstop: this block must be issued, but a
+                # backstop alone does not justify a deep batch.
+                backstopped.add(disk)
+            if count * estimates[disk] > distance:
+                triggered.add(disk)
+            else:
+                slack = distance - count * estimates[disk]
+                if min_slack is None or slack < min_slack:
+                    min_slack = slack
+            if len(triggered) == num_disks:
+                break
+        self._pending_triggers = triggered | backstopped
+        free = self._free_disks()
+        ready = triggered & free
+        ready_backstop = (backstopped - triggered) & free
+        if ready or ready_backstop:
+            self._issue_batches(cursor, ready, ready_backstop)
+            self._next_check_cursor = 0
+            return
+        # Nothing fired (or fired only on busy disks): the earliest a new
+        # trigger can fire is when the cursor eats through the least slack.
+        candidates = [32.0]
+        if min_slack is not None:
+            candidates.append(min_slack)
+        if first_distance is not None and first_distance > self.horizon:
+            candidates.append(float(first_distance - self.horizon))
+        advance = max(1, int(min(candidates)))
+        self._next_check_cursor = cursor + advance
+
+    def _issue_batches(self, cursor: int, disks, backstop_disks=()) -> None:
+        """Aggressive-style batch fill restricted to the triggered disks.
+
+        ``backstop_disks`` fired only the fixed-horizon rule: they issue
+        just the missing blocks within the horizon (fixed horizon's own
+        behaviour), not a deep batch.
+        """
+        sim = self.sim
+        budgets = {disk: self.batch_size for disk in disks}
+        horizon_end = cursor + self.horizon
+        tracker = self._tracker
+        for position, block in tracker.walk(cursor, snapshot=True):
+            disk = sim.disk_of(block)
+            budget = budgets.get(disk)
+            if budget is None:
+                if disk in backstop_disks and position <= horizon_end:
+                    victim = self._victim_for(cursor, position)
+                    if victim is False:
+                        break
+                    self.issue(block, victim)
+                continue
+            if budget == 0:
+                if all(b == 0 for b in budgets.values()) and not backstop_disks:
+                    break
+                continue
+            victim = self._victim_for(cursor, position)
+            if victim is False:
+                break
+            self.issue(block, victim)
+            budgets[disk] = budget - 1
+
+    def _victim_for(self, cursor: int, fetch_position: int):
+        sim = self.sim
+        if sim.cache.free_buffers > 0:
+            return None
+        victim = sim.eviction_heap.best_victim(
+            cursor, exclude=sim.protected_blocks()
+        )
+        if victim is None:
+            return False
+        next_use = sim.index.next_use(victim, cursor)
+        if next_use is not INFINITE and next_use <= fetch_position:
+            return False
+        return victim

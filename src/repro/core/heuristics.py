@@ -1,0 +1,171 @@
+"""Unhinted baseline policies: what a file system does *without* hints.
+
+The paper's related-work section contrasts hint-based prefetching with the
+classic heuristics — LRU replacement, sequential readahead, and access-
+pattern prediction.  These policies use **no future knowledge at all**
+(they never consult the next-reference index): replacement is
+least-recently-used, and prefetching is driven by observed adjacency.
+They exist as baselines, to quantify what the hints in the paper's four
+algorithms are actually worth.
+"""
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.policy import PrefetchPolicy
+
+
+class _LRUMixin:
+    """Recency tracking + LRU victim selection (no future knowledge)."""
+
+    def _lru_init(self) -> None:
+        self._recency = OrderedDict()  # block -> None, oldest first
+
+    def _touch(self, block: int) -> None:
+        self._recency.pop(block, None)
+        self._recency[block] = None
+
+    def _forget(self, block: int) -> None:
+        self._recency.pop(block, None)
+
+    def lru_victim(self) -> Optional[int]:
+        """Least-recently-used resident block, or None for a free buffer,
+        or False when nothing may be evicted."""
+        sim = self.sim
+        if sim.cache.free_buffers > 0:
+            return None
+        protected = sim.protected_blocks()
+        resident = sim.cache.resident
+        for block in self._recency:
+            if block in resident and block not in protected:
+                return block
+        # Recency list may lag (blocks fetched but never referenced);
+        # fall back deterministically to the lowest unprotected block.
+        candidates = [b for b in resident if b not in protected]
+        if candidates:
+            return min(candidates)
+        return False
+
+    # shared bookkeeping hooks -------------------------------------------------
+
+    def on_reference_served(self, cursor: int, compute_ms: float) -> None:
+        self._touch(self.sim.app_blocks[cursor])
+
+    def on_evict(self, block: int, next_use) -> None:
+        self._forget(block)
+
+
+class LRUDemand(_LRUMixin, PrefetchPolicy):
+    """Demand fetching with LRU replacement — the classic default."""
+
+    name = "lru-demand"
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self._lru_init()
+
+    def on_miss(self, cursor: int, now: float) -> None:
+        victim = self.lru_victim()
+        if victim is False:
+            return  # engine retries after a completion
+        block = self.sim.reference_block(cursor)
+        self.issue(block, victim)
+        self._touch(block)
+
+
+class SequentialReadahead(LRUDemand):
+    """LRU demand plus N-block same-file readahead on every miss.
+
+    This is the paper's "most common prefetching approach": it only helps
+    applications that read large files sequentially, which is exactly the
+    point of comparing it to the hint-based algorithms.
+    """
+
+    def __init__(self, depth: int = 8):
+        super().__init__()
+        if depth < 1:
+            raise ValueError("readahead depth must be positive")
+        self.depth = depth
+
+    @property
+    def name(self) -> str:
+        return f"seq-readahead({self.depth})"
+
+    def on_miss(self, cursor: int, now: float) -> None:
+        super().on_miss(cursor, now)
+        block = self.sim.reference_block(cursor)
+        for successor in range(block + 1, block + 1 + self.depth):
+            if not self._known_and_same_file(block, successor):
+                break
+            if self.sim.cache.present_or_coming(successor):
+                continue
+            victim = self.lru_victim()
+            if victim is False:
+                break
+            self.issue(successor, victim)
+
+    def _known_and_same_file(self, block: int, successor: int) -> bool:
+        files = getattr(self.sim.trace, "files", None)
+        if files and block in files and successor in files:
+            return files[block][0] == files[successor][0]
+        # No file metadata: accept any block the simulator can place.
+        try:
+            self.sim.disk_of(successor)
+        except KeyError:
+            return False
+        return True
+
+
+class StridePrefetcher(LRUDemand):
+    """LRU demand plus stride-detected prefetching.
+
+    Watches the deltas between consecutive *misses*; when the same stride
+    repeats ``confirm`` times, prefetches ``depth`` blocks along it —
+    the hardware-prefetcher idea applied to file blocks, and the only
+    unhinted heuristic with a chance on xds-style strided scans.
+    """
+
+    def __init__(self, depth: int = 4, confirm: int = 2):
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self.confirm = confirm
+        self._last_miss = None
+        self._stride = 0
+        self._repeats = 0
+
+    @property
+    def name(self) -> str:
+        return f"stride-prefetch({self.depth})"
+
+    def on_miss(self, cursor: int, now: float) -> None:
+        block = self.sim.reference_block(cursor)
+        self._observe(block)
+        super().on_miss(cursor, now)
+        if self._repeats >= self.confirm and self._stride != 0:
+            self._prefetch_along(block)
+
+    def _observe(self, block: int) -> None:
+        if self._last_miss is not None:
+            stride = block - self._last_miss
+            if stride == self._stride and stride != 0:
+                self._repeats += 1
+            else:
+                self._stride = stride
+                self._repeats = 1
+        self._last_miss = block
+
+    def _prefetch_along(self, block: int) -> None:
+        for step in range(1, self.depth + 1):
+            target = block + self._stride * step
+            try:
+                self.sim.disk_of(target)
+            except KeyError:
+                break
+            if self.sim.cache.present_or_coming(target):
+                continue
+            victim = self.lru_victim()
+            if victim is False:
+                break
+            self.issue(target, victim)

@@ -1,0 +1,104 @@
+"""Imperfect hints: the paper's future-work axis, made runnable.
+
+The paper studies the fully-hinted single-process case and notes (section
+6) that real systems must cope with *incomplete* and *inaccurate* hints.
+This module degrades a trace's perfect hint stream and the engine runs the
+algorithms against the degraded view:
+
+* a **missing** hint hides an access from the policy entirely — the policy
+  sees an innocuous re-reference instead, and the true access surfaces as
+  a demand miss;
+* a **wrong** hint names some other block — the policy may waste a
+  prefetch (bandwidth + a cache buffer) on it, and the true access again
+  costs a demand miss.
+
+The degraded stream keeps 1:1 positional alignment with the real
+reference stream, so every distance-based rule (horizons, forestall's
+``i·F' > d_i``) operates exactly as it would in a hinting system whose
+application lied at those positions.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class HintQuality:
+    """How trustworthy the application's disclosures are.
+
+    ``missing_fraction`` of references carry no hint; ``wrong_fraction``
+    carry a hint naming a uniformly random *other* block of the trace.
+    The two are disjoint (missing wins ties).
+    """
+
+    missing_fraction: float = 0.0
+    wrong_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = self.missing_fraction + self.wrong_fraction
+        if not 0.0 <= self.missing_fraction <= 1.0:
+            raise ValueError("missing_fraction must be in [0, 1]")
+        if not 0.0 <= self.wrong_fraction <= 1.0:
+            raise ValueError("wrong_fraction must be in [0, 1]")
+        if total > 1.0:
+            raise ValueError("fractions must sum to at most 1")
+
+    @property
+    def perfect(self) -> bool:
+        return self.missing_fraction == 0.0 and self.wrong_fraction == 0.0
+
+
+def degrade_hints(trace: Trace, quality: HintQuality) -> List[Optional[int]]:
+    """Produce a per-reference hint stream (``None`` = no hint given)."""
+    if quality.perfect:
+        return list(trace.blocks)
+    rng = random.Random(quality.seed)
+    universe = sorted(set(trace.blocks))
+    hints: List[Optional[int]] = []
+    for block in trace.blocks:
+        roll = rng.random()
+        if roll < quality.missing_fraction:
+            hints.append(None)
+        elif roll < quality.missing_fraction + quality.wrong_fraction:
+            wrong = rng.choice(universe)
+            if wrong == block and len(universe) > 1:
+                wrong = universe[(universe.index(block) + 1) % len(universe)]
+            hints.append(wrong)
+        else:
+            hints.append(block)
+    return hints
+
+
+def resolve_hint_view(
+    actual: List[int], hints: List[Optional[int]]
+) -> List[int]:
+    """The policy's view of the reference stream.
+
+    Hints pass through; a missing hint is rendered as a re-reference of the
+    most recent hinted block (an access the policy has no work to do for),
+    which keeps positions aligned without inventing phantom blocks.
+    """
+    if len(hints) != len(actual):
+        raise ValueError(
+            f"hint stream length {len(hints)} != trace length {len(actual)}"
+        )
+    view: List[int] = []
+    last_hinted = None
+    for position, hint in enumerate(hints):
+        if hint is None:
+            if last_hinted is None:
+                # Leading unhinted accesses: borrow the first future hint so
+                # the view still names a real block.
+                future = next((h for h in hints[position:] if h is not None),
+                              actual[position])
+                view.append(future)
+            else:
+                view.append(last_hinted)
+        else:
+            last_hinted = hint
+            view.append(hint)
+    return view

@@ -1,0 +1,147 @@
+"""Next-reference index structures over a known request sequence.
+
+All four algorithms exploit full advance knowledge of the reference stream.
+The two queries they need constantly are:
+
+* ``next_use(block, cursor)`` — the first position at or after the cursor
+  that references ``block`` (``INFINITE`` if none), used by the *optimal
+  replacement* and *do-no-harm* rules; and
+* "the resident block whose next reference is furthest in the future" —
+  the optimal eviction victim.
+
+Both are served in amortized O(log n) by per-block position lists with
+monotonic pointers plus a lazy max-heap over resident blocks.
+"""
+
+import bisect
+import heapq
+from typing import Dict, List, Optional
+
+#: Sentinel distance for "never referenced again".
+INFINITE = float("inf")
+
+
+class NextRefIndex:
+    """Per-block reference positions with monotone next-use queries."""
+
+    def __init__(self, blocks: List[int]):
+        self.blocks = blocks
+        self.positions: Dict[int, List[int]] = {}
+        for index, block in enumerate(blocks):
+            self.positions.setdefault(block, []).append(index)
+        self._pointers: Dict[int, int] = {block: 0 for block in self.positions}
+        self._last_cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def distinct_blocks(self) -> int:
+        return len(self.positions)
+
+    def next_use(self, block: int, cursor: int):
+        """First position >= cursor referencing ``block``, else INFINITE.
+
+        Cursors may move backwards relative to earlier queries for *other*
+        blocks, but queries for the same block must use nondecreasing
+        cursors — which holds because the application cursor is monotone.
+        """
+        plist = self.positions.get(block)
+        if plist is None:
+            return INFINITE
+        pointer = self._pointers[block]
+        while pointer < len(plist) and plist[pointer] < cursor:
+            pointer += 1
+        self._pointers[block] = pointer
+        if pointer == len(plist):
+            return INFINITE
+        return plist[pointer]
+
+    def next_use_cold(self, block: int, cursor: int):
+        """Like :meth:`next_use` but without pointer caching (any cursor)."""
+        plist = self.positions.get(block)
+        if plist is None:
+            return INFINITE
+        index = bisect.bisect_left(plist, cursor)
+        if index == len(plist):
+            return INFINITE
+        return plist[index]
+
+
+class EvictionHeap:
+    """Lazy max-heap yielding the resident block with the furthest next use.
+
+    Entries go stale when a block is evicted or when the cursor passes one
+    of its references; staleness is detected on pop by revalidating against
+    the index and the resident set.
+    """
+
+    def __init__(self, index: NextRefIndex, resident):
+        self._index = index
+        self._resident = resident  # any container supporting "in"
+        self._heap = []  # (-next_use, block)
+
+    def push(self, block: int, cursor: int) -> None:
+        next_use = self._index.next_use(block, cursor)
+        key = -next_use if next_use is not INFINITE else float("-inf")
+        heapq.heappush(self._heap, (key, block))
+
+    def best_victim(self, cursor: int, exclude=()) -> Optional[int]:
+        """Pop/peek the resident block with the furthest next use.
+
+        The returned block is *not* removed from the heap (the caller
+        decides whether to evict); stale entries encountered along the way
+        are discarded.  Blocks in ``exclude`` are skipped but kept.
+        """
+        skipped = []
+        victim = None
+        while self._heap:
+            key, block = self._heap[0]
+            if block not in self._resident:
+                heapq.heappop(self._heap)
+                continue
+            true_next = self._index.next_use(block, cursor)
+            true_key = -true_next if true_next is not INFINITE else float("-inf")
+            if true_key != key:
+                heapq.heappop(self._heap)
+                heapq.heappush(self._heap, (true_key, block))
+                continue
+            if block in exclude:
+                skipped.append(heapq.heappop(self._heap))
+                continue
+            victim = block
+            break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return victim
+
+    def remove_is_lazy(self) -> bool:
+        """Removals are lazy: evicted blocks are filtered on pop."""
+        return True
+
+
+def first_missing_positions(
+    blocks: List[int],
+    cursor: int,
+    is_present,
+    limit: int,
+    max_count: int = None,
+):
+    """Yield positions >= cursor whose block is missing (not present).
+
+    Scans at most ``limit`` references ahead; duplicate blocks are reported
+    only at their first missing occurrence.  ``is_present(block)`` must
+    return True for blocks that are resident or already being fetched.
+    """
+    seen = set()
+    end = min(len(blocks), cursor + limit)
+    found = 0
+    for position in range(cursor, end):
+        block = blocks[position]
+        if block in seen or is_present(block):
+            continue
+        seen.add(block)
+        yield position
+        found += 1
+        if max_count is not None and found >= max_count:
+            return

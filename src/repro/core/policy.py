@@ -1,0 +1,136 @@
+"""The prefetching/caching policy interface and shared machinery.
+
+A policy is consulted at the paper's two decision points — immediately
+before each reference is consumed, and whenever a disk completes a request —
+and reacts by issuing fetch/eviction pairs through
+:meth:`PrefetchPolicy.issue`.  The engine charges driver overhead, runs the
+disks, and accounts stalls; policies only decide *what to fetch, when, and
+what to evict*.
+
+Shared helpers implement the paper's optimal prefetching rules
+(section 2.2):
+
+* *optimal fetching* — fetch the missing block referenced soonest;
+* *optimal replacement* — evict the resident block referenced furthest in
+  the future (:meth:`PrefetchPolicy.choose_victim`);
+* *do no harm* — never evict a block needed before the fetched one.
+"""
+
+from typing import Iterator, Optional, Tuple
+
+from repro.core.nextref import INFINITE
+
+
+class PrefetchPolicy:
+    """Base class for all prefetching/caching algorithms."""
+
+    name = "abstract"
+
+    def __init__(self):
+        self.sim = None
+
+    # -- engine wiring --------------------------------------------------------
+
+    def bind(self, sim) -> None:
+        """Attach to a simulator; called once before the run starts."""
+        self.sim = sim
+
+    # -- decision points (overridden by algorithms) ---------------------------
+
+    def before_reference(self, cursor: int, now: float) -> None:
+        """Called just before the application consumes reference ``cursor``."""
+
+    def on_disk_idle(self, disk: int, now: float) -> None:
+        """Called when ``disk`` finishes a request and may take new work."""
+
+    def on_miss(self, cursor: int, now: float) -> None:
+        """The block at ``cursor`` is absent with no fetch in flight.
+
+        The default demand-fetches it with the optimal replacement choice;
+        prefetching policies normally avoid ever reaching this point but
+        inherit it as a safety net for cold starts and timing surprises.
+        """
+        block = self.sim.reference_block(cursor)
+        victim = self.choose_victim(cursor)
+        if victim is False:
+            return  # no buffer free; the engine retries after a completion
+        self.issue(block, victim)
+
+    # -- observation hooks -----------------------------------------------------
+
+    def on_fetch_complete(self, disk: int, service_ms: float) -> None:
+        """A fetch finished on ``disk`` after ``service_ms`` of service."""
+
+    def on_reference_served(self, cursor: int, compute_ms: float) -> None:
+        """Reference ``cursor`` hit in cache; the app computes for a while."""
+
+    def on_evict(self, block: int, next_use) -> None:
+        """``block`` was evicted; its next reference is at ``next_use``."""
+
+    # -- shared actions ----------------------------------------------------------
+
+    def issue(self, block: int, victim: Optional[int]) -> None:
+        """Issue a fetch of ``block``, evicting ``victim`` (None = free buffer)."""
+        self.sim.issue_fetch(block, victim)
+
+    def choose_victim(self, cursor: int, exclude=()) -> Optional[int]:
+        """Optimal replacement: free buffer first, else furthest next use.
+
+        Returns ``None`` when a free buffer exists, a block to evict, or
+        ``False`` when nothing may be evicted right now (every candidate is
+        protected or in flight) — callers then wait for a completion.
+        """
+        sim = self.sim
+        if sim.cache.free_buffers > 0:
+            return None
+        protected = sim.protected_blocks()
+        if exclude:
+            protected = protected | set(exclude)
+        victim = sim.eviction_heap.best_victim(cursor, exclude=protected)
+        if victim is None:
+            # Every buffer is protected or spoken for by an in-flight
+            # prefetch (possible when degraded hints flood the cache).
+            return False
+        return victim
+
+    def victim_allows(self, victim: Optional[int], fetch_position: int, cursor: int) -> bool:
+        """Do-no-harm: may ``victim`` be evicted to fetch the block needed at
+        ``fetch_position``?  Free buffers always qualify."""
+        if victim is None:
+            return True
+        return self.sim.index.next_use(victim, cursor) > fetch_position
+
+
+class MissingScanner:
+    """Incremental scan for missing blocks in the reference stream.
+
+    Maintains a *floor*: every reference position in ``[cursor, floor)`` is
+    known to name a block that is resident or in flight, so repeated scans
+    can skip it.  Evictions move the floor back (via :meth:`invalidate`,
+    wired from the policy's ``on_evict``).
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.floor = 0
+
+    def invalidate(self, position) -> None:
+        if position is not INFINITE and position < self.floor:
+            self.floor = int(position)
+
+    def missing_in(self, cursor: int, end: int) -> Iterator[Tuple[int, int]]:
+        """Yield (position, block) for missing references in [cursor, end).
+
+        Laziness matters: a block issued by the caller mid-iteration will be
+        skipped at its later occurrences.  The caller is responsible for
+        advancing :attr:`floor` afterwards (to the last position known
+        missing-free).
+        """
+        sim = self.sim
+        blocks = sim.blocks
+        present = sim.cache.present_or_coming
+        end = min(end, len(blocks))
+        for position in range(max(cursor, self.floor), end):
+            block = blocks[position]
+            if not present(block):
+                yield position, block

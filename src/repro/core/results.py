@@ -1,0 +1,81 @@
+"""Simulation outputs: the paper's per-run measurement vector.
+
+Every appendix table in the paper reports, per (trace, algorithm, disks):
+fetches, driver time, stall time, elapsed time, average fetch time, and
+average disk utilization.  :class:`SimulationResult` carries exactly those,
+plus the compute-time component and enough detail for the figures.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run."""
+
+    trace_name: str
+    policy_name: str
+    num_disks: int
+    cache_blocks: int
+    fetches: int
+    compute_ms: float
+    driver_ms: float
+    stall_ms: float
+    elapsed_ms: float
+    average_fetch_ms: float
+    disk_utilization: float
+    per_disk_busy_ms: List[float] = field(default_factory=list)
+    cache_hits: int = 0
+    references: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ms / 1000.0
+
+    @property
+    def stall_s(self) -> float:
+        return self.stall_ms / 1000.0
+
+    @property
+    def driver_s(self) -> float:
+        return self.driver_ms / 1000.0
+
+    @property
+    def compute_s(self) -> float:
+        return self.compute_ms / 1000.0
+
+    def check_accounting(self, tolerance_ms: float = 1e-6) -> None:
+        """Elapsed time must equal compute + driver + stall exactly."""
+        residual = self.elapsed_ms - (
+            self.compute_ms + self.driver_ms + self.stall_ms
+        )
+        if abs(residual) > tolerance_ms:
+            raise AssertionError(
+                f"accounting identity violated by {residual} ms "
+                f"({self.trace_name}/{self.policy_name}/{self.num_disks})"
+            )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "trace": self.trace_name,
+            "policy": self.policy_name,
+            "disks": self.num_disks,
+            "fetches": self.fetches,
+            "driver_s": round(self.driver_s, 4),
+            "stall_s": round(self.stall_s, 4),
+            "elapsed_s": round(self.elapsed_s, 4),
+            "avg_fetch_ms": round(self.average_fetch_ms, 3),
+            "disk_util": round(self.disk_utilization, 3),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.trace_name}/{self.policy_name} disks={self.num_disks}: "
+            f"elapsed={self.elapsed_s:.3f}s "
+            f"(compute={self.compute_s:.3f} driver={self.driver_s:.3f} "
+            f"stall={self.stall_s:.3f}) fetches={self.fetches} "
+            f"avg_fetch={self.average_fetch_ms:.2f}ms "
+            f"util={self.disk_utilization:.2f}"
+        )

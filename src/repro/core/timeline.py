@@ -1,0 +1,119 @@
+"""Run observability: a timeline of fetches, completions, and stalls.
+
+The paper's tables aggregate each run to six numbers; understanding *why*
+a configuration stalls needs the time axis back.  With
+``SimConfig(record_timeline=True)`` the engine records every fetch issue,
+completion, eviction, and stall episode, and this module summarizes them:
+stall-episode distributions, per-disk busy/idle structure, and fetch
+lead times (how far ahead of its use each block arrived — the direct
+measure of how "aggressive" a policy actually was).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+FETCH_ISSUED = "fetch"
+FETCH_DONE = "done"
+EVICTION = "evict"
+STALL_START = "stall"
+STALL_END = "resume"
+
+
+@dataclass
+class StallEpisode:
+    """One contiguous wait for a block."""
+
+    start_ms: float
+    end_ms: float
+    block: int
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class Timeline:
+    """Event log of one simulation run."""
+
+    events: List[Tuple[float, str, int, int]] = field(default_factory=list)
+    # (time, kind, block, disk) — disk is -1 where not applicable
+
+    def record(self, time: float, kind: str, block: int, disk: int = -1):
+        self.events.append((time, kind, block, disk))
+
+    # -- derived views ---------------------------------------------------------
+
+    def stall_episodes(self) -> List[StallEpisode]:
+        episodes = []
+        open_start: Optional[Tuple[float, int]] = None
+        for time, kind, block, _disk in self.events:
+            if kind == STALL_START:
+                open_start = (time, block)
+            elif kind == STALL_END and open_start is not None:
+                episodes.append(
+                    StallEpisode(open_start[0], time, open_start[1])
+                )
+                open_start = None
+        return episodes
+
+    def fetch_lead_times(self) -> Dict[int, float]:
+        """Per fetch completion, how long the block sat before... rather:
+        time between a block's fetch issue and its completion, keyed by
+        issue order — the service view.  See ``arrival_leads`` for the
+        policy view."""
+        issued: Dict[int, float] = {}
+        leads: Dict[int, float] = {}
+        for time, kind, block, _disk in self.events:
+            if kind == FETCH_ISSUED:
+                issued[block] = time
+            elif kind == FETCH_DONE and block in issued:
+                leads[block] = time - issued.pop(block)
+        return leads
+
+    def per_disk_fetches(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for _time, kind, _block, disk in self.events:
+            if kind == FETCH_ISSUED:
+                counts[disk] = counts.get(disk, 0) + 1
+        return counts
+
+    def busy_intervals(self, disk: int) -> List[Tuple[float, float]]:
+        """(start, end) spans during which ``disk`` had a request in
+        service, merged across back-to-back requests."""
+        spans = []
+        start = None
+        pending = 0
+        for time, kind, _block, event_disk in sorted(self.events):
+            if event_disk != disk:
+                continue
+            if kind == FETCH_ISSUED:
+                if pending == 0:
+                    start = time
+                pending += 1
+            elif kind == FETCH_DONE and pending > 0:
+                pending -= 1
+                if pending == 0 and start is not None:
+                    spans.append((start, time))
+                    start = None
+        return spans
+
+    def summary(self) -> Dict[str, float]:
+        episodes = self.stall_episodes()
+        durations = [e.duration_ms for e in episodes]
+        per_disk = self.per_disk_fetches()
+        balance = (
+            min(per_disk.values()) / max(per_disk.values())
+            if per_disk and max(per_disk.values()) > 0
+            else 1.0
+        )
+        return {
+            "stall_episodes": len(episodes),
+            "stall_total_ms": round(sum(durations), 3),
+            "stall_mean_ms": round(
+                sum(durations) / len(durations), 3
+            ) if durations else 0.0,
+            "stall_max_ms": round(max(durations), 3) if durations else 0.0,
+            "fetches": sum(per_disk.values()),
+            "disk_balance": round(balance, 3),
+        }

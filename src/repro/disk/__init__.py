@@ -1,0 +1,39 @@
+"""Disk subsystem: drive models, head scheduling, and striped arrays.
+
+The detailed drive model (:class:`~repro.disk.drive.DiskDrive`) follows the
+HP 97560 characteristics used by the paper (Table 1): the published seek
+curve, 4002 rpm rotation, 72 sectors per track, 19 tracks per cylinder,
+1962 cylinders, a 128 KB readahead cache, and a 10 MB/s SCSI-II interface.
+A uniform-service-time model (:class:`~repro.disk.simple.SimpleDrive`)
+stands in for the paper's second (CMU/RaidSim) simulator in the Table 2
+cross-validation.
+"""
+
+from repro.disk.array import DiskArray, Placement, StripedLayout
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import HP97560, HP97560_ZONED, IBM0661, DiskGeometry, Zone, ZonedGeometry
+from repro.disk.scheduler import CSCANQueue, FCFSQueue, Request, SSTFQueue, make_queue
+from repro.disk.seek import IBM0661_SEEK, LeeKatzSeek, SeekModel
+from repro.disk.simple import SimpleDrive
+
+__all__ = [
+    "CSCANQueue",
+    "DiskArray",
+    "DiskDrive",
+    "DiskGeometry",
+    "FCFSQueue",
+    "HP97560",
+    "HP97560_ZONED",
+    "IBM0661",
+    "IBM0661_SEEK",
+    "LeeKatzSeek",
+    "Placement",
+    "Request",
+    "SeekModel",
+    "SSTFQueue",
+    "SimpleDrive",
+    "StripedLayout",
+    "Zone",
+    "ZonedGeometry",
+    "make_queue",
+]

@@ -1,0 +1,164 @@
+"""Striped disk arrays and data placement.
+
+The paper stripes data across the array with a one-block stripe unit, and
+places each *file* at a random starting point within a group of 8550 blocks
+(100 cylinders on the HP 97560), modelling typical file-system clustering.
+Traces that use raw logical block numbers are placed directly.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import HP97560, DiskGeometry
+from repro.disk.scheduler import Request, make_queue
+
+#: Size of a file placement group, in blocks (100 HP 97560 cylinders).
+PLACEMENT_GROUP_BLOCKS = 8550
+
+
+@dataclass(frozen=True)
+class StripedLayout:
+    """One-block stripe unit across ``num_disks`` disks.
+
+    Global block ``g`` lives on disk ``g % num_disks`` at per-disk address
+    ``g // num_disks``.
+    """
+
+    num_disks: int
+
+    def disk_of(self, global_block: int) -> int:
+        return global_block % self.num_disks
+
+    def lbn_of(self, global_block: int) -> int:
+        return global_block // self.num_disks
+
+
+class Placement:
+    """Maps trace block identities to global array block numbers.
+
+    Blocks with file structure (``(file_id, offset)``) get a per-file random
+    group start, emulating file-system clustering; plain integer block ids
+    are used as-is (the paper's "logical filesystem block number" traces).
+    """
+
+    def __init__(
+        self,
+        total_blocks: int,
+        group_blocks: int = PLACEMENT_GROUP_BLOCKS,
+        seed: int = 0,
+    ):
+        self.total_blocks = total_blocks
+        self.group_blocks = group_blocks
+        self._rng = random.Random(seed)
+        self._file_starts: Dict[int, int] = {}
+
+    def _start_for_file(self, file_id: int) -> int:
+        start = self._file_starts.get(file_id)
+        if start is None:
+            num_groups = max(1, self.total_blocks // self.group_blocks)
+            group = self._rng.randrange(num_groups)
+            start = group * self.group_blocks
+            self._file_starts[file_id] = start
+        return start
+
+    def place(self, block) -> int:
+        """Return the global array block number for a trace block identity."""
+        if isinstance(block, tuple):
+            file_id, offset = block
+            return (self._start_for_file(file_id) + offset) % self.total_blocks
+        return block % self.total_blocks
+
+
+class DiskArray:
+    """A bank of independent drives, each with its own request queue.
+
+    The simulation engine owns all timing decisions; the array tracks which
+    drive is busy, orders queued requests by the chosen discipline, and
+    accumulates per-disk statistics.
+    """
+
+    def __init__(
+        self,
+        num_disks: int,
+        drive_factory: Callable[[], object] = None,
+        discipline: str = "cscan",
+        geometry: DiskGeometry = HP97560,
+    ):
+        if num_disks < 1:
+            raise ValueError("need at least one disk")
+        if drive_factory is None:
+            drive_factory = lambda: DiskDrive(geometry)
+        self.num_disks = num_disks
+        self.layout = StripedLayout(num_disks)
+        self.geometry = geometry
+        self.drives = [drive_factory() for _ in range(num_disks)]
+        cylinder_of = self._cylinder_of
+        self.queues = [make_queue(discipline, cylinder_of) for _ in range(num_disks)]
+        self.in_service: List[Optional[Request]] = [None] * num_disks
+        self.busy_time = [0.0] * num_disks
+        self.service_time_total = 0.0
+        self.requests_completed = 0
+        self._seq = 0
+
+    def _cylinder_of(self, lbn: int) -> int:
+        try:
+            return self.geometry.block_to_cylinder(lbn)
+        except ValueError:
+            return lbn
+
+    # -- request lifecycle ---------------------------------------------------
+
+    def submit(self, disk: int, block: int, lbn: int, kind: str = "read") -> Request:
+        """Queue a request for ``lbn`` (application block ``block``) on
+        ``disk``; ``kind`` is "read" or "write"."""
+        self._seq += 1
+        request = Request(lbn=lbn, block=block, seq=self._seq, kind=kind)
+        self.queues[disk].push(request)
+        return request
+
+    def is_idle(self, disk: int) -> bool:
+        return self.in_service[disk] is None
+
+    def queue_length(self, disk: int) -> int:
+        return len(self.queues[disk])
+
+    def start_next(self, disk: int, now: float):
+        """If ``disk`` is idle and has queued work, start its next request.
+
+        Returns ``(request, completion_time, breakdown)`` or ``None``.
+        """
+        if self.in_service[disk] is not None:
+            return None
+        drive = self.drives[disk]
+        request = self.queues[disk].pop(drive.cylinder)
+        if request is None:
+            return None
+        breakdown = drive.service(request.lbn, now)
+        self.in_service[disk] = request
+        self.busy_time[disk] += breakdown.total
+        self.service_time_total += breakdown.total
+        return request, now + breakdown.total, breakdown
+
+    def complete(self, disk: int) -> Request:
+        """Mark the in-service request on ``disk`` finished."""
+        request = self.in_service[disk]
+        if request is None:
+            raise RuntimeError(f"disk {disk} has no request in service")
+        self.in_service[disk] = None
+        self.requests_completed += 1
+        return request
+
+    # -- statistics ----------------------------------------------------------
+
+    def average_service_ms(self) -> float:
+        if not self.requests_completed:
+            return 0.0
+        return self.service_time_total / self.requests_completed
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Mean per-disk busy fraction over ``elapsed_ms``."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return sum(self.busy_time) / (self.num_disks * elapsed_ms)

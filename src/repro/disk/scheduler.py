@@ -1,0 +1,140 @@
+"""Disk head scheduling disciplines: FCFS, CSCAN, and SSTF.
+
+Each per-disk queue holds outstanding read requests while the drive is busy.
+CSCAN serves requests in ascending cylinder order starting from the head's
+current cylinder and wraps around to the lowest cylinder — always sweeping
+in the direction the platter readahead runs, which is why the paper prefers
+it to SCAN on the HP 97560.
+"""
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Request:
+    """An outstanding request for one disk.
+
+    ``block`` is the application-level block identity; ``lbn`` is the block's
+    address on this disk.  ``seq`` breaks ties deterministically in arrival
+    order.  ``kind`` is ``"read"`` (fetch into the cache) or ``"write"``
+    (write-behind flush of an evicted dirty block).
+    """
+
+    lbn: int
+    block: int
+    seq: int
+    kind: str = "read"
+
+
+class FCFSQueue:
+    """First-come first-served request queue."""
+
+    name = "fcfs"
+
+    def __init__(self, cylinder_of: Callable[[int], int] = None):
+        self._queue = []
+
+    def push(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def pop(self, head_cylinder: int) -> Optional[Request]:
+        if not self._queue:
+            return None
+        return self._queue.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(list(self._queue))
+
+
+class CSCANQueue:
+    """Circular-SCAN request queue.
+
+    Requests are kept sorted by (cylinder, lbn, seq); ``pop`` returns the
+    first request at or past the head's current cylinder, wrapping to the
+    lowest cylinder when the sweep reaches the end.
+    """
+
+    name = "cscan"
+
+    def __init__(self, cylinder_of: Callable[[int], int] = None):
+        self._cylinder_of = cylinder_of if cylinder_of is not None else (lambda lbn: lbn)
+        self._keys = []  # sorted (cylinder, lbn, seq)
+        self._requests = {}  # key -> Request
+
+    def push(self, request: Request) -> None:
+        key = (self._cylinder_of(request.lbn), request.lbn, request.seq)
+        index = bisect.bisect_left(self._keys, key)
+        self._keys.insert(index, key)
+        self._requests[key] = request
+
+    def pop(self, head_cylinder: int) -> Optional[Request]:
+        if not self._keys:
+            return None
+        index = bisect.bisect_left(self._keys, (head_cylinder, -1, -1))
+        if index == len(self._keys):
+            index = 0  # wrap: sweep restarts at the lowest cylinder
+        key = self._keys.pop(index)
+        return self._requests.pop(key)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self):
+        return iter([self._requests[key] for key in self._keys])
+
+
+class SSTFQueue:
+    """Shortest-seek-time-first request queue.
+
+    Serves whichever request is closest to the head's current cylinder.
+    Greedy and starvation-prone (a steady stream of nearby requests can
+    strand a distant one forever), which is why the paper's systems use
+    CSCAN; it exists here as the classic comparison point.
+    """
+
+    name = "sstf"
+
+    def __init__(self, cylinder_of: Callable[[int], int] = None):
+        self._cylinder_of = cylinder_of if cylinder_of is not None else (lambda lbn: lbn)
+        self._requests = []
+
+    def push(self, request: Request) -> None:
+        self._requests.append(request)
+
+    def pop(self, head_cylinder: int) -> Optional[Request]:
+        if not self._requests:
+            return None
+        best_index = min(
+            range(len(self._requests)),
+            key=lambda i: (
+                abs(self._cylinder_of(self._requests[i].lbn) - head_cylinder),
+                self._requests[i].seq,
+            ),
+        )
+        return self._requests.pop(best_index)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self):
+        return iter(list(self._requests))
+
+
+_QUEUE_TYPES = {"fcfs": FCFSQueue, "cscan": CSCANQueue, "sstf": SSTFQueue}
+
+
+def make_queue(discipline: str, cylinder_of: Callable[[int], int] = None):
+    """Build a request queue for the named discipline ("fcfs" or "cscan")."""
+    try:
+        queue_type = _QUEUE_TYPES[discipline.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown disk scheduling discipline {discipline!r}; "
+            f"expected one of {sorted(_QUEUE_TYPES)}"
+        ) from None
+    return queue_type(cylinder_of)

@@ -1,0 +1,72 @@
+"""Seek-time model for the HP 97560.
+
+Ruemmler & Wilkes ("An Introduction to Disk Drive Modelling", IEEE Computer
+1994) publish a two-piece curve for the HP 97560 that the paper's simulator
+(via Kotz et al.) uses:
+
+* short seeks (fewer than 383 cylinders):  ``3.24 + 0.400 * sqrt(d)`` ms
+* long seeks (383 cylinders or more):      ``8.00 + 0.008 * d`` ms
+
+A zero-distance "seek" costs nothing: the head is already on-cylinder.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SeekModel:
+    """Two-piece sqrt/linear seek curve.
+
+    The default constants are the published HP 97560 values.  The crossover
+    point is where the drive transitions from the acceleration-dominated to
+    the coast-dominated regime.
+    """
+
+    short_base_ms: float = 3.24
+    short_sqrt_coeff: float = 0.400
+    long_base_ms: float = 8.00
+    long_linear_coeff: float = 0.008
+    crossover_cylinders: int = 383
+
+    def seek_time(self, distance_cylinders: int) -> float:
+        """Seek time in ms for a move of ``distance_cylinders`` cylinders."""
+        d = abs(distance_cylinders)
+        if d == 0:
+            return 0.0
+        if d < self.crossover_cylinders:
+            return self.short_base_ms + self.short_sqrt_coeff * math.sqrt(d)
+        return self.long_base_ms + self.long_linear_coeff * d
+
+    def max_seek_within(self, group_cylinders: int) -> float:
+        """Worst-case seek inside a contiguous group of cylinders.
+
+        The paper notes the maximum seek within a 100-cylinder file group is
+        7.24 ms — i.e. ``seek_time(100)`` = 3.24 + 0.4·√100; this helper
+        exists so tests can pin that figure.
+        """
+        return self.seek_time(group_cylinders)
+
+
+@dataclass(frozen=True)
+class LeeKatzSeek(SeekModel):
+    """Combined-form seek curve: ``a + b*d + c*sqrt(d)``.
+
+    Lee & Katz model the IBM 0661 (Lightning) — the drive behind the
+    paper's second (CMU/RaidSim) simulator — as
+    ``2.0 + 0.01*d + 0.46*sqrt(d)`` ms.
+    """
+
+    base_ms: float = 2.0
+    linear_coeff: float = 0.01
+    sqrt_coeff: float = 0.46
+
+    def seek_time(self, distance_cylinders: int) -> float:
+        d = abs(distance_cylinders)
+        if d == 0:
+            return 0.0
+        return self.base_ms + self.linear_coeff * d + self.sqrt_coeff * math.sqrt(d)
+
+
+#: The IBM 0661 seek curve used by RaidSim-era studies.
+IBM0661_SEEK = LeeKatzSeek()

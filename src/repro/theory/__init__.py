@@ -1,0 +1,28 @@
+"""The paper's theoretical model (section 2.1): unit compute time per
+reference, uniform fetch time ``F``, one fetch in service per disk.
+
+Used three ways: as the substrate for *reverse aggressive*'s offline
+schedule construction, as a clean target for property-based tests of the
+algorithms' invariants, and (for tiny instances) to compute the true
+optimal elapsed time that the theorems bound against.
+"""
+
+from repro.theory.model import (
+    ModelEvent,
+    ModelRun,
+    run_aggressive_model,
+    run_demand_model,
+    run_fixed_horizon_model,
+    run_reverse_aggressive_model,
+)
+from repro.theory.optimal import optimal_elapsed
+
+__all__ = [
+    "ModelEvent",
+    "ModelRun",
+    "optimal_elapsed",
+    "run_aggressive_model",
+    "run_demand_model",
+    "run_fixed_horizon_model",
+    "run_reverse_aggressive_model",
+]

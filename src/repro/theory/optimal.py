@@ -1,0 +1,131 @@
+"""Exhaustive optimal offline schedule for tiny theoretical-model instances.
+
+Used by tests to validate the theorems the paper leans on:
+
+* aggressive's elapsed time is at most ``d (1 + F/K)`` times optimal;
+* reverse aggressive's is at most ``1 + F d / K`` times optimal;
+* the Figure 1 worked example (7 vs 6 time units on two disks).
+
+Time is discretized to unit steps (``fetch_time`` must be an integer) and
+the state graph — (cursor, cache contents, in-flight fetches) — is searched
+breadth-first: every transition advances the clock by exactly one unit, so
+BFS depth equals elapsed time and the first goal state reached is optimal.
+The state graph is cyclic (evict/refetch churn), which is why this is a
+shortest-path search rather than a memoized recursion.  Exponential in
+every dimension; keep instances tiny (n ≲ 10).
+"""
+
+from collections import deque
+from itertools import product
+
+
+def optimal_elapsed(
+    blocks,
+    cache_blocks: int,
+    fetch_time: int,
+    num_disks: int,
+    disk_of,
+    state_limit: int = 2_000_000,
+    initial_cache=(),
+) -> int:
+    """Minimum elapsed time to serve ``blocks`` in the theoretical model."""
+    if fetch_time != int(fetch_time) or fetch_time < 1:
+        raise ValueError("fetch_time must be a positive integer")
+    fetch_time = int(fetch_time)
+    blocks = tuple(blocks)
+    n = len(blocks)
+    if n == 0:
+        return 0
+    universe = sorted(set(blocks), key=str)
+
+    def next_use(block, cursor: int) -> int:
+        for position in range(cursor, n):
+            if blocks[position] == block:
+                return position
+        return n + 1  # effectively infinite
+
+    def successors(state):
+        cursor, cache, inflight = state
+        busy = {disk for disk, _b, _r in inflight}
+        coming = {block for _d, block, _r in inflight}
+        occupancy = len(cache) + len(inflight)
+
+        menus = []
+        for disk in range(num_disks):
+            if disk in busy:
+                continue
+            menu = [None]
+            missing = [
+                b
+                for b in universe
+                if disk_of(b) == disk
+                and b not in cache
+                and b not in coming
+                and next_use(b, cursor) <= n
+            ]
+            for block in missing:
+                if occupancy < cache_blocks:
+                    menu.append((disk, block, None))
+                for victim in cache:
+                    menu.append((disk, block, victim))
+            menus.append(menu)
+
+        for actions in product(*menus) if menus else [()]:
+            chosen = [a for a in actions if a is not None]
+            fetch_targets = [a[1] for a in chosen]
+            victims = [a[2] for a in chosen if a[2] is not None]
+            if len(set(fetch_targets)) != len(fetch_targets):
+                continue
+            if len(set(victims)) != len(victims):
+                continue
+            if len(chosen) - len(victims) > cache_blocks - occupancy:
+                continue  # not enough free buffers for victimless fetches
+            new_cache = set(cache)
+            for _disk, _block, victim in chosen:
+                if victim is not None:
+                    new_cache.discard(victim)
+            if (
+                not chosen
+                and not inflight
+                and blocks[cursor] not in new_cache
+            ):
+                # Pure idling: no I/O in progress, none started, and the
+                # application cannot advance — strictly dominated.
+                continue
+            new_inflight = list(inflight) + [
+                (disk, block, fetch_time) for disk, block, _v in chosen
+            ]
+            new_cursor = cursor + 1 if blocks[cursor] in new_cache else cursor
+            advanced = []
+            arrived = set()
+            for disk, block, remaining in new_inflight:
+                if remaining - 1 <= 0:
+                    arrived.add(block)
+                else:
+                    advanced.append((disk, block, remaining - 1))
+            yield (
+                new_cursor,
+                frozenset(new_cache | arrived),
+                tuple(sorted(advanced, key=str)),
+            )
+
+    start = (0, frozenset(initial_cache), ())
+    seen = {start}
+    frontier = deque([start])
+    elapsed = 0
+    while frontier:
+        elapsed += 1
+        next_frontier = deque()
+        while frontier:
+            state = frontier.popleft()
+            for child in successors(state):
+                if child[0] == n:
+                    return elapsed
+                if child in seen:
+                    continue
+                seen.add(child)
+                if len(seen) > state_limit:
+                    raise RuntimeError("optimal search exceeded state limit")
+                next_frontier.append(child)
+        frontier = next_frontier
+    raise RuntimeError("optimal search exhausted without completing the trace")

@@ -1,0 +1,26 @@
+"""Traces: reference streams, synthesis primitives, and the paper's
+ten calibrated workloads."""
+
+from repro.trace import io as trace_io
+from repro.trace.trace import Trace
+from repro.trace.workloads import (
+    COMPUTE_AS_SIMULATED,
+    DEFAULT_CACHE_BLOCKS,
+    PAPER_CACHE_BLOCKS,
+    TABLE3,
+    WORKLOADS,
+    build,
+    cache_blocks_for,
+)
+
+__all__ = [
+    "COMPUTE_AS_SIMULATED",
+    "DEFAULT_CACHE_BLOCKS",
+    "PAPER_CACHE_BLOCKS",
+    "TABLE3",
+    "Trace",
+    "trace_io",
+    "WORKLOADS",
+    "build",
+    "cache_blocks_for",
+]

@@ -1,0 +1,99 @@
+"""Plain-text trace import/export.
+
+A line-oriented format for bringing external traces into the simulator
+(the JSON round-trip in :class:`~repro.trace.trace.Trace` is the native
+format; this one is for hand-written or converted captures)::
+
+    # comment lines and blanks are ignored
+    # name: my-app          <- optional header directives
+    # description: anything
+    R 1042 0.85             <- read block 1042, then compute 0.85 ms
+    W 1042 1.20             <- write it back, then compute 1.20 ms
+    R 7 2.0
+
+Columns are operation (``R``/``W``), block id (int), and the compute time
+following the reference (ms, optional — defaults to 1.0).
+"""
+
+from typing import List
+
+from repro.trace.trace import Trace
+
+
+class TraceFormatError(ValueError):
+    """A text trace line could not be parsed."""
+
+
+def loads(text: str, name: str = "imported") -> Trace:
+    """Parse a text trace from a string."""
+    blocks: List[int] = []
+    compute_ms: List[float] = []
+    writes: List[bool] = []
+    description = ""
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            directive = line[1:].strip()
+            if directive.lower().startswith("name:"):
+                name = directive[5:].strip()
+            elif directive.lower().startswith("description:"):
+                description = directive[12:].strip()
+            continue
+        fields = line.split()
+        if len(fields) not in (2, 3):
+            raise TraceFormatError(
+                f"line {line_number}: expected 'R|W <block> [compute_ms]', "
+                f"got {raw!r}"
+            )
+        op = fields[0].upper()
+        if op not in ("R", "W"):
+            raise TraceFormatError(
+                f"line {line_number}: unknown operation {fields[0]!r}"
+            )
+        try:
+            block = int(fields[1])
+            gap = float(fields[2]) if len(fields) == 3 else 1.0
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_number}: {exc}") from None
+        if gap < 0:
+            raise TraceFormatError(
+                f"line {line_number}: negative compute time"
+            )
+        blocks.append(block)
+        compute_ms.append(gap)
+        writes.append(op == "W")
+    if not blocks:
+        raise TraceFormatError("trace contains no references")
+    return Trace(
+        name=name,
+        blocks=blocks,
+        compute_ms=compute_ms,
+        writes=writes if any(writes) else None,
+        description=description,
+    )
+
+
+def load(path: str) -> Trace:
+    """Parse a text trace file."""
+    with open(path) as handle:
+        return loads(handle.read(), name=path.rsplit("/", 1)[-1])
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize a trace to the text format."""
+    lines = [f"# name: {trace.name}"]
+    if trace.description:
+        lines.append(f"# description: {trace.description}")
+    writes = trace.writes or [False] * len(trace.blocks)
+    for block, gap, is_write in zip(trace.blocks, trace.compute_ms, writes):
+        op = "W" if is_write else "R"
+        lines.append(f"{op} {block} {gap:g}")
+    return "\n".join(lines) + "\n"
+
+
+def dump(trace: Trace, path: str) -> None:
+    """Write a trace to a text file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(trace))

@@ -1,0 +1,143 @@
+"""Access-pattern primitives for synthesizing application traces.
+
+The paper's traces are unavailable (DECstation 5000/200 captures from
+1995), so each application is re-synthesized from its described access
+pattern and calibrated to the Table 3 aggregates.  These primitives are
+the vocabulary: sequential passes, file sets, index/data mixes, strided
+slices, and the compute-gap distributions layered on top.
+"""
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class BlockSpace:
+    """Allocates contiguous block-id ranges, one per file."""
+
+    def __init__(self):
+        self._next_block = 0
+        self._next_file = 0
+        self.files: Dict[int, Tuple[int, int]] = {}
+
+    def new_file(self, num_blocks: int) -> List[int]:
+        """Allocate a file of ``num_blocks`` blocks; returns its block ids."""
+        if num_blocks < 1:
+            raise ValueError("files must contain at least one block")
+        file_id = self._next_file
+        self._next_file += 1
+        start = self._next_block
+        self._next_block += num_blocks
+        ids = list(range(start, start + num_blocks))
+        for offset, block in enumerate(ids):
+            self.files[block] = (file_id, offset)
+        return ids
+
+
+# --- reference-pattern primitives ------------------------------------------------
+
+
+def sequential_passes(file_blocks: Sequence[int], passes: float) -> List[int]:
+    """``passes`` full sequential sweeps over a file (fractional tail ok)."""
+    refs: List[int] = []
+    whole = int(passes)
+    for _ in range(whole):
+        refs.extend(file_blocks)
+    tail = int(round((passes - whole) * len(file_blocks)))
+    refs.extend(file_blocks[:tail])
+    return refs
+
+
+def interleave_rounds(streams: Sequence[Iterable[int]]) -> List[int]:
+    """Concatenate streams round-robin one element at a time."""
+    iterators = [iter(s) for s in streams]
+    refs: List[int] = []
+    live = list(iterators)
+    while live:
+        still = []
+        for iterator in live:
+            try:
+                refs.append(next(iterator))
+                still.append(iterator)
+            except StopIteration:
+                pass
+        live = still
+    return refs
+
+
+def index_data_scan(
+    index_blocks: Sequence[int],
+    data_blocks: Sequence[int],
+    index_period: int,
+    rng: random.Random,
+    data_run: int = 1,
+    data_order: str = "random",
+) -> List[int]:
+    """Index-driven data access: every ``index_period`` data references,
+    revisit a random index block — the paper's description of glimpse and
+    the postgres queries (index blocks hot, data blocks cold)."""
+    data = list(data_blocks)
+    if data_order == "random":
+        rng.shuffle(data)
+    refs: List[int] = []
+    position = 0
+    while position < len(data):
+        refs.append(rng.choice(index_blocks))
+        for _ in range(index_period):
+            run_end = min(len(data), position + data_run)
+            refs.extend(data[position:run_end])
+            position = run_end
+            if position >= len(data):
+                break
+    return refs
+
+
+def strided_slice(
+    file_blocks: Sequence[int], start: int, stride: int, count: int
+) -> List[int]:
+    """A planar slice through a volume file: every ``stride``-th block."""
+    size = len(file_blocks)
+    return [file_blocks[(start + i * stride) % size] for i in range(count)]
+
+
+# --- compute-gap distributions -------------------------------------------------------
+
+
+def exponential_gaps(count: int, mean_ms: float, rng: random.Random) -> List[float]:
+    """Poisson-process inter-reference compute times (paper's synth trace)."""
+    return [rng.expovariate(1.0 / mean_ms) for _ in range(count)]
+
+
+def bursty_gaps(
+    count: int,
+    low_ms: float,
+    high_ms: float,
+    run_mean: int,
+    rng: random.Random,
+) -> List[float]:
+    """Alternating runs of short and long compute times (cscope3's bursts:
+    runs near 1 ms interspersed with runs around 7 ms)."""
+    gaps: List[float] = []
+    use_low = True
+    while len(gaps) < count:
+        run = max(1, int(rng.expovariate(1.0 / run_mean)))
+        base = low_ms if use_low else high_ms
+        for _ in range(min(run, count - len(gaps))):
+            gaps.append(max(0.05, rng.gauss(base, base * 0.1)))
+        use_low = not use_low
+    return gaps
+
+
+def fit_length(refs: List[int], target: int, rng: random.Random) -> List[int]:
+    """Trim or cyclically extend ``refs`` to exactly ``target`` references.
+
+    Extension repeats from the start (another partial pass), preserving the
+    pattern; it never invents new blocks, so distinct-block counts hold.
+    """
+    if not refs:
+        raise ValueError("cannot fit an empty reference stream")
+    if len(refs) >= target:
+        return refs[:target]
+    out = list(refs)
+    while len(out) < target:
+        out.extend(refs[: target - len(out)])
+    return out

@@ -1,0 +1,155 @@
+"""Trace container: a hinted, read-only file-access reference stream.
+
+A trace is the paper's unit of workload: an ordered sequence of block read
+requests plus the measured CPU time between consecutive requests.  Blocks
+are small integers; traces that carry file structure also map each block to
+a ``(file_id, offset)`` pair so the placement layer can cluster files the
+way the paper's file systems did.
+"""
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Trace:
+    """One application's read-reference stream with compute gaps."""
+
+    name: str
+    blocks: List[int]
+    compute_ms: List[float]
+    files: Optional[Dict[int, Tuple[int, int]]] = None
+    description: str = ""
+    #: Optional per-reference write flags (True = the reference writes the
+    #: block).  The paper ignores writes; the engine supports them with
+    #: write-behind (see repro.core.engine).
+    writes: Optional[List[bool]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.blocks) != len(self.compute_ms):
+            raise ValueError(
+                f"trace {self.name!r}: {len(self.blocks)} blocks but "
+                f"{len(self.compute_ms)} compute gaps"
+            )
+        if self.writes is not None and len(self.writes) != len(self.blocks):
+            raise ValueError(
+                f"trace {self.name!r}: writes mask length mismatch"
+            )
+
+    # -- summary statistics (Table 3 columns) -----------------------------------
+
+    @property
+    def reads(self) -> int:
+        if self.writes is None:
+            return len(self.blocks)
+        return sum(1 for w in self.writes if not w)
+
+    @property
+    def write_count(self) -> int:
+        if self.writes is None:
+            return 0
+        return sum(1 for w in self.writes if w)
+
+    @property
+    def references(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def distinct_blocks(self) -> int:
+        return len(set(self.blocks))
+
+    @property
+    def compute_time_s(self) -> float:
+        return sum(self.compute_ms) / 1000.0
+
+    @property
+    def mean_compute_ms(self) -> float:
+        if not self.blocks:
+            return 0.0
+        return sum(self.compute_ms) / len(self.blocks)
+
+    def summary(self) -> Dict[str, float]:
+        """The Table 3 row for this trace."""
+        return {
+            "trace": self.name,
+            "reads": self.reads,
+            "distinct_blocks": self.distinct_blocks,
+            "compute_time_s": round(self.compute_time_s, 1),
+        }
+
+    # -- transforms --------------------------------------------------------------
+
+    def scaled(self, fraction: float) -> "Trace":
+        """A shortened prefix of this trace (for fast tests/benchmarks).
+
+        Keeps roughly ``fraction`` of the reads; block ids are untouched so
+        locality structure is preserved.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return self
+        count = max(1, int(len(self.blocks) * fraction))
+        kept = self.blocks[:count]
+        files = None
+        if self.files is not None:
+            kept_set = set(kept)
+            files = {b: fo for b, fo in self.files.items() if b in kept_set}
+        return Trace(
+            name=f"{self.name}[{fraction:g}]",
+            blocks=kept,
+            compute_ms=self.compute_ms[:count],
+            files=files,
+            description=self.description,
+            writes=self.writes[:count] if self.writes is not None else None,
+        )
+
+    def rescale_compute(self, total_s: float) -> "Trace":
+        """Scale compute gaps so they sum to exactly ``total_s`` seconds."""
+        current = sum(self.compute_ms)
+        if current <= 0:
+            raise ValueError("trace has no compute time to rescale")
+        factor = (total_s * 1000.0) / current
+        return Trace(
+            name=self.name,
+            blocks=self.blocks,
+            compute_ms=[c * factor for c in self.compute_ms],
+            files=self.files,
+            description=self.description,
+            writes=self.writes,
+        )
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        payload = {
+            "name": self.name,
+            "description": self.description,
+            "blocks": self.blocks,
+            "compute_ms": self.compute_ms,
+            "writes": self.writes,
+            "files": (
+                {str(b): list(fo) for b, fo in self.files.items()}
+                if self.files is not None
+                else None
+            ),
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path) as handle:
+            payload = json.load(handle)
+        files = payload.get("files")
+        if files is not None:
+            files = {int(b): tuple(fo) for b, fo in files.items()}
+        return cls(
+            name=payload["name"],
+            blocks=payload["blocks"],
+            compute_ms=payload["compute_ms"],
+            files=files,
+            description=payload.get("description", ""),
+            writes=payload.get("writes"),
+        )

@@ -1,0 +1,391 @@
+"""The ten workloads of the paper, re-synthesized.
+
+Each builder reproduces the access-pattern *structure* the paper describes
+for that application and is calibrated to its Table 3 row (reads, distinct
+blocks, total compute seconds).  The originals were captured on a
+DECstation 5000/200 and are long gone; what the algorithms actually consume
+— sequentiality, re-reference frequency, hot/cold block populations,
+inter-reference compute-time distribution — is reproduced here.
+
+Every builder accepts ``scale`` to shrink a trace proportionally (smaller
+reads/distinct counts, same structure) and ``seed`` for deterministic
+randomness.
+"""
+
+import random
+from typing import Callable, Dict, List
+
+from repro.trace.synthetic import (
+    BlockSpace,
+    bursty_gaps,
+    exponential_gaps,
+    fit_length,
+    sequential_passes,
+    strided_slice,
+)
+from repro.trace.trace import Trace
+
+#: Table 3 as printed in the paper: reads, distinct blocks, total compute
+#: seconds.  NOTE: the paper's appendix tables and figures are internally
+#: consistent with the postgres-join and postgres-select compute times
+#: SWAPPED relative to this table (e.g. appendix Table 16 shows
+#: postgres-select with ~11.5 s of compute and Table 15 shows postgres-join
+#: with ~79.2 s).  The builders below follow the appendix/figures — see
+#: :data:`COMPUTE_AS_SIMULATED` — since those define every result we
+#: reproduce.
+TABLE3 = {
+    "dinero": (8867, 986, 103.5),
+    "cscope1": (8673, 1073, 24.9),
+    "cscope2": (20206, 2462, 37.1),
+    "cscope3": (30200, 3910, 74.1),
+    "glimpse": (27981, 5247, 38.7),
+    "ld": (5881, 2882, 8.2),
+    "postgres-join": (8896, 3793, 11.5),
+    "postgres-select": (5044, 3085, 79.2),
+    "xds": (10435, 5392, 30.8),
+    "synth": (100000, 2000, 99.9),
+}
+
+#: Compute totals the paper's simulations actually used (appendix-consistent).
+COMPUTE_AS_SIMULATED = dict(
+    {name: row[2] for name, row in TABLE3.items()},
+    **{"postgres-join": 79.2, "postgres-select": 11.5},
+)
+
+#: Cache sizes used in the paper: 512 blocks (4 MB) for the two traces with
+#: fewer than 1280 distinct blocks, 1280 blocks (10 MB) for the rest.
+PAPER_CACHE_BLOCKS = {"dinero": 512, "cscope1": 512}
+DEFAULT_CACHE_BLOCKS = 1280
+
+
+def cache_blocks_for(trace_name: str, scale: float = 1.0) -> int:
+    """The paper's cache size for a trace, scaled alongside the trace."""
+    base_name = trace_name.split("[")[0]
+    base = PAPER_CACHE_BLOCKS.get(base_name, DEFAULT_CACHE_BLOCKS)
+    return max(16, int(base * scale))
+
+
+def _targets(name: str, scale: float):
+    reads, distinct, _compute_s = TABLE3[name]
+    compute_s = COMPUTE_AS_SIMULATED[name]
+    return (
+        max(8, int(reads * scale)),
+        max(4, int(distinct * scale)),
+        compute_s * scale,
+    )
+
+
+def _finish(name, refs, reads, compute_s, gap_builder, files, rng, description):
+    refs = fit_length(refs, reads, rng)
+    gaps = gap_builder(reads)
+    trace = Trace(
+        name=name,
+        blocks=refs,
+        compute_ms=gaps,
+        files=files,
+        description=description,
+    )
+    return trace.rescale_compute(compute_s)
+
+
+def _split_file_sizes(total_blocks: int, num_files: int, rng) -> List[int]:
+    """Uneven file sizes summing to ``total_blocks`` (log-uniform-ish)."""
+    num_files = min(num_files, total_blocks)
+    weights = [rng.uniform(0.5, 2.0) ** 2 for _ in range(num_files)]
+    scale = total_blocks / sum(weights)
+    sizes = [max(1, int(w * scale)) for w in weights]
+    # Fix rounding drift on the largest file.
+    sizes[sizes.index(max(sizes))] += total_blocks - sum(sizes)
+    return [s for s in sizes if s > 0]
+
+
+# --- individual applications --------------------------------------------------------
+
+
+def dinero(scale: float = 1.0, seed: int = 1) -> Trace:
+    """Cache simulator: reads one file sequentially, many times over."""
+    reads, distinct, compute_s = _targets("dinero", scale)
+    rng = random.Random(seed)
+    space = BlockSpace()
+    file_blocks = space.new_file(distinct)
+    refs = sequential_passes(file_blocks, reads / distinct)
+    return _finish(
+        "dinero", refs, reads, compute_s,
+        lambda n: exponential_gaps(n, 1.0, rng),
+        space.files, rng,
+        "one file read sequentially multiple times",
+    )
+
+
+def _cscope(name: str, scale: float, seed: int, bursty: bool = False) -> Trace:
+    """cscope: multiple files of a source package read sequentially, once
+    per query, for several queries."""
+    reads, distinct, compute_s = _targets(name, scale)
+    rng = random.Random(seed)
+    space = BlockSpace()
+    num_files = max(2, int(12 * scale) or 2)
+    file_ids = [
+        space.new_file(size)
+        for size in _split_file_sizes(distinct, num_files, rng)
+    ]
+    one_query: List[int] = []
+    for blocks in file_ids:
+        one_query.extend(blocks)
+    queries = reads / len(one_query)
+    refs = sequential_passes(one_query, queries)
+    if bursty:
+        gap_builder = lambda n: bursty_gaps(n, 1.0, 7.0, 40, rng)
+    else:
+        gap_builder = lambda n: exponential_gaps(n, 1.0, rng)
+    return _finish(
+        name, refs, reads, compute_s, gap_builder, space.files, rng,
+        "C-source search: package files read sequentially per query",
+    )
+
+
+def cscope1(scale: float = 1.0, seed: int = 2) -> Trace:
+    return _cscope("cscope1", scale, seed)
+
+
+def cscope2(scale: float = 1.0, seed: int = 3) -> Trace:
+    return _cscope("cscope2", scale, seed)
+
+
+def cscope3(scale: float = 1.0, seed: int = 4) -> Trace:
+    """cscope3 is the bursty-compute trace that trips reverse aggressive."""
+    return _cscope("cscope3", scale, seed, bursty=True)
+
+
+def glimpse(scale: float = 1.0, seed: int = 5) -> Trace:
+    """Text retrieval: small index files re-read constantly, big data files
+    visited infrequently."""
+    reads, distinct, compute_s = _targets("glimpse", scale)
+    rng = random.Random(seed)
+    space = BlockSpace()
+    index_size = max(2, int(distinct * 0.076))  # ~400 of 5247
+    index = space.new_file(index_size)
+    data_total = distinct - index_size
+    searches = 4
+    partitions = []
+    base = data_total // searches
+    for i in range(searches):
+        size = base if i < searches - 1 else data_total - base * (searches - 1)
+        partitions.append(space.new_file(size))
+    # Reads budget: every data block once, an index touch every other data
+    # block, and the remainder as whole index re-read passes.  Budgeting
+    # *under* the target matters: the stream is cyclically extended (never
+    # trimmed), so every block keeps its reference.
+    touch_every = 2
+    touches = sum((len(p) + touch_every - 1) // touch_every for p in partitions)
+    index_pass_budget = reads - data_total - touches
+    index_passes_per_search = max(
+        1, index_pass_budget // (searches * index_size)
+    )
+    refs: List[int] = []
+    for partition in partitions:
+        for _ in range(index_passes_per_search):
+            refs.extend(index)
+        for i, block in enumerate(partition):
+            refs.append(block)
+            if i % touch_every == 0:
+                refs.append(rng.choice(index))
+    return _finish(
+        "glimpse", refs, reads, compute_s,
+        lambda n: exponential_gaps(n, 1.0, rng),
+        space.files, rng,
+        "index files hot, data files cold (4 keyword searches)",
+    )
+
+
+def ld(scale: float = 1.0, seed: int = 6) -> Trace:
+    """Link editor: many object files, each read sequentially, most twice
+    (symbol pass then section pass)."""
+    reads, distinct, compute_s = _targets("ld", scale)
+    rng = random.Random(seed)
+    space = BlockSpace()
+    num_files = max(2, int(90 * scale) or 2)
+    object_files = [
+        space.new_file(size)
+        for size in _split_file_sizes(distinct, num_files, rng)
+    ]
+    refs: List[int] = []
+    for blocks in object_files:  # pass 1: read symbols
+        refs.extend(blocks)
+    for blocks in reversed(object_files):  # pass 2: load sections
+        refs.extend(blocks)
+    return _finish(
+        "ld", refs, reads, compute_s,
+        lambda n: exponential_gaps(n, 1.0, rng),
+        space.files, rng,
+        "object files read sequentially, two passes",
+    )
+
+
+def postgres_join(scale: float = 1.0, seed: int = 7) -> Trace:
+    """Indexed join: outer relation scanned once; inner reached through a
+    small, very hot index."""
+    reads, distinct, compute_s = _targets("postgres-join", scale)
+    rng = random.Random(seed)
+    space = BlockSpace()
+    outer_size = max(2, int(distinct * 0.108))  # ~410 of 3793
+    index_size = max(2, int(distinct * 0.017))  # ~64 of 3793
+    inner_size = distinct - outer_size - index_size
+    outer = space.new_file(outer_size)
+    index = space.new_file(index_size)
+    inner = space.new_file(inner_size)
+    inner_order = list(inner)
+    rng.shuffle(inner_order)
+    index_touches = reads - outer_size - inner_size
+    touches_per_outer = max(1, index_touches // outer_size)
+    inner_per_outer = max(1, inner_size // outer_size)
+    refs: List[int] = []
+    inner_pos = 0
+    for outer_block in outer:
+        refs.append(outer_block)
+        for _ in range(touches_per_outer):
+            refs.append(rng.choice(index))
+        run_end = min(len(inner_order), inner_pos + inner_per_outer)
+        refs.extend(inner_order[inner_pos:run_end])
+        inner_pos = run_end
+    refs.extend(inner_order[inner_pos:])
+    return _finish(
+        "postgres-join", refs, reads, compute_s,
+        lambda n: exponential_gaps(n, 1.0, rng),
+        space.files, rng,
+        "Wisconsin join: hot index blocks, cold data blocks",
+    )
+
+
+def postgres_select(scale: float = 1.0, seed: int = 8) -> Trace:
+    """Indexed 2% selection: index lookups interleaved with the selected
+    data blocks, with long per-tuple compute."""
+    reads, distinct, compute_s = _targets("postgres-select", scale)
+    rng = random.Random(seed)
+    space = BlockSpace()
+    index_size = max(2, int(distinct * 0.065))  # ~200 of 3085
+    data_size = distinct - index_size
+    index = space.new_file(index_size)
+    data = space.new_file(data_size)
+    selected = list(data)
+    rng.shuffle(selected)
+    index_touches = reads - data_size
+    refs: List[int] = []
+    touch_accumulator = 0.0
+    per_data = index_touches / data_size
+    for block in selected:
+        touch_accumulator += per_data
+        while touch_accumulator >= 1.0:
+            refs.append(rng.choice(index))
+            touch_accumulator -= 1.0
+        refs.append(block)
+    return _finish(
+        "postgres-select", refs, reads, compute_s,
+        lambda n: exponential_gaps(n, 15.7, rng),
+        space.files, rng,
+        "Wisconsin 2% indexed selection",
+    )
+
+
+def xds(scale: float = 1.0, seed: int = 9) -> Trace:
+    """3-D visualization: 25 planar slices at random orientations through a
+    volume file — strided access with partial overlap between slices."""
+    reads, distinct, compute_s = _targets("xds", scale)
+    rng = random.Random(seed)
+    space = BlockSpace()
+    # Volume sized so random slices overlap down to the target distinct count.
+    volume_size = max(distinct + 2, int(distinct * 1.30))
+    volume = space.new_file(volume_size)
+    slices = 25
+    per_slice = max(1, reads // slices)
+    refs: List[int] = []
+    # The volume's "side" stride must not alias with the stripe width, or a
+    # whole slice lands on one disk — real volumes have odd dimensions and
+    # the paper's 64 MB file gives side 19 (prime).  Keep that property at
+    # any scale by rounding the side up to a prime.
+    side = _next_prime(max(2, int(round(volume_size ** (1.0 / 3.0)))))
+    stride_choices = [1, side, side * side]
+    for _ in range(slices):
+        stride = rng.choice(stride_choices)
+        start = rng.randrange(volume_size)
+        refs.extend(strided_slice(volume, start, stride, per_slice))
+    refs = _force_distinct(refs, distinct)
+    kept = set(refs)
+    files = {b: fo for b, fo in space.files.items() if b in kept}
+    return _finish(
+        "xds", refs, reads, compute_s,
+        lambda n: exponential_gaps(n, 1.0, rng),
+        files, rng,
+        "XDataSlice: 25 strided planar slices of a volume",
+    )
+
+
+def _next_prime(n: int) -> int:
+    """Smallest prime >= n (n is tiny here: cube roots of volume sizes)."""
+    candidate = max(2, n)
+    while True:
+        if all(candidate % p for p in range(2, int(candidate ** 0.5) + 1)):
+            return candidate
+        candidate += 1
+
+
+def _force_distinct(refs: List[int], target: int) -> List[int]:
+    """Fold the distinct-block population down to exactly ``target``.
+
+    Blocks beyond the first ``target`` distinct (in order of first
+    appearance) are remapped deterministically onto the kept population,
+    preserving the reference pattern's shape.
+    """
+    kept: List[int] = []
+    seen: Dict[int, int] = {}
+    for block in refs:
+        if block not in seen:
+            if len(kept) < target:
+                seen[block] = block
+                kept.append(block)
+            else:
+                seen[block] = kept[block % target]
+    return [seen[b] for b in refs]
+
+
+def synth(scale: float = 1.0, seed: int = 10) -> Trace:
+    """The paper's synthetic trace: 50 passes over a loop of 2000 sequential
+    blocks, Poisson compute gaps with a 1 ms mean."""
+    reads, distinct, compute_s = _targets("synth", scale)
+    rng = random.Random(seed)
+    space = BlockSpace()
+    loop = space.new_file(distinct)
+    refs = sequential_passes(loop, reads / distinct)
+    return _finish(
+        "synth", refs, reads, compute_s,
+        lambda n: exponential_gaps(n, 1.0, rng),
+        space.files, rng,
+        "50 passes over a 2000-block sequential loop",
+    )
+
+
+#: Registry of all workload builders, in the paper's Table 3 order.
+WORKLOADS: Dict[str, Callable[..., Trace]] = {
+    "dinero": dinero,
+    "cscope1": cscope1,
+    "cscope2": cscope2,
+    "cscope3": cscope3,
+    "glimpse": glimpse,
+    "ld": ld,
+    "postgres-join": postgres_join,
+    "postgres-select": postgres_select,
+    "xds": xds,
+    "synth": synth,
+}
+
+
+def build(name: str, scale: float = 1.0, seed: int = None) -> Trace:
+    """Build a workload by name."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
+        ) from None
+    if seed is None:
+        return builder(scale=scale)
+    return builder(scale=scale, seed=seed)

@@ -1,0 +1,40 @@
+"""Shared fixtures: tiny deterministic traces and simulator configs."""
+
+import pytest
+
+from repro.core import SimConfig, Simulator, make_policy
+from repro.trace import Trace
+
+
+def make_trace(blocks, compute_ms=1.0, name="tiny"):
+    """A trace with uniform compute gaps; block ids map straight to disks
+    (block % num_disks) because integer blocks are placed identically."""
+    if isinstance(compute_ms, (int, float)):
+        compute_ms = [float(compute_ms)] * len(blocks)
+    return Trace(name=name, blocks=list(blocks), compute_ms=compute_ms)
+
+
+def simple_config(cache_blocks=4, access_ms=10.0, sequential_ms=None, **kw):
+    """Uniform 10 ms fetches, no readahead effects: deterministic timing."""
+    return SimConfig(
+        cache_blocks=cache_blocks,
+        disk_model="simple",
+        simple_access_ms=access_ms,
+        simple_sequential_ms=sequential_ms,
+        **kw,
+    )
+
+
+def run(blocks, policy="demand", num_disks=1, cache_blocks=4,
+        compute_ms=1.0, access_ms=10.0, config=None, **policy_kwargs):
+    """One-call simulation helper for unit tests."""
+    trace = make_trace(blocks, compute_ms)
+    if config is None:
+        config = simple_config(cache_blocks=cache_blocks, access_ms=access_ms)
+    sim = Simulator(trace, make_policy(policy, **policy_kwargs), num_disks, config)
+    return sim.run()
+
+
+@pytest.fixture
+def tiny_run():
+    return run

@@ -1,0 +1,156 @@
+"""Analysis layer: experiment drivers and table renderers."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    PAPER_DISK_COUNTS,
+    ExperimentSetting,
+    baseline_rows,
+    compare_disciplines,
+    default_scale,
+    run_one,
+    scaled_policy_kwargs,
+    sweep_policies,
+    tuned_reverse_aggressive,
+)
+from repro.analysis.tables import (
+    format_appendix_table,
+    format_breakdown_table,
+    format_elapsed_grid,
+    format_table,
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return ExperimentSetting(scale=0.1)
+
+
+class TestExperimentSetting:
+    def test_trace_cached_across_calls(self, setting):
+        assert setting.trace("ld") is setting.trace("ld")
+
+    def test_cache_follows_paper_choice(self):
+        s = ExperimentSetting(scale=1.0)
+        assert s.cache_for("dinero") == 512
+        assert s.cache_for("glimpse") == 1280
+
+    def test_cache_override(self):
+        s = ExperimentSetting(scale=1.0, cache_blocks=640)
+        assert s.cache_for("glimpse") == 640
+
+    def test_sim_config_reflects_discipline(self):
+        s = ExperimentSetting(discipline="fcfs")
+        assert s.sim_config("ld").discipline == "fcfs"
+
+    def test_paper_disk_counts(self):
+        assert PAPER_DISK_COUNTS == (1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16)
+
+
+class TestScaledPolicyKwargs:
+    def test_full_scale_injects_nothing(self):
+        assert scaled_policy_kwargs("aggressive", 1, 1.0) == {}
+
+    def test_horizon_scaled_for_fh(self):
+        kw = scaled_policy_kwargs("fixed-horizon", 1, 0.25)
+        assert kw == {"horizon": 15}
+
+    def test_batch_scaled_for_aggressive(self):
+        kw = scaled_policy_kwargs("aggressive", 1, 0.25)
+        assert kw == {"batch_size": 20}
+
+    def test_forestall_gets_both(self):
+        kw = scaled_policy_kwargs("forestall", 2, 0.5)
+        assert kw == {"horizon": 31, "batch_size": 20}
+
+    def test_reverse_uses_forward_batch_name(self):
+        kw = scaled_policy_kwargs("reverse-aggressive", 1, 0.5)
+        assert "forward_batch_size" in kw
+
+    def test_floors_respected(self):
+        kw = scaled_policy_kwargs("forestall", 16, 0.01)
+        assert kw["horizon"] >= 8
+        assert kw["batch_size"] >= 4
+
+
+class TestDrivers:
+    def test_run_one_returns_result(self, setting):
+        result = run_one(setting, "ld", "demand", 1)
+        assert result.trace_name.startswith("ld")
+        assert result.num_disks == 1
+
+    def test_sweep_covers_grid(self, setting):
+        results = sweep_policies(setting, "ld", ["demand", "aggressive"], [1, 2])
+        assert len(results) == 4
+        assert {r.num_disks for r in results} == {1, 2}
+
+    def test_baseline_rows_shape(self, setting):
+        table = baseline_rows(
+            setting, "ld", [1, 2],
+            policies=("fixed-horizon", "aggressive"), tuned_reverse=False,
+        )
+        assert set(table) == {"fixed-horizon", "aggressive"}
+        assert len(table["aggressive"]) == 2
+
+    def test_tuned_reverse_picks_minimum(self, setting):
+        best = tuned_reverse_aggressive(
+            setting, "ld", 1, fetch_times=(2, 64)
+        )
+        for fetch_time in (2, 64):
+            candidate = run_one(
+                setting, "ld", "reverse-aggressive", 1,
+                fetch_time_estimate=fetch_time,
+            )
+            assert best.elapsed_ms <= candidate.elapsed_ms + 1e-9
+        assert best.policy_name == "reverse-aggressive"
+
+    def test_compare_disciplines_rows(self, setting):
+        rows = compare_disciplines(setting, "ld", "aggressive", [1, 2])
+        assert len(rows) == 2
+        for disks, cscan, fcfs, improvement in rows:
+            assert cscan.num_disks == disks
+            expected = 100.0 * (fcfs.elapsed_ms - cscan.elapsed_ms) / fcfs.elapsed_ms
+            assert improvement == pytest.approx(expected)
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "0.4")
+        assert default_scale() == 0.4
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert default_scale() == 1.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(("a", "b"), [(1, 2.5), (10, 3.25)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_format_table_empty_rows(self):
+        out = format_table(("x",), [])
+        assert "x" in out
+
+    def test_breakdown_table_lists_components(self, setting):
+        result = run_one(setting, "ld", "demand", 1)
+        out = format_breakdown_table([result], title="T")
+        assert out.startswith("T\n")
+        for col in ("cpu_s", "driver_s", "stall_s", "elapsed_s"):
+            assert col in out
+
+    def test_appendix_table_sections(self, setting):
+        table = baseline_rows(
+            setting, "ld", [1], policies=("demand",), tuned_reverse=False
+        )
+        out = format_appendix_table(table, [1])
+        assert "demand" in out
+        assert "fetches" in out
+        assert "elapsed time (sec)" in out
+
+    def test_elapsed_grid(self):
+        out = format_elapsed_grid(
+            {"F=4": [1.0, 2.0], "F=8": [3.0, 4.0]},
+            row_label="fetch", col_labels=[1, 2], title="grid",
+        )
+        assert "grid" in out
+        assert "F=8" in out

@@ -1,0 +1,145 @@
+"""Striped layout, file placement, and the DiskArray container."""
+
+import pytest
+
+from repro.disk.array import (
+    PLACEMENT_GROUP_BLOCKS,
+    DiskArray,
+    Placement,
+    StripedLayout,
+)
+from repro.disk.simple import SimpleDrive
+
+
+class TestStripedLayout:
+    def test_one_block_stripe_unit(self):
+        layout = StripedLayout(4)
+        assert [layout.disk_of(g) for g in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_per_disk_addresses_advance(self):
+        layout = StripedLayout(4)
+        assert [layout.lbn_of(g) for g in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_single_disk_identity(self):
+        layout = StripedLayout(1)
+        assert layout.disk_of(12345) == 0
+        assert layout.lbn_of(12345) == 12345
+
+    def test_striping_balances_sequential_runs(self):
+        layout = StripedLayout(3)
+        counts = [0, 0, 0]
+        for g in range(300):
+            counts[layout.disk_of(g)] += 1
+        assert counts == [100, 100, 100]
+
+
+class TestPlacement:
+    def test_plain_blocks_placed_identically(self):
+        p = Placement(total_blocks=100000)
+        assert p.place(42) == 42
+
+    def test_plain_blocks_wrap_modulo_capacity(self):
+        p = Placement(total_blocks=1000)
+        assert p.place(1234) == 234
+
+    def test_file_blocks_get_group_start(self):
+        p = Placement(total_blocks=PLACEMENT_GROUP_BLOCKS * 10, seed=7)
+        g = p.place((0, 0))
+        assert g % PLACEMENT_GROUP_BLOCKS == 0  # group-aligned start
+
+    def test_file_offsets_are_contiguous(self):
+        p = Placement(total_blocks=PLACEMENT_GROUP_BLOCKS * 10, seed=7)
+        base = p.place((3, 0))
+        assert p.place((3, 5)) == base + 5
+
+    def test_same_file_same_start_across_calls(self):
+        p = Placement(total_blocks=PLACEMENT_GROUP_BLOCKS * 10, seed=7)
+        assert p.place((1, 0)) == p.place((1, 0))
+
+    def test_seed_determinism(self):
+        a = Placement(total_blocks=PLACEMENT_GROUP_BLOCKS * 10, seed=3)
+        b = Placement(total_blocks=PLACEMENT_GROUP_BLOCKS * 10, seed=3)
+        assert a.place((5, 2)) == b.place((5, 2))
+
+    def test_different_seeds_usually_differ(self):
+        a = Placement(total_blocks=PLACEMENT_GROUP_BLOCKS * 50, seed=1)
+        b = Placement(total_blocks=PLACEMENT_GROUP_BLOCKS * 50, seed=2)
+        placements_a = [a.place((f, 0)) for f in range(20)]
+        placements_b = [b.place((f, 0)) for f in range(20)]
+        assert placements_a != placements_b
+
+
+class TestDiskArray:
+    def _array(self, disks=2):
+        return DiskArray(
+            disks,
+            drive_factory=lambda: SimpleDrive(access_ms=10.0),
+            discipline="fcfs",
+        )
+
+    def test_requires_at_least_one_disk(self):
+        with pytest.raises(ValueError):
+            DiskArray(0)
+
+    def test_submit_and_start(self):
+        array = self._array()
+        array.submit(0, block=7, lbn=7)
+        started = array.start_next(0, now=0.0)
+        assert started is not None
+        request, completion, breakdown = started
+        assert request.block == 7
+        assert completion == pytest.approx(10.0)
+
+    def test_one_request_in_service_per_disk(self):
+        array = self._array()
+        array.submit(0, 1, 1)
+        array.submit(0, 2, 2)
+        assert array.start_next(0, 0.0) is not None
+        assert array.start_next(0, 0.0) is None  # busy
+        array.complete(0)
+        assert array.start_next(0, 10.0) is not None
+
+    def test_complete_without_service_raises(self):
+        array = self._array()
+        with pytest.raises(RuntimeError):
+            array.complete(0)
+
+    def test_queue_length_visibility(self):
+        array = self._array()
+        array.submit(1, 5, 5)
+        array.submit(1, 6, 6)
+        assert array.queue_length(1) == 2
+        array.start_next(1, 0.0)
+        assert array.queue_length(1) == 1
+
+    def test_busy_time_accumulates(self):
+        array = self._array()
+        array.submit(0, 1, 1)
+        array.start_next(0, 0.0)
+        array.complete(0)
+        assert array.busy_time[0] == pytest.approx(10.0)
+        assert array.busy_time[1] == 0.0
+
+    def test_average_service_and_utilization(self):
+        array = self._array()
+        for i in range(3):
+            array.submit(0, i, i)
+        t = 0.0
+        for _ in range(3):
+            _, completion, _ = array.start_next(0, t)
+            array.complete(0)
+            t = completion
+        assert array.average_service_ms() == pytest.approx(10.0)
+        assert array.utilization(elapsed_ms=60.0) == pytest.approx(
+            30.0 / (2 * 60.0)
+        )
+
+    def test_utilization_zero_elapsed(self):
+        assert self._array().utilization(0.0) == 0.0
+
+    def test_idle_disk_reports_idle(self):
+        array = self._array()
+        assert array.is_idle(0)
+        array.submit(0, 1, 1)
+        array.start_next(0, 0.0)
+        assert not array.is_idle(0)

@@ -1,0 +1,115 @@
+"""Buffer cache invariants: capacity, reservations, eviction timing."""
+
+import pytest
+
+from repro.core.cache import BufferCache, CacheFullError
+
+
+class TestBasics:
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            BufferCache(0)
+
+    def test_starts_empty(self):
+        cache = BufferCache(4)
+        assert len(cache) == 0
+        assert cache.free_buffers == 4
+
+    def test_fetch_lifecycle(self):
+        cache = BufferCache(2)
+        cache.begin_fetch(1, victim=None)
+        assert cache.is_in_flight(1)
+        assert 1 not in cache  # not referenceable while in flight
+        cache.complete_fetch(1)
+        assert 1 in cache
+        assert not cache.is_in_flight(1)
+
+
+class TestReservationAccounting:
+    def test_in_flight_consumes_buffer(self):
+        cache = BufferCache(2)
+        cache.begin_fetch(1, None)
+        assert cache.free_buffers == 1
+        cache.begin_fetch(2, None)
+        assert cache.free_buffers == 0
+
+    def test_full_cache_requires_victim(self):
+        cache = BufferCache(1)
+        cache.begin_fetch(1, None)
+        cache.complete_fetch(1)
+        with pytest.raises(CacheFullError):
+            cache.begin_fetch(2, victim=None)
+
+    def test_eviction_frees_at_issue_not_completion(self):
+        """Section 2.1: 'the evicted block becomes unavailable at the moment
+        the fetch starts.'"""
+        cache = BufferCache(1)
+        cache.begin_fetch(1, None)
+        cache.complete_fetch(1)
+        cache.begin_fetch(2, victim=1)
+        assert 1 not in cache       # gone immediately
+        assert 2 not in cache       # not yet arrived
+        cache.complete_fetch(2)
+        assert 2 in cache
+
+    def test_victim_must_be_resident(self):
+        cache = BufferCache(2)
+        cache.begin_fetch(1, None)
+        with pytest.raises(ValueError):
+            cache.begin_fetch(2, victim=1)  # 1 is in flight, not resident
+
+    def test_cannot_fetch_resident_block(self):
+        cache = BufferCache(2)
+        cache.begin_fetch(1, None)
+        cache.complete_fetch(1)
+        with pytest.raises(ValueError):
+            cache.begin_fetch(1, None)
+
+    def test_cannot_double_fetch(self):
+        cache = BufferCache(2)
+        cache.begin_fetch(1, None)
+        with pytest.raises(ValueError):
+            cache.begin_fetch(1, None)
+
+    def test_complete_unknown_fetch_raises(self):
+        cache = BufferCache(2)
+        with pytest.raises(ValueError):
+            cache.complete_fetch(9)
+
+
+class TestCounters:
+    def test_eviction_and_fill_counts(self):
+        cache = BufferCache(1)
+        cache.begin_fetch(1, None)
+        cache.complete_fetch(1)
+        cache.begin_fetch(2, victim=1)
+        cache.complete_fetch(2)
+        assert cache.evictions == 1
+        assert cache.fills == 2
+
+    def test_present_or_coming(self):
+        cache = BufferCache(2)
+        cache.begin_fetch(1, None)
+        assert cache.present_or_coming(1)
+        cache.complete_fetch(1)
+        assert cache.present_or_coming(1)
+        assert not cache.present_or_coming(2)
+
+
+class TestInvariantUnderChurn:
+    def test_occupancy_never_exceeds_capacity(self):
+        cache = BufferCache(3)
+        import random
+
+        rng = random.Random(0)
+        resident_rotation = []
+        next_block = 0
+        for _ in range(200):
+            if cache.free_buffers > 0:
+                cache.begin_fetch(next_block, None)
+            else:
+                victim = rng.choice(sorted(cache.resident))
+                cache.begin_fetch(next_block, victim)
+            cache.complete_fetch(next_block)
+            next_block += 1
+            assert len(cache.resident) + len(cache.in_flight) <= 3

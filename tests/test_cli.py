@@ -1,0 +1,112 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTraces:
+    def test_traces_lists_all_ten(self, capsys):
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dinero", "cscope3", "glimpse", "synth"):
+            assert name in out
+        assert "paper_reads" in out
+
+
+class TestRun:
+    def test_run_prints_breakdown(self, capsys):
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "-d", "2",
+            "--scale", "0.1", "--cache", "128",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "demand" in out
+        assert "elapsed_s" in out
+
+    def test_run_rejects_unknown_trace(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-t", "nonesuch"])
+
+    def test_run_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-t", "ld", "-p", "lru"])
+
+
+class TestSweep:
+    def test_sweep_runs_selected_policies(self, capsys):
+        code = main([
+            "sweep", "-t", "ld", "-p", "demand,fixed-horizon",
+            "-d", "1,2", "--scale", "0.1", "--cache", "128",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fixed-horizon" in out
+        assert out.count("demand") >= 2  # one row per disk count
+
+    def test_fcfs_discipline_accepted(self, capsys):
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "--scale", "0.1",
+            "--cache", "128", "--discipline", "fcfs",
+        ])
+        assert code == 0
+
+
+class TestParsing:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestFigure:
+    def test_figure_renders_bars(self, capsys):
+        code = main([
+            "figure", "-t", "ld", "-d", "1,2", "--scale", "0.1",
+            "--cache", "128", "-p", "fixed-horizon,aggressive",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "|" in out
+        assert "1 disk" in out and "2 disks" in out
+
+
+class TestCharacterize:
+    def test_fingerprint_table(self, capsys):
+        code = main(["characterize", "--traces", "ld", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequentiality" in out
+        assert "ld" in out
+
+
+class TestHints:
+    def test_hint_sensitivity_table(self, capsys):
+        code = main([
+            "hints", "-t", "ld", "-d", "2", "--scale", "0.1",
+            "--cache", "128", "-p", "fixed-horizon",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "perfect" in out
+        assert "25% missing" in out
+
+
+class TestExport:
+    def test_export_text_round_trips(self, capsys, tmp_path):
+        out = str(tmp_path / "ld.trace")
+        code = main(["export", "-t", "ld", "--scale", "0.05", "-o", out])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.trace.io import load
+
+        trace = load(out)
+        assert trace.references > 0
+
+    def test_export_json(self, tmp_path):
+        out = str(tmp_path / "ld.json")
+        assert main(["export", "-t", "ld", "--scale", "0.05", "-o", out]) == 0
+        from repro.trace import Trace
+
+        assert Trace.load(out).references > 0

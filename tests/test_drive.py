@@ -1,0 +1,145 @@
+"""Detailed drive model: service-time composition and readahead caching."""
+
+import pytest
+
+from repro.disk.drive import DiskDrive, ServiceBreakdown
+from repro.disk.geometry import HP97560
+
+
+@pytest.fixture
+def drive():
+    return DiskDrive()
+
+
+class TestServiceBreakdown:
+    def test_total_is_sum_of_components(self):
+        b = ServiceBreakdown(
+            overhead=1.0, seek=2.0, rotation=3.0, transfer=4.0, cache_wait=0.5
+        )
+        assert b.total == pytest.approx(10.5)
+
+    def test_first_access_pays_overhead_and_transfer(self, drive):
+        b = drive.service(0, 0.0)
+        assert b.overhead == HP97560.controller_overhead_ms
+        assert b.transfer == pytest.approx(HP97560.block_media_transfer_ms)
+        assert not b.cache_hit
+
+    def test_rotation_bounded_by_one_revolution(self, drive):
+        for lbn in (0, 7, 1000, 54321):
+            fresh = DiskDrive()
+            b = fresh.service(lbn, 0.0)
+            assert 0 <= b.rotation < HP97560.rotation_ms
+
+    def test_same_cylinder_no_seek(self, drive):
+        drive.service(0, 0.0)
+        b = drive.service(0, 1000.0)  # far in the future, cache long gone? no-
+        # block 0 stays in no cache (readahead covers blocks AFTER 0), so this
+        # re-read is mechanical but needs no seek (same cylinder, same track).
+        assert b.seek == 0.0
+
+    def test_cross_cylinder_seek_charged(self, drive):
+        drive.service(0, 0.0)
+        far = HP97560.blocks_per_cylinder * 500  # 500 cylinders away
+        b = drive.service(far, 100.0)
+        assert b.seek > 8.0  # long-seek regime
+
+    def test_head_switch_within_cylinder(self, drive):
+        drive.service(0, 0.0)
+        # Block 5 is on track 1 of cylinder 0.
+        b = drive.service(5, 1000.0)
+        if not b.cache_hit:
+            assert b.seek == HP97560.head_switch_ms
+
+
+class TestReadaheadCache:
+    def test_sequential_read_hits_cache(self, drive):
+        first = drive.service(10, 0.0)
+        second = drive.service(11, first.total + 5.0)
+        assert second.cache_hit
+        assert second.transfer == pytest.approx(HP97560.block_bus_transfer_ms)
+        assert second.seek == 0.0 and second.rotation == 0.0
+
+    def test_cache_hit_much_faster_than_miss(self, drive):
+        miss = drive.service(10, 0.0)
+        hit = drive.service(11, miss.total + 5.0)
+        assert hit.total < miss.total
+
+    def test_immediate_next_block_waits_for_media(self, drive):
+        first = drive.service(10, 0.0)
+        second = drive.service(11, first.total)  # request the instant it lands
+        assert second.cache_hit
+        assert second.cache_wait > 0.0
+
+    def test_cache_span_limited_to_cache_blocks(self, drive):
+        drive.service(10, 0.0)
+        beyond = 10 + HP97560.cache_blocks + 1
+        b = drive.service(beyond, 100.0)
+        assert not b.cache_hit
+
+    def test_cache_does_not_serve_backwards(self, drive):
+        drive.service(10, 0.0)
+        b = drive.service(9, 100.0)
+        assert not b.cache_hit
+
+    def test_new_mechanical_read_restarts_readahead(self, drive):
+        drive.service(10, 0.0)
+        drive.service(5000, 100.0)  # jump away; old span dropped
+        b = drive.service(11, 200.0)  # would have hit the old span
+        assert not b.cache_hit
+
+    def test_readahead_follows_latest_mechanical_read(self, drive):
+        drive.service(10, 0.0)
+        drive.service(5000, 100.0)
+        b = drive.service(5001, 200.0)
+        assert b.cache_hit
+
+    def test_readahead_disabled(self):
+        drive = DiskDrive(readahead=False)
+        first = drive.service(10, 0.0)
+        second = drive.service(11, first.total + 5.0)
+        assert not second.cache_hit
+
+    def test_hit_counters(self, drive):
+        drive.service(10, 0.0)
+        drive.service(11, 50.0)
+        drive.service(12, 100.0)
+        assert drive.requests_served == 3
+        assert drive.cache_hits == 2
+
+
+class TestRealismEnvelope:
+    def test_random_access_averages_near_paper_values(self):
+        """Random single-block reads across the disk should average in the
+        teens of milliseconds (Table 1 lists 22.8 ms worst-ish average; the
+        paper's measured traces see 13-19 ms)."""
+        import random
+
+        rng = random.Random(42)
+        drive = DiskDrive()
+        t = 0.0
+        samples = []
+        for _ in range(300):
+            lbn = rng.randrange(HP97560.total_blocks)
+            b = drive.service(lbn, t)
+            samples.append(b.total)
+            t += b.total + 1.0
+        mean = sum(samples) / len(samples)
+        assert 10.0 < mean < 26.0
+
+    def test_sequential_access_averages_3_to_4ms(self):
+        """Section 4.2: sequential access yields 3-4 ms average responses."""
+        drive = DiskDrive()
+        t = 0.0
+        samples = []
+        for lbn in range(1000, 1400):
+            b = drive.service(lbn, t)
+            samples.append(b.total)
+            t += b.total + 1.0  # 1 ms compute between requests
+        mean = sum(samples) / len(samples)
+        assert 1.5 < mean < 5.0
+
+    def test_cylinder_tracking(self, drive):
+        far = HP97560.blocks_per_cylinder * 700
+        drive.service(far, 0.0)
+        assert drive.cylinder == HP97560.block_to_cylinder(far)
+        assert drive.cylinder > 0

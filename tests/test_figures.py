@@ -1,0 +1,97 @@
+"""Terminal figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import (
+    COMPUTE_GLYPH,
+    DRIVER_GLYPH,
+    LEGEND,
+    STALL_GLYPH,
+    render_figure,
+    render_sweep_curve,
+)
+from repro.core.results import SimulationResult
+
+
+def result(policy, disks, compute=1000.0, driver=100.0, stall=400.0):
+    return SimulationResult(
+        trace_name="t", policy_name=policy, num_disks=disks, cache_blocks=64,
+        fetches=10, compute_ms=compute, driver_ms=driver, stall_ms=stall,
+        elapsed_ms=compute + driver + stall, average_fetch_ms=10.0,
+        disk_utilization=0.5,
+    )
+
+
+class TestRenderFigure:
+    def test_contains_title_and_legend(self):
+        out = render_figure("My Figure", [result("a", 1)])
+        assert out.startswith("My Figure")
+        assert LEGEND in out
+
+    def test_groups_by_disks(self):
+        out = render_figure("f", [result("a", 1), result("a", 2)])
+        assert "1 disk " in out
+        assert "2 disks" in out
+
+    def test_bar_components_proportional(self):
+        out = render_figure(
+            "f", [result("a", 1, compute=500, driver=0, stall=500)], width=40
+        )
+        bar_line = [l for l in out.splitlines() if "|" in l][0]
+        bar = bar_line.split("|")[1]
+        assert bar.count(COMPUTE_GLYPH) == pytest.approx(20, abs=1)
+        assert bar.count(STALL_GLYPH) == pytest.approx(20, abs=1)
+        assert bar.count(DRIVER_GLYPH) == 0
+
+    def test_common_scale_longest_bar_fills(self):
+        fast = result("fast", 1, compute=100, driver=0, stall=0)
+        slow = result("slow", 1, compute=1000, driver=0, stall=0)
+        out = render_figure("f", [fast, slow], width=40)
+        lines = [l for l in out.splitlines() if "|" in l]
+        fast_bar = lines[0].split("|")[1]
+        slow_bar = lines[1].split("|")[1]
+        assert slow_bar.count(COMPUTE_GLYPH) == 40
+        assert fast_bar.count(COMPUTE_GLYPH) == 4
+
+    def test_policy_order_stable_across_parameter_suffixes(self):
+        out = render_figure(
+            "f",
+            [
+                result("fh(H=9)", 1), result("agg(batch=12)", 1),
+                result("fh(H=9)", 2), result("agg(batch=6)", 2),
+            ],
+        )
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "fh" in lines[0] and "agg" in lines[1]
+        assert "fh" in lines[2] and "agg" in lines[3]
+
+    def test_elapsed_annotated(self):
+        out = render_figure("f", [result("a", 1)])
+        assert "1.50s" in out
+
+    def test_empty(self):
+        assert "no results" in render_figure("f", [])
+
+
+class TestRenderSweepCurve:
+    def test_series_glyphs_and_names(self):
+        out = render_sweep_curve(
+            "sweep", {"alpha": {1: 5.0, 2: 3.0}, "beta": {1: 4.0, 2: 6.0}}
+        )
+        assert "a = alpha" in out
+        assert "b = beta" in out
+        assert "sweep" in out
+
+    def test_extremes_on_grid_edges(self):
+        out = render_sweep_curve("s", {"only": {1: 1.0, 2: 9.0}}, height=6)
+        lines = out.splitlines()
+        body = [l for l in lines if "|" in l]
+        assert "a" in body[0]   # max value on the top row
+        assert "a" in body[-1]  # min value on the bottom row
+
+    def test_flat_series_does_not_crash(self):
+        out = render_sweep_curve("s", {"flat": {1: 2.0, 2: 2.0}})
+        assert "flat" in out
+
+    def test_empty(self):
+        assert "no data" in render_sweep_curve("s", {})

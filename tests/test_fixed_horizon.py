@@ -1,0 +1,149 @@
+"""Fixed horizon: bounded lookahead, late replacement."""
+
+import pytest
+
+from repro.core import FixedHorizon, Simulator
+from repro.core.fixed_horizon import DEFAULT_HORIZON
+from tests.conftest import make_trace, run, simple_config
+
+
+class TestConstruction:
+    def test_default_horizon_is_62(self):
+        """Section 2.6: 15 ms / 243 us yields H = 62."""
+        assert DEFAULT_HORIZON == 62
+        assert FixedHorizon().horizon == 62
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FixedHorizon(horizon=0)
+
+    def test_name_reflects_nondefault_horizon(self):
+        assert FixedHorizon().name == "fixed-horizon"
+        assert "128" in FixedHorizon(horizon=128).name
+
+
+class TestLookaheadBound:
+    def test_never_fetches_beyond_horizon(self):
+        """A block exactly H+1 ahead must not be fetched until the cursor
+        advances; we detect this by interposing on issue order."""
+        issued_at = {}
+
+        class Spy(FixedHorizon):
+            def issue(self, block, victim):
+                issued_at.setdefault(block, self.sim.cursor)
+                super().issue(block, victim)
+
+        horizon = 5
+        blocks = list(range(20))
+        trace = make_trace(blocks, compute_ms=1.0)
+        sim = Simulator(trace, Spy(horizon=horizon), 1,
+                        simple_config(cache_blocks=30))
+        sim.run()
+        for block, cursor in issued_at.items():
+            assert block - cursor <= horizon
+
+    def test_horizon_one_fetches_only_current(self):
+        issued_at = {}
+
+        class Spy(FixedHorizon):
+            def issue(self, block, victim):
+                issued_at.setdefault(block, self.sim.cursor)
+                super().issue(block, victim)
+
+        trace = make_trace(list(range(6)))
+        Simulator(trace, Spy(horizon=1), 1, simple_config(cache_blocks=8)).run()
+        assert all(block == cursor for block, cursor in issued_at.items())
+
+    def test_prefetches_eliminate_stall_when_bandwidth_allows(self):
+        # Long compute (20 ms) vs 10 ms fetches: fetching ahead hides all
+        # latency after the cold start (whose stall is the 10 ms fetch less
+        # the 3 x 0.5 ms of driver work done before blocking).
+        blocks = list(range(10))
+        result = run(blocks, policy="fixed-horizon", cache_blocks=20,
+                     compute_ms=20.0, horizon=3)
+        assert result.stall_ms == pytest.approx(8.5)
+
+
+class TestReplacementDiscipline:
+    def test_victims_needed_beyond_horizon(self):
+        """FH only evicts blocks whose next use is beyond H; with everything
+        needed sooner it refuses to prefetch (and falls back to demand at
+        the reference itself)."""
+        evictions = []
+
+        class Spy(FixedHorizon):
+            def issue(self, block, victim):
+                if victim is not None:
+                    evictions.append(
+                        (victim, self.sim.index.next_use(victim, self.sim.cursor),
+                         self.sim.cursor)
+                    )
+                super().issue(block, victim)
+
+        blocks = [0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5]
+        trace = make_trace(blocks)
+        sim = Simulator(trace, Spy(horizon=2), 1, simple_config(cache_blocks=3))
+        sim.run()
+        for victim, next_use, cursor in evictions:
+            if next_use != float("inf"):
+                assert next_use > cursor  # never evict the immediate need
+
+    def test_fewest_fetches_of_prefetchers_on_loop(self):
+        """Section 4: fixed horizon consistently places the least I/O load
+        (its late decisions match optimal replacement)."""
+        blocks = list(range(12)) * 6
+        fh = run(blocks, policy="fixed-horizon", cache_blocks=8,
+                 horizon=4, compute_ms=3.0)
+        agg = run(blocks, policy="aggressive", cache_blocks=8,
+                  compute_ms=3.0, batch_size=8)
+        assert fh.fetches <= agg.fetches
+
+
+class TestStallBehaviour:
+    def test_stalls_when_io_bound_single_disk(self):
+        """FH leaves the disk idle beyond H and pays for it when bandwidth
+        is scarce (section 2.3): on a loop whose missing blocks cluster,
+        aggressive prefetches through the cached run while FH idles."""
+        blocks = list(range(16)) * 6
+        fh = run(blocks, policy="fixed-horizon", cache_blocks=12,
+                 compute_ms=5.0, horizon=2)
+        agg = run(blocks, policy="aggressive", cache_blocks=12,
+                  compute_ms=5.0, batch_size=8)
+        assert fh.stall_ms > agg.stall_ms
+
+    def test_larger_horizon_reduces_io_bound_stall(self):
+        # H must stay below the loop period so victims exist beyond it.
+        blocks = list(range(30)) * 4
+        small = run(blocks, policy="fixed-horizon", cache_blocks=24,
+                    compute_ms=5.0, horizon=2)
+        large = run(blocks, policy="fixed-horizon", cache_blocks=24,
+                    compute_ms=5.0, horizon=8)
+        assert large.stall_ms < small.stall_ms
+
+    def test_horizon_at_or_above_cache_degrades_to_demand(self):
+        # With H >= K no victim's next use clears the horizon, so no
+        # prefetch is ever allowed (the paper's H < K proviso).
+        blocks = list(range(16)) * 3
+        result = run(blocks, policy="fixed-horizon", cache_blocks=12,
+                     compute_ms=1.0, horizon=20)
+        demand = run(blocks, policy="demand", cache_blocks=12,
+                     compute_ms=1.0)
+        assert result.fetches == demand.fetches
+
+    def test_multiple_outstanding_requests_allowed(self):
+        """FH may have up to H outstanding fetches queued at once."""
+        max_queue = [0]
+
+        class Spy(FixedHorizon):
+            def issue(self, block, victim):
+                super().issue(block, victim)
+                array = self.sim.array
+                depth = array.queue_length(0) + (0 if array.is_idle(0) else 1)
+                max_queue[0] = max(max_queue[0], depth)
+
+        blocks = list(range(30))
+        trace = make_trace(blocks, compute_ms=0.1)
+        sim = Simulator(trace, Spy(horizon=10), 1,
+                        simple_config(cache_blocks=40))
+        sim.run()
+        assert max_queue[0] > 1

@@ -1,0 +1,191 @@
+"""Forestall: stall-inevitability triggering and adaptive estimation."""
+
+import pytest
+
+from repro.core import Forestall, Simulator
+from repro.core.forestall import APPENDIX_H_FETCH_TIMES, _MissingTracker
+from repro.core.nextref import INFINITE
+from tests.conftest import make_trace, run, simple_config
+
+
+class TestMissingTracker:
+    def _tracker(self, blocks, cache_blocks=4, window=100):
+        trace = make_trace(blocks)
+        policy = Forestall()
+        sim = Simulator(trace, policy, 1, simple_config(cache_blocks))
+        return _MissingTracker(sim, window), sim
+
+    def test_extend_discovers_missing_blocks(self):
+        tracker, _sim = self._tracker([5, 6, 7])
+        tracker.extend(0)
+        assert tracker.positions == [0, 1, 2]
+
+    def test_extend_deduplicates_blocks(self):
+        tracker, _sim = self._tracker([5, 5, 6, 5])
+        tracker.extend(0)
+        assert tracker.positions == [0, 2]
+
+    def test_extend_never_rescans(self):
+        tracker, _sim = self._tracker([5, 6, 7, 8])
+        tracker.extend(0)
+        assert tracker.scanned_to == 4
+        before = list(tracker.positions)
+        tracker.extend(0)
+        assert tracker.positions == before
+
+    def test_remove_on_fetch(self):
+        tracker, _sim = self._tracker([5, 6, 7])
+        tracker.extend(0)
+        tracker.remove(6)
+        assert tracker.positions == [0, 2]
+        tracker.remove(6)  # idempotent
+        assert tracker.positions == [0, 2]
+
+    def test_evict_reinserts_at_next_use(self):
+        tracker, _sim = self._tracker([5, 6, 5, 7])
+        tracker.extend(0)
+        tracker.remove(5)
+        tracker.on_evict(5, 2)
+        assert 2 in tracker.positions
+
+    def test_evict_beyond_window_ignored(self):
+        tracker, _sim = self._tracker([5, 6, 7])
+        tracker.extend(0)
+        tracker.on_evict(9, INFINITE)
+        tracker.on_evict(9, 50)  # past scanned_to
+        assert all(p <= 2 for p in tracker.positions)
+
+    def test_walk_yields_in_position_order(self):
+        tracker, _sim = self._tracker([9, 8, 7, 6])
+        tracker.extend(0)
+        walked = [p for p, _b in tracker.walk(0)]
+        assert walked == sorted(walked)
+
+    def test_walk_skips_behind_cursor(self):
+        tracker, _sim = self._tracker([5, 6, 7])
+        tracker.extend(0)
+        walked = [b for _p, b in tracker.walk(2)]
+        assert walked == [7]
+
+
+class TestEstimation:
+    def test_fixed_estimate_respected(self):
+        trace = make_trace([0, 1, 2])
+        policy = Forestall(fixed_estimate=30)
+        Simulator(trace, policy, 2, simple_config())
+        assert policy.estimate(0) == 30
+        assert policy.estimate(1) == 30
+        assert "30" in policy.name
+
+    def test_dynamic_estimate_tracks_ratio(self):
+        trace = make_trace([0, 1, 2], compute_ms=2.0)
+        policy = Forestall()
+        Simulator(trace, policy, 1, simple_config())
+        for _ in range(100):
+            policy.on_fetch_complete(0, 4.0)   # fast disk: < 5 ms
+            policy.on_reference_served(0, 2.0)
+        assert policy.estimate(0) == pytest.approx(2.0, rel=0.05)
+
+    def test_slow_disk_overestimates_4x(self):
+        """Section 5: F' = 4F when average access time exceeds 5 ms."""
+        trace = make_trace([0, 1, 2], compute_ms=2.0)
+        policy = Forestall()
+        Simulator(trace, policy, 1, simple_config())
+        for _ in range(100):
+            policy.on_fetch_complete(0, 16.0)
+            policy.on_reference_served(0, 2.0)
+        assert policy.estimate(0) == pytest.approx(4 * 8.0, rel=0.05)
+
+    def test_appendix_h_values(self):
+        assert APPENDIX_H_FETCH_TIMES == (1, 2, 4, 8, 15, 30, 60)
+
+
+class TestTriggering:
+    def test_compute_bound_behaves_like_fixed_horizon(self):
+        """With ample compute time between misses, forestall must not
+        prefetch much deeper than its backstop (the cold start, where every
+        block is missing, legitimately fires the trigger): fetch counts and
+        elapsed time stay close to FH's."""
+        blocks = list(range(10)) * 8
+        forestall = run(blocks, policy="forestall", num_disks=4,
+                        cache_blocks=6, compute_ms=40.0, horizon=3)
+        fh = run(blocks, policy="fixed-horizon", num_disks=4,
+                 cache_blocks=6, compute_ms=40.0, horizon=3)
+        assert forestall.fetches <= fh.fetches * 1.2
+        assert forestall.elapsed_ms <= fh.elapsed_ms * 1.01
+
+    def test_io_bound_prefetches_like_aggressive(self):
+        blocks = list(range(16)) * 6
+        forestall = run(blocks, policy="forestall", cache_blocks=12,
+                        compute_ms=5.0, horizon=2, batch_size=8)
+        fh = run(blocks, policy="fixed-horizon", cache_blocks=12,
+                 compute_ms=5.0, horizon=2)
+        assert forestall.stall_ms < fh.stall_ms
+
+    def test_trigger_fires_before_inevitable_stall(self):
+        """Five missing blocks at distance ~40 with F'=10: 5*10 > 40 means a
+        stall is coming; forestall must start fetching well before the
+        cursor reaches them."""
+        issued_at = []
+
+        class Spy(Forestall):
+            def issue(self, block, victim):
+                issued_at.append((block, self.sim.cursor))
+                super().issue(block, victim)
+
+        # 40 cached refs then 5 missing blocks
+        blocks = [0] * 40 + [1, 2, 3, 4, 5]
+        trace = make_trace(blocks, compute_ms=1.0)
+        sim = Simulator(
+            trace,
+            Spy(fixed_estimate=10.0, horizon=3, batch_size=8),
+            1,
+            simple_config(cache_blocks=8, access_ms=10.0),
+        )
+        sim.run()
+        first_prefetch_cursor = min(c for b, c in issued_at if b != 0)
+        assert first_prefetch_cursor < 37  # earlier than the backstop alone
+
+    def test_no_trigger_when_slack_is_ample(self):
+        """One missing block far ahead with small F': forestall waits for
+        the backstop instead of fetching early (late replacement)."""
+        issued_at = []
+
+        class Spy(Forestall):
+            def issue(self, block, victim):
+                issued_at.append((block, self.sim.cursor))
+                super().issue(block, victim)
+
+        blocks = [0] * 50 + [1]
+        trace = make_trace(blocks, compute_ms=5.0)
+        sim = Simulator(
+            trace,
+            Spy(fixed_estimate=2.0, horizon=4),
+            1,
+            simple_config(cache_blocks=8),
+        )
+        sim.run()
+        cursor_when_1_issued = [c for b, c in issued_at if b == 1][0]
+        assert cursor_when_1_issued >= 46  # backstop, not early fire
+
+
+class TestEndToEnd:
+    def test_tracks_best_of_both_worlds(self):
+        """Section 5.1: forestall is close to the best of FH/aggressive in
+        both regimes."""
+        blocks = list(range(16)) * 6
+        for compute, horizon in ((5.0, 2), (40.0, 2)):
+            fh = run(blocks, policy="fixed-horizon", cache_blocks=12,
+                     compute_ms=compute, horizon=horizon)
+            agg = run(blocks, policy="aggressive", cache_blocks=12,
+                      compute_ms=compute, batch_size=8)
+            forestall = run(blocks, policy="forestall", cache_blocks=12,
+                            compute_ms=compute, horizon=horizon, batch_size=8)
+            assert forestall.elapsed_ms <= min(fh.elapsed_ms,
+                                               agg.elapsed_ms) * 1.10
+
+    def test_accounting_on_multi_disk(self):
+        blocks = [0, 3, 6, 1, 4, 7, 2, 5, 8] * 4
+        result = run(blocks, policy="forestall", num_disks=3, cache_blocks=6)
+        total = result.compute_ms + result.driver_ms + result.stall_ms
+        assert result.elapsed_ms == pytest.approx(total)

@@ -1,0 +1,188 @@
+"""DiskGeometry: Table 1 constants and address arithmetic."""
+
+import pytest
+
+from repro.disk.geometry import HP97560, DiskGeometry
+
+
+class TestHP97560Constants:
+    def test_table1_sector_size(self):
+        assert HP97560.sector_size == 512
+
+    def test_table1_sectors_per_track(self):
+        assert HP97560.sectors_per_track == 72
+
+    def test_table1_tracks_per_cylinder(self):
+        assert HP97560.tracks_per_cylinder == 19
+
+    def test_table1_cylinders(self):
+        assert HP97560.cylinders == 1962
+
+    def test_table1_rpm(self):
+        assert HP97560.rpm == 4002
+
+    def test_table1_cache_size(self):
+        assert HP97560.cache_bytes == 128 * 1024
+
+    def test_rotation_time_is_about_15ms(self):
+        assert HP97560.rotation_ms == pytest.approx(14.99, abs=0.01)
+
+    def test_cache_holds_16_blocks(self):
+        assert HP97560.cache_blocks == 16
+
+    def test_total_capacity_exceeds_1gb(self):
+        # 1962 * 19 * 72 * 512 bytes ~ 1.37 GB
+        assert HP97560.total_sectors * HP97560.sector_size > 10**9
+
+    def test_block_is_16_sectors(self):
+        assert HP97560.sectors_per_block == 16
+
+
+class TestDerivedQuantities:
+    def test_sector_time(self):
+        assert HP97560.sector_time_ms == pytest.approx(
+            HP97560.rotation_ms / 72
+        )
+
+    def test_block_media_transfer_is_16_sector_times(self):
+        assert HP97560.block_media_transfer_ms == pytest.approx(
+            16 * HP97560.sector_time_ms
+        )
+
+    def test_block_bus_transfer_at_10mbps(self):
+        assert HP97560.block_bus_transfer_ms == pytest.approx(0.8192)
+
+    def test_blocks_per_cylinder(self):
+        assert HP97560.blocks_per_cylinder == (72 * 19) // 16
+
+    def test_media_slower_than_bus(self):
+        # The drive reads media slower than SCSI-II moves it, so transfers
+        # overlap and media time dominates.
+        assert HP97560.block_media_transfer_ms > HP97560.block_bus_transfer_ms
+
+
+class TestAddressArithmetic:
+    def test_block_zero_at_origin(self):
+        assert HP97560.block_to_cylinder(0) == 0
+        assert HP97560.block_to_track(0) == 0
+        assert HP97560.block_rotational_offset(0) == 0
+
+    def test_blocks_advance_through_track(self):
+        # 72 sectors / 16 per block = 4.5 blocks per track: block 4 straddles
+        # into track 1.
+        assert HP97560.block_rotational_offset(1) == 16
+        assert HP97560.block_rotational_offset(4) == 64
+
+    def test_track_boundary(self):
+        # Block 5 starts at sector 80 -> track 1, offset 8.
+        assert HP97560.block_to_track(5) == 1
+        assert HP97560.block_rotational_offset(5) == 8
+
+    def test_cylinder_boundary(self):
+        # 1368 sectors/cylinder at 16 sectors/block: block 85 *starts* at
+        # sector 1360 (still cylinder 0, straddling); block 86 is cylinder 1.
+        assert HP97560.block_to_cylinder(85) == 0
+        assert HP97560.block_to_cylinder(86) == 1
+
+    def test_last_block_is_addressable(self):
+        last = HP97560.total_blocks - 1
+        assert HP97560.block_to_cylinder(last) < HP97560.cylinders
+
+    def test_out_of_range_block_rejected(self):
+        with pytest.raises(ValueError):
+            HP97560.block_to_cylinder(HP97560.total_blocks)
+        with pytest.raises(ValueError):
+            HP97560.block_to_cylinder(-1)
+
+
+class TestCustomGeometry:
+    def test_block_size_must_divide_sectors(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(block_size=1000)
+
+    def test_small_geometry_block_math(self):
+        geom = DiskGeometry(
+            sectors_per_track=8, tracks_per_cylinder=2, cylinders=4,
+            block_size=2048,  # 4 sectors
+        )
+        assert geom.sectors_per_block == 4
+        assert geom.blocks_per_cylinder == 4
+        assert geom.total_blocks == 16
+        assert geom.block_to_cylinder(5) == 1
+
+
+class TestIBM0661:
+    def test_published_shape(self):
+        from repro.disk.geometry import IBM0661
+
+        assert IBM0661.cylinders == 949
+        assert IBM0661.tracks_per_cylinder == 14
+        assert IBM0661.sectors_per_track == 48
+        # ~320 MB class drive
+        capacity_mb = IBM0661.total_sectors * 512 / 1e6
+        assert 280 < capacity_mb < 380
+
+    def test_faster_rotation_than_hp(self):
+        from repro.disk.geometry import HP97560, IBM0661
+
+        assert IBM0661.rotation_ms < HP97560.rotation_ms
+
+    def test_engine_accepts_ibm_model(self):
+        from tests.conftest import make_trace
+        from repro.core import SimConfig, Simulator, make_policy
+
+        trace = make_trace(list(range(10)))
+        config = SimConfig(cache_blocks=16, disk_model="ibm0661")
+        result = Simulator(trace, make_policy("demand"), 2, config).run()
+        assert result.fetches == 10
+
+
+class TestZonedGeometry:
+    def _zoned(self):
+        from repro.disk.geometry import HP97560_ZONED
+
+        return HP97560_ZONED
+
+    def test_zone_cylinders_must_sum(self):
+        from repro.disk.geometry import Zone, ZonedGeometry
+
+        with pytest.raises(ValueError, match="zone cylinders"):
+            ZonedGeometry(zones=(Zone(100, 72),))
+
+    def test_outer_zone_streams_faster(self):
+        g = self._zoned()
+        inner_block = g.total_blocks - 1
+        assert g.media_transfer_ms(0) < g.media_transfer_ms(inner_block)
+
+    def test_cylinder_mapping_monotone(self):
+        g = self._zoned()
+        samples = [g.block_to_cylinder(b) for b in range(0, g.total_blocks, 997)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+        assert samples[-1] < g.cylinders
+
+    def test_rotational_fraction_in_unit_interval(self):
+        g = self._zoned()
+        for lbn in (0, 7, 50_000, g.total_blocks - 1):
+            assert 0.0 <= g.rotational_fraction(lbn) < 1.0
+
+    def test_capacity_close_to_flat_model(self):
+        from repro.disk.geometry import HP97560
+
+        g = self._zoned()
+        assert abs(g.total_blocks - HP97560.total_blocks) < HP97560.total_blocks * 0.02
+
+    def test_zone_boundaries_addressable(self):
+        g = self._zoned()
+        boundary = g._zone_starts[1][0]
+        assert g.block_to_cylinder(boundary - 1) < g.block_to_cylinder(boundary) + 1
+        # first block of zone 2 sits at that zone's first cylinder
+        assert g.block_to_cylinder(boundary) == g._zone_starts[1][1]
+
+    def test_engine_accepts_zoned_model(self):
+        from tests.conftest import make_trace
+        from repro.core import SimConfig, Simulator, make_policy
+
+        trace = make_trace(list(range(12)))
+        config = SimConfig(cache_blocks=16, disk_model="hp97560-zoned")
+        result = Simulator(trace, make_policy("aggressive"), 2, config).run()
+        assert result.fetches >= 12

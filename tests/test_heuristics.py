@@ -1,0 +1,134 @@
+"""Unhinted heuristic policies: LRU demand, readahead, stride prefetch."""
+
+import pytest
+
+import repro
+from repro.core import Simulator, make_policy
+from repro.core.heuristics import (
+    LRUDemand,
+    SequentialReadahead,
+    StridePrefetcher,
+)
+from tests.conftest import make_trace, run, simple_config
+
+
+class TestLRUDemand:
+    def test_registered(self):
+        assert isinstance(make_policy("lru-demand"), LRUDemand)
+
+    def test_never_prefetches(self):
+        result = run([0, 1, 2, 0, 1, 2], policy="lru-demand", cache_blocks=4)
+        assert result.fetches == 3
+
+    def test_lru_evicts_least_recent(self):
+        # Cache 2: after touching 0 then 1, fetching 2 must evict 0.
+        # Sequence then re-reads 1 (hit) and 0 (miss) -> 4 fetches.
+        result = run([0, 1, 2, 1, 0], policy="lru-demand", cache_blocks=2)
+        assert result.fetches == 4
+
+    def test_lru_worse_than_belady_on_cyclic_trace(self):
+        blocks = [0, 1, 2] * 6
+        lru = run(blocks, policy="lru-demand", cache_blocks=2)
+        belady = run(blocks, policy="demand", cache_blocks=2)
+        assert lru.fetches >= belady.fetches
+        # LRU on a loop one-over-cache is the pathological case.
+        assert lru.fetches == 18
+
+    def test_uses_no_future_knowledge(self):
+        """The policy must behave identically if the future is scrambled
+        (same prefix): decisions depend only on the past."""
+        a = run([0, 1, 2, 0, 9, 9, 9], policy="lru-demand", cache_blocks=2)
+        b = run([0, 1, 2, 0, 5, 6, 7], policy="lru-demand", cache_blocks=2)
+        # identical first four decisions -> identical fetch counts there;
+        # compare stall of the shared prefix via elapsed of first 4 refs
+        assert a.fetches >= 4 and b.fetches >= 4
+
+
+class TestSequentialReadahead:
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            SequentialReadahead(depth=0)
+
+    def test_prefetches_adjacent_blocks(self):
+        trace = make_trace(list(range(12)), compute_ms=20.0)
+        policy = SequentialReadahead(depth=4)
+        sim = Simulator(trace, policy, 1, simple_config(cache_blocks=16))
+        result = sim.run()
+        # After the first miss the next 4 blocks ride in on readahead:
+        # far fewer stalls than demand.
+        demand = run(list(range(12)), policy="lru-demand", cache_blocks=16,
+                     compute_ms=20.0)
+        assert result.stall_ms < demand.stall_ms
+
+    def test_helps_sequential_trace(self):
+        t = repro.build_workload("dinero", scale=0.2)
+        ra = repro.run_simulation(t, policy="seq-readahead", num_disks=1,
+                                  cache_blocks=102)
+        lru = repro.run_simulation(t, policy="lru-demand", num_disks=1,
+                                   cache_blocks=102)
+        assert ra.elapsed_ms < lru.elapsed_ms
+
+    def test_useless_on_random_index_trace(self):
+        t = repro.build_workload("postgres-select", scale=0.2)
+        ra = repro.run_simulation(t, policy="seq-readahead", num_disks=1,
+                                  cache_blocks=256)
+        fh = repro.run_simulation(t, policy="fixed-horizon", num_disks=1,
+                                  cache_blocks=256, horizon=12)
+        assert fh.elapsed_ms < ra.elapsed_ms  # hints win
+
+    def test_respects_file_boundaries(self):
+        from repro.trace import Trace
+        from repro.trace.synthetic import BlockSpace
+
+        space = BlockSpace()
+        a = space.new_file(4)
+        b = space.new_file(4)
+        trace = Trace("two-files", [a[3], b[0]], [20.0, 20.0],
+                      files=space.files)
+        issued = []
+
+        class Spy(SequentialReadahead):
+            def issue(self, block, victim):
+                issued.append(block)
+                super().issue(block, victim)
+
+        sim = Simulator(trace, Spy(depth=4), 1, simple_config(cache_blocks=8))
+        sim.run()
+        # Readahead from a[3] must not run into file b.
+        assert b[1] not in issued or b[0] in issued
+
+
+class TestStridePrefetcher:
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(depth=0)
+
+    def test_detects_constant_stride(self):
+        blocks = list(range(0, 60, 5))  # stride 5
+        strided = run(blocks, policy="stride-prefetch", cache_blocks=20,
+                      compute_ms=20.0)
+        lru = run(blocks, policy="lru-demand", cache_blocks=20,
+                  compute_ms=20.0)
+        assert strided.stall_ms < lru.stall_ms
+
+    def test_no_prefetch_without_confirmation(self):
+        issued = []
+
+        class Spy(StridePrefetcher):
+            def issue(self, block, victim):
+                issued.append(block)
+                super().issue(block, victim)
+
+        # Strides never repeat: 0, 1, 3, 7 (deltas 1, 2, 4).
+        trace = make_trace([0, 1, 3, 7], compute_ms=20.0)
+        sim = Simulator(trace, Spy(confirm=2), 1,
+                        simple_config(cache_blocks=8))
+        sim.run()
+        assert set(issued) == {0, 1, 3, 7}  # demand only
+
+    def test_all_heuristics_complete_all_workloads(self):
+        t = repro.build_workload("ld", scale=0.1)
+        for policy in ("lru-demand", "seq-readahead", "stride-prefetch"):
+            result = repro.run_simulation(t, policy=policy, num_disks=2,
+                                          cache_blocks=128)
+            assert result.references == t.references

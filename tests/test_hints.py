@@ -1,0 +1,145 @@
+"""Imperfect hints: degradation machinery and end-to-end behaviour."""
+
+import pytest
+
+import repro
+from repro.core.hints import HintQuality, degrade_hints, resolve_hint_view
+from repro.trace import Trace
+from tests.conftest import make_trace
+
+
+class TestHintQuality:
+    def test_perfect_by_default(self):
+        assert HintQuality().perfect
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            HintQuality(missing_fraction=-0.1)
+        with pytest.raises(ValueError):
+            HintQuality(wrong_fraction=1.5)
+        with pytest.raises(ValueError):
+            HintQuality(missing_fraction=0.6, wrong_fraction=0.6)
+
+
+class TestDegradeHints:
+    def _trace(self, n=400):
+        return make_trace(list(range(20)) * (n // 20))
+
+    def test_perfect_quality_is_identity(self):
+        trace = self._trace()
+        hints = degrade_hints(trace, HintQuality())
+        assert hints == trace.blocks
+
+    def test_missing_fraction_approximate(self):
+        trace = self._trace()
+        hints = degrade_hints(trace, HintQuality(missing_fraction=0.3, seed=1))
+        missing = sum(1 for h in hints if h is None)
+        assert 0.2 < missing / len(hints) < 0.4
+
+    def test_wrong_hints_name_other_blocks(self):
+        trace = self._trace()
+        hints = degrade_hints(trace, HintQuality(wrong_fraction=0.5, seed=2))
+        wrong = [
+            (h, b) for h, b in zip(hints, trace.blocks)
+            if h is not None and h != b
+        ]
+        assert wrong, "some hints must be wrong"
+        universe = set(trace.blocks)
+        assert all(h in universe for h, _b in wrong)
+
+    def test_deterministic_per_seed(self):
+        trace = self._trace()
+        quality = HintQuality(missing_fraction=0.2, wrong_fraction=0.2, seed=7)
+        assert degrade_hints(trace, quality) == degrade_hints(trace, quality)
+
+
+class TestResolveHintView:
+    def test_passthrough(self):
+        assert resolve_hint_view([1, 2, 3], [1, 2, 3]) == [1, 2, 3]
+
+    def test_missing_hint_repeats_previous(self):
+        assert resolve_hint_view([1, 2, 3], [1, None, 3]) == [1, 1, 3]
+
+    def test_leading_missing_borrows_future(self):
+        assert resolve_hint_view([5, 6, 7], [None, None, 7]) == [7, 7, 7]
+
+    def test_all_missing_falls_back_to_actual(self):
+        assert resolve_hint_view([5], [None]) == [5]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            resolve_hint_view([1, 2], [1])
+
+
+class TestEndToEnd:
+    def _run(self, quality=None, policy="fixed-horizon"):
+        trace = make_trace(list(range(24)) * 4, compute_ms=3.0)
+        from repro.core import Simulator, make_policy
+        from repro.core.hints import degrade_hints
+        from tests.conftest import simple_config
+
+        hints = None
+        if quality is not None:
+            hints = degrade_hints(trace, quality)
+        sim = Simulator(
+            trace, make_policy(policy, horizon=6), 2,
+            simple_config(cache_blocks=16), hints=hints,
+        )
+        return sim.run()
+
+    def test_perfect_hints_unchanged(self):
+        explicit = self._run(HintQuality())
+        implicit = self._run(None)
+        assert explicit.elapsed_ms == implicit.elapsed_ms
+
+    def test_every_reference_still_served(self):
+        result = self._run(HintQuality(missing_fraction=0.4, seed=3))
+        assert result.references == 96
+
+    def test_accounting_holds_under_degraded_hints(self):
+        result = self._run(
+            HintQuality(missing_fraction=0.2, wrong_fraction=0.2, seed=4)
+        )
+        total = result.compute_ms + result.driver_ms + result.stall_ms
+        assert result.elapsed_ms == pytest.approx(total, abs=1e-6)
+
+    def test_missing_hints_cost_stall(self):
+        perfect = self._run(None)
+        degraded = self._run(HintQuality(missing_fraction=0.5, seed=5))
+        assert degraded.stall_ms > perfect.stall_ms
+
+    def test_wrong_hints_cost_time(self):
+        perfect = self._run(None)
+        degraded = self._run(HintQuality(wrong_fraction=0.4, seed=6))
+        assert degraded.elapsed_ms >= perfect.elapsed_ms
+
+    def test_public_api_hint_quality(self):
+        trace = repro.build_workload("ld", scale=0.1)
+        perfect = repro.run_simulation(
+            trace, policy="fixed-horizon", num_disks=2, cache_blocks=128
+        )
+        degraded = repro.run_simulation(
+            trace, policy="fixed-horizon", num_disks=2, cache_blocks=128,
+            hint_quality=repro.HintQuality(missing_fraction=0.3, seed=9),
+        )
+        assert degraded.elapsed_ms >= perfect.elapsed_ms
+
+    @pytest.mark.parametrize(
+        "policy", ["demand", "fixed-horizon", "aggressive", "forestall"]
+    )
+    def test_all_policies_survive_degradation(self, policy):
+        trace = make_trace(list(range(24)) * 4, compute_ms=3.0)
+        from repro.core import Simulator, make_policy
+        from repro.core.hints import degrade_hints
+        from tests.conftest import simple_config
+
+        hints = degrade_hints(
+            trace, HintQuality(missing_fraction=0.25, wrong_fraction=0.25,
+                               seed=8)
+        )
+        sim = Simulator(
+            trace, make_policy(policy), 2,
+            simple_config(cache_blocks=16), hints=hints,
+        )
+        result = sim.run()
+        assert result.references == 96

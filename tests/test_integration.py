@@ -1,0 +1,142 @@
+"""Integration: full workloads through the full stack, checking the
+paper's qualitative findings (section 1.4's summary of results)."""
+
+import pytest
+
+import repro
+from repro.analysis.experiments import ExperimentSetting, run_one
+
+SCALE = 0.15  # small but structure-preserving
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return ExperimentSetting(scale=SCALE)
+
+
+def elapsed(setting, trace, policy, disks, **kw):
+    return run_one(setting, trace, policy, disks, **kw).elapsed_ms
+
+
+class TestFinding1PrefetchingBeatsDemand:
+    """All four algorithms significantly outperform demand fetching."""
+
+    @pytest.mark.parametrize("trace", ["postgres-select", "cscope2", "ld"])
+    @pytest.mark.parametrize(
+        "policy", ["fixed-horizon", "aggressive", "forestall"]
+    )
+    def test_beats_demand(self, setting, trace, policy):
+        demand = elapsed(setting, trace, "demand", 2)
+        other = elapsed(setting, trace, policy, 2)
+        assert other < demand
+
+
+class TestFinding2NearLinearStallReduction:
+    """Prefetchers achieve near-linear I/O overhead reduction until the
+    application becomes compute-bound."""
+
+    def test_stall_decreases_with_disks(self, setting):
+        stalls = [
+            run_one(setting, "postgres-select", "aggressive", d).stall_ms
+            for d in (1, 2, 4)
+        ]
+        assert stalls[0] > stalls[1] > stalls[2]
+
+    def test_elapsed_floor_is_compute_plus_driver(self, setting):
+        # H stays at the device value 62 here: for this trace (nearly every
+        # reference misses) the horizon is what feeds all eight disks.
+        result = run_one(
+            setting, "postgres-select", "fixed-horizon", 8, horizon=62
+        )
+        floor = result.compute_ms + result.driver_ms
+        assert result.elapsed_ms < floor * 1.15
+
+
+class TestFinding4OneOfThemTracksReverseAggressive:
+    """In any situation, fixed horizon or aggressive performs close to the
+    (tuned) reverse aggressive."""
+
+    @pytest.mark.parametrize("disks", [1, 4])
+    def test_best_practical_close_to_reverse(self, setting, disks):
+        from repro.analysis.experiments import tuned_reverse_aggressive
+
+        trace = "cscope2"
+        reverse = tuned_reverse_aggressive(
+            setting, trace, disks, fetch_times=(2, 8, 32)
+        )
+        best = min(
+            elapsed(setting, trace, "fixed-horizon", disks),
+            elapsed(setting, trace, "aggressive", disks),
+        )
+        assert best <= reverse.elapsed_ms * 1.25
+
+
+class TestFinding5ForestallTracksTheBest:
+    """Forestall performs close to the better of FH/aggressive everywhere."""
+
+    @pytest.mark.parametrize("trace", ["cscope2", "postgres-select", "synth"])
+    @pytest.mark.parametrize("disks", [1, 3])
+    def test_forestall_near_best(self, setting, trace, disks):
+        best = min(
+            elapsed(setting, trace, "fixed-horizon", disks),
+            elapsed(setting, trace, "aggressive", disks),
+        )
+        forestall = elapsed(setting, trace, "forestall", disks)
+        assert forestall <= best * 1.12
+
+
+class TestFinding7FixedHorizonLightestLoad:
+    """Fixed horizon places the least I/O load on the disks."""
+
+    @pytest.mark.parametrize("trace", ["synth", "cscope2", "glimpse"])
+    def test_fh_fewest_fetches(self, setting, trace):
+        fh = run_one(setting, trace, "fixed-horizon", 2)
+        agg = run_one(setting, trace, "aggressive", 2)
+        assert fh.fetches <= agg.fetches
+
+    def test_aggressive_higher_utilization(self, setting):
+        fh = run_one(setting, "postgres-select", "fixed-horizon", 4)
+        agg = run_one(setting, "postgres-select", "aggressive", 4)
+        assert agg.disk_utilization >= fh.disk_utilization
+
+
+class TestCrossoverBehaviour:
+    """I/O-bound: aggressive wins; compute-bound: fixed horizon wins
+    (the Figure 4 crossover)."""
+
+    def test_io_bound_end(self, setting):
+        agg = elapsed(setting, "synth", "aggressive", 1)
+        fh = elapsed(setting, "synth", "fixed-horizon", 1)
+        assert agg < fh
+
+    def test_compute_bound_end(self, setting):
+        agg = elapsed(setting, "synth", "aggressive", 4)
+        fh = elapsed(setting, "synth", "fixed-horizon", 4)
+        assert fh < agg
+
+
+class TestPublicApi:
+    def test_run_simulation_defaults(self):
+        trace = repro.build_workload("ld", scale=0.1)
+        result = repro.run_simulation(trace, policy="forestall", num_disks=2,
+                                      cache_blocks=128)
+        assert result.policy_name == "forestall"
+        assert result.num_disks == 2
+
+    def test_run_simulation_policy_instance(self):
+        trace = repro.build_workload("ld", scale=0.1)
+        policy = repro.FixedHorizon(horizon=16)
+        result = repro.run_simulation(trace, policy=policy, num_disks=1,
+                                      cache_blocks=128)
+        assert "fixed-horizon" in result.policy_name
+
+    def test_unknown_policy_rejected(self):
+        trace = repro.build_workload("ld", scale=0.1)
+        with pytest.raises(ValueError, match="unknown policy"):
+            repro.run_simulation(trace, policy="lru")
+
+    def test_default_cache_uses_paper_value(self):
+        trace = repro.build_workload("dinero", scale=0.05)
+        result = repro.run_simulation(trace, num_disks=1)
+        # dinero's paper cache is 512 blocks (unscaled default path)
+        assert result.cache_blocks == 512

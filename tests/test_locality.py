@@ -1,0 +1,189 @@
+"""Locality analysis: Mattson distances, miss-ratio curves, metrics."""
+
+import random
+
+import pytest
+
+from repro.analysis.locality import (
+    characterize,
+    hot_block_share,
+    miss_ratio_curve,
+    reuse_distances,
+    sequentiality,
+    working_set_curve,
+)
+from repro.core.nextref import INFINITE
+from repro.trace import build as build_workload
+
+
+class TestReuseDistances:
+    def test_first_access_infinite(self):
+        assert reuse_distances([1, 2, 3]) == [INFINITE, INFINITE, INFINITE]
+
+    def test_immediate_reuse_distance_zero(self):
+        assert reuse_distances([1, 1])[1] == 0.0
+
+    def test_distance_counts_distinct_intervening(self):
+        # 1, 2, 2, 3, 1: the second 1 saw {2, 3} in between -> distance 2.
+        distances = reuse_distances([1, 2, 2, 3, 1])
+        assert distances[4] == 2.0
+        assert distances[2] == 0.0
+
+    def test_matches_naive_stack_simulation(self):
+        rng = random.Random(5)
+        blocks = [rng.randrange(12) for _ in range(300)]
+
+        def naive(blocks):
+            out, stack = [], []
+            for b in blocks:
+                if b in stack:
+                    depth = len(stack) - 1 - stack.index(b)
+                    out.append(float(depth))
+                    stack.remove(b)
+                else:
+                    out.append(INFINITE)
+                stack.append(b)
+            return out
+
+        assert reuse_distances(blocks) == naive(blocks)
+
+    def test_empty(self):
+        assert reuse_distances([]) == []
+
+
+class TestMissRatioCurve:
+    def test_loop_one_over_cache_is_all_misses(self):
+        blocks = [0, 1, 2] * 10
+        curve = miss_ratio_curve(blocks, [2, 3])
+        assert curve[2] == 1.0  # LRU pathological loop
+        assert curve[3] == pytest.approx(3 / 30)  # only cold misses
+
+    def test_monotone_nonincreasing_in_size(self):
+        rng = random.Random(6)
+        blocks = [rng.randrange(40) for _ in range(500)]
+        sizes = [1, 2, 4, 8, 16, 32, 64]
+        curve = miss_ratio_curve(blocks, sizes)
+        ratios = [curve[s] for s in sizes]
+        assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_cache_of_distinct_size_only_cold_misses(self):
+        blocks = [0, 1, 2, 0, 1, 2, 0]
+        curve = miss_ratio_curve(blocks, [3])
+        assert curve[3] == pytest.approx(3 / 7)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            miss_ratio_curve([1], [0])
+
+    def test_empty_trace(self):
+        assert miss_ratio_curve([], [4]) == {4: 0.0}
+
+
+class TestSequentiality:
+    def test_pure_sequential(self):
+        assert sequentiality(list(range(50))) == 1.0
+
+    def test_pure_random_near_zero(self):
+        rng = random.Random(7)
+        blocks = [rng.randrange(10_000) for _ in range(500)]
+        assert sequentiality(blocks) < 0.05
+
+    def test_short_traces(self):
+        assert sequentiality([]) == 0.0
+        assert sequentiality([5]) == 0.0
+
+    def test_paper_traces_ordering(self):
+        """dinero (single sequential file) must be far more sequential than
+        postgres-select (index-driven random)."""
+        dinero = build_workload("dinero", scale=0.2)
+        postgres = build_workload("postgres-select", scale=0.2)
+        assert sequentiality(dinero.blocks) > 0.9
+        assert sequentiality(postgres.blocks) < 0.3
+
+
+class TestWorkingSetAndHotness:
+    def test_working_set_bounded_by_window(self):
+        blocks = [0, 1] * 50
+        curve = working_set_curve(blocks, [4, 10])
+        assert curve[4] == 2.0
+        assert curve[10] == 2.0
+
+    def test_working_set_grows_with_window_on_scan(self):
+        blocks = list(range(100))
+        curve = working_set_curve(blocks, [5, 20])
+        assert curve[20] > curve[5]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            working_set_curve([1], [0])
+
+    def test_hot_share_uniform(self):
+        blocks = list(range(10)) * 10
+        assert hot_block_share(blocks, 0.1) == pytest.approx(0.1)
+
+    def test_hot_share_skewed(self):
+        blocks = [0] * 90 + list(range(1, 11))
+        assert hot_block_share(blocks, 0.1) == pytest.approx(0.9)
+
+    def test_glimpse_is_hot_block_dominated(self):
+        glimpse = build_workload("glimpse", scale=0.2)
+        uniform_share = 0.1
+        assert hot_block_share(glimpse.blocks, 0.1) > uniform_share * 3
+
+
+class TestCharacterize:
+    def test_fingerprint_keys(self):
+        trace = build_workload("ld", scale=0.1)
+        fp = characterize(trace)
+        assert fp["references"] == trace.references
+        assert fp["distinct_blocks"] == trace.distinct_blocks
+        assert 0 <= fp["sequentiality"] <= 1
+        assert fp["miss_ratio_full_cache"] <= fp["miss_ratio_small_cache"]
+
+    def test_full_cache_leaves_only_cold_misses(self):
+        trace = build_workload("dinero", scale=0.1)
+        fp = characterize(trace)
+        expected = trace.distinct_blocks / trace.references
+        assert fp["miss_ratio_full_cache"] == pytest.approx(expected, abs=1e-3)
+
+
+class TestMattsonMatchesSimulator:
+    """The analytic miss-ratio curve and the simulated LRU-demand policy are
+    independent implementations of the same mathematics: predicted misses
+    must equal simulated fetches exactly, at every cache size."""
+
+    @pytest.mark.parametrize("name", ["glimpse", "cscope1", "ld"])
+    def test_predicted_misses_equal_lru_fetches(self, name):
+        import repro
+
+        trace = build_workload(name, scale=0.15)
+        distinct = trace.distinct_blocks
+        sizes = [max(4, distinct // 8), max(4, distinct // 2), distinct]
+        curve = miss_ratio_curve(trace.blocks, sizes)
+        for size in sizes:
+            predicted = round(curve[size] * trace.references)
+            simulated = repro.run_simulation(
+                trace, policy="lru-demand", num_disks=1, cache_blocks=size
+            ).fetches
+            assert predicted == simulated, (
+                f"{name} K={size}: Mattson {predicted} vs LRU sim {simulated}"
+            )
+
+    def test_hypothesis_random_traces(self):
+        import random
+
+        import repro
+        from repro.trace import Trace
+
+        rng = random.Random(11)
+        for _ in range(5):
+            blocks = [rng.randrange(15) for _ in range(120)]
+            trace = Trace("rand", blocks, [1.0] * len(blocks))
+            for size in (2, 5, 15):
+                predicted = round(
+                    miss_ratio_curve(blocks, [size])[size] * len(blocks)
+                )
+                simulated = repro.run_simulation(
+                    trace, policy="lru-demand", num_disks=1, cache_blocks=size
+                ).fetches
+                assert predicted == simulated

@@ -1,0 +1,132 @@
+"""Next-reference index and the furthest-future eviction heap."""
+
+import pytest
+
+from repro.core.nextref import (
+    INFINITE,
+    EvictionHeap,
+    NextRefIndex,
+    first_missing_positions,
+)
+
+
+class TestNextRefIndex:
+    def test_positions_collected_per_block(self):
+        index = NextRefIndex([1, 2, 1, 3, 1])
+        assert index.positions[1] == [0, 2, 4]
+        assert index.positions[3] == [3]
+
+    def test_next_use_at_cursor_zero(self):
+        index = NextRefIndex([5, 6, 5])
+        assert index.next_use(5, 0) == 0
+        assert index.next_use(6, 0) == 1
+
+    def test_next_use_advances_with_cursor(self):
+        index = NextRefIndex([5, 6, 5])
+        assert index.next_use(5, 1) == 2
+        assert index.next_use(5, 3) is INFINITE
+
+    def test_unknown_block_is_infinite(self):
+        index = NextRefIndex([1, 2, 3])
+        assert index.next_use(99, 0) is INFINITE
+
+    def test_next_use_exactly_at_position(self):
+        index = NextRefIndex([7, 8, 7])
+        assert index.next_use(7, 2) == 2
+
+    def test_cold_query_any_cursor_order(self):
+        index = NextRefIndex([1, 2, 1, 2, 1])
+        assert index.next_use_cold(1, 4) == 4
+        assert index.next_use_cold(1, 0) == 0  # backwards is fine cold
+        assert index.next_use_cold(2, 4) is INFINITE
+
+    def test_distinct_blocks(self):
+        index = NextRefIndex([1, 1, 2, 3, 3, 3])
+        assert index.distinct_blocks == 3
+
+    def test_len_is_reference_count(self):
+        assert len(NextRefIndex([4, 4, 4])) == 3
+
+
+class TestEvictionHeap:
+    def _setup(self, blocks, resident):
+        index = NextRefIndex(blocks)
+        resident_set = set(resident)
+        heap = EvictionHeap(index, resident_set)
+        for block in resident_set:
+            heap.push(block, 0)
+        return index, resident_set, heap
+
+    def test_picks_furthest_next_use(self):
+        # refs: a=0, b=1, c=5; resident all -> victim is c (furthest).
+        _, _, heap = self._setup([1, 2, 9, 9, 9, 3], resident=[1, 2, 3])
+        assert heap.best_victim(0) == 3
+
+    def test_never_referenced_again_is_best(self):
+        _, _, heap = self._setup([1, 2, 3], resident=[1, 2, 7])
+        assert heap.best_victim(0) == 7
+
+    def test_stale_entries_revalidated_after_cursor_moves(self):
+        blocks = [1, 2, 1, 2]
+        index, resident, heap = self._setup(blocks, resident=[1, 2])
+        # At cursor 0: next uses 1->0, 2->1, so 2 is victim.
+        assert heap.best_victim(0) == 2
+        # After consuming both once (cursor 2): 1->2, 2->3: still 2.
+        heap.push(1, 2)
+        heap.push(2, 2)
+        assert heap.best_victim(2) == 2
+        # At cursor 3, block 1 never again (INF), block 2 at 3 -> victim 1.
+        heap.push(1, 3)
+        heap.push(2, 3)
+        assert heap.best_victim(3) == 1
+
+    def test_evicted_blocks_skipped(self):
+        _, resident, heap = self._setup([1, 2, 3], resident=[1, 2, 3])
+        resident.discard(3)
+        victim = heap.best_victim(0)
+        assert victim in (1, 2)
+
+    def test_exclude_does_not_lose_entries(self):
+        _, _, heap = self._setup([1, 2, 3], resident=[1, 2, 3])
+        first = heap.best_victim(0, exclude={3})
+        assert first == 2
+        # 3 must still be discoverable afterwards.
+        assert heap.best_victim(0) == 3
+
+    def test_empty_heap_returns_none(self):
+        _, _, heap = self._setup([1], resident=[])
+        assert heap.best_victim(0) is None
+
+
+class TestFirstMissingPositions:
+    def test_yields_missing_in_order(self):
+        blocks = [1, 2, 3, 2, 4]
+        present = {2}
+        got = list(
+            first_missing_positions(blocks, 0, lambda b: b in present, limit=10)
+        )
+        assert got == [0, 2, 4]
+
+    def test_deduplicates_blocks(self):
+        blocks = [7, 7, 7]
+        got = list(first_missing_positions(blocks, 0, lambda b: False, limit=10))
+        assert got == [0]
+
+    def test_respects_limit(self):
+        blocks = list(range(100))
+        got = list(first_missing_positions(blocks, 0, lambda b: False, limit=5))
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_max_count(self):
+        blocks = list(range(100))
+        got = list(
+            first_missing_positions(
+                blocks, 0, lambda b: False, limit=100, max_count=3
+            )
+        )
+        assert len(got) == 3
+
+    def test_starts_at_cursor(self):
+        blocks = [1, 2, 3]
+        got = list(first_missing_positions(blocks, 1, lambda b: False, limit=10))
+        assert got == [1, 2]

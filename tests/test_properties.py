@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis): invariants that must hold for every
+trace, policy, and configuration."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import POLICIES, Simulator, make_policy
+from repro.core.nextref import INFINITE, NextRefIndex
+from repro.theory.model import run_aggressive_model, run_demand_model
+from tests.conftest import make_trace, simple_config
+
+# Small random traces: up to 40 references over up to 12 distinct blocks.
+traces = st.lists(
+    st.integers(min_value=0, max_value=11), min_size=1, max_size=40
+)
+policies = st.sampled_from(sorted(POLICIES))
+disk_counts = st.integers(min_value=1, max_value=3)
+cache_sizes = st.integers(min_value=2, max_value=8)
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSimulationInvariants:
+    @given(blocks=traces, policy=policies, disks=disk_counts, K=cache_sizes)
+    @RELAXED
+    def test_every_run_completes_with_exact_accounting(
+        self, blocks, policy, disks, K
+    ):
+        trace = make_trace(blocks, compute_ms=1.0)
+        sim = Simulator(
+            trace, make_policy(policy), disks, simple_config(cache_blocks=K)
+        )
+        result = sim.run()  # check_accounting runs internally
+        assert result.references == len(blocks)
+        assert result.fetches >= len(set(blocks)) if K >= len(set(blocks)) else True
+
+    @given(blocks=traces, policy=policies, disks=disk_counts, K=cache_sizes)
+    @RELAXED
+    def test_cache_occupancy_never_exceeds_capacity(
+        self, blocks, policy, disks, K
+    ):
+        trace = make_trace(blocks)
+        sim = Simulator(
+            trace, make_policy(policy), disks, simple_config(cache_blocks=K)
+        )
+        cache = sim.cache
+        original = cache.begin_fetch
+        max_seen = [0]
+
+        def watched(block, victim):
+            original(block, victim)
+            max_seen[0] = max(
+                max_seen[0], len(cache.resident) + len(cache.in_flight)
+            )
+
+        cache.begin_fetch = watched
+        sim.run()
+        assert max_seen[0] <= K
+
+    @given(blocks=traces, policy=policies, K=cache_sizes)
+    @RELAXED
+    def test_fetch_count_at_least_distinct_blocks(self, blocks, policy, K):
+        # Cold cache: every distinct block must be fetched at least once.
+        trace = make_trace(blocks)
+        sim = Simulator(
+            trace, make_policy(policy), 1, simple_config(cache_blocks=K)
+        )
+        result = sim.run()
+        assert result.fetches >= len(set(blocks))
+
+    @given(blocks=traces, policy=policies)
+    @RELAXED
+    def test_elapsed_at_least_compute_plus_driver(self, blocks, policy):
+        trace = make_trace(blocks, compute_ms=2.0)
+        sim = Simulator(trace, make_policy(policy), 2, simple_config(8))
+        result = sim.run()
+        assert result.elapsed_ms >= result.compute_ms + result.driver_ms - 1e-9
+
+    @given(blocks=traces, policy=policies, K=cache_sizes)
+    @RELAXED
+    def test_demand_fetches_most_prefetchers_never_fetch_less_than_distinct(
+        self, blocks, policy, K
+    ):
+        """Demand with Belady achieves the minimum possible fetch count;
+        no policy can fetch fewer (it would miss a block)."""
+        trace = make_trace(blocks)
+        demand = Simulator(
+            trace, make_policy("demand"), 1, simple_config(cache_blocks=K)
+        ).run()
+        other = Simulator(
+            make_trace(blocks), make_policy(policy), 1,
+            simple_config(cache_blocks=K),
+        ).run()
+        assert other.fetches >= demand.fetches
+
+
+class TestTheoryModelInvariants:
+    @given(
+        blocks=traces,
+        K=cache_sizes,
+        F=st.integers(min_value=1, max_value=4),
+        d=disk_counts,
+    )
+    @RELAXED
+    def test_model_elapsed_is_references_plus_stall(self, blocks, K, F, d):
+        run = run_aggressive_model(
+            blocks, K, F, d, disk_of=lambda b: b % d, batch_size=2
+        )
+        assert run.elapsed == pytest.approx(len(blocks) + run.stall)
+
+    @given(blocks=traces, K=cache_sizes, F=st.integers(1, 4))
+    @RELAXED
+    def test_aggressive_model_within_theorem_bound_of_demand(
+        self, blocks, K, F
+    ):
+        """Aggressive can lose to demand outright ("early replacement":
+        an early fetch evicts a block whose refetch costs more than the
+        stall saved — e.g. [1, 0, 2, 1] with K=2, F=4), but Cao et al.'s
+        single-disk bound, elapsed <= (1 + F/K) x optimal, holds with
+        demand's elapsed standing in for (an upper bound on) optimal."""
+        demand = run_demand_model(blocks, K, F, 1, lambda b: 0)
+        agg = run_aggressive_model(blocks, K, F, 1, lambda b: 0, batch_size=1)
+        assert agg.elapsed <= (1 + F / K) * demand.elapsed + F
+
+    @given(blocks=traces, K=cache_sizes, F=st.integers(1, 4), d=disk_counts)
+    @RELAXED
+    def test_model_final_cache_within_capacity(self, blocks, K, F, d):
+        run = run_aggressive_model(blocks, K, F, d, lambda b: b % d)
+        assert len(run.final_cache) <= K
+
+
+class TestNextRefProperties:
+    @given(blocks=traces)
+    @RELAXED
+    def test_next_use_monotone_and_correct(self, blocks):
+        index = NextRefIndex(blocks)
+        for cursor in range(len(blocks)):
+            block = blocks[cursor]
+            assert index.next_use_cold(block, cursor) == cursor
+
+    @given(blocks=traces, cursor=st.integers(0, 40))
+    @RELAXED
+    def test_cold_matches_linear_scan(self, blocks, cursor):
+        index = NextRefIndex(blocks)
+        for block in set(blocks):
+            expected = INFINITE
+            for position in range(cursor, len(blocks)):
+                if blocks[position] == block:
+                    expected = position
+                    break
+            assert index.next_use_cold(block, cursor) == expected

@@ -1,0 +1,219 @@
+"""Property-based tests for the disk layer, writes, hints, and the
+multi-process simulator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimConfig, Simulator, make_policy
+from repro.core.hints import HintQuality, degrade_hints, resolve_hint_view
+from repro.core.multiprocess import MultiProcessSimulator, StaticAllocator
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import HP97560
+from repro.disk.scheduler import CSCANQueue, FCFSQueue, Request
+from tests.conftest import make_trace, simple_config
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+small_traces = st.lists(st.integers(0, 9), min_size=1, max_size=30)
+
+
+class TestDriveProperties:
+    @given(
+        lbns=st.lists(
+            st.integers(0, HP97560.total_blocks - 1), min_size=1, max_size=40
+        )
+    )
+    @RELAXED
+    def test_service_times_positive_and_bounded(self, lbns):
+        drive = DiskDrive()
+        t = 0.0
+        worst = (
+            HP97560.controller_overhead_ms
+            + 8.0 + 0.008 * HP97560.cylinders  # longest seek
+            + HP97560.rotation_ms
+            + HP97560.block_media_transfer_ms
+            + HP97560.rotation_ms  # readahead cache_wait slack
+        )
+        for lbn in lbns:
+            breakdown = drive.service(lbn, t)
+            assert breakdown.total > 0
+            assert breakdown.total <= worst
+            t += breakdown.total
+
+    @given(
+        lbns=st.lists(
+            st.integers(0, HP97560.total_blocks - 1), min_size=2, max_size=30
+        )
+    )
+    @RELAXED
+    def test_cache_hit_never_slower_than_fresh_mechanical(self, lbns):
+        """The cache-vs-mechanical arbitration guarantees a hit is taken
+        only when it wins."""
+        drive = DiskDrive()
+        t = 0.0
+        for lbn in lbns:
+            before_cyl = drive._cylinder
+            before_track = drive._track
+            breakdown = drive.service(lbn, t)
+            if breakdown.cache_hit:
+                shadow = DiskDrive()
+                shadow._cylinder = before_cyl
+                shadow._track = before_track
+                mech = shadow.service(lbn, t)
+                assert breakdown.total <= mech.total + 1e-9
+            t += breakdown.total
+
+
+class TestSchedulerProperties:
+    requests = st.lists(st.integers(0, 500), min_size=1, max_size=25)
+
+    @given(lbns=requests)
+    @RELAXED
+    def test_every_request_served_exactly_once(self, lbns):
+        for queue_type in (FCFSQueue, CSCANQueue):
+            queue = queue_type(lambda lbn: lbn // 10)
+            for seq, lbn in enumerate(lbns):
+                queue.push(Request(lbn=lbn, block=lbn, seq=seq))
+            served = []
+            head = 0
+            while True:
+                request = queue.pop(head)
+                if request is None:
+                    break
+                served.append((request.lbn, request.seq))
+                head = request.lbn // 10
+            assert sorted(served) == sorted(
+                (lbn, seq) for seq, lbn in enumerate(lbns)
+            )
+
+    @given(lbns=requests)
+    @RELAXED
+    def test_cscan_travel_never_exceeds_fcfs(self, lbns):
+        def travel(queue_type):
+            queue = queue_type(lambda lbn: lbn)
+            for seq, lbn in enumerate(lbns):
+                queue.push(Request(lbn=lbn, block=lbn, seq=seq))
+            head, total = 0, 0
+            while True:
+                request = queue.pop(head)
+                if request is None:
+                    return total
+                # circular distance: CSCAN wraps in one direction
+                total += abs(request.lbn - head)
+                head = request.lbn
+            return total
+
+        assert travel(CSCANQueue) <= travel(FCFSQueue) + 501  # one wrap slack
+
+
+class TestWriteProperties:
+    @given(
+        blocks=small_traces,
+        mask_seed=st.integers(0, 10),
+        policy=st.sampled_from(["demand", "fixed-horizon", "forestall"]),
+    )
+    @RELAXED
+    def test_any_write_mix_completes_with_exact_accounting(
+        self, blocks, mask_seed, policy
+    ):
+        import random
+
+        rng = random.Random(mask_seed)
+        writes = [rng.random() < 0.4 for _ in blocks]
+        from repro.trace import Trace
+
+        trace = Trace("p", list(blocks), [1.0] * len(blocks), writes=writes)
+        sim = Simulator(
+            trace, make_policy(policy), 2, simple_config(cache_blocks=4)
+        )
+        result = sim.run()
+        assert result.references == len(blocks)
+        total = result.compute_ms + result.driver_ms + result.stall_ms
+        assert result.elapsed_ms == pytest.approx(total, abs=1e-6)
+        assert result.extras["flushes"] <= result.extras["writes"]
+
+    @given(blocks=small_traces)
+    @RELAXED
+    def test_pure_write_stream_never_stalls(self, blocks):
+        from repro.trace import Trace
+
+        trace = Trace(
+            "w", list(blocks), [1.0] * len(blocks), writes=[True] * len(blocks)
+        )
+        sim = Simulator(
+            trace, make_policy("demand"), 1, simple_config(cache_blocks=4)
+        )
+        result = sim.run()
+        assert result.stall_ms == 0.0
+        assert result.fetches == 0
+
+
+class TestHintProperties:
+    @given(
+        blocks=small_traces,
+        missing=st.floats(0.0, 0.5),
+        wrong=st.floats(0.0, 0.5),
+        seed=st.integers(0, 5),
+        policy=st.sampled_from(["fixed-horizon", "aggressive", "forestall"]),
+    )
+    @RELAXED
+    def test_degraded_hints_never_break_correctness(
+        self, blocks, missing, wrong, seed, policy
+    ):
+        trace = make_trace(blocks)
+        quality = HintQuality(
+            missing_fraction=missing, wrong_fraction=wrong, seed=seed
+        )
+        hints = degrade_hints(trace, quality)
+        sim = Simulator(
+            trace, make_policy(policy), 2,
+            simple_config(cache_blocks=4), hints=hints,
+        )
+        result = sim.run()
+        assert result.references == len(blocks)
+
+    @given(blocks=small_traces, seed=st.integers(0, 5))
+    @RELAXED
+    def test_resolved_view_always_names_real_blocks(self, blocks, seed):
+        trace = make_trace(blocks)
+        hints = degrade_hints(
+            trace, HintQuality(missing_fraction=0.4, seed=seed)
+        )
+        view = resolve_hint_view(trace.blocks, hints)
+        assert len(view) == len(blocks)
+        universe = set(blocks)
+        assert all(block in universe for block in view)
+
+
+class TestMultiProcessProperties:
+    @given(
+        a=small_traces,
+        b=small_traces,
+        disks=st.integers(1, 3),
+        policy=st.sampled_from(["demand", "fixed-horizon", "aggressive"]),
+    )
+    @RELAXED
+    def test_two_arbitrary_processes_complete(self, a, b, disks, policy):
+        sim = MultiProcessSimulator(
+            [
+                (make_trace(a, name="A"), make_policy(policy)),
+                (make_trace(b, name="B"), make_policy("demand")),
+            ],
+            num_disks=disks,
+            config=SimConfig(
+                cache_blocks=8, disk_model="simple",
+                simple_access_ms=5.0, simple_sequential_ms=None,
+            ),
+            allocator=StaticAllocator(),
+        )
+        results = sim.run()
+        assert results[0].references == len(a)
+        assert results[1].references == len(b)
+        for r in results:
+            total = r.compute_ms + r.driver_ms + r.stall_ms
+            assert r.elapsed_ms == pytest.approx(total, abs=1e-6)

@@ -1,0 +1,80 @@
+"""SimulationResult: derived quantities, accounting check, rendering."""
+
+import pytest
+
+from repro.core.results import SimulationResult
+
+
+def result(**overrides):
+    base = dict(
+        trace_name="t", policy_name="p", num_disks=2, cache_blocks=64,
+        fetches=10, compute_ms=1000.0, driver_ms=5.0, stall_ms=95.0,
+        elapsed_ms=1100.0, average_fetch_ms=9.5, disk_utilization=0.5,
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestDerived:
+    def test_second_conversions(self):
+        r = result()
+        assert r.elapsed_s == pytest.approx(1.1)
+        assert r.compute_s == pytest.approx(1.0)
+        assert r.driver_s == pytest.approx(0.005)
+        assert r.stall_s == pytest.approx(0.095)
+
+
+class TestAccounting:
+    def test_consistent_passes(self):
+        result().check_accounting()
+
+    def test_inconsistent_raises(self):
+        bad = result(elapsed_ms=1200.0)
+        with pytest.raises(AssertionError, match="accounting identity"):
+            bad.check_accounting()
+
+    def test_tolerance_respected(self):
+        nearly = result(elapsed_ms=1100.0 + 1e-9)
+        nearly.check_accounting(tolerance_ms=1e-6)
+
+
+class TestRendering:
+    def test_str_mentions_components(self):
+        text = str(result())
+        for token in ("t/p", "disks=2", "elapsed=1.100s", "fetches=10"):
+            assert token in text
+
+    def test_to_dict_rounding(self):
+        d = result().to_dict()
+        assert d["trace"] == "t"
+        assert d["elapsed_s"] == 1.1
+        assert d["disks"] == 2
+
+
+class TestSimpleDrive:
+    def test_uniform_access(self):
+        from repro.disk.simple import SimpleDrive
+
+        drive = SimpleDrive(access_ms=7.0)
+        assert drive.service(100, 0.0).total == pytest.approx(7.0)
+        assert drive.service(5, 0.0).total == pytest.approx(7.0)
+
+    def test_sequential_discount(self):
+        from repro.disk.simple import SimpleDrive
+
+        drive = SimpleDrive(access_ms=10.0, sequential_ms=2.0)
+        drive.service(50, 0.0)
+        b = drive.service(51, 10.0)
+        assert b.cache_hit
+        assert b.total == pytest.approx(2.0)
+        b2 = drive.service(53, 20.0)
+        assert not b2.cache_hit
+
+    def test_counters(self):
+        from repro.disk.simple import SimpleDrive
+
+        drive = SimpleDrive(access_ms=1.0, sequential_ms=0.5)
+        drive.service(1, 0.0)
+        drive.service(2, 1.0)
+        assert drive.requests_served == 2
+        assert drive.cache_hits == 1

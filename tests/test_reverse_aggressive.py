@@ -1,0 +1,142 @@
+"""Reverse aggressive: offline schedule construction and forward execution."""
+
+import pytest
+
+from repro.core import ReverseAggressive, Simulator
+from repro.core.reverse_aggressive import (
+    APPENDIX_F_BATCH_SIZES,
+    APPENDIX_F_FETCH_TIMES,
+)
+from tests.conftest import make_trace, run, simple_config
+
+
+class TestScheduleConstruction:
+    def _bound_policy(self, blocks, cache_blocks=4, num_disks=1, **kw):
+        trace = make_trace(blocks)
+        policy = ReverseAggressive(**kw)
+        Simulator(trace, policy, num_disks, simple_config(cache_blocks))
+        return policy
+
+    def test_releases_are_nondecreasing(self):
+        policy = self._bound_policy(
+            [0, 1, 2, 3, 0, 1, 2, 3, 4, 5], cache_blocks=3,
+            fetch_time_estimate=2,
+        )
+        releases = [release for release, _block in policy._evictions]
+        assert releases == sorted(releases)
+
+    def test_no_eviction_released_before_blocks_last_prior_use(self):
+        """An eviction's release index must be after the block's final use
+        before it gets refetched — otherwise the forward pass would evict a
+        block that is still needed."""
+        blocks = [0, 1, 2, 0, 1, 2, 3, 4]
+        policy = self._bound_policy(blocks, cache_blocks=3,
+                                    fetch_time_estimate=2)
+        for release, block in policy._evictions:
+            uses_before = [i for i in range(release) if blocks[i] == block]
+            uses_after = [i for i in range(release, len(blocks))
+                          if blocks[i] == block]
+            if uses_before and uses_after:
+                assert release > max(uses_before)
+
+    def test_fully_cacheable_trace_needs_no_evictions(self):
+        policy = self._bound_policy([0, 1, 2, 0, 1, 2], cache_blocks=4,
+                                    fetch_time_estimate=2)
+        assert policy._evictions == []
+
+    def test_auto_estimate_sequential_vs_random(self):
+        sequential = self._bound_policy(list(range(40)), cache_blocks=8)
+        import random
+        rng = random.Random(0)
+        scattered = [rng.randrange(1000) * 7 for _ in range(40)]
+        random_policy = self._bound_policy(scattered, cache_blocks=8)
+        # both auto; the estimate itself is internal, but the policy must
+        # bind without error and build a schedule either way
+        assert sequential.sim is not None
+        assert random_policy.sim is not None
+
+    def test_appendix_f_grids_exported(self):
+        assert APPENDIX_F_FETCH_TIMES == (4, 8, 16, 32, 64, 128)
+        assert 160 in APPENDIX_F_BATCH_SIZES
+
+
+class TestForwardExecution:
+    def test_completes_any_trace(self):
+        blocks = [0, 1, 2, 3, 4, 1, 0, 5, 6, 2] * 3
+        result = run(blocks, policy="reverse-aggressive", cache_blocks=4,
+                     fetch_time_estimate=4)
+        assert result.references == len(blocks)
+
+    def test_beats_demand_when_io_bound(self):
+        blocks = list(range(16)) * 4
+        demand = run(blocks, policy="demand", cache_blocks=12, compute_ms=5.0)
+        reverse = run(blocks, policy="reverse-aggressive", cache_blocks=12,
+                      compute_ms=5.0, fetch_time_estimate=2)
+        assert reverse.elapsed_ms < demand.elapsed_ms
+
+    def test_close_to_best_of_fh_and_aggressive(self):
+        """The paper's headline: reverse aggressive tracks the better of
+        the two practical algorithms in any configuration (here, loosely)."""
+        blocks = list(range(16)) * 6
+        best = min(
+            run(blocks, policy="fixed-horizon", cache_blocks=12,
+                compute_ms=5.0, horizon=2).elapsed_ms,
+            run(blocks, policy="aggressive", cache_blocks=12,
+                compute_ms=5.0, batch_size=8).elapsed_ms,
+        )
+        reverse = min(
+            run(blocks, policy="reverse-aggressive", cache_blocks=12,
+                compute_ms=5.0, fetch_time_estimate=f,
+                reverse_batch_size=8).elapsed_ms
+            for f in (2, 4, 8)
+        )
+        assert reverse <= best * 1.15
+
+    def test_larger_estimate_is_more_conservative(self):
+        """Section 4.3: a larger F makes reverse aggressive delay fetches
+        (fewer wasted prefetches), a smaller F makes it aggressive."""
+        blocks = list(range(20)) * 4
+        eager = run(blocks, policy="reverse-aggressive", cache_blocks=10,
+                    compute_ms=8.0, fetch_time_estimate=1)
+        cautious = run(blocks, policy="reverse-aggressive", cache_blocks=10,
+                       compute_ms=8.0, fetch_time_estimate=64)
+        assert eager.fetches >= cautious.fetches
+
+    def test_do_no_harm_still_enforced(self):
+        from repro.core.nextref import INFINITE
+
+        log = []
+
+        class Spy(ReverseAggressive):
+            def issue(self, block, victim):
+                cursor = self.sim.cursor
+                log.append(
+                    (
+                        self.sim.index.next_use(block, cursor),
+                        None if victim is None
+                        else self.sim.index.next_use(victim, cursor),
+                    )
+                )
+                super().issue(block, victim)
+
+        blocks = [0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5]
+        trace = make_trace(blocks)
+        sim = Simulator(trace, Spy(fetch_time_estimate=2), 1,
+                        simple_config(cache_blocks=4))
+        sim.run()
+        for fetch_pos, victim_next in log:
+            if victim_next is not None and victim_next is not INFINITE:
+                assert victim_next > fetch_pos
+
+    def test_single_pass_trace_equivalent_to_aggressive_shape(self):
+        blocks = list(range(30))
+        reverse = run(blocks, policy="reverse-aggressive", cache_blocks=40,
+                      compute_ms=2.0, fetch_time_estimate=5)
+        agg = run(blocks, policy="aggressive", cache_blocks=40,
+                  compute_ms=2.0)
+        # All-cold single-pass: both fetch each block exactly once.
+        assert reverse.fetches == agg.fetches == 30
+
+    def test_name_reflects_parameters(self):
+        assert ReverseAggressive().name == "reverse-aggressive"
+        assert "F=8" in ReverseAggressive(fetch_time_estimate=8).name

@@ -1,0 +1,177 @@
+"""FCFS and CSCAN request queues."""
+
+import pytest
+
+from repro.disk.scheduler import CSCANQueue, FCFSQueue, Request, make_queue
+
+
+def req(lbn, seq):
+    return Request(lbn=lbn, block=lbn, seq=seq)
+
+
+class TestFCFS:
+    def test_pops_in_arrival_order(self):
+        q = FCFSQueue()
+        for i, lbn in enumerate([30, 10, 20]):
+            q.push(req(lbn, i))
+        assert [q.pop(0).lbn for _ in range(3)] == [30, 10, 20]
+
+    def test_empty_pop_returns_none(self):
+        assert FCFSQueue().pop(0) is None
+
+    def test_len(self):
+        q = FCFSQueue()
+        q.push(req(1, 1))
+        q.push(req(2, 2))
+        assert len(q) == 2
+        q.pop(0)
+        assert len(q) == 1
+
+    def test_head_position_ignored(self):
+        q = FCFSQueue()
+        q.push(req(100, 1))
+        q.push(req(1, 2))
+        assert q.pop(50).lbn == 100
+
+
+class TestCSCAN:
+    def test_serves_ascending_from_head(self):
+        q = CSCANQueue()
+        for i, lbn in enumerate([50, 10, 30, 70]):
+            q.push(req(lbn, i))
+        assert q.pop(25).lbn == 30
+        assert q.pop(30).lbn == 50
+        assert q.pop(50).lbn == 70
+
+    def test_wraps_to_lowest(self):
+        q = CSCANQueue()
+        q.push(req(10, 1))
+        q.push(req(20, 2))
+        assert q.pop(90).lbn == 10  # nothing past 90: wrap
+        assert q.pop(10).lbn == 20
+
+    def test_single_direction_sweep(self):
+        """CSCAN never reverses: from the head position it always picks the
+        next request in the upward direction (unlike SCAN/elevator)."""
+        q = CSCANQueue()
+        for i, lbn in enumerate([40, 60]):
+            q.push(req(lbn, i))
+        assert q.pop(50).lbn == 60  # up first...
+        assert q.pop(60).lbn == 40  # ...then wrap, not reverse
+
+    def test_equal_cylinder_ties_broken_by_arrival(self):
+        q = CSCANQueue(cylinder_of=lambda lbn: 0)
+        q.push(req(5, 1))
+        q.push(req(3, 2))
+        # same cylinder: falls back to (lbn, seq) ordering
+        assert q.pop(0).lbn == 3
+
+    def test_custom_cylinder_mapping(self):
+        # Map LBN to cylinder by hundreds.
+        q = CSCANQueue(cylinder_of=lambda lbn: lbn // 100)
+        for i, lbn in enumerate([250, 150, 350]):
+            q.push(req(lbn, i))
+        assert q.pop(2).lbn == 250
+        assert q.pop(2).lbn == 350
+        assert q.pop(3).lbn == 150
+
+    def test_iteration_is_sorted(self):
+        q = CSCANQueue()
+        for i, lbn in enumerate([9, 1, 5]):
+            q.push(req(lbn, i))
+        assert [r.lbn for r in q] == [1, 5, 9]
+
+    def test_empty_pop_returns_none(self):
+        assert CSCANQueue().pop(0) is None
+
+
+class TestFactory:
+    def test_make_fcfs(self):
+        assert isinstance(make_queue("fcfs"), FCFSQueue)
+
+    def test_make_cscan(self):
+        assert isinstance(make_queue("CSCAN"), CSCANQueue)
+
+    def test_unknown_discipline(self):
+        with pytest.raises(ValueError, match="unknown disk scheduling"):
+            make_queue("elevator")
+
+
+class TestSchedulingBenefit:
+    def test_cscan_reduces_travel_versus_fcfs(self):
+        """The reason batching matters (section 2.6): CSCAN order covers a
+        scattered batch with monotone head movement."""
+        lbns = [90, 10, 80, 20, 70, 30]
+        fcfs, cscan = FCFSQueue(), CSCANQueue()
+        for i, lbn in enumerate(lbns):
+            fcfs.push(req(lbn, i))
+            cscan.push(req(lbn, i))
+
+        def travel(queue):
+            head, total = 0, 0
+            while True:
+                r = queue.pop(head)
+                if r is None:
+                    return total
+                total += abs(r.lbn - head)
+                head = r.lbn
+
+        assert travel(cscan) < travel(fcfs)
+
+
+class TestSSTF:
+    def _queue(self):
+        from repro.disk.scheduler import SSTFQueue
+
+        return SSTFQueue()
+
+    def test_picks_nearest_to_head(self):
+        q = self._queue()
+        for i, lbn in enumerate([10, 55, 90]):
+            q.push(req(lbn, i))
+        assert q.pop(60).lbn == 55
+        assert q.pop(55).lbn == 90
+        assert q.pop(90).lbn == 10
+
+    def test_tie_broken_by_arrival(self):
+        q = self._queue()
+        q.push(req(40, 1))
+        q.push(req(60, 2))
+        assert q.pop(50).lbn == 40  # equidistant: earlier arrival wins
+
+    def test_factory(self):
+        from repro.disk.scheduler import SSTFQueue, make_queue
+
+        assert isinstance(make_queue("sstf"), SSTFQueue)
+
+    def test_empty(self):
+        assert self._queue().pop(0) is None
+
+    def test_sim_accepts_sstf(self):
+        from tests.conftest import make_trace, simple_config
+        from repro.core import Simulator, make_policy
+
+        trace = make_trace(list(range(12)))
+        config = simple_config(cache_blocks=16).with_(discipline="sstf")
+        result = Simulator(trace, make_policy("aggressive"), 1, config).run()
+        assert result.fetches == 12
+
+    def test_sstf_reduces_travel_vs_fcfs(self):
+        lbns = [90, 10, 80, 20, 70, 30]
+        from repro.disk.scheduler import SSTFQueue
+
+        fcfs, sstf = FCFSQueue(), SSTFQueue()
+        for i, lbn in enumerate(lbns):
+            fcfs.push(req(lbn, i))
+            sstf.push(req(lbn, i))
+
+        def travel(queue):
+            head, total = 0, 0
+            while True:
+                r = queue.pop(head)
+                if r is None:
+                    return total
+                total += abs(r.lbn - head)
+                head = r.lbn
+
+        assert travel(sstf) < travel(fcfs)

@@ -1,0 +1,71 @@
+"""Seek model: the published HP 97560 two-piece curve."""
+
+import math
+
+import pytest
+
+from repro.disk.seek import SeekModel
+
+
+@pytest.fixture
+def seek():
+    return SeekModel()
+
+
+class TestSeekCurve:
+    def test_zero_distance_is_free(self, seek):
+        assert seek.seek_time(0) == 0.0
+
+    def test_one_cylinder(self, seek):
+        assert seek.seek_time(1) == pytest.approx(3.24 + 0.400)
+
+    def test_short_regime_sqrt_shape(self, seek):
+        assert seek.seek_time(100) == pytest.approx(3.24 + 0.4 * 10.0)
+
+    def test_crossover_uses_linear_regime(self, seek):
+        assert seek.seek_time(383) == pytest.approx(8.00 + 0.008 * 383)
+
+    def test_just_below_crossover_uses_sqrt(self, seek):
+        expected = 3.24 + 0.4 * math.sqrt(382)
+        assert seek.seek_time(382) == pytest.approx(expected)
+
+    def test_full_stroke(self, seek):
+        # 1961-cylinder seek on the HP 97560 ~ 23.7 ms.
+        assert seek.seek_time(1961) == pytest.approx(8.0 + 0.008 * 1961)
+
+    def test_negative_distance_symmetric(self, seek):
+        assert seek.seek_time(-50) == seek.seek_time(50)
+
+    def test_monotone_nondecreasing(self, seek):
+        times = [seek.seek_time(d) for d in range(0, 1962, 7)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+class TestPaperFigures:
+    def test_max_seek_within_100_cylinder_group(self, seek):
+        """Section 3.2: 'The maximum seek time within a group of 100
+        cylinders is 7.24ms.'"""
+        assert seek.max_seek_within(100) == pytest.approx(7.24, abs=0.02)
+
+    def test_continuity_near_crossover(self, seek):
+        # The two regimes meet within a fraction of a millisecond.
+        below = seek.seek_time(382)
+        above = seek.seek_time(383)
+        assert abs(above - below) < 1.0
+
+
+class TestLeeKatzSeek:
+    def test_ibm0661_constants(self):
+        from repro.disk.seek import IBM0661_SEEK, LeeKatzSeek
+
+        assert isinstance(IBM0661_SEEK, LeeKatzSeek)
+        assert IBM0661_SEEK.seek_time(0) == 0.0
+        # 2.0 + 0.01*100 + 0.46*10 = 7.6 ms
+        assert IBM0661_SEEK.seek_time(100) == pytest.approx(7.6)
+
+    def test_symmetric_and_monotone(self):
+        from repro.disk.seek import IBM0661_SEEK
+
+        assert IBM0661_SEEK.seek_time(-64) == IBM0661_SEEK.seek_time(64)
+        times = [IBM0661_SEEK.seek_time(d) for d in range(0, 949, 13)]
+        assert all(b >= a for a, b in zip(times, times[1:]))

@@ -1,0 +1,130 @@
+"""Synthesis primitives: the access-pattern vocabulary."""
+
+import random
+
+import pytest
+
+from repro.trace.synthetic import (
+    BlockSpace,
+    bursty_gaps,
+    exponential_gaps,
+    fit_length,
+    index_data_scan,
+    interleave_rounds,
+    sequential_passes,
+    strided_slice,
+)
+
+
+class TestBlockSpace:
+    def test_files_get_disjoint_ranges(self):
+        space = BlockSpace()
+        a = space.new_file(10)
+        b = space.new_file(5)
+        assert set(a) & set(b) == set()
+        assert len(a) == 10 and len(b) == 5
+
+    def test_file_metadata_recorded(self):
+        space = BlockSpace()
+        blocks = space.new_file(3)
+        assert space.files[blocks[0]] == (0, 0)
+        assert space.files[blocks[2]] == (0, 2)
+        more = space.new_file(2)
+        assert space.files[more[0]] == (1, 0)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSpace().new_file(0)
+
+
+class TestSequentialPasses:
+    def test_whole_passes(self):
+        assert sequential_passes([1, 2, 3], 2) == [1, 2, 3, 1, 2, 3]
+
+    def test_fractional_tail(self):
+        assert sequential_passes([1, 2, 3, 4], 1.5) == [1, 2, 3, 4, 1, 2]
+
+    def test_zero_passes(self):
+        assert sequential_passes([1, 2], 0.0) == []
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        assert interleave_rounds([[1, 2], [10, 20]]) == [1, 10, 2, 20]
+
+    def test_uneven_streams(self):
+        assert interleave_rounds([[1, 2, 3], [10]]) == [1, 10, 2, 3]
+
+
+class TestIndexDataScan:
+    def test_covers_all_data_blocks(self):
+        rng = random.Random(1)
+        refs = index_data_scan([100, 101], list(range(20)), 4, rng)
+        assert set(range(20)) <= set(refs)
+
+    def test_index_blocks_hot(self):
+        rng = random.Random(1)
+        refs = index_data_scan([100], list(range(40)), 2, rng)
+        index_hits = sum(1 for r in refs if r == 100)
+        assert index_hits >= 40 // (2 * 1)  # revisited repeatedly
+
+    def test_sequential_order_option(self):
+        rng = random.Random(1)
+        refs = index_data_scan([9], [0, 1, 2, 3], 10, rng, data_order="seq")
+        data_refs = [r for r in refs if r != 9]
+        assert data_refs == [0, 1, 2, 3]
+
+
+class TestStridedSlice:
+    def test_stride_one_is_sequential(self):
+        volume = list(range(100, 110))
+        assert strided_slice(volume, 2, 1, 3) == [102, 103, 104]
+
+    def test_stride_wraps_modulo_volume(self):
+        volume = list(range(100, 104))
+        assert strided_slice(volume, 2, 3, 3) == [102, 101, 100]
+
+    def test_count_respected(self):
+        assert len(strided_slice(list(range(50)), 0, 7, 12)) == 12
+
+
+class TestGapDistributions:
+    def test_exponential_count_and_positivity(self):
+        gaps = exponential_gaps(500, 2.0, random.Random(7))
+        assert len(gaps) == 500
+        assert all(g >= 0 for g in gaps)
+        mean = sum(gaps) / len(gaps)
+        assert 1.5 < mean < 2.5
+
+    def test_bursty_alternates_regimes(self):
+        gaps = bursty_gaps(2000, 1.0, 7.0, 40, random.Random(7))
+        assert len(gaps) == 2000
+        low = sum(1 for g in gaps if g < 3.0)
+        high = sum(1 for g in gaps if g >= 3.0)
+        assert low > 200 and high > 200  # both regimes present
+
+    def test_bursty_has_runs(self):
+        gaps = bursty_gaps(1000, 1.0, 7.0, 50, random.Random(3))
+        # count regime switches; with mean run 50 there should be few
+        switches = sum(
+            1 for a, b in zip(gaps, gaps[1:]) if (a < 3) != (b < 3)
+        )
+        assert switches < 100
+
+
+class TestFitLength:
+    def test_trims(self):
+        assert fit_length([1, 2, 3, 4], 2, random.Random(0)) == [1, 2]
+
+    def test_extends_cyclically(self):
+        assert fit_length([1, 2, 3], 7, random.Random(0)) == [
+            1, 2, 3, 1, 2, 3, 1
+        ]
+
+    def test_exact_length_untouched(self):
+        refs = [5, 6]
+        assert fit_length(refs, 2, random.Random(0)) == [5, 6]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_length([], 3, random.Random(0))

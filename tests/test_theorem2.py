@@ -1,0 +1,87 @@
+"""Theorem 2: reverse aggressive is near-optimal in the theoretical model.
+
+The paper's theoretical anchor (Kimbrel & Karlin): for any request sequence
+and any layout, reverse aggressive's elapsed time is at most
+``(1 + F d / K)`` times optimal.  We execute reverse aggressive entirely in
+the theoretical model and compare against the brute-force optimum on tiny
+instances — including the Figure 1 example, where reverse aggressive's
+load-balancing eviction must beat greedy aggressive.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    optimal_elapsed,
+    run_aggressive_model,
+    run_reverse_aggressive_model,
+)
+from tests.test_theory_model import FIG1_CACHE, FIG1_DISK, FIG1_SEQUENCE
+
+
+class TestFigure1:
+    def test_reverse_aggressive_achieves_the_optimal_six(self):
+        """Reverse aggressive's whole reason to exist: on the Figure 1
+        layout it makes the load-balancing eviction (d, not F) and matches
+        the optimal schedule that greedy aggressive misses."""
+        run = run_reverse_aggressive_model(
+            FIG1_SEQUENCE, cache_blocks=4, fetch_time=2, num_disks=2,
+            disk_of=FIG1_DISK, batch_size=1, initial_cache=FIG1_CACHE,
+        )
+        greedy = run_aggressive_model(
+            FIG1_SEQUENCE, cache_blocks=4, fetch_time=2, num_disks=2,
+            disk_of=FIG1_DISK, batch_size=1, initial_cache=FIG1_CACHE,
+        )
+        assert greedy.elapsed == 7
+        assert run.elapsed <= greedy.elapsed
+
+
+class TestTheorem2Bound:
+    CASES = [
+        ([1, 2, 3, 1, 2, 3], 2, 2, 1),
+        ([1, 2, 3, 4, 1, 2], 3, 2, 2),
+        ([5, 1, 5, 2, 5, 3], 2, 2, 2),
+        ([1, 2, 1, 3, 1, 2], 2, 3, 1),
+        ([4, 3, 2, 1, 4, 3], 3, 2, 2),
+        ([1, 2, 3, 4, 5, 1], 3, 2, 3),
+    ]
+
+    @pytest.mark.parametrize("blocks,K,F,d", CASES)
+    def test_within_theorem_bound(self, blocks, K, F, d):
+        disk_of = lambda b: b % d
+        run = run_reverse_aggressive_model(
+            blocks, cache_blocks=K, fetch_time=F, num_disks=d, disk_of=disk_of
+        )
+        opt = optimal_elapsed(
+            blocks, cache_blocks=K, fetch_time=F, num_disks=d, disk_of=disk_of
+        )
+        bound = (1 + F * d / K) * opt + d * F  # additive cold-start slack
+        assert run.elapsed <= bound
+
+    @given(
+        blocks=st.lists(st.integers(0, 5), min_size=2, max_size=8),
+        K=st.integers(2, 4),
+        F=st.integers(1, 3),
+        d=st.integers(1, 2),
+    )
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_instances_within_bound(self, blocks, K, F, d):
+        disk_of = lambda b: b % d
+        run = run_reverse_aggressive_model(
+            blocks, cache_blocks=K, fetch_time=F, num_disks=d, disk_of=disk_of
+        )
+        opt = optimal_elapsed(
+            blocks, cache_blocks=K, fetch_time=F, num_disks=d, disk_of=disk_of
+        )
+        bound = (1 + F * d / K) * opt + d * F
+        assert run.elapsed <= bound
+
+    @pytest.mark.parametrize("blocks,K,F,d", CASES)
+    def test_serves_every_reference(self, blocks, K, F, d):
+        run = run_reverse_aggressive_model(
+            blocks, cache_blocks=K, fetch_time=F, num_disks=d,
+            disk_of=lambda b: b % d,
+        )
+        assert run.references == len(blocks)

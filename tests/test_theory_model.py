@@ -1,0 +1,138 @@
+"""Theoretical-model simulator: section 2.1 semantics and Figure 1."""
+
+import pytest
+
+from repro.theory.model import (
+    run_aggressive_model,
+    run_demand_model,
+    run_fixed_horizon_model,
+)
+
+# Figure 1: disk 0 holds A,C,E,F; disk 1 holds b,d.  Cache K=4, F=2.
+A, B_, C, D_, E, F_ = "A", "b", "C", "d", "E", "F"
+FIG1_SEQUENCE = [A, B_, C, D_, E, F_]
+FIG1_DISK = {A: 0, C: 0, E: 0, F_: 0, B_: 1, D_: 1}.__getitem__
+FIG1_CACHE = (A, B_, D_, F_)
+
+
+class TestFigure1:
+    def test_aggressive_takes_seven_time_units(self):
+        """Figure 1(a): the greedy schedule costs 7 units."""
+        run = run_aggressive_model(
+            FIG1_SEQUENCE, cache_blocks=4, fetch_time=2, num_disks=2,
+            disk_of=FIG1_DISK, batch_size=1, initial_cache=FIG1_CACHE,
+        )
+        assert run.elapsed == 7
+        assert run.stall == 1
+
+    def test_fixed_horizon_no_better_than_aggressive_here(self):
+        run = run_fixed_horizon_model(
+            FIG1_SEQUENCE, cache_blocks=4, fetch_time=2, num_disks=2,
+            disk_of=FIG1_DISK, horizon=2, initial_cache=FIG1_CACHE,
+        )
+        assert run.elapsed >= 7
+
+    def test_demand_is_worst(self):
+        run = run_demand_model(
+            FIG1_SEQUENCE, cache_blocks=4, fetch_time=2, num_disks=2,
+            disk_of=FIG1_DISK, initial_cache=FIG1_CACHE,
+        )
+        assert run.elapsed >= 7
+
+
+class TestModelSemantics:
+    def one_disk(self, _b):
+        return 0
+
+    def test_all_hits_cost_one_unit_each(self):
+        run = run_demand_model(
+            [1, 1, 1], cache_blocks=2, fetch_time=5, num_disks=1,
+            disk_of=self.one_disk, initial_cache=(1,),
+        )
+        assert run.elapsed == 3
+        assert run.stall == 0
+        assert run.fetches == 0
+
+    def test_demand_miss_stalls_full_fetch(self):
+        run = run_demand_model(
+            [1], cache_blocks=1, fetch_time=5, num_disks=1,
+            disk_of=self.one_disk,
+        )
+        assert run.elapsed == 6  # 5 stall + 1 reference
+        assert run.stall == 5
+
+    def test_elapsed_equals_references_plus_stall(self):
+        blocks = [1, 2, 3, 1, 2, 3, 4]
+        for runner in (run_demand_model, run_aggressive_model):
+            run = runner(
+                blocks, cache_blocks=3, fetch_time=3, num_disks=1,
+                disk_of=self.one_disk,
+            )
+            assert run.elapsed == len(blocks) + run.stall
+
+    def test_aggressive_overlaps_fetch_with_compute(self):
+        # After the cold miss on 1, block 2 is prefetched during the hits.
+        blocks = [1, 1, 1, 1, 1, 1, 2]
+        run = run_aggressive_model(
+            blocks, cache_blocks=2, fetch_time=3, num_disks=1,
+            disk_of=self.one_disk,
+        )
+        # Only the cold-start stall on block 1 remains.
+        assert run.stall == 3
+
+    def test_single_disk_serializes(self):
+        blocks = [1, 2]
+        run = run_aggressive_model(
+            blocks, cache_blocks=2, fetch_time=4, num_disks=1,
+            disk_of=self.one_disk,
+        )
+        # Both fetched back to back: 2 arrives at t=8; stall = 8 - 1 hit...
+        assert run.elapsed == pytest.approx(2 + run.stall)
+        assert run.stall >= 4
+
+    def test_two_disks_parallelize(self):
+        blocks = [1, 2]
+        serial = run_aggressive_model(
+            blocks, cache_blocks=2, fetch_time=4, num_disks=1,
+            disk_of=self.one_disk,
+        )
+        parallel = run_aggressive_model(
+            blocks, cache_blocks=2, fetch_time=4, num_disks=2,
+            disk_of=lambda b: b % 2,
+        )
+        assert parallel.elapsed < serial.elapsed
+
+    def test_events_record_victims(self):
+        blocks = [1, 2, 3, 1]
+        run = run_aggressive_model(
+            blocks, cache_blocks=2, fetch_time=2, num_disks=1,
+            disk_of=self.one_disk,
+        )
+        assert run.fetches == len(run.events)
+        # First two fetches use free buffers; any later fetch evicts.
+        free_buffer_fetches = [e for e in run.events if e.victim is None]
+        assert len(free_buffer_fetches) == 2
+
+    def test_final_cache_within_capacity(self):
+        blocks = list(range(10))
+        run = run_aggressive_model(
+            blocks, cache_blocks=4, fetch_time=2, num_disks=2,
+            disk_of=lambda b: b % 2,
+        )
+        assert len(run.final_cache) <= 4
+
+    def test_fixed_horizon_model_respects_horizon(self):
+        blocks = list(range(8))
+        run = run_fixed_horizon_model(
+            blocks, cache_blocks=10, fetch_time=2, num_disks=1,
+            disk_of=self.one_disk, horizon=3,
+        )
+        for event in run.events:
+            assert event.target_position - event.issue_cursor <= 3
+
+    def test_initial_cache_validated(self):
+        with pytest.raises(ValueError):
+            run_demand_model(
+                [1], cache_blocks=1, fetch_time=1, num_disks=1,
+                disk_of=self.one_disk, initial_cache=(1, 2),
+            )

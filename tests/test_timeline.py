@@ -1,0 +1,114 @@
+"""Timeline recording and derived views."""
+
+import pytest
+
+from repro.core import SimConfig, Simulator, make_policy
+from repro.core.timeline import (
+    FETCH_DONE,
+    FETCH_ISSUED,
+    STALL_END,
+    STALL_START,
+    StallEpisode,
+    Timeline,
+)
+from tests.conftest import make_trace, simple_config
+
+
+def record_run(blocks, policy="fixed-horizon", disks=1, cache=8, **kw):
+    trace = make_trace(blocks, compute_ms=2.0)
+    config = simple_config(cache_blocks=cache).with_(record_timeline=True)
+    sim = Simulator(trace, make_policy(policy, **kw), disks, config)
+    result = sim.run()
+    return sim.timeline, result
+
+
+class TestTimelineBasics:
+    def test_disabled_by_default(self):
+        trace = make_trace([0, 1])
+        sim = Simulator(trace, make_policy("demand"), 1, simple_config())
+        sim.run()
+        assert sim.timeline is None
+
+    def test_events_recorded_when_enabled(self):
+        timeline, result = record_run(list(range(6)))
+        kinds = {kind for _t, kind, _b, _d in timeline.events}
+        assert FETCH_ISSUED in kinds
+        assert FETCH_DONE in kinds
+
+    def test_fetch_events_match_fetch_count(self):
+        timeline, result = record_run(list(range(10)))
+        issued = [e for e in timeline.events if e[1] == FETCH_ISSUED]
+        done = [e for e in timeline.events if e[1] == FETCH_DONE]
+        assert len(issued) == result.fetches
+        assert len(done) == result.fetches
+
+
+class TestStallAccounting:
+    def test_episode_total_equals_result_stall(self):
+        """The timeline and the engine account stalls independently; they
+        must agree to the microsecond."""
+        for policy in ("demand", "fixed-horizon", "aggressive"):
+            timeline, result = record_run(
+                list(range(15)) * 2, policy=policy, cache=6
+            )
+            total = sum(e.duration_ms for e in timeline.stall_episodes())
+            assert total == pytest.approx(result.stall_ms, abs=1e-6)
+
+    def test_episodes_have_positive_duration(self):
+        timeline, _result = record_run(list(range(12)))
+        for episode in timeline.stall_episodes():
+            assert episode.duration_ms >= 0
+            assert episode.end_ms >= episode.start_ms
+
+    def test_summary_fields(self):
+        timeline, result = record_run(list(range(10)))
+        summary = timeline.summary()
+        assert summary["fetches"] == result.fetches
+        assert summary["stall_total_ms"] == pytest.approx(
+            result.stall_ms, abs=1e-3
+        )
+        assert 0 < summary["disk_balance"] <= 1.0
+
+
+class TestDerivedViews:
+    def test_per_disk_fetch_balance_under_striping(self):
+        timeline, _result = record_run(list(range(20)), disks=2, cache=30)
+        per_disk = timeline.per_disk_fetches()
+        assert set(per_disk) == {0, 1}
+        assert per_disk[0] == per_disk[1]  # even blocks alternate disks
+
+    def test_busy_intervals_cover_service(self):
+        timeline, result = record_run(list(range(8)), cache=12)
+        spans = timeline.busy_intervals(0)
+        assert spans
+        busy = sum(end - start for start, end in spans)
+        # 8 fetches x 10 ms service, allowing queueing overlap
+        assert busy >= 8 * 10.0 - 1e-6
+
+    def test_lead_times_positive(self):
+        timeline, _result = record_run(list(range(8)))
+        leads = timeline.fetch_lead_times()
+        assert leads
+        assert all(v > 0 for v in leads.values())
+
+
+class TestManualTimeline:
+    def test_interleaved_stalls_parse(self):
+        timeline = Timeline()
+        timeline.record(0.0, STALL_START, 5)
+        timeline.record(3.0, STALL_END, 5)
+        timeline.record(10.0, STALL_START, 7)
+        timeline.record(11.5, STALL_END, 7)
+        episodes = timeline.stall_episodes()
+        assert [e.block for e in episodes] == [5, 7]
+        assert episodes[1].duration_ms == pytest.approx(1.5)
+
+    def test_unclosed_stall_ignored(self):
+        timeline = Timeline()
+        timeline.record(0.0, STALL_START, 5)
+        assert timeline.stall_episodes() == []
+
+    def test_empty_summary(self):
+        summary = Timeline().summary()
+        assert summary["stall_episodes"] == 0
+        assert summary["disk_balance"] == 1.0

@@ -1,0 +1,96 @@
+"""Trace container: statistics, scaling, persistence."""
+
+import pytest
+
+from repro.trace import Trace
+
+
+def sample_trace():
+    return Trace(
+        name="sample",
+        blocks=[0, 1, 0, 2],
+        compute_ms=[1.0, 2.0, 3.0, 4.0],
+        files={0: (0, 0), 1: (0, 1), 2: (1, 0)},
+        description="test trace",
+    )
+
+
+class TestStatistics:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="blocks"):
+            Trace(name="bad", blocks=[1, 2], compute_ms=[1.0])
+
+    def test_reads(self):
+        assert sample_trace().reads == 4
+
+    def test_distinct_blocks(self):
+        assert sample_trace().distinct_blocks == 3
+
+    def test_compute_time_seconds(self):
+        assert sample_trace().compute_time_s == pytest.approx(0.01)
+
+    def test_mean_compute(self):
+        assert sample_trace().mean_compute_ms == pytest.approx(2.5)
+
+    def test_empty_trace_mean(self):
+        assert Trace("e", [], []).mean_compute_ms == 0.0
+
+    def test_summary_is_table3_row(self):
+        s = sample_trace().summary()
+        assert s == {
+            "trace": "sample",
+            "reads": 4,
+            "distinct_blocks": 3,
+            "compute_time_s": 0.0,
+        }
+
+
+class TestScaling:
+    def test_scaled_keeps_prefix(self):
+        t = sample_trace().scaled(0.5)
+        assert t.blocks == [0, 1]
+        assert t.compute_ms == [1.0, 2.0]
+
+    def test_scaled_filters_files(self):
+        t = sample_trace().scaled(0.5)
+        assert set(t.files) == {0, 1}
+
+    def test_scale_one_is_identity(self):
+        t = sample_trace()
+        assert t.scaled(1.0) is t
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            sample_trace().scaled(0.0)
+        with pytest.raises(ValueError):
+            sample_trace().scaled(1.5)
+
+    def test_rescale_compute_exact_total(self):
+        t = sample_trace().rescale_compute(5.0)
+        assert t.compute_time_s == pytest.approx(5.0)
+        # proportions preserved
+        assert t.compute_ms[1] / t.compute_ms[0] == pytest.approx(2.0)
+
+    def test_rescale_zero_compute_rejected(self):
+        t = Trace("z", [1], [0.0])
+        with pytest.raises(ValueError):
+            t.rescale_compute(1.0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        t = sample_trace()
+        path = str(tmp_path / "trace.json")
+        t.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == t.name
+        assert loaded.blocks == t.blocks
+        assert loaded.compute_ms == t.compute_ms
+        assert loaded.files == t.files
+        assert loaded.description == t.description
+
+    def test_load_fileless_trace(self, tmp_path):
+        t = Trace("nf", [1, 2], [1.0, 1.0])
+        path = str(tmp_path / "trace.json")
+        t.save(path)
+        assert Trace.load(path).files is None

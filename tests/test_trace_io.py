@@ -1,0 +1,86 @@
+"""Text trace format: parsing, serialization, round-trips."""
+
+import pytest
+
+from repro.trace import Trace
+from repro.trace.io import TraceFormatError, dump, dumps, load, loads
+
+
+SAMPLE = """\
+# name: sample-app
+# description: a tiny capture
+
+R 10 0.5
+W 10 1.25
+R 11
+"""
+
+
+class TestLoads:
+    def test_parses_references(self):
+        trace = loads(SAMPLE)
+        assert trace.blocks == [10, 10, 11]
+        assert trace.compute_ms == [0.5, 1.25, 1.0]
+        assert trace.writes == [False, True, False]
+
+    def test_header_directives(self):
+        trace = loads(SAMPLE)
+        assert trace.name == "sample-app"
+        assert trace.description == "a tiny capture"
+
+    def test_read_only_trace_has_no_write_mask(self):
+        trace = loads("R 1 1.0\nR 2 1.0\n")
+        assert trace.writes is None
+
+    def test_lowercase_ops_accepted(self):
+        trace = loads("r 5\nw 6\n")
+        assert trace.writes == [False, True]
+
+    def test_default_compute_is_1ms(self):
+        assert loads("R 1\n").compute_ms == [1.0]
+
+    def test_bad_operation(self):
+        with pytest.raises(TraceFormatError, match="unknown operation"):
+            loads("X 1 1.0\n")
+
+    def test_bad_field_count(self):
+        with pytest.raises(TraceFormatError, match="expected"):
+            loads("R 1 1.0 extra\n")
+
+    def test_bad_number(self):
+        with pytest.raises(TraceFormatError, match="line 1"):
+            loads("R banana\n")
+
+    def test_negative_compute(self):
+        with pytest.raises(TraceFormatError, match="negative"):
+            loads("R 1 -2\n")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceFormatError, match="no references"):
+            loads("# nothing here\n")
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self):
+        original = loads(SAMPLE)
+        again = loads(dumps(original))
+        assert again.blocks == original.blocks
+        assert again.compute_ms == original.compute_ms
+        assert again.writes == original.writes
+        assert again.name == original.name
+
+    def test_file_round_trip(self, tmp_path):
+        trace = Trace("disk-file", [1, 2, 3], [1.0, 2.0, 3.0])
+        path = str(tmp_path / "trace.txt")
+        dump(trace, path)
+        loaded = load(path)
+        assert loaded.blocks == trace.blocks
+        assert loaded.name == "disk-file"
+
+    def test_imported_trace_simulates(self):
+        import repro
+
+        trace = loads(SAMPLE)
+        result = repro.run_simulation(trace, policy="demand", num_disks=1,
+                                      cache_blocks=8)
+        assert result.references == 3

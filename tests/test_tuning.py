@@ -1,0 +1,132 @@
+"""Parameter recommendation and search."""
+
+import pytest
+
+from repro.analysis.tuning import (
+    RANDOM_ACCESS_MS,
+    SEQUENTIAL_ACCESS_MS,
+    expected_access_ms,
+    missing_run_length,
+    recommend_batch_size,
+    recommend_horizon,
+    search_parameter,
+)
+from repro.trace import Trace, build as build_workload
+
+
+class TestExpectedAccess:
+    def test_sequential_trace_fast(self):
+        assert expected_access_ms(list(range(200))) == pytest.approx(
+            SEQUENTIAL_ACCESS_MS
+        )
+
+    def test_random_trace_slow(self):
+        import random
+
+        rng = random.Random(0)
+        blocks = [rng.randrange(10_000) for _ in range(200)]
+        assert expected_access_ms(blocks) == pytest.approx(
+            RANDOM_ACCESS_MS, rel=0.05
+        )
+
+    def test_interpolates(self):
+        half = list(range(100)) + [7] * 100
+        value = expected_access_ms(half)
+        assert SEQUENTIAL_ACCESS_MS < value < RANDOM_ACCESS_MS
+
+
+class TestRecommendHorizon:
+    def test_paper_constants_recover_62ish(self):
+        """A random-access trace with the paper's 243 µs cache-read time
+        should recommend a horizon near the paper's 62."""
+        import random
+
+        rng = random.Random(1)
+        blocks = [rng.randrange(5000) for _ in range(2000)]
+        trace = Trace("r", blocks, [2.0] * len(blocks))
+        horizon = recommend_horizon(trace)
+        assert 50 <= horizon <= 70
+
+    def test_capped_below_working_set(self):
+        trace = Trace("tiny", [0, 1, 2, 0, 1, 2], [1.0] * 6)
+        assert recommend_horizon(trace) < trace.distinct_blocks
+
+    def test_at_least_two(self):
+        trace = Trace("one", [0, 0], [100.0, 100.0])
+        assert recommend_horizon(trace) >= 2
+
+
+class TestMissingRunLength:
+    def test_fully_cacheable_no_runs_after_cold(self):
+        blocks = [0, 1, 2] * 5
+        # cache 3: only the 3 cold misses, one run of 3
+        assert missing_run_length(blocks, 3) == 3.0
+
+    def test_loop_one_over_cache_runs_forever(self):
+        blocks = [0, 1, 2] * 5
+        # cache 2: everything misses -> one run of 15
+        assert missing_run_length(blocks, 2) == 15.0
+
+    def test_alternating_hits_and_misses(self):
+        # hot block 9 interleaved with cold singles: runs of length 1
+        blocks = []
+        for i in range(10):
+            blocks.extend([9, 100 + i])
+        value = missing_run_length(blocks, 4)
+        assert 1.0 <= value <= 2.0
+
+    def test_empty(self):
+        assert missing_run_length([], 4) == 0.0
+
+
+class TestRecommendBatch:
+    def test_single_disk_gets_bigger_batches_than_big_array(self):
+        trace = build_workload("cscope2", scale=0.15)
+        one = recommend_batch_size(trace, 1, cache_blocks=192)
+        eight = recommend_batch_size(trace, 8, cache_blocks=192)
+        assert one >= eight
+
+    def test_bounds_respected(self):
+        trace = build_workload("ld", scale=0.1)
+        value = recommend_batch_size(trace, 1, cache_blocks=128,
+                                     floor=4, ceiling=32)
+        assert 4 <= value <= 32
+
+    def test_fully_cached_trace_gets_floor(self):
+        trace = Trace("hot", [0, 1] * 20, [1.0] * 40)
+        assert recommend_batch_size(trace, 2, cache_blocks=8) == 4
+
+
+class TestSearchParameter:
+    def test_finds_minimum_on_ladder(self):
+        best, score, scores = search_parameter(
+            lambda x: (x - 40) ** 2, [4, 16, 40, 80], refine=False
+        )
+        assert best == 40
+        assert score == 0
+
+    def test_refinement_probes_midpoints(self):
+        # true optimum 28 sits between rungs 16 and 40
+        best, _score, scores = search_parameter(
+            lambda x: (x - 28) ** 2, [4, 16, 40, 80]
+        )
+        assert best == 28  # (16+40)//2
+        assert 28 in scores
+
+    def test_monotone_function_picks_edge(self):
+        best, _s, _all = search_parameter(lambda x: x, [2, 8, 32])
+        assert best == 2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            search_parameter(lambda x: x, [])
+
+    def test_evaluation_count_bounded(self):
+        calls = []
+
+        def evaluate(x):
+            calls.append(x)
+            return abs(x - 10)
+
+        search_parameter(evaluate, [4, 8, 16, 32])
+        assert len(calls) <= 6  # ladder + two probes
