@@ -1,0 +1,102 @@
+"""Extension: fault tolerance — how gracefully does each algorithm degrade?
+
+The paper's machines never break: every fetch succeeds, every spindle
+spins at spec.  Real arrays see transient read errors (media retries),
+fail-slow disks (a dying spindle serving at a fraction of its rate), and
+outright deaths.  This sweep injects those faults under all five
+algorithms and asks two questions the paper could not:
+
+* transient errors tax the prefetchers *more* in absolute fetch count
+  (every abandoned prefetch is wasted bandwidth) yet hurt elapsed time
+  *less* than they hurt demand fetching, whose every error stalls the app
+  through a retry-backoff cycle;
+* a fail-slow disk degrades everyone, but prefetching hides part of the
+  inflated service times behind compute, so demand fetching degrades at
+  least as badly as the best prefetcher.
+
+Determinism is part of the contract: fault draws are a pure function of
+(seed, disk, request sequence number), so re-running a scenario must
+reproduce it exactly, and a zero-fault schedule must match the no-schedule
+baseline bit for bit.
+"""
+
+import repro
+from repro.analysis.tables import format_table
+from repro.faults import FaultSchedule, SlowWindow
+
+from benchmarks.conftest import once
+
+POLICIES = (
+    "demand", "fixed-horizon", "aggressive", "reverse-aggressive", "forestall",
+)
+SCENARIOS = (
+    ("healthy", None),
+    ("2% errors", FaultSchedule(read_error_rate=0.02, seed=11)),
+    ("10% errors", FaultSchedule(read_error_rate=0.10, seed=11)),
+    ("disk0 3x slow", FaultSchedule(slow_windows=(SlowWindow(3.0, disk=0),))),
+    ("disk0 10x slow", FaultSchedule(slow_windows=(SlowWindow(10.0, disk=0),))),
+)
+
+
+def test_ext_fault_tolerance(benchmark, setting):
+    trace = setting.trace("cscope2")
+    cache = setting.cache_for("cscope2")
+
+    def run(policy, schedule):
+        return repro.run_simulation(
+            trace, policy=policy, num_disks=2, cache_blocks=cache,
+            faults=schedule,
+        )
+
+    def sweep():
+        return {
+            (label, policy): run(policy, schedule)
+            for label, schedule in SCENARIOS
+            for policy in POLICIES
+        }
+
+    table = once(benchmark, sweep)
+    rows = [
+        (label,)
+        + tuple(round(table[(label, p)].elapsed_s, 2) for p in POLICIES)
+        for label, _schedule in SCENARIOS
+    ]
+    print()
+    print("Extension — elapsed time (s) under injected faults, cscope2, 2 disks")
+    print(format_table(("fault scenario",) + POLICIES, rows))
+
+    # A zero-fault schedule reproduces the unscheduled baseline exactly.
+    null = run("forestall", FaultSchedule())
+    baseline = table[("healthy", "forestall")]
+    assert null.elapsed_ms == baseline.elapsed_ms
+    assert null.fetches == baseline.fetches
+    assert null.faults_injected == 0
+
+    # Fault runs are deterministic: identical invocations, identical results.
+    again = run("aggressive", SCENARIOS[2][1])
+    first = table[("10% errors", "aggressive")]
+    assert again.elapsed_ms == first.elapsed_ms
+    assert again.fetches == first.fetches
+    assert again.extras == first.extras
+
+    for policy in POLICIES:
+        healthy = table[("healthy", policy)]
+        assert healthy.faults_injected == 0
+        # Faults never break the accounting identity.
+        for label, _schedule in SCENARIOS:
+            table[(label, policy)].check_accounting()
+        # Degradation is monotone in severity within each fault family.
+        assert (table[("10% errors", policy)].elapsed_ms
+                >= healthy.elapsed_ms)
+        assert (table[("disk0 10x slow", policy)].elapsed_ms
+                >= table[("disk0 3x slow", policy)].elapsed_ms
+                >= healthy.elapsed_ms)
+
+    # Prefetching keeps paying off under every fault scenario: the best
+    # prefetcher still beats demand fetching, which eats every inflated or
+    # retried service time as stall.
+    for label, _schedule in SCENARIOS:
+        best_prefetch = min(
+            table[(label, p)].elapsed_ms for p in POLICIES if p != "demand"
+        )
+        assert best_prefetch < table[(label, "demand")].elapsed_ms

@@ -34,6 +34,13 @@ from repro.core import (
     Simulator,
     make_policy,
 )
+from repro.faults import (
+    DiskFailure,
+    ErrorWindow,
+    FaultSchedule,
+    SlowWindow,
+    UnrecoverableReadError,
+)
 from repro.trace import TABLE3, WORKLOADS, Trace, cache_blocks_for
 from repro.trace import build as build_workload
 
@@ -47,6 +54,7 @@ def run_simulation(
     cache_blocks: int = None,
     config: SimConfig = None,
     hint_quality: HintQuality = None,
+    faults: FaultSchedule = None,
     **policy_kwargs,
 ) -> SimulationResult:
     """Simulate ``trace`` under ``policy`` on a ``num_disks`` array.
@@ -55,8 +63,10 @@ def run_simulation(
     :class:`PrefetchPolicy` instance.  ``cache_blocks`` defaults to the
     paper's per-trace choice (512 or 1280 blocks).  ``hint_quality``
     degrades the hints the policy sees (missing/wrong fractions) while the
-    application still follows the true reference stream.  Any extra keyword
-    arguments are forwarded to the policy constructor.
+    application still follows the true reference stream.  ``faults``
+    injects hardware faults (transient read errors, fail-slow spindles,
+    disk death — see :class:`FaultSchedule` and ``docs/FAULTS.md``).  Any
+    extra keyword arguments are forwarded to the policy constructor.
     """
     if config is None:
         config = SimConfig()
@@ -64,6 +74,8 @@ def run_simulation(
         cache_blocks = cache_blocks_for(trace.name)
     if cache_blocks != config.cache_blocks:
         config = config.with_(cache_blocks=cache_blocks)
+    if faults is not None:
+        config = config.with_(faults=faults)
     hints = None
     if hint_quality is not None and not hint_quality.perfect:
         from repro.core.hints import degrade_hints
@@ -78,7 +90,12 @@ def run_simulation(
 __all__ = [
     "Aggressive",
     "CostBenefitAllocator",
+    "DiskFailure",
+    "ErrorWindow",
+    "FaultSchedule",
     "HintQuality",
+    "SlowWindow",
+    "UnrecoverableReadError",
     "MultiProcessSimulator",
     "ProcessResult",
     "StaticAllocator",

@@ -8,9 +8,12 @@ Subcommands::
     repro-sim figure -t synth -d 1,2,3,4    # paper-style stacked-bar figure
     repro-sim characterize                  # locality fingerprints
     repro-sim hints -t cscope2 -d 2         # degraded-hint sensitivity
+    repro-sim faults -t cscope2 -d 2        # fault-injection sensitivity
     repro-sim export -t ld -o ld.trace      # write a workload to a file
 
-Use ``--scale`` to shrink workloads for quick experiments.
+Use ``--scale`` to shrink workloads for quick experiments.  ``run`` and
+``sweep`` accept ``--fault-*`` flags to inject transient read errors,
+fail-slow spindles, and disk deaths (see ``docs/FAULTS.md``).
 """
 
 import argparse
@@ -21,6 +24,7 @@ from repro.analysis.figures import render_figure
 from repro.analysis.locality import characterize
 from repro.analysis.tables import format_breakdown_table, format_table
 from repro.core import POLICIES, HintQuality
+from repro.faults import DiskFailure, FaultSchedule, SlowWindow
 from repro.trace import TABLE3, WORKLOADS, build as build_workload
 
 
@@ -39,6 +43,71 @@ def _setting(args) -> ExperimentSetting:
         discipline=args.discipline,
         cache_blocks=args.cache,
     )
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault injection")
+    group.add_argument(
+        "--fault-error-rate", type=float, default=0.0, metavar="P",
+        help="per-read transient error probability (default 0: no faults)",
+    )
+    group.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the deterministic fault draws",
+    )
+    group.add_argument(
+        "--fault-slow", action="append", default=[], metavar="DISK:FACTOR[:START:END]",
+        help="fail-slow window: service times on DISK multiplied by FACTOR "
+        "(optionally only between START and END ms); repeatable",
+    )
+    group.add_argument(
+        "--fault-kill", action="append", default=[], metavar="DISK@MS",
+        help="permanent disk failure: DISK dies at MS wall-clock ms; repeatable",
+    )
+    group.add_argument(
+        "--fault-max-retries", type=int, default=3,
+        help="demand-fetch retry budget before UnrecoverableReadError",
+    )
+    group.add_argument(
+        "--fault-backoff-ms", type=float, default=1.0,
+        help="base retry backoff (doubles per attempt)",
+    )
+
+
+def _parse_slow(spec: str) -> SlowWindow:
+    parts = spec.split(":")
+    if len(parts) not in (2, 4):
+        raise SystemExit(
+            f"--fault-slow {spec!r}: expected DISK:FACTOR or DISK:FACTOR:START:END"
+        )
+    disk, factor = int(parts[0]), float(parts[1])
+    if len(parts) == 2:
+        return SlowWindow(factor=factor, disk=disk)
+    return SlowWindow(factor=factor, disk=disk,
+                      start_ms=float(parts[2]), end_ms=float(parts[3]))
+
+
+def _parse_kill(spec: str) -> DiskFailure:
+    disk, _, at_ms = spec.partition("@")
+    if not _:
+        raise SystemExit(f"--fault-kill {spec!r}: expected DISK@MS")
+    return DiskFailure(disk=int(disk), at_ms=float(at_ms))
+
+
+def _fault_schedule(args):
+    """Build a FaultSchedule from --fault-* flags; None when all defaults."""
+    try:
+        schedule = FaultSchedule(
+            seed=args.fault_seed,
+            read_error_rate=args.fault_error_rate,
+            slow_windows=tuple(_parse_slow(s) for s in args.fault_slow),
+            disk_failures=tuple(_parse_kill(s) for s in args.fault_kill),
+            max_retries=args.fault_max_retries,
+            retry_backoff_ms=args.fault_backoff_ms,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid --fault-* flags: {exc}")
+    return None if schedule.is_null else schedule
 
 
 def cmd_traces(_args) -> int:
@@ -66,20 +135,35 @@ def cmd_traces(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    faults = _fault_schedule(args)
+    overrides = {"faults": faults} if faults is not None else None
     result = run_one(
-        _setting(args), args.trace, args.policy, args.disks
+        _setting(args), args.trace, args.policy, args.disks,
+        config_overrides=overrides,
     )
     print(format_breakdown_table([result]))
+    if faults is not None:
+        print(str(result))
     return 0
 
 
 def cmd_sweep(args) -> int:
     disk_counts = [int(d) for d in args.disks.split(",")]
     policies = args.policies.split(",") if args.policies else sorted(POLICIES)
-    results = sweep_policies(
-        _setting(args), args.trace, policies, disk_counts,
-        tuned_reverse=args.tuned_reverse,
-    )
+    faults = _fault_schedule(args)
+    setting = _setting(args)
+    if faults is None:
+        results = sweep_policies(
+            setting, args.trace, policies, disk_counts,
+            tuned_reverse=args.tuned_reverse,
+        )
+    else:
+        results = [
+            run_one(setting, args.trace, policy, disks,
+                    config_overrides={"faults": faults})
+            for policy in policies
+            for disks in disk_counts
+        ]
     print(format_breakdown_table(results))
     return 0
 
@@ -161,6 +245,36 @@ def cmd_hints(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    trace = build_workload(args.trace, scale=args.scale)
+    import repro
+
+    scenarios = [
+        ("healthy", None),
+        ("2% errors", FaultSchedule(read_error_rate=0.02, seed=args.fault_seed)),
+        ("10% errors", FaultSchedule(read_error_rate=0.10, seed=args.fault_seed)),
+        ("disk 0 3x slow",
+         FaultSchedule(slow_windows=(SlowWindow(factor=3.0, disk=0),))),
+        ("disk 0 10x slow",
+         FaultSchedule(slow_windows=(SlowWindow(factor=10.0, disk=0),))),
+    ]
+    policies = args.policies.split(",") if args.policies else [
+        "demand", "fixed-horizon", "aggressive", "forestall",
+    ]
+    rows = []
+    for label, schedule in scenarios:
+        row = [label]
+        for policy in policies:
+            result = repro.run_simulation(
+                trace, policy=policy, num_disks=args.disks,
+                cache_blocks=args.cache, faults=schedule,
+            )
+            row.append(round(result.elapsed_s, 2))
+        rows.append(tuple(row))
+    print(format_table(("fault scenario",) + tuple(policies), rows))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -177,9 +291,11 @@ def main(argv=None) -> int:
         "--policy", "-p", default="forestall", choices=sorted(POLICIES)
     )
     run_parser.add_argument("--disks", "-d", type=int, default=1)
+    _add_fault_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="sweep policies x disks")
     _add_common(sweep_parser)
+    _add_fault_flags(sweep_parser)
     sweep_parser.add_argument(
         "--policies", "-p", default=None, help="comma-separated policy names"
     )
@@ -210,6 +326,14 @@ def main(argv=None) -> int:
     hints_parser.add_argument("--policies", "-p", default=None)
     hints_parser.add_argument("--disks", "-d", type=int, default=2)
 
+    faults_parser = sub.add_parser(
+        "faults", help="elapsed time under injected hardware faults"
+    )
+    _add_common(faults_parser)
+    faults_parser.add_argument("--policies", "-p", default=None)
+    faults_parser.add_argument("--disks", "-d", type=int, default=2)
+    faults_parser.add_argument("--fault-seed", type=int, default=0)
+
     export_parser = sub.add_parser(
         "export", help="write a built-in workload to a trace file"
     )
@@ -229,6 +353,7 @@ def main(argv=None) -> int:
         "figure": cmd_figure,
         "characterize": cmd_characterize,
         "hints": cmd_hints,
+        "faults": cmd_faults,
         "export": cmd_export,
     }
     return handler[args.command](args)

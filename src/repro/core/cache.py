@@ -65,6 +65,13 @@ class BufferCache:
             self.evictions += 1
         self.in_flight.add(block)
 
+    def abort_fetch(self, block: int) -> None:
+        """The fetch of ``block`` will never complete (abandoned prefetch
+        or dead disk); its buffer reservation frees immediately."""
+        if block not in self.in_flight:
+            raise ValueError(f"block {block} has no fetch in flight")
+        self.in_flight.remove(block)
+
     def complete_fetch(self, block: int) -> None:
         """The fetch of ``block`` finished; it is now referenceable."""
         if block not in self.in_flight:

@@ -25,20 +25,30 @@ from repro.core.nextref import EvictionHeap, NextRefIndex
 from repro.core.results import SimulationResult
 from repro.core.timeline import (
     EVICTION,
+    FAILOVER,
+    FAULT_INJECTED,
     FETCH_DONE,
     FETCH_ISSUED,
+    FETCH_RETRY,
     STALL_END,
     STALL_START,
     Timeline,
 )
-from repro.disk.array import DiskArray, Placement
+from repro.disk.array import (
+    OUTCOME_DEAD,
+    OUTCOME_OK,
+    DiskArray,
+    Placement,
+)
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import HP97560, HP97560_ZONED, IBM0661, DiskGeometry
 from repro.disk.seek import IBM0661_SEEK
 from repro.disk.simple import SimpleDrive
+from repro.faults.schedule import FaultSchedule, UnrecoverableReadError
 
 _EVENT_DISK = 0  # completions processed before app steps at equal times
 _EVENT_APP = 1
+_EVENT_RETRY = 2  # a failed demand fetch resubmits after its backoff
 
 
 @dataclass(frozen=True)
@@ -61,6 +71,10 @@ class SimConfig:
     #: Record a per-run event timeline (fetches, completions, stalls) for
     #: post-hoc analysis via repro.core.timeline.
     record_timeline: bool = False
+    #: Fault injection: transient read errors, fail-slow spindles, disk
+    #: death (see repro.faults).  None (or a null schedule) leaves every
+    #: code path and floating-point value of a healthy run untouched.
+    faults: Optional[FaultSchedule] = None
     geometry: DiskGeometry = HP97560
 
     def with_(self, **changes) -> "SimConfig":
@@ -105,6 +119,24 @@ class Simulator:
             self._mirror_layout = StripedLayout(num_disks // 2)
         else:
             self._mirror_layout = None
+        # Fault injection: a null schedule is dropped entirely so the
+        # healthy path stays bit-for-bit identical to a fault-free run.
+        faults = self.config.faults
+        self._faults = (
+            faults if faults is not None and not faults.is_null else None
+        )
+        #: Blocks whose every copy is gone (dead spindle, no live mirror).
+        #: Scanners skip them; the app consumes their references as
+        #: unreadable (partial-data mode) instead of stalling forever.
+        self.lost_blocks = set()
+        self._fetch_attempts: Dict[int, int] = {}
+        self.retry_ms_total = 0.0
+        self.failover_reads = 0
+        self.failover_writes = 0
+        self.abandoned_prefetches = 0
+        self.lost_flushes = 0
+        self.unreadable_references = 0
+
         self.index = NextRefIndex(self.blocks)
         self.cache = BufferCache(self.config.cache_blocks)
         self.eviction_heap = EvictionHeap(self.index, self.cache.resident)
@@ -166,6 +198,7 @@ class Simulator:
             drive_factory=factory,
             discipline=config.discipline,
             geometry=geometry,
+            faults=self._faults,
         )
 
     def _place_blocks(self) -> None:
@@ -239,12 +272,31 @@ class Simulator:
         if not self.config.mirrored:
             return home
         # RAID-1: the block's pair owns spindles (home, home + pairs);
-        # dispatch to whichever is less loaded right now.
+        # dispatch to whichever is less loaded right now.  A dead spindle
+        # is routed around; with both copies dead the request goes to the
+        # home disk and fails fast into the partial-data path.
         mirror = home + self.num_disks // 2
+        if self._faults is not None:
+            home_dead = self._faults.is_dead(home, self.now)
+            mirror_dead = self._faults.is_dead(mirror, self.now)
+            if home_dead != mirror_dead:
+                return mirror if home_dead else home
         array = self.array
         def load(disk):
             return array.queue_length(disk) + (0 if array.is_idle(disk) else 1)
         return home if load(home) <= load(mirror) else mirror
+
+    def _live_twin(self, block: int, failed_disk: int, now: float):
+        """In mirrored mode, the other spindle of ``block``'s pair if it is
+        still alive; None when there is no surviving copy to fail over to."""
+        if not self.config.mirrored:
+            return None
+        pairs = self.num_disks // 2
+        home = self._disk[block]
+        twin = home + pairs if failed_disk == home else home
+        if self._faults.is_dead(twin, now):
+            return None
+        return twin
 
     def lbn_of(self, block: int) -> int:
         if block not in self._lbn:
@@ -312,8 +364,25 @@ class Simulator:
 
     # -- event handlers -----------------------------------------------------------
 
+    def _wake_app(self, now: float) -> None:
+        """End the application's current stall: account the wait and
+        schedule the app step that re-examines the reference."""
+        if self.timeline is not None:
+            self.timeline.record(
+                max(now, self._stall_start), STALL_END, self._waiting_block
+            )
+        self._waiting_block = None
+        self._retry_miss = False
+        self.stall_total += max(0.0, now - self._stall_start)
+        self._push(max(now, self._stall_start), _EVENT_APP)
+
     def _disk_complete(self, disk: int, now: float) -> None:
         request = self.array.complete(disk)
+        if self._faults is not None:
+            outcome = self.array.take_outcome(disk)
+            if outcome is not OUTCOME_OK:
+                self._fault_complete(disk, request, outcome, now)
+                return
         if request.kind == "write":
             # A write-behind flush finished; nothing enters the cache, the
             # disk is simply free again.
@@ -321,17 +390,11 @@ class Simulator:
                 self.policy.on_disk_idle(disk, now)
             self._start_disks(now)
             if self._retry_miss and self._waiting_block is not None:
-                if self.timeline is not None:
-                    self.timeline.record(
-                        max(now, self._stall_start), STALL_END,
-                        self._waiting_block,
-                    )
-                self._waiting_block = None
-                self._retry_miss = False
-                self.stall_total += max(0.0, now - self._stall_start)
-                self._push(max(now, self._stall_start), _EVENT_APP)
+                self._wake_app(now)
             return
         self.cache.complete_fetch(request.block)
+        if self._fetch_attempts:
+            self._fetch_attempts.pop(request.block, None)
         self.eviction_heap.push(request.block, self.cursor)
         if self.timeline is not None:
             self.timeline.record(now, FETCH_DONE, request.block, disk)
@@ -340,25 +403,108 @@ class Simulator:
             self.policy.on_disk_idle(disk, now)
         self._start_disks(now)
         if self._waiting_block == request.block:
-            if self.timeline is not None:
-                self.timeline.record(
-                    max(now, self._stall_start), STALL_END, request.block
-                )
-            self._waiting_block = None
-            self._retry_miss = False
-            self.stall_total += max(0.0, now - self._stall_start)
-            self._push(max(now, self._stall_start), _EVENT_APP)
+            self._wake_app(now)
         elif self._retry_miss and self._waiting_block is not None:
             # The app is parked on a miss it could not issue; a buffer may
             # have just freed up — wake it to retry.
-            if self.timeline is not None:
-                self.timeline.record(
-                    max(now, self._stall_start), STALL_END, self._waiting_block
-                )
-            self._waiting_block = None
-            self._retry_miss = False
-            self.stall_total += max(0.0, now - self._stall_start)
-            self._push(max(now, self._stall_start), _EVENT_APP)
+            self._wake_app(now)
+
+    # -- fault handling ---------------------------------------------------------
+
+    def _fault_complete(self, disk: int, request, outcome: str, now: float) -> None:
+        """A request finished with an injected fault: decide between
+        failover (dead spindle, live mirror twin), retry with exponential
+        backoff (failed demand fetch), abandonment (failed prefetch or
+        flush), and partial-data mode (no copy of the block survives).
+        """
+        block = request.block
+        service_ms = self._service_in_progress[disk]
+        if self.timeline is not None:
+            self.timeline.record(now, FAULT_INJECTED, block, disk)
+        lost = False
+        if request.kind == "write":
+            if outcome is OUTCOME_DEAD:
+                twin = self._live_twin(block, disk, now)
+                if twin is not None:
+                    self.failover_writes += 1
+                    self.retry_ms_total += service_ms
+                    self.array.submit(twin, block, self._lbn[block], kind="write")
+                    if self.timeline is not None:
+                        self.timeline.record(now, FAILOVER, block, twin)
+                else:
+                    self.lost_flushes += 1
+            else:
+                # Transient flush error: the buffer is long gone, so the
+                # flush is simply dropped (a lost redundancy write).
+                self.lost_flushes += 1
+        elif outcome is OUTCOME_DEAD:
+            twin = self._live_twin(block, disk, now)
+            if twin is not None:
+                self.failover_reads += 1
+                self.retry_ms_total += service_ms
+                self.array.submit(twin, block, self._lbn[block])
+                if self.timeline is not None:
+                    self.timeline.record(now, FAILOVER, block, twin)
+            else:
+                # No surviving copy anywhere: the block is gone.  Release
+                # the buffer and let the app consume its references as
+                # unreadable (partial data) instead of crashing the run.
+                lost = True
+                self.lost_blocks.add(block)
+                self._abandon_fetch(block)
+        elif self._waiting_block == block:
+            # Failed *demand* fetch: retry with exponential backoff until
+            # the budget is exhausted, then the data is unrecoverable.
+            attempts = self._fetch_attempts.get(block, 0) + 1
+            self._fetch_attempts[block] = attempts
+            if attempts > self._faults.max_retries:
+                raise UnrecoverableReadError(block, disk, attempts)
+            backoff = self._faults.retry_backoff_ms * (2 ** (attempts - 1))
+            self.retry_ms_total += service_ms + backoff
+            self._push(now + backoff, _EVENT_RETRY, block)
+        else:
+            # Failed *prefetch*: abandon it — the bandwidth is already
+            # wasted, and the block will surface later as a demand miss.
+            self._abandon_fetch(block)
+        if not self._done:
+            self.policy.on_disk_idle(disk, now)
+        self._start_disks(now)
+        if self._waiting_block is not None:
+            if lost and self._waiting_block == block:
+                # The app was stalled on a block that no longer exists;
+                # wake it into the partial-data path.
+                self._wake_app(now)
+            elif self._retry_miss:
+                # A parked miss may now have a free buffer (an abandoned
+                # prefetch released one) or a free disk.
+                self._wake_app(now)
+
+    def _abandon_fetch(self, block: int) -> None:
+        """Release the in-flight reservation of a fetch that will never
+        complete and re-expose the block to the policy's missing-set."""
+        self.cache.abort_fetch(block)
+        self._fetch_attempts.pop(block, None)
+        self.abandoned_prefetches += 1
+        if block not in self.lost_blocks:
+            # Lost blocks are *not* re-exposed: scanners skip them and the
+            # app consumes their references as unreadable.
+            next_use = self.index.next_use(block, self.cursor)
+            self.policy.on_evict(block, next_use)
+
+    def _retry_fetch(self, block: int, now: float) -> None:
+        """Backoff expired: resubmit the failed demand fetch.  The target
+        disk is re-resolved, so a spindle that died during the backoff is
+        routed around in mirrored mode."""
+        if not self.cache.is_in_flight(block):
+            return  # the fetch was aborted meanwhile (block became lost)
+        disk = self.disk_of(block)
+        self.array.submit(
+            disk, block, self.lbn_of(block),
+            attempt=self._fetch_attempts.get(block, 0),
+        )
+        if self.timeline is not None:
+            self.timeline.record(now, FETCH_RETRY, block, disk)
+        self._start_disks(now)
 
     def _app_step(self, now: float) -> None:
         if self._done:
@@ -387,6 +533,17 @@ class Simulator:
             self.policy.on_reference_served(self.cursor, compute)
             self.cursor += 1
             self.eviction_heap.push(block, self.cursor)
+            self._push(now + compute, _EVENT_APP)
+        elif block in self.lost_blocks and not self.is_write(self.cursor):
+            # Partial-data mode: every copy of this block is on a dead
+            # spindle.  The read cannot be served from anywhere; the run
+            # records the unreadable reference and continues (writes still
+            # allocate in cache and are handled above/below).
+            self.unreadable_references += 1
+            compute = self.compute_ms[self.cursor]
+            self.compute_total += compute
+            self.policy.on_reference_served(self.cursor, compute)
+            self.cursor += 1
             self._push(now + compute, _EVENT_APP)
         elif self.is_write(self.cursor) and not self.cache.is_in_flight(block):
             # Whole-block write miss: allocate a buffer, no read needed.
@@ -448,6 +605,8 @@ class Simulator:
             self.now = now
             if kind == _EVENT_DISK:
                 self._disk_complete(payload, now)
+            elif kind == _EVENT_RETRY:
+                self._retry_fetch(payload, now)
             else:
                 self._app_step(now)
         if not self._done:
@@ -462,6 +621,19 @@ class Simulator:
         else:
             utilization = 0.0
         started = max(1, self._requests_started)
+        extras = {}
+        if self._writes is not None:
+            extras["writes"] = self.write_count
+            extras["flushes"] = self.flush_count
+        if self._faults is not None:
+            extras["transient_errors"] = self.array.transient_errors
+            extras["dead_errors"] = self.array.dead_errors
+            extras["slowed_requests"] = self.array.slowed_requests
+            extras["abandoned_prefetches"] = self.abandoned_prefetches
+            extras["failover_writes"] = self.failover_writes
+            extras["lost_flushes"] = self.lost_flushes
+            extras["lost_blocks"] = len(self.lost_blocks)
+            extras["unreadable_references"] = self.unreadable_references
         result = SimulationResult(
             trace_name=self.trace.name,
             policy_name=self.policy.name,
@@ -477,11 +649,10 @@ class Simulator:
             per_disk_busy_ms=busy,
             references=len(self.app_blocks),
             cache_hits=len(self.app_blocks) - self.fetch_count,
-            extras=(
-                {"writes": self.write_count, "flushes": self.flush_count}
-                if self._writes is not None
-                else {}
-            ),
+            retry_ms=self.retry_ms_total,
+            failover_reads=self.failover_reads,
+            faults_injected=self.array.faults_injected,
+            extras=extras,
         )
         result.check_accounting(tolerance_ms=1e-6 * max(1.0, elapsed))
         return result

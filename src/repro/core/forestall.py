@@ -64,11 +64,16 @@ class _MissingTracker:
         if start >= end:
             return
         present = self.sim.cache.present_or_coming
+        lost = self.sim.lost_blocks
         position_of = self._position_of
         append = self.positions.append
         for position in range(start, end):
             block = blocks[position]
-            if block not in position_of and not present(block):
+            if (
+                block not in position_of
+                and not present(block)
+                and block not in lost  # unreachable: no fetch can help
+            ):
                 position_of[block] = position
                 append(position)
         self.scanned_to = end

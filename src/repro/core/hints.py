@@ -58,15 +58,24 @@ def degrade_hints(trace: Trace, quality: HintQuality) -> List[Optional[int]]:
         return list(trace.blocks)
     rng = random.Random(quality.seed)
     universe = sorted(set(trace.blocks))
+    # O(1) "some other block" lookup; universe.index per hint would make
+    # degradation quadratic in the trace's footprint.
+    index_of = {block: index for index, block in enumerate(universe)}
     hints: List[Optional[int]] = []
     for block in trace.blocks:
         roll = rng.random()
         if roll < quality.missing_fraction:
             hints.append(None)
         elif roll < quality.missing_fraction + quality.wrong_fraction:
+            if len(universe) == 1:
+                # A single-block universe has no *other* block to lie
+                # about; a "wrong" hint would silently equal the truth.
+                # Degrade to a missing hint instead.
+                hints.append(None)
+                continue
             wrong = rng.choice(universe)
-            if wrong == block and len(universe) > 1:
-                wrong = universe[(universe.index(block) + 1) % len(universe)]
+            if wrong == block:
+                wrong = universe[(index_of[block] + 1) % len(universe)]
             hints.append(wrong)
         else:
             hints.append(block)

@@ -167,6 +167,9 @@ class _Process:
         self.blocks = [b + offset for b in trace.blocks]
         self.app_blocks = self.blocks
         self.compute_ms = trace.compute_ms
+        # The multiprocess engine does not inject faults; the attribute
+        # exists because policy scanners skip a simulator's lost blocks.
+        self.lost_blocks = frozenset()
         self.index = NextRefIndex(self.blocks)
         self.eviction_heap = EvictionHeap(self.index, cache.resident)
         self.cursor = 0

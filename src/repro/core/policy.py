@@ -129,8 +129,12 @@ class MissingScanner:
         sim = self.sim
         blocks = sim.blocks
         present = sim.cache.present_or_coming
+        lost = sim.lost_blocks
         end = min(end, len(blocks))
         for position in range(max(cursor, self.floor), end):
             block = blocks[position]
-            if not present(block):
+            if not present(block) and block not in lost:
+                # Lost blocks (every copy on a dead spindle) are skipped:
+                # no fetch can ever serve them, so they are not "missing"
+                # in any actionable sense.
                 yield position, block

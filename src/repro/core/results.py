@@ -28,7 +28,21 @@ class SimulationResult:
     per_disk_busy_ms: List[float] = field(default_factory=list)
     cache_hits: int = 0
     references: int = 0
+    #: Disk time burnt on failed attempts plus retry backoff waits (fault
+    #: injection only; zero on healthy runs).  Not part of the elapsed-time
+    #: identity — it is disk-side time, visible through stalls.
+    retry_ms: float = 0.0
+    #: Reads rerouted to a mirror twin after their home spindle died.
+    failover_reads: int = 0
+    #: Discrete fault events injected (transient errors + dead-disk fails).
+    faults_injected: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when data became unreachable (partial-data run): some
+        references could not be served from any disk."""
+        return bool(self.extras.get("unreadable_references", 0))
 
     @property
     def elapsed_s(self) -> float:
@@ -58,7 +72,7 @@ class SimulationResult:
             )
 
     def to_dict(self) -> Dict[str, float]:
-        return {
+        d = {
             "trace": self.trace_name,
             "policy": self.policy_name,
             "disks": self.num_disks,
@@ -69,9 +83,14 @@ class SimulationResult:
             "avg_fetch_ms": round(self.average_fetch_ms, 3),
             "disk_util": round(self.disk_utilization, 3),
         }
+        if self.faults_injected or self.retry_ms or self.failover_reads:
+            d["faults"] = self.faults_injected
+            d["retry_ms"] = round(self.retry_ms, 3)
+            d["failovers"] = self.failover_reads
+        return d
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.trace_name}/{self.policy_name} disks={self.num_disks}: "
             f"elapsed={self.elapsed_s:.3f}s "
             f"(compute={self.compute_s:.3f} driver={self.driver_s:.3f} "
@@ -79,3 +98,12 @@ class SimulationResult:
             f"avg_fetch={self.average_fetch_ms:.2f}ms "
             f"util={self.disk_utilization:.2f}"
         )
+        if self.faults_injected or self.retry_ms or self.failover_reads:
+            text += (
+                f" faults={self.faults_injected} "
+                f"retry={self.retry_ms / 1000.0:.3f}s "
+                f"failovers={self.failover_reads}"
+            )
+            if self.degraded:
+                text += " DEGRADED"
+        return text

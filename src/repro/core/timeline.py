@@ -17,6 +17,10 @@ FETCH_DONE = "done"
 EVICTION = "evict"
 STALL_START = "stall"
 STALL_END = "resume"
+# Fault-injection events (see repro.faults):
+FAULT_INJECTED = "fault"  # a request failed (transient error or dead disk)
+FETCH_RETRY = "retry"  # a failed demand fetch was resubmitted after backoff
+FAILOVER = "failover"  # a read was rerouted to the mirror twin of a dead disk
 
 
 @dataclass
@@ -97,6 +101,12 @@ class Timeline:
                     spans.append((start, time))
                     start = None
         return spans
+
+    def fault_events(self) -> List[Tuple[float, str, int, int]]:
+        """The fault-related events (injections, retries, failovers), in
+        time order — the forensic view of a degraded run."""
+        kinds = (FAULT_INJECTED, FETCH_RETRY, FAILOVER)
+        return [event for event in self.events if event[1] in kinds]
 
     def summary(self) -> Dict[str, float]:
         episodes = self.stall_episodes()

@@ -10,7 +10,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.disk.drive import DiskDrive
+from repro.disk.drive import DiskDrive, ServiceBreakdown
 from repro.disk.geometry import HP97560, DiskGeometry
 from repro.disk.scheduler import Request, make_queue
 
@@ -71,12 +71,26 @@ class Placement:
         return block % self.total_blocks
 
 
+#: Service outcomes under fault injection (see :mod:`repro.faults`).
+OUTCOME_OK = "ok"
+OUTCOME_TRANSIENT = "transient"  # full service consumed, data bad
+OUTCOME_DEAD = "dead"  # spindle permanently failed; request failed fast
+
+
 class DiskArray:
     """A bank of independent drives, each with its own request queue.
 
     The simulation engine owns all timing decisions; the array tracks which
     drive is busy, orders queued requests by the chosen discipline, and
     accumulates per-disk statistics.
+
+    With a :class:`~repro.faults.FaultSchedule` attached, starting a
+    request also decides its fate: a dead spindle fails it fast, a
+    fail-slow window stretches its service time, and a transient error
+    lets it consume full service before reporting failure.  The outcome is
+    surfaced to the engine via :meth:`take_outcome`; the array itself
+    never retries — recovery policy (backoff, failover, abandonment) is
+    the engine's job.
     """
 
     def __init__(
@@ -85,6 +99,7 @@ class DiskArray:
         drive_factory: Callable[[], object] = None,
         discipline: str = "cscan",
         geometry: DiskGeometry = HP97560,
+        faults=None,
     ):
         if num_disks < 1:
             raise ValueError("need at least one disk")
@@ -93,6 +108,7 @@ class DiskArray:
         self.num_disks = num_disks
         self.layout = StripedLayout(num_disks)
         self.geometry = geometry
+        self.faults = faults
         self.drives = [drive_factory() for _ in range(num_disks)]
         cylinder_of = self._cylinder_of
         self.queues = [make_queue(discipline, cylinder_of) for _ in range(num_disks)]
@@ -101,6 +117,10 @@ class DiskArray:
         self.service_time_total = 0.0
         self.requests_completed = 0
         self._seq = 0
+        self._outcomes: List[str] = [OUTCOME_OK] * num_disks
+        self.transient_errors = 0
+        self.dead_errors = 0
+        self.slowed_requests = 0
 
     def _cylinder_of(self, lbn: int) -> int:
         try:
@@ -110,11 +130,16 @@ class DiskArray:
 
     # -- request lifecycle ---------------------------------------------------
 
-    def submit(self, disk: int, block: int, lbn: int, kind: str = "read") -> Request:
+    def submit(
+        self, disk: int, block: int, lbn: int, kind: str = "read",
+        attempt: int = 0,
+    ) -> Request:
         """Queue a request for ``lbn`` (application block ``block``) on
         ``disk``; ``kind`` is "read" or "write"."""
         self._seq += 1
-        request = Request(lbn=lbn, block=block, seq=self._seq, kind=kind)
+        request = Request(
+            lbn=lbn, block=block, seq=self._seq, kind=kind, attempt=attempt
+        )
         self.queues[disk].push(request)
         return request
 
@@ -135,7 +160,28 @@ class DiskArray:
         request = self.queues[disk].pop(drive.cylinder)
         if request is None:
             return None
-        breakdown = drive.service(request.lbn, now)
+        faults = self.faults
+        if faults is not None and faults.is_dead(disk, now):
+            # Dead spindle: the controller reports the error fast without
+            # touching the (gone) mechanics — the drive's head state and
+            # readahead cache are left as they were.
+            breakdown = ServiceBreakdown(overhead=faults.fail_fast_ms)
+            self._outcomes[disk] = OUTCOME_DEAD
+            self.dead_errors += 1
+        else:
+            breakdown = drive.service(request.lbn, now)
+            if faults is not None:
+                factor = faults.slow_factor(disk, now)
+                if factor != 1.0:
+                    breakdown.fault_ms = breakdown.total * (factor - 1.0)
+                    self.slowed_requests += 1
+                if faults.draw_error(disk, request.seq, now):
+                    # The media was read (full mechanical time consumed);
+                    # the transfer was bad.
+                    self._outcomes[disk] = OUTCOME_TRANSIENT
+                    self.transient_errors += 1
+                else:
+                    self._outcomes[disk] = OUTCOME_OK
         self.in_service[disk] = request
         self.busy_time[disk] += breakdown.total
         self.service_time_total += breakdown.total
@@ -149,6 +195,19 @@ class DiskArray:
         self.in_service[disk] = None
         self.requests_completed += 1
         return request
+
+    def take_outcome(self, disk: int) -> str:
+        """The fault outcome of the request just completed on ``disk``
+        (:data:`OUTCOME_OK` / :data:`OUTCOME_TRANSIENT` /
+        :data:`OUTCOME_DEAD`); resets to OK for the next request."""
+        outcome = self._outcomes[disk]
+        self._outcomes[disk] = OUTCOME_OK
+        return outcome
+
+    @property
+    def faults_injected(self) -> int:
+        """Discrete fault events injected so far (transient + dead)."""
+        return self.transient_errors + self.dead_errors
 
     # -- statistics ----------------------------------------------------------
 

@@ -24,13 +24,19 @@ from repro.disk.seek import SeekModel
 
 @dataclass
 class ServiceBreakdown:
-    """Component times of one serviced request (all ms)."""
+    """Component times of one serviced request (all ms).
+
+    ``fault_ms`` is extra service time added by fault injection — a
+    fail-slow spindle stretching the mechanical work (see
+    :mod:`repro.faults`).  It is zero on healthy hardware.
+    """
 
     overhead: float = 0.0
     seek: float = 0.0
     rotation: float = 0.0
     transfer: float = 0.0
     cache_wait: float = 0.0
+    fault_ms: float = 0.0
     cache_hit: bool = False
 
     @property
@@ -41,6 +47,7 @@ class ServiceBreakdown:
             + self.rotation
             + self.transfer
             + self.cache_wait
+            + self.fault_ms
         )
 
 

@@ -19,13 +19,16 @@ class Request:
     ``block`` is the application-level block identity; ``lbn`` is the block's
     address on this disk.  ``seq`` breaks ties deterministically in arrival
     order.  ``kind`` is ``"read"`` (fetch into the cache) or ``"write"``
-    (write-behind flush of an evicted dirty block).
+    (write-behind flush of an evicted dirty block).  ``attempt`` counts
+    prior failed attempts at this fetch: 0 for a first issue, n for the
+    n-th retry after transient read errors (see :mod:`repro.faults`).
     """
 
     lbn: int
     block: int
     seq: int
     kind: str = "read"
+    attempt: int = 0
 
 
 class FCFSQueue:

@@ -1,0 +1,22 @@
+"""Fault injection: transient read errors, fail-slow disks, disk death.
+
+See :mod:`repro.faults.schedule` for the model and
+``docs/FAULTS.md`` for the full semantics (retry layer, mirrored
+failover, degraded partial-data mode).
+"""
+
+from repro.faults.schedule import (
+    DiskFailure,
+    ErrorWindow,
+    FaultSchedule,
+    SlowWindow,
+    UnrecoverableReadError,
+)
+
+__all__ = [
+    "DiskFailure",
+    "ErrorWindow",
+    "FaultSchedule",
+    "SlowWindow",
+    "UnrecoverableReadError",
+]

@@ -1,0 +1,236 @@
+"""Deterministic fault injection: what the paper's fault-free disks hide.
+
+The paper compares prefetching algorithms on perfect HP 97560 arrays; real
+arrays exhibit **transient read errors** (media defects, bus glitches),
+**fail-slow spindles** (degraded servo, vibrating chassis, remapped
+sectors), and **whole-disk loss**.  Aggressive prefetching interacts with
+every one of these regimes: retries can hide behind compute (the fault is
+masked) or land on the critical path (the fault is amplified by wasted
+bandwidth on a degraded spindle).
+
+A :class:`FaultSchedule` is a *pure, immutable description* of the faults
+to inject — it owns no counters and no mutable RNG.  Every transient-error
+decision is a stateless hash of ``(seed, disk, request sequence number)``,
+so a run is a deterministic function of ``(trace, policy, schedule)``:
+identical invocations produce bit-identical results, and the zero-fault
+schedule reproduces fault-free timings exactly (the injection hooks take
+the same code paths with the same floating-point values).
+
+Fault classes
+-------------
+
+* **Transient read errors** — a baseline per-request probability
+  (:attr:`FaultSchedule.read_error_rate`) plus scripted
+  :class:`ErrorWindow` spans during which a disk (or all disks) fails
+  requests at an elevated rate.  The request consumed full mechanical
+  service time before the error is detected (the media was read; the
+  transfer was bad).
+* **Fail-slow** — :class:`SlowWindow` spans multiply a disk's service
+  times by a factor; an open-ended window models a permanently degraded
+  spindle, a bounded one models a transient brown-out spike.
+* **Permanent failure** — a :class:`DiskFailure` kills a spindle at a
+  wall-clock time; from then on its requests fail fast (the controller
+  reports the error after :attr:`FaultSchedule.fail_fast_ms`).
+
+Retry semantics (implemented by the engine) are carried here as policy
+knobs: failed *demand* fetches retry with exponential backoff up to
+:attr:`FaultSchedule.max_retries` times and then raise
+:class:`UnrecoverableReadError`; failed *prefetches* are abandoned — the
+block simply surfaces later as a demand miss.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+_MASK64 = (1 << 64) - 1
+_TWO64 = float(1 << 64)
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 finalizer: a fast, well-mixed 64-bit
+    hash that is identical on every platform and Python version (unlike
+    ``hash``/``random``, which must not leak into simulation results)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class UnrecoverableReadError(RuntimeError):
+    """A demand fetch failed and exhausted its retry budget.
+
+    Carries enough context (``block``, ``disk``, ``attempts``) for a
+    caller to report which data became unreadable and how hard the retry
+    layer tried before giving up.
+    """
+
+    def __init__(self, block, disk: int, attempts: int):
+        super().__init__(
+            f"demand fetch of block {block!r} on disk {disk} failed "
+            f"{attempts} times (retries exhausted)"
+        )
+        self.block = block
+        self.disk = disk
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class ErrorWindow:
+    """Scripted span of elevated transient-error probability.
+
+    ``disk is None`` applies the window to every disk (a shared-bus or
+    controller brown-out); otherwise only the named spindle is affected.
+    """
+
+    start_ms: float
+    end_ms: float
+    rate: float = 1.0
+    disk: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms:
+            raise ValueError("error window must end at or after its start")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("error rate must be in [0, 1]")
+
+    def covers(self, disk: int, now_ms: float) -> bool:
+        return (self.disk is None or self.disk == disk) and (
+            self.start_ms <= now_ms < self.end_ms
+        )
+
+
+@dataclass(frozen=True)
+class SlowWindow:
+    """Span during which a disk's service times are multiplied by
+    ``factor``.  ``end_ms is None`` means forever (a fail-slow spindle);
+    ``disk is None`` slows the whole array.  Overlapping windows
+    compound multiplicatively."""
+
+    factor: float
+    disk: Optional[int] = None
+    start_ms: float = 0.0
+    end_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0.0:
+            raise ValueError("slow factor must be positive")
+        if self.end_ms is not None and self.end_ms < self.start_ms:
+            raise ValueError("slow window must end at or after its start")
+
+    def covers(self, disk: int, now_ms: float) -> bool:
+        if self.disk is not None and self.disk != disk:
+            return False
+        if now_ms < self.start_ms:
+            return False
+        return self.end_ms is None or now_ms < self.end_ms
+
+
+@dataclass(frozen=True)
+class DiskFailure:
+    """Permanent death of one spindle at a wall-clock time."""
+
+    disk: int
+    at_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.disk < 0:
+            raise ValueError("disk index must be nonnegative")
+        if self.at_ms < 0.0:
+            raise ValueError("failure time must be nonnegative")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Seeded, deterministic description of the faults to inject.
+
+    The default instance is the *null schedule*: no errors, no slowdowns,
+    no failures — and (by construction) zero perturbation of a run's
+    timing.  Retry knobs: ``max_retries`` bounds demand-fetch retries
+    (attempt ``n`` backs off ``retry_backoff_ms * 2**(n-1)``);
+    ``fail_fast_ms`` is the controller latency to report a request against
+    a dead spindle.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    error_windows: Tuple[ErrorWindow, ...] = ()
+    slow_windows: Tuple[SlowWindow, ...] = ()
+    disk_failures: Tuple[DiskFailure, ...] = ()
+    max_retries: int = 3
+    retry_backoff_ms: float = 1.0
+    fail_fast_ms: float = 0.5
+
+    def __post_init__(self) -> None:
+        # Accept lists for ergonomics; store tuples so the schedule stays
+        # hashable and safely shareable across simulators.
+        for name in ("error_windows", "slow_windows", "disk_failures"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        if not 0.0 <= self.read_error_rate <= 1.0:
+            raise ValueError("read_error_rate must be in [0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be nonnegative")
+        if self.retry_backoff_ms < 0.0:
+            raise ValueError("retry_backoff_ms must be nonnegative")
+        if self.fail_fast_ms <= 0.0:
+            # A zero-latency failure would let a policy re-issue a doomed
+            # fetch at the same instant forever; strictly positive
+            # detection time guarantees the event loop always advances.
+            raise ValueError("fail_fast_ms must be positive")
+
+    # -- queries (all pure) ---------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """True when this schedule injects nothing at all."""
+        return (
+            self.read_error_rate == 0.0
+            and not self.error_windows
+            and not self.slow_windows
+            and not self.disk_failures
+        )
+
+    def death_time(self, disk: int) -> Optional[float]:
+        """When ``disk`` dies permanently, or None if it never does."""
+        times = [f.at_ms for f in self.disk_failures if f.disk == disk]
+        return min(times) if times else None
+
+    def is_dead(self, disk: int, now_ms: float) -> bool:
+        time = self.death_time(disk)
+        return time is not None and now_ms >= time
+
+    def slow_factor(self, disk: int, now_ms: float) -> float:
+        """Service-time multiplier for a request starting now on ``disk``."""
+        factor = 1.0
+        for window in self.slow_windows:
+            if window.covers(disk, now_ms):
+                factor *= window.factor
+        return factor
+
+    def error_rate(self, disk: int, now_ms: float) -> float:
+        """Effective transient-error probability: the baseline rate or the
+        strongest covering scripted window, whichever is higher."""
+        rate = self.read_error_rate
+        for window in self.error_windows:
+            if window.covers(disk, now_ms) and window.rate > rate:
+                rate = window.rate
+        return rate
+
+    def draw_error(self, disk: int, seq: int, now_ms: float) -> bool:
+        """Does the request with sequence number ``seq`` fail transiently?
+
+        The draw is a stateless hash of ``(seed, disk, seq)`` — no RNG
+        stream exists to be perturbed, so injecting a fault for one
+        request can never change the outcome drawn for another.
+        """
+        rate = self.error_rate(disk, now_ms)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return self._uniform(disk, seq) < rate
+
+    def _uniform(self, disk: int, seq: int) -> float:
+        h = _splitmix64(self.seed & _MASK64)
+        h = _splitmix64(h ^ (disk & _MASK64))
+        h = _splitmix64(h ^ (seq & _MASK64))
+        return h / _TWO64

@@ -93,6 +93,60 @@ class TestHints:
         assert "25% missing" in out
 
 
+class TestFaultFlags:
+    def test_run_with_error_rate_reports_faults(self, capsys):
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "-d", "2", "--scale", "0.1",
+            "--cache", "128", "--fault-error-rate", "0.1",
+            "--fault-seed", "3", "--fault-max-retries", "50",
+        ])
+        assert code == 0
+        assert "faults=" in capsys.readouterr().out
+
+    def test_run_with_kill_reports_degraded(self, capsys):
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "-d", "2", "--scale", "0.1",
+            "--cache", "128", "--fault-kill", "1@0",
+        ])
+        assert code == 0
+        assert "DEGRADED" in capsys.readouterr().out
+
+    def test_sweep_with_slow_window(self, capsys):
+        code = main([
+            "sweep", "-t", "ld", "-p", "demand,fixed-horizon", "-d", "2",
+            "--scale", "0.1", "--cache", "128", "--fault-slow", "0:3",
+        ])
+        assert code == 0
+        assert "fixed-horizon" in capsys.readouterr().out
+
+    def test_malformed_slow_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "-t", "ld", "--scale", "0.1",
+                "--fault-slow", "nonsense",
+            ])
+
+    def test_malformed_kill_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "-t", "ld", "--scale", "0.1",
+                "--fault-kill", "0:5",
+            ])
+
+
+class TestFaultsCommand:
+    def test_fault_sensitivity_table(self, capsys):
+        code = main([
+            "faults", "-t", "ld", "-d", "2", "--scale", "0.1",
+            "--cache", "128", "-p", "demand,fixed-horizon",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "healthy" in out
+        assert "10% errors" in out
+        assert "disk 0 3x slow" in out
+
+
 class TestExport:
     def test_export_text_round_trips(self, capsys, tmp_path):
         out = str(tmp_path / "ld.trace")

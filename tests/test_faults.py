@@ -1,0 +1,288 @@
+"""Fault injection: transient errors, fail-slow spindles, disk death,
+retries, mirrored failover, and degraded (partial-data) mode."""
+
+import pytest
+
+from repro.core import SimConfig, Simulator, make_policy
+from repro.core.timeline import FAILOVER, FAULT_INJECTED, FETCH_RETRY
+from repro.faults import (
+    DiskFailure,
+    ErrorWindow,
+    FaultSchedule,
+    SlowWindow,
+    UnrecoverableReadError,
+)
+from tests.conftest import make_trace, run, simple_config
+
+
+def fault_sim(blocks, faults, policy="demand", num_disks=1, cache_blocks=4,
+              compute_ms=1.0, access_ms=10.0, record_timeline=False,
+              mirrored=False, **policy_kwargs):
+    trace = make_trace(blocks, compute_ms)
+    config = simple_config(
+        cache_blocks=cache_blocks, access_ms=access_ms, faults=faults,
+        record_timeline=record_timeline, mirrored=mirrored,
+    )
+    return Simulator(trace, make_policy(policy, **policy_kwargs),
+                     num_disks, config)
+
+
+def fault_run(blocks, faults, **kwargs):
+    return fault_sim(blocks, faults, **kwargs).run()
+
+
+def event_kinds(sim):
+    return {event[1] for event in sim.timeline.events}
+
+
+# -- schedule semantics -------------------------------------------------------
+
+
+class TestSchedule:
+    def test_null_by_default(self):
+        assert FaultSchedule().is_null
+
+    def test_any_fault_source_breaks_null(self):
+        assert not FaultSchedule(read_error_rate=0.1).is_null
+        assert not FaultSchedule(
+            error_windows=(ErrorWindow(0.0, 10.0),)).is_null
+        assert not FaultSchedule(slow_windows=(SlowWindow(2.0),)).is_null
+        assert not FaultSchedule(
+            disk_failures=(DiskFailure(disk=0),)).is_null
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(read_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSchedule(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultSchedule(retry_backoff_ms=-1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule(fail_fast_ms=0.0)
+        with pytest.raises(ValueError):
+            SlowWindow(factor=0.0)
+        with pytest.raises(ValueError):
+            ErrorWindow(10.0, 5.0)
+
+    def test_death_time(self):
+        schedule = FaultSchedule(disk_failures=(DiskFailure(disk=1, at_ms=50.0),))
+        assert schedule.death_time(1) == 50.0
+        assert schedule.death_time(0) is None
+        assert not schedule.is_dead(1, 49.9)
+        assert schedule.is_dead(1, 50.0)
+        assert not schedule.is_dead(0, 1e9)
+
+    def test_slow_factor_windows(self):
+        schedule = FaultSchedule(slow_windows=(
+            SlowWindow(3.0, disk=0, start_ms=10.0, end_ms=20.0),
+            SlowWindow(2.0),  # all disks, forever
+        ))
+        assert schedule.slow_factor(1, 15.0) == 2.0
+        assert schedule.slow_factor(0, 5.0) == 2.0
+        assert schedule.slow_factor(0, 15.0) == 6.0  # windows compound
+        assert schedule.slow_factor(0, 25.0) == 2.0
+
+    def test_error_rate_windows(self):
+        schedule = FaultSchedule(
+            read_error_rate=0.01,
+            error_windows=(ErrorWindow(10.0, 20.0, rate=1.0, disk=1),),
+        )
+        assert schedule.error_rate(0, 15.0) == 0.01
+        assert schedule.error_rate(1, 15.0) == 1.0
+        assert schedule.error_rate(1, 25.0) == 0.01
+
+    def test_draws_are_deterministic_and_stateless(self):
+        a = FaultSchedule(read_error_rate=0.5, seed=3)
+        b = FaultSchedule(read_error_rate=0.5, seed=3)
+        draws = [a.draw_error(0, seq, 0.0) for seq in range(200)]
+        assert draws == [b.draw_error(0, seq, 0.0) for seq in range(200)]
+        # Roughly the requested rate, and seed-sensitive.
+        assert 60 <= sum(draws) <= 140
+        c = FaultSchedule(read_error_rate=0.5, seed=4)
+        assert draws != [c.draw_error(0, seq, 0.0) for seq in range(200)]
+
+
+# -- engine: transparency and retries ----------------------------------------
+
+
+class TestTransientErrors:
+    def test_null_schedule_is_bit_identical(self):
+        blocks = [0, 1, 2, 3, 0, 1, 4, 5]
+        base = run(blocks, policy="forestall", num_disks=2)
+        nulled = fault_run(blocks, FaultSchedule(), policy="forestall",
+                           num_disks=2)
+        assert nulled.elapsed_ms == base.elapsed_ms
+        assert nulled.stall_ms == base.stall_ms
+        assert nulled.fetches == base.fetches
+        assert nulled.faults_injected == 0
+
+    def test_demand_retry_recovers(self):
+        # Every read in [0, 25) ms fails; the retry layer re-issues until
+        # the window has passed.  The run completes with data intact.
+        faults = FaultSchedule(
+            error_windows=(ErrorWindow(0.0, 25.0),),
+            max_retries=10, retry_backoff_ms=1.0,
+        )
+        sim = fault_sim([0, 1, 2], faults, record_timeline=True)
+        result = sim.run()
+        result.check_accounting()
+        assert result.faults_injected >= 1
+        assert result.retry_ms > 0
+        assert result.extras["transient_errors"] == result.faults_injected
+        kinds = event_kinds(sim)
+        assert FAULT_INJECTED in kinds
+        assert FETCH_RETRY in kinds
+
+    def test_retry_backoff_is_exponential(self):
+        # Three failures before success: backoffs 1, 2, 4 ms plus three
+        # failed 10 ms services => retry_ms == 37.
+        faults = FaultSchedule(
+            error_windows=(ErrorWindow(0.0, 31.0),),
+            max_retries=10, retry_backoff_ms=1.0,
+        )
+        result = fault_run([0], faults, compute_ms=0.0)
+        assert result.extras["transient_errors"] == 3
+        assert result.retry_ms == pytest.approx(37.0)
+
+    def test_unrecoverable_after_retry_budget(self):
+        faults = FaultSchedule(read_error_rate=1.0, max_retries=2)
+        with pytest.raises(UnrecoverableReadError) as exc:
+            fault_run([0, 1], faults)
+        assert exc.value.attempts == 3  # initial try + 2 retries
+
+    def test_max_retries_zero_fails_first_error(self):
+        faults = FaultSchedule(read_error_rate=1.0, max_retries=0)
+        with pytest.raises(UnrecoverableReadError):
+            fault_run([0], faults)
+
+    def test_failed_prefetch_is_abandoned_then_demand_missed(self):
+        # Disk 1 errors every read before t=15ms.  With aggressive
+        # prefetching and long compute, block 1's prefetch lands in the
+        # window and is abandoned; the block surfaces later as a demand
+        # miss (inside the window it retries, after it succeeds).
+        faults = FaultSchedule(
+            error_windows=(ErrorWindow(0.0, 15.0, disk=1),),
+            max_retries=10,
+        )
+        result = fault_run([0, 1], faults, policy="aggressive",
+                           num_disks=2, compute_ms=30.0)
+        result.check_accounting()
+        assert result.extras["abandoned_prefetches"] >= 1
+        assert result.extras["unreadable_references"] == 0
+
+    def test_accounting_identity_with_errors(self):
+        faults = FaultSchedule(read_error_rate=0.3, seed=9, max_retries=50)
+        for policy in ("demand", "fixed-horizon", "aggressive", "forestall"):
+            result = fault_run(list(range(12)) * 3, faults, policy=policy,
+                               num_disks=2, cache_blocks=6)
+            result.check_accounting()
+
+
+class TestFailSlow:
+    def test_slow_disk_raises_elapsed(self):
+        healthy = fault_run([0, 1, 2, 3], None)
+        slowed = fault_run(
+            [0, 1, 2, 3],
+            FaultSchedule(slow_windows=(SlowWindow(5.0, disk=0),)),
+        )
+        assert slowed.elapsed_ms > healthy.elapsed_ms
+        assert slowed.extras["slowed_requests"] == 4
+        slowed.check_accounting()
+
+    def test_slow_window_only_inside_interval(self):
+        faults = FaultSchedule(
+            slow_windows=(SlowWindow(10.0, start_ms=0.0, end_ms=5.0),),
+        )
+        # First fetch starts at t≈0 (inside), later ones outside.
+        result = fault_run([0, 1, 2], faults)
+        assert result.extras["slowed_requests"] == 1
+
+
+# -- disk death: degraded mode and mirrored failover -------------------------
+
+
+class TestDiskDeath:
+    def test_unmirrored_death_degrades_not_crashes(self):
+        faults = FaultSchedule(disk_failures=(DiskFailure(disk=1, at_ms=0.0),))
+        sim = fault_sim([0, 1, 2, 3], faults, num_disks=2,
+                        record_timeline=True)
+        result = sim.run()
+        result.check_accounting()
+        # Blocks 1 and 3 live only on the dead disk: both references are
+        # reported unreadable, the rest of the run proceeds.
+        assert result.degraded
+        assert result.extras["unreadable_references"] == 2
+        assert result.extras["lost_blocks"] == 2
+        assert result.extras["dead_errors"] == 2
+        assert FAULT_INJECTED in event_kinds(sim)
+
+    def test_mid_run_death_loses_only_the_remainder(self):
+        # Disk 1 dies at 25 ms: block 1 (fetched around t=11) survives,
+        # block 3 (fetched around t=33) is lost.
+        faults = FaultSchedule(disk_failures=(DiskFailure(disk=1, at_ms=25.0),))
+        result = fault_run([0, 1, 2, 3], faults, num_disks=2)
+        assert result.extras["unreadable_references"] == 1
+
+    def test_mirrored_failover_serves_everything(self):
+        faults = FaultSchedule(disk_failures=(DiskFailure(disk=0, at_ms=0.0),))
+        result = fault_run([0, 1, 2, 3] * 2, faults, num_disks=4,
+                           mirrored=True, record_timeline=True)
+        result.check_accounting()
+        assert not result.degraded
+        assert result.extras["unreadable_references"] == 0
+        assert result.extras["lost_blocks"] == 0
+        assert result.stall_ms > 0 or result.elapsed_ms > 0  # run completed
+
+    def test_mirrored_mid_run_failover_reroutes_queued_reads(self):
+        # The spindle dies while requests for it are queued: each queued
+        # read fail-fasts, fails over to the twin, and still completes.
+        faults = FaultSchedule(disk_failures=(DiskFailure(disk=0, at_ms=15.0),))
+        sim = fault_sim(list(range(16)), faults, policy="aggressive",
+                        num_disks=4, cache_blocks=16, mirrored=True,
+                        record_timeline=True)
+        result = sim.run()
+        result.check_accounting()
+        assert result.extras["unreadable_references"] == 0
+        assert result.failover_reads >= 1
+        assert result.retry_ms > 0
+        assert FAILOVER in event_kinds(sim)
+
+    def test_both_twins_dead_degrades(self):
+        # Disks 0 and 2 are mirror twins (twin = home + d/2): killing both
+        # makes every block homed on pair 0 unreachable.
+        faults = FaultSchedule(disk_failures=(
+            DiskFailure(disk=0, at_ms=0.0), DiskFailure(disk=2, at_ms=0.0),
+        ))
+        result = fault_run(list(range(8)), faults, num_disks=4,
+                           cache_blocks=8, mirrored=True)
+        result.check_accounting()
+        assert result.degraded
+        assert result.extras["unreadable_references"] > 0
+
+
+# -- results surface ----------------------------------------------------------
+
+
+class TestResultSurface:
+    def test_fault_fields_serialized_only_when_faulty(self):
+        clean = run([0, 1])
+        assert "faults_injected" not in clean.to_dict()
+        assert "DEGRADED" not in str(clean)
+        faulty = fault_run(
+            [0, 1, 2, 3],
+            FaultSchedule(disk_failures=(DiskFailure(disk=1, at_ms=0.0),)),
+            num_disks=2,
+        )
+        assert "faults" not in clean.to_dict()
+        payload = faulty.to_dict()
+        assert payload["faults"] == faulty.faults_injected > 0
+        assert "DEGRADED" in str(faulty)
+
+    def test_determinism_across_runs(self):
+        faults = FaultSchedule(read_error_rate=0.2, seed=5, max_retries=50)
+        first = fault_run(list(range(10)) * 2, faults, policy="forestall",
+                          num_disks=2, cache_blocks=6)
+        second = fault_run(list(range(10)) * 2, faults, policy="forestall",
+                           num_disks=2, cache_blocks=6)
+        assert first.elapsed_ms == second.elapsed_ms
+        assert first.extras == second.extras

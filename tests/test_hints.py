@@ -52,6 +52,22 @@ class TestDegradeHints:
         quality = HintQuality(missing_fraction=0.2, wrong_fraction=0.2, seed=7)
         assert degrade_hints(trace, quality) == degrade_hints(trace, quality)
 
+    def test_wrong_hints_never_silently_truthful(self):
+        # A "wrong" hint that happens to equal the true block would be no
+        # degradation at all; every wrong draw must name a different block.
+        trace = self._trace()
+        for seed in range(10):
+            hints = degrade_hints(trace, HintQuality(wrong_fraction=1.0,
+                                                     seed=seed))
+            assert all(h != b for h, b in zip(hints, trace.blocks))
+
+    def test_single_block_universe_degrades_wrong_to_missing(self):
+        # With one distinct block there is no other block to lie about:
+        # the hint must drop out entirely, not silently stay correct.
+        trace = make_trace([5] * 50)
+        hints = degrade_hints(trace, HintQuality(wrong_fraction=1.0, seed=3))
+        assert hints == [None] * 50
+
 
 class TestResolveHintView:
     def test_passthrough(self):

@@ -1,0 +1,156 @@
+"""Property-based tests for fault injection: the accounting identity and
+the failover guarantees must hold for *every* randomized fault schedule."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import POLICIES, Simulator, make_policy
+from repro.faults import DiskFailure, ErrorWindow, FaultSchedule, SlowWindow
+from tests.conftest import make_trace, simple_config
+
+traces = st.lists(
+    st.integers(min_value=0, max_value=11), min_size=1, max_size=40
+)
+policies = st.sampled_from(sorted(POLICIES))
+disk_counts = st.integers(min_value=1, max_value=3)
+# Error rates stay below the point where 50 retries could plausibly all
+# fail; the engine must *survive*, not merely crash gracefully.
+error_rates = st.floats(min_value=0.0, max_value=0.3)
+slow_factors = st.floats(min_value=1.0, max_value=10.0)
+kill_times = st.one_of(st.none(), st.floats(min_value=0.0, max_value=200.0))
+seeds = st.integers(min_value=0, max_value=2**32)
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def schedule_for(seed, rate, factor, kill_time, disks):
+    slow = (SlowWindow(factor, disk=0),) if factor > 1.0 else ()
+    failures = ()
+    if kill_time is not None:
+        failures = (DiskFailure(disk=disks - 1, at_ms=kill_time),)
+    return FaultSchedule(
+        seed=seed,
+        read_error_rate=rate,
+        slow_windows=slow,
+        disk_failures=failures,
+        max_retries=50,
+    )
+
+
+class TestFaultInvariants:
+    @given(blocks=traces, policy=policies, disks=disk_counts,
+           seed=seeds, rate=error_rates, factor=slow_factors,
+           kill_time=kill_times)
+    @RELAXED
+    def test_accounting_identity_survives_any_schedule(
+        self, blocks, policy, disks, seed, rate, factor, kill_time
+    ):
+        trace = make_trace(blocks, compute_ms=1.0)
+        config = simple_config(
+            cache_blocks=4,
+            faults=schedule_for(seed, rate, factor, kill_time, disks),
+        )
+        result = Simulator(trace, make_policy(policy), disks, config).run()
+        # check_accounting runs inside run(); re-assert the exact residual.
+        residual = result.elapsed_ms - (
+            result.compute_ms + result.driver_ms + result.stall_ms
+        )
+        assert abs(residual) <= 1e-6
+        assert result.references == len(blocks)
+
+    @given(blocks=traces, policy=policies, seed=seeds, rate=error_rates)
+    @RELAXED
+    def test_identical_schedules_are_deterministic(
+        self, blocks, policy, seed, rate
+    ):
+        def once():
+            trace = make_trace(blocks, compute_ms=1.0)
+            config = simple_config(
+                cache_blocks=4,
+                faults=FaultSchedule(seed=seed, read_error_rate=rate,
+                                     max_retries=50),
+            )
+            return Simulator(trace, make_policy(policy), 2, config).run()
+
+        first, second = once(), once()
+        assert first.elapsed_ms == second.elapsed_ms
+        assert first.stall_ms == second.stall_ms
+        assert first.fetches == second.fetches
+        assert first.extras == second.extras
+
+    @given(blocks=traces, policy=policies, seed=seeds,
+           kill_time=st.floats(min_value=0.0, max_value=200.0),
+           victim=st.integers(min_value=0, max_value=3))
+    @RELAXED
+    def test_mirrored_failover_serves_every_reference(
+        self, blocks, policy, seed, kill_time, victim
+    ):
+        # One spindle of a 4-disk mirrored array dies at a random time.
+        # Its twin holds every block, so no reference may go unserved.
+        config = simple_config(
+            cache_blocks=4,
+            mirrored=True,
+            faults=FaultSchedule(
+                seed=seed,
+                disk_failures=(DiskFailure(disk=victim, at_ms=kill_time),),
+                max_retries=50,
+            ),
+        )
+        trace = make_trace(blocks, compute_ms=1.0)
+        result = Simulator(trace, make_policy(policy), 4, config).run()
+        assert result.extras["unreadable_references"] == 0
+        assert result.extras["lost_blocks"] == 0
+        assert not result.degraded
+        assert result.references == len(blocks)
+
+    @given(blocks=traces, policy=policies, disks=disk_counts)
+    @RELAXED
+    def test_null_schedule_never_perturbs_a_run(
+        self, blocks, policy, disks
+    ):
+        trace = make_trace(blocks, compute_ms=1.0)
+        base = Simulator(
+            trace, make_policy(policy), disks, simple_config(cache_blocks=4)
+        ).run()
+        nulled = Simulator(
+            make_trace(blocks, compute_ms=1.0), make_policy(policy), disks,
+            simple_config(cache_blocks=4, faults=FaultSchedule()),
+        ).run()
+        assert nulled.elapsed_ms == base.elapsed_ms
+        assert nulled.driver_ms == base.driver_ms
+        assert nulled.stall_ms == base.stall_ms
+        assert nulled.fetches == base.fetches
+
+    @given(blocks=traces, seed=seeds,
+           windows=st.lists(
+               st.tuples(
+                   st.floats(min_value=0.0, max_value=100.0),
+                   st.floats(min_value=0.0, max_value=100.0),
+               ),
+               max_size=3,
+           ))
+    @RELAXED
+    def test_scripted_error_windows_always_recoverable(
+        self, blocks, seed, windows
+    ):
+        # Bounded windows with a generous retry budget: the run always
+        # completes (the app eventually outlives every window).
+        error_windows = tuple(
+            ErrorWindow(min(a, b), max(a, b)) for a, b in windows
+        )
+        config = simple_config(
+            cache_blocks=4,
+            faults=FaultSchedule(
+                seed=seed, error_windows=error_windows,
+                max_retries=10_000, retry_backoff_ms=5.0,
+            ),
+        )
+        trace = make_trace(blocks, compute_ms=1.0)
+        result = Simulator(trace, make_policy("demand"), 1, config).run()
+        assert result.references == len(blocks)
+        # An empty window list is the null schedule: no fault extras at all.
+        assert result.extras.get("unreadable_references", 0) == 0
