@@ -98,19 +98,24 @@ def run_one(
     policy: str,
     num_disks: int,
     config_overrides: dict = None,
+    profiler=None,
     **policy_kwargs,
 ) -> SimulationResult:
     """One simulation under an experiment setting.
 
     Policies receive scale-adjusted horizon/batch defaults (see
-    :func:`scaled_policy_kwargs`); explicit keyword arguments win.
+    :func:`scaled_policy_kwargs`); explicit keyword arguments win.  A
+    :class:`~repro.perf.PhaseProfiler` passed as ``profiler`` collects a
+    per-phase wall-clock breakdown without changing the result.
     """
     trace = setting.trace(trace_name)
     config = setting.sim_config(trace_name, **(config_overrides or {}))
     kwargs = scaled_policy_kwargs(policy, num_disks, setting.scale)
     kwargs.update(policy_kwargs)
     policy_instance = make_policy(policy, **kwargs)
-    return Simulator(trace, policy_instance, num_disks, config).run()
+    return Simulator(
+        trace, policy_instance, num_disks, config, profiler=profiler
+    ).run()
 
 
 def sweep_policies(

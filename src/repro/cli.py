@@ -28,6 +28,39 @@ from repro.faults import DiskFailure, FaultSchedule, SlowWindow
 from repro.trace import TABLE3, WORKLOADS, build as build_workload
 
 
+def _split_list(raw: str, what: str, allowed=None):
+    """Parse a comma-separated option value into a clean list.
+
+    Tokens are stripped and empties dropped, so ``"a, b,"`` means
+    ``["a", "b"]``.  Unknown tokens raise :class:`SystemExit` naming the
+    offending token and the valid choices, instead of failing later with
+    an opaque KeyError deep in the experiment code.
+    """
+    tokens = [token.strip() for token in raw.split(",")]
+    tokens = [token for token in tokens if token]
+    if not tokens:
+        raise SystemExit(f"--{what} {raw!r}: expected a comma-separated list")
+    if allowed is not None:
+        for token in tokens:
+            if token not in allowed:
+                raise SystemExit(
+                    f"--{what}: unknown value {token!r} "
+                    f"(choose from {', '.join(sorted(allowed))})"
+                )
+    return tokens
+
+
+def _split_ints(raw: str, what: str):
+    """Like :func:`_split_list` but for integer lists such as ``--disks``."""
+    values = []
+    for token in _split_list(raw, what):
+        try:
+            values.append(int(token))
+        except ValueError:
+            raise SystemExit(f"--{what}: {token!r} is not an integer")
+    return values
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", "-t", required=True, choices=sorted(WORKLOADS))
     parser.add_argument("--scale", type=float, default=1.0)
@@ -137,19 +170,31 @@ def cmd_traces(_args) -> int:
 def cmd_run(args) -> int:
     faults = _fault_schedule(args)
     overrides = {"faults": faults} if faults is not None else None
+    profiler = None
+    if args.profile:
+        from repro.perf import PhaseProfiler
+
+        profiler = PhaseProfiler()
     result = run_one(
         _setting(args), args.trace, args.policy, args.disks,
-        config_overrides=overrides,
+        config_overrides=overrides, profiler=profiler,
     )
     print(format_breakdown_table([result]))
     if faults is not None:
         print(str(result))
+    if profiler is not None:
+        print()
+        print("wall-clock phase breakdown (self time):")
+        print(profiler.report())
     return 0
 
 
 def cmd_sweep(args) -> int:
-    disk_counts = [int(d) for d in args.disks.split(",")]
-    policies = args.policies.split(",") if args.policies else sorted(POLICIES)
+    disk_counts = _split_ints(args.disks, "disks")
+    policies = (
+        _split_list(args.policies, "policies", allowed=POLICIES)
+        if args.policies else sorted(POLICIES)
+    )
     faults = _fault_schedule(args)
     setting = _setting(args)
     if faults is None:
@@ -169,9 +214,10 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    disk_counts = [int(d) for d in args.disks.split(",")]
+    disk_counts = _split_ints(args.disks, "disks")
     policies = (
-        args.policies.split(",") if args.policies
+        _split_list(args.policies, "policies", allowed=POLICIES)
+        if args.policies
         else ["fixed-horizon", "aggressive", "forestall"]
     )
     setting = _setting(args)
@@ -181,7 +227,10 @@ def cmd_figure(args) -> int:
 
 
 def cmd_characterize(args) -> int:
-    names = args.traces.split(",") if args.traces else sorted(WORKLOADS)
+    names = (
+        _split_list(args.traces, "traces", allowed=WORKLOADS)
+        if args.traces else sorted(WORKLOADS)
+    )
     rows = []
     for name in names:
         trace = build_workload(name, scale=args.scale)
@@ -228,9 +277,11 @@ def cmd_hints(args) -> int:
         ("25% missing", HintQuality(missing_fraction=0.25, seed=42)),
         ("10% wrong", HintQuality(wrong_fraction=0.10, seed=42)),
     ]
-    policies = args.policies.split(",") if args.policies else [
-        "fixed-horizon", "aggressive", "forestall",
-    ]
+    policies = (
+        _split_list(args.policies, "policies", allowed=POLICIES)
+        if args.policies
+        else ["fixed-horizon", "aggressive", "forestall"]
+    )
     rows = []
     for label, quality in qualities:
         row = [label]
@@ -258,9 +309,11 @@ def cmd_faults(args) -> int:
         ("disk 0 10x slow",
          FaultSchedule(slow_windows=(SlowWindow(factor=10.0, disk=0),))),
     ]
-    policies = args.policies.split(",") if args.policies else [
-        "demand", "fixed-horizon", "aggressive", "forestall",
-    ]
+    policies = (
+        _split_list(args.policies, "policies", allowed=POLICIES)
+        if args.policies
+        else ["demand", "fixed-horizon", "aggressive", "forestall"]
+    )
     rows = []
     for label, schedule in scenarios:
         row = [label]
@@ -291,6 +344,11 @@ def main(argv=None) -> int:
         "--policy", "-p", default="forestall", choices=sorted(POLICIES)
     )
     run_parser.add_argument("--disks", "-d", type=int, default=1)
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-clock phase breakdown of the simulator "
+        "(policy / disk / cache / dispatch; see docs/PERFORMANCE.md)",
+    )
     _add_fault_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="sweep policies x disks")

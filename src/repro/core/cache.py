@@ -23,6 +23,10 @@ class BufferCache:
         self.capacity = capacity
         self.resident: Set[int] = set()
         self.in_flight: Set[int] = set()
+        #: Maintained union of ``resident`` and ``in_flight`` — the
+        #: missing-set complement.  Hot scan loops test membership on this
+        #: set directly instead of paying a method call per reference.
+        self.present: Set[int] = set()
         self.evictions = 0
         self.fills = 0
         #: Subclasses with resizable capacity may briefly exceed it.
@@ -42,7 +46,7 @@ class BufferCache:
         return block in self.in_flight
 
     def present_or_coming(self, block: int) -> bool:
-        return block in self.resident or block in self.in_flight
+        return block in self.present
 
     def begin_fetch(self, block: int, victim: Optional[int]) -> None:
         """Reserve a buffer for ``block``, evicting ``victim`` if given.
@@ -62,8 +66,10 @@ class BufferCache:
             if victim not in self.resident:
                 raise ValueError(f"victim {victim} is not resident")
             self.resident.remove(victim)
+            self.present.remove(victim)
             self.evictions += 1
         self.in_flight.add(block)
+        self.present.add(block)
 
     def abort_fetch(self, block: int) -> None:
         """The fetch of ``block`` will never complete (abandoned prefetch
@@ -71,6 +77,7 @@ class BufferCache:
         if block not in self.in_flight:
             raise ValueError(f"block {block} has no fetch in flight")
         self.in_flight.remove(block)
+        self.present.remove(block)
 
     def complete_fetch(self, block: int) -> None:
         """The fetch of ``block`` finished; it is now referenceable."""

@@ -91,8 +91,14 @@ class Simulator:
         num_disks: int,
         config: SimConfig = None,
         hints=None,
+        profiler=None,
     ):
         self.config = config if config is not None else SimConfig()
+        #: Optional :class:`repro.perf.PhaseProfiler`.  When attached, the
+        #: policy is wrapped so its consultation time is accounted, and the
+        #: engine brackets disk service and cache bookkeeping; when None the
+        #: hot path carries no timing calls at all.
+        self.profiler = profiler
         self.trace = trace
         self.policy = policy
         self.num_disks = num_disks
@@ -166,11 +172,49 @@ class Simulator:
         self.elapsed = 0.0
         self.fetch_count = 0
         self._requests_started = 0
+        #: Total simulator events dispatched by :meth:`run` (app steps, disk
+        #: completions, retries) — the denominator for events/sec throughput.
+        self.events_dispatched = 0
         self.timeline = Timeline() if self.config.record_timeline else None
 
-        policy.bind(self)
+        if profiler is not None:
+            from repro.perf import ProfiledPolicy
+
+            self.policy = ProfiledPolicy(policy, profiler)
+            self._instrument(profiler)
+        self.policy.bind(self)
 
     # -- construction helpers --------------------------------------------------
+
+    def _instrument(self, profiler) -> None:
+        """Shadow the hot-path methods with phase-bracketed versions.
+
+        Instance-attribute shadowing keeps the class methods untouched, so
+        a simulator without a profiler pays nothing — no flag checks, no
+        indirection.  The wrappers only add timing; behaviour (and thus
+        every :class:`SimulationResult` bit) is unchanged.
+        """
+        inner_start_disks = self._start_disks
+
+        def timed_start_disks(now):
+            profiler.start("disk")
+            try:
+                inner_start_disks(now)
+            finally:
+                profiler.stop()
+
+        self._start_disks = timed_start_disks
+
+        inner_issue_fetch = self.issue_fetch
+
+        def timed_issue_fetch(block, victim):
+            profiler.start("cache")
+            try:
+                inner_issue_fetch(block, victim)
+            finally:
+                profiler.stop()
+
+        self.issue_fetch = timed_issue_fetch
 
     def _build_array(self) -> DiskArray:
         config = self.config
@@ -598,17 +642,56 @@ class Simulator:
     # -- main loop ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        if self.profiler is not None:
+            return self._run_profiled()
         self._push(0.0, _EVENT_APP)
         events = self._events
-        while events and not self._done:
-            now, kind, _seq, payload = heapq.heappop(events)
-            self.now = now
-            if kind == _EVENT_DISK:
-                self._disk_complete(payload, now)
-            elif kind == _EVENT_RETRY:
-                self._retry_fetch(payload, now)
-            else:
-                self._app_step(now)
+        heappop = heapq.heappop
+        dispatched = 0
+        try:
+            while events and not self._done:
+                now, kind, _seq, payload = heappop(events)
+                dispatched += 1
+                self.now = now
+                if kind == _EVENT_DISK:
+                    self._disk_complete(payload, now)
+                elif kind == _EVENT_RETRY:
+                    self._retry_fetch(payload, now)
+                else:
+                    self._app_step(now)
+        finally:
+            self.events_dispatched += dispatched
+        if not self._done:
+            raise RuntimeError("simulation deadlocked before trace completion")
+        return self._build_result()
+
+    def _run_profiled(self) -> SimulationResult:
+        """The event loop with phase bracketing — same dispatch order and
+        state transitions as :meth:`run`, plus timing.  Each event is
+        charged to ``dispatch``; the nested policy/disk/cache brackets
+        carve their self time out of it."""
+        profiler = self.profiler
+        self._push(0.0, _EVENT_APP)
+        events = self._events
+        heappop = heapq.heappop
+        dispatched = 0
+        try:
+            while events and not self._done:
+                now, kind, _seq, payload = heappop(events)
+                dispatched += 1
+                self.now = now
+                profiler.start("dispatch")
+                try:
+                    if kind == _EVENT_DISK:
+                        self._disk_complete(payload, now)
+                    elif kind == _EVENT_RETRY:
+                        self._retry_fetch(payload, now)
+                    else:
+                        self._app_step(now)
+                finally:
+                    profiler.stop()
+        finally:
+            self.events_dispatched += dispatched
         if not self._done:
             raise RuntimeError("simulation deadlocked before trace completion")
         return self._build_result()

@@ -63,7 +63,7 @@ class _MissingTracker:
         start = max(self.scanned_to, cursor)
         if start >= end:
             return
-        present = self.sim.cache.present_or_coming
+        present = self.sim.cache.present
         lost = self.sim.lost_blocks
         position_of = self._position_of
         append = self.positions.append
@@ -71,7 +71,7 @@ class _MissingTracker:
             block = blocks[position]
             if (
                 block not in position_of
-                and not present(block)
+                and block not in present
                 and block not in lost  # unreachable: no fetch can help
             ):
                 position_of[block] = position

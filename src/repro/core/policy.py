@@ -107,7 +107,18 @@ class MissingScanner:
     Maintains a *floor*: every reference position in ``[cursor, floor)`` is
     known to name a block that is resident or in flight, so repeated scans
     can skip it.  Evictions move the floor back (via :meth:`invalidate`,
-    wired from the policy's ``on_evict``).
+    wired from the policy's ``on_evict``), because the victim's upcoming
+    references become missing again.
+
+    The floor is the memoization here, and measurement says it is the
+    right amount: it ratchets forward with every completed walk, so
+    repeated consultations rescan only the handful of references between
+    the floor and the first actionable missing block.  Richer schemes
+    (revision-stamped memos of the missing pairs in the examined span,
+    patched on eviction) were prototyped and benchmarked; their replay
+    bookkeeping cost more than the short scans they avoided on every
+    measured workload, precisely because the floor already bounds the
+    redundant work.  See docs/PERFORMANCE.md.
     """
 
     def __init__(self, sim):
@@ -128,12 +139,12 @@ class MissingScanner:
         """
         sim = self.sim
         blocks = sim.blocks
-        present = sim.cache.present_or_coming
+        present = sim.cache.present
         lost = sim.lost_blocks
         end = min(end, len(blocks))
         for position in range(max(cursor, self.floor), end):
             block = blocks[position]
-            if not present(block) and block not in lost:
+            if block not in present and block not in lost:
                 # Lost blocks (every copy on a dead spindle) are skipped:
                 # no fetch can ever serve them, so they are not "missing"
                 # in any actionable sense.

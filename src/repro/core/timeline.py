@@ -43,8 +43,25 @@ class Timeline:
     events: List[Tuple[float, str, int, int]] = field(default_factory=list)
     # (time, kind, block, disk) — disk is -1 where not applicable
 
+    # Cached time-ordered view.  Events arrive in near-time order, so the
+    # occasional re-sort is a cheap (timsort) catch-up; the cache keys on
+    # the event count, which also invalidates direct ``events.append``.
+    _sorted_view: Optional[List[Tuple[float, str, int, int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sorted_count: int = field(default=-1, init=False, repr=False, compare=False)
+
     def record(self, time: float, kind: str, block: int, disk: int = -1):
         self.events.append((time, kind, block, disk))
+        self._sorted_view = None
+
+    def sorted_events(self) -> List[Tuple[float, str, int, int]]:
+        """The events in time order, computed once per batch of records
+        instead of on every consumer call."""
+        if self._sorted_view is None or self._sorted_count != len(self.events):
+            self._sorted_view = sorted(self.events)
+            self._sorted_count = len(self.events)
+        return self._sorted_view
 
     # -- derived views ---------------------------------------------------------
 
@@ -88,7 +105,7 @@ class Timeline:
         spans = []
         start = None
         pending = 0
-        for time, kind, _block, event_disk in sorted(self.events):
+        for time, kind, _block, event_disk in self.sorted_events():
             if event_disk != disk:
                 continue
             if kind == FETCH_ISSUED:

@@ -8,6 +8,7 @@ it to SCAN on the HP 97560.
 """
 
 import bisect
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -32,12 +33,16 @@ class Request:
 
 
 class FCFSQueue:
-    """First-come first-served request queue."""
+    """First-come first-served request queue.
+
+    Backed by a deque: ``pop`` is O(1).  A list's ``pop(0)`` shifts the
+    whole queue, turning a demand burst of depth n into O(n^2) work.
+    """
 
     name = "fcfs"
 
     def __init__(self, cylinder_of: Callable[[int], int] = None):
-        self._queue = []
+        self._queue = deque()
 
     def push(self, request: Request) -> None:
         self._queue.append(request)
@@ -45,7 +50,7 @@ class FCFSQueue:
     def pop(self, head_cylinder: int) -> Optional[Request]:
         if not self._queue:
             return None
-        return self._queue.pop(0)
+        return self._queue.popleft()
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -104,28 +109,46 @@ class SSTFQueue:
 
     def __init__(self, cylinder_of: Callable[[int], int] = None):
         self._cylinder_of = cylinder_of if cylinder_of is not None else (lambda lbn: lbn)
-        self._requests = []
+        self._keys = []  # sorted (cylinder, seq)
+        self._requests = {}  # key -> Request
 
     def push(self, request: Request) -> None:
-        self._requests.append(request)
+        key = (self._cylinder_of(request.lbn), request.seq)
+        bisect.insort(self._keys, key)
+        self._requests[key] = request
 
     def pop(self, head_cylinder: int) -> Optional[Request]:
-        if not self._requests:
+        # The nearest request is the lowest-seq entry of either the nearest
+        # cylinder at/above the head or the nearest cylinder below it; keys
+        # are sorted (cylinder, seq), so each is one bisect away — no linear
+        # scan.  Tie-breaking matches the definitional argmin over
+        # (|cylinder - head|, seq) exactly.
+        keys = self._keys
+        if not keys:
             return None
-        best_index = min(
-            range(len(self._requests)),
-            key=lambda i: (
-                abs(self._cylinder_of(self._requests[i].lbn) - head_cylinder),
-                self._requests[i].seq,
-            ),
-        )
-        return self._requests.pop(best_index)
+        index = bisect.bisect_left(keys, (head_cylinder, -1))
+        best_index = None
+        if index < len(keys):
+            above = keys[index]
+            best_index = index
+            best = (above[0] - head_cylinder, above[1])
+        if index > 0:
+            below_cylinder = keys[index - 1][0]
+            below_index = bisect.bisect_left(keys, (below_cylinder, -1))
+            below = keys[below_index]
+            candidate = (head_cylinder - below[0], below[1])
+            if best_index is None or candidate < best:
+                best_index = below_index
+        key = keys.pop(best_index)
+        return self._requests.pop(key)
 
     def __len__(self) -> int:
-        return len(self._requests)
+        return len(self._keys)
 
     def __iter__(self):
-        return iter(list(self._requests))
+        # Arrival order, like the original list-backed queue: seq is
+        # assigned monotonically at submit time.
+        return iter(sorted(self._requests.values(), key=lambda r: r.seq))
 
 
 _QUEUE_TYPES = {"fcfs": FCFSQueue, "cscan": CSCANQueue, "sstf": SSTFQueue}

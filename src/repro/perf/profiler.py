@@ -1,0 +1,103 @@
+"""Stack-based self-time profiler for the simulator's phases."""
+
+import time
+from typing import Callable, Dict, Optional
+
+#: The engine's phase vocabulary, in reporting order:
+#:
+#: * ``policy``   — time inside policy decision points and hooks
+#:   (``before_reference``, ``on_disk_idle``, ``on_miss``, …);
+#: * ``disk``     — starting queued requests and computing their service
+#:   times (:meth:`Simulator._start_disks`);
+#: * ``cache``    — issue-side bookkeeping of a fetch (buffer reservation,
+#:   eviction, request submission);
+#: * ``dispatch`` — the event loop itself: heap pops, completions, app
+#:   steps, and everything not attributed to a nested phase.
+PHASES = ("policy", "disk", "cache", "dispatch")
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall-clock self time.
+
+    ``start(phase)`` pauses the phase currently on top of the stack (if
+    any) and begins attributing time to ``phase``; ``stop()`` ends it and
+    resumes the parent.  Self times therefore partition the bracketed
+    span: a phase's number excludes the nested phases it called into.
+
+    The clock is injectable for deterministic tests; it must be a
+    callable returning integer nanoseconds.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None):
+        self._clock = clock if clock is not None else time.perf_counter_ns
+        self._stack = []  # [phase, resumed_at_ns] — top is the running phase
+        self.totals_ns: Dict[str, int] = {}
+        self.counts: Dict[str, int] = {}
+
+    def start(self, phase: str) -> None:
+        now = self._clock()
+        stack = self._stack
+        if stack:
+            top = stack[-1]
+            parent = top[0]
+            self.totals_ns[parent] = (
+                self.totals_ns.get(parent, 0) + now - top[1]
+            )
+            top[1] = now
+        stack.append([phase, now])
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    def stop(self) -> None:
+        now = self._clock()
+        phase, since = self._stack.pop()
+        self.totals_ns[phase] = self.totals_ns.get(phase, 0) + now - since
+        if self._stack:
+            self._stack[-1][1] = now
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.totals_ns.clear()
+        self.counts.clear()
+
+    # -- reporting --------------------------------------------------------------
+
+    def ms(self, phase: str) -> float:
+        return self.totals_ns.get(phase, 0) / 1e6
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.totals_ns.values()) / 1e6
+
+    def _ordered_phases(self):
+        known = [p for p in PHASES if p in self.totals_ns]
+        extra = sorted(p for p in self.totals_ns if p not in PHASES)
+        return known + extra
+
+    def to_dict(self) -> Dict:
+        """JSON-ready summary: per-phase self-time ms, call counts, shares."""
+        total = self.total_ms
+        phases = {}
+        for phase in self._ordered_phases():
+            ms = self.ms(phase)
+            phases[phase] = {
+                "ms": round(ms, 3),
+                "calls": self.counts.get(phase, 0),
+                "share": round(ms / total, 4) if total > 0 else 0.0,
+            }
+        return {"total_ms": round(total, 3), "phases": phases}
+
+    def report(self) -> str:
+        """Human-readable phase breakdown table."""
+        total = self.total_ms
+        lines = [
+            f"{'phase':<10} {'self ms':>10} {'share':>7} {'calls':>10}"
+        ]
+        for phase in self._ordered_phases():
+            ms = self.ms(phase)
+            share = ms / total if total > 0 else 0.0
+            lines.append(
+                f"{phase:<10} {ms:>10.1f} {share:>6.1%} "
+                f"{self.counts.get(phase, 0):>10,}"
+            )
+        lines.append(f"{'total':<10} {total:>10.1f}")
+        return "\n".join(lines)

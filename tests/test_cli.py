@@ -164,3 +164,45 @@ class TestExport:
         from repro.trace import Trace
 
         assert Trace.load(out).references > 0
+
+
+class TestSplitList:
+    def _split(self, *args, **kwargs):
+        from repro.cli import _split_list
+
+        return _split_list(*args, **kwargs)
+
+    def test_strips_tokens_and_drops_empties(self):
+        assert self._split("a, b,,c ,", "policies") == ["a", "b", "c"]
+
+    def test_all_empty_rejected_with_option_name(self):
+        with pytest.raises(SystemExit, match="--disks"):
+            self._split(" , ,", "disks")
+
+    def test_unknown_token_named_in_error(self):
+        with pytest.raises(SystemExit, match="bogus"):
+            self._split("demand,bogus", "policies",
+                        allowed={"demand", "forestall"})
+
+    def test_integer_variant_rejects_non_numbers(self):
+        from repro.cli import _split_ints
+
+        assert _split_ints("1, 2,4", "disks") == [1, 2, 4]
+        with pytest.raises(SystemExit, match="'two'"):
+            _split_ints("1,two", "disks")
+
+    def test_sweep_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit, match="nope"):
+            main(["sweep", "-t", "ld", "-p", "nope",
+                  "-d", "1", "--scale", "0.05"])
+
+    def test_sweep_tolerates_spaces_and_trailing_comma(self, capsys):
+        code = main(["sweep", "-t", "ld", "-p", " demand , forestall ,",
+                     "-d", " 1, 2 ", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "demand" in out and "forestall" in out
+
+    def test_characterize_rejects_unknown_trace(self):
+        with pytest.raises(SystemExit, match="nosuch"):
+            main(["characterize", "--traces", "ld,nosuch"])

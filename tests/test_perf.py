@@ -1,0 +1,164 @@
+"""The phase profiler: self-time accounting and behavioural transparency."""
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.core import SimConfig, Simulator, make_policy
+from repro.perf import PHASES, PhaseProfiler, ProfiledPolicy
+from repro.trace import build as build_workload
+from repro.trace import cache_blocks_for
+
+
+class FakeClock:
+    """Deterministic nanosecond clock advanced by the test."""
+
+    def __init__(self):
+        self.now = 0
+
+    def advance(self, ns: int) -> None:
+        self.now += ns
+
+    def __call__(self) -> int:
+        return self.now
+
+
+class TestPhaseProfiler:
+    def test_flat_phase_accumulates(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        profiler.start("disk")
+        clock.advance(5_000_000)
+        profiler.stop()
+        profiler.start("disk")
+        clock.advance(3_000_000)
+        profiler.stop()
+        assert profiler.ms("disk") == pytest.approx(8.0)
+        assert profiler.counts["disk"] == 2
+
+    def test_nested_phase_charges_self_time_only(self):
+        # dispatch runs 10ms total, but 6ms of it is inside a nested
+        # policy bracket: self times must partition, not double count.
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        profiler.start("dispatch")
+        clock.advance(1_000_000)
+        profiler.start("policy")
+        clock.advance(6_000_000)
+        profiler.stop()
+        clock.advance(3_000_000)
+        profiler.stop()
+        assert profiler.ms("dispatch") == pytest.approx(4.0)
+        assert profiler.ms("policy") == pytest.approx(6.0)
+        assert profiler.total_ms == pytest.approx(10.0)
+
+    def test_deep_nesting_resumes_each_parent(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        profiler.start("dispatch")
+        clock.advance(1_000_000)
+        profiler.start("cache")
+        clock.advance(2_000_000)
+        profiler.start("policy")
+        clock.advance(4_000_000)
+        profiler.stop()
+        clock.advance(8_000_000)
+        profiler.stop()
+        clock.advance(16_000_000)
+        profiler.stop()
+        assert profiler.ms("dispatch") == pytest.approx(17.0)
+        assert profiler.ms("cache") == pytest.approx(10.0)
+        assert profiler.ms("policy") == pytest.approx(4.0)
+
+    def test_zero_duration_phases_report_cleanly(self):
+        profiler = PhaseProfiler(clock=FakeClock())
+        profiler.start("policy")
+        profiler.stop()
+        summary = profiler.to_dict()
+        assert summary["total_ms"] == 0.0
+        assert summary["phases"]["policy"]["share"] == 0.0
+        assert "policy" in profiler.report()
+
+    def test_to_dict_shares_sum_to_one(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        for phase, ns in (("policy", 2), ("disk", 3), ("dispatch", 5)):
+            profiler.start(phase)
+            clock.advance(ns * 1_000_000)
+            profiler.stop()
+        summary = profiler.to_dict()
+        shares = [entry["share"] for entry in summary["phases"].values()]
+        assert sum(shares) == pytest.approx(1.0, abs=1e-3)
+        assert list(summary["phases"]) == ["policy", "disk", "dispatch"]
+
+    def test_reset_clears_everything(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        profiler.start("disk")
+        clock.advance(1_000_000)
+        profiler.stop()
+        profiler.reset()
+        assert profiler.total_ms == 0.0
+        assert profiler.counts == {}
+
+    def test_phase_vocabulary_is_stable(self):
+        assert PHASES == ("policy", "disk", "cache", "dispatch")
+
+
+def _run(trace_name, policy, disks, profiler=None):
+    trace = build_workload(trace_name, scale=0.2)
+    config = SimConfig(cache_blocks=cache_blocks_for(trace_name, 0.2))
+    sim = Simulator(
+        trace, make_policy(policy), disks, config, profiler=profiler
+    )
+    return sim.run()
+
+
+class TestProfiledRuns:
+    @pytest.mark.parametrize("policy", ["demand", "aggressive", "forestall"])
+    def test_profiled_run_is_bit_identical(self, policy):
+        plain = _run("ld", policy, 2)
+        profiled = _run("ld", policy, 2, profiler=PhaseProfiler())
+        assert dataclasses.asdict(plain) == dataclasses.asdict(profiled)
+
+    def test_profiler_sees_all_engine_phases(self):
+        profiler = PhaseProfiler()
+        _run("ld", "forestall", 2, profiler=profiler)
+        for phase in PHASES:
+            assert profiler.ms(phase) > 0.0, phase
+            assert profiler.counts[phase] > 0
+
+    def test_unprofiled_simulator_has_no_wrapper(self):
+        trace = build_workload("ld", scale=0.1)
+        config = SimConfig(cache_blocks=cache_blocks_for("ld", 0.1))
+        sim = Simulator(trace, make_policy("forestall"), 2, config)
+        assert not isinstance(sim.policy, ProfiledPolicy)
+        assert sim.profiler is None
+
+    def test_wrapper_delegates_attributes(self):
+        policy = make_policy("forestall")
+        wrapped = ProfiledPolicy(policy, PhaseProfiler())
+        assert wrapped.name == policy.name
+        assert wrapped.horizon == policy.horizon
+
+
+class TestProfileFlag:
+    def test_run_profile_prints_breakdown(self, capsys):
+        code = main([
+            "run", "-t", "ld", "-p", "forestall", "-d", "2",
+            "--scale", "0.1", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase breakdown" in out
+        for phase in PHASES:
+            assert phase in out
+
+    def test_run_without_profile_stays_quiet(self, capsys):
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "-d", "1", "--scale", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase breakdown" not in out

@@ -112,3 +112,45 @@ class TestManualTimeline:
         summary = Timeline().summary()
         assert summary["stall_episodes"] == 0
         assert summary["disk_balance"] == 1.0
+
+
+class TestSortedCache:
+    def test_sorted_view_is_time_ordered(self):
+        timeline = Timeline()
+        timeline.record(5.0, FETCH_ISSUED, 1, 0)
+        timeline.record(1.0, FETCH_ISSUED, 2, 0)
+        timeline.record(3.0, FETCH_DONE, 2, 0)
+        assert [e[0] for e in timeline.sorted_events()] == [1.0, 3.0, 5.0]
+
+    def test_view_cached_until_next_record(self):
+        timeline = Timeline()
+        timeline.record(2.0, FETCH_ISSUED, 1, 0)
+        timeline.record(1.0, FETCH_ISSUED, 2, 0)
+        first = timeline.sorted_events()
+        assert timeline.sorted_events() is first  # no re-sort between records
+
+    def test_record_invalidates_cache(self):
+        timeline = Timeline()
+        timeline.record(2.0, FETCH_ISSUED, 1, 0)
+        stale = timeline.sorted_events()
+        timeline.record(0.5, FETCH_ISSUED, 2, 0)
+        fresh = timeline.sorted_events()
+        assert fresh is not stale
+        assert fresh[0][0] == 0.5
+
+    def test_direct_append_also_invalidates(self):
+        # Consumers (and tests) sometimes build timelines by appending to
+        # ``events`` directly; the count key must catch that too.
+        timeline = Timeline()
+        timeline.record(2.0, FETCH_ISSUED, 1, 0)
+        timeline.sorted_events()
+        timeline.events.append((0.25, FETCH_ISSUED, 3, 0))
+        assert timeline.sorted_events()[0][0] == 0.25
+
+    def test_busy_intervals_unaffected_by_unsorted_arrival(self):
+        timeline = Timeline()
+        timeline.record(10.0, FETCH_ISSUED, 1, 0)
+        timeline.record(12.0, FETCH_DONE, 1, 0)
+        timeline.record(4.0, FETCH_ISSUED, 2, 0)  # late arrival, earlier time
+        timeline.record(6.0, FETCH_DONE, 2, 0)
+        assert timeline.busy_intervals(0) == [(4.0, 6.0), (10.0, 12.0)]
