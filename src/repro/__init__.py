@@ -16,6 +16,8 @@ Quickstart::
     print(result)
 """
 
+from typing import List, Optional, Union
+
 from repro.core import (
     CostBenefitAllocator,
     HintQuality,
@@ -48,14 +50,14 @@ __version__ = "1.0.0"
 
 
 def run_simulation(
-    trace,
-    policy="fixed-horizon",
+    trace: Trace,
+    policy: Union[str, PrefetchPolicy] = "fixed-horizon",
     num_disks: int = 1,
-    cache_blocks: int = None,
-    config: SimConfig = None,
-    hint_quality: HintQuality = None,
-    faults: FaultSchedule = None,
-    **policy_kwargs,
+    cache_blocks: Optional[int] = None,
+    config: Optional[SimConfig] = None,
+    hint_quality: Optional[HintQuality] = None,
+    faults: Optional[FaultSchedule] = None,
+    **policy_kwargs: object,
 ) -> SimulationResult:
     """Simulate ``trace`` under ``policy`` on a ``num_disks`` array.
 
@@ -76,7 +78,7 @@ def run_simulation(
         config = config.with_(cache_blocks=cache_blocks)
     if faults is not None:
         config = config.with_(faults=faults)
-    hints = None
+    hints: Optional[List[Optional[int]]] = None
     if hint_quality is not None and not hint_quality.perfect:
         from repro.core.hints import degrade_hints
 

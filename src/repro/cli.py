@@ -10,6 +10,7 @@ Subcommands::
     repro-sim hints -t cscope2 -d 2         # degraded-hint sensitivity
     repro-sim faults -t cscope2 -d 2        # fault-injection sensitivity
     repro-sim export -t ld -o ld.trace      # write a workload to a file
+    repro-sim lint src/repro                # simlint determinism analysis
 
 Use ``--scale`` to shrink workloads for quick experiments.  ``run`` and
 ``sweep`` accept ``--fault-*`` flags to inject transient read errors,
@@ -25,6 +26,7 @@ from repro.analysis.locality import characterize
 from repro.analysis.tables import format_breakdown_table, format_table
 from repro.core import POLICIES, HintQuality
 from repro.faults import DiskFailure, FaultSchedule, SlowWindow
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.trace import TABLE3, WORKLOADS, build as build_workload
 
 
@@ -392,6 +394,11 @@ def main(argv=None) -> int:
     faults_parser.add_argument("--disks", "-d", type=int, default=2)
     faults_parser.add_argument("--fault-seed", type=int, default=0)
 
+    lint_parser = sub.add_parser(
+        "lint", help="simlint: determinism & policy-contract static analysis"
+    )
+    add_lint_arguments(lint_parser)
+
     export_parser = sub.add_parser(
         "export", help="write a built-in workload to a trace file"
     )
@@ -413,6 +420,7 @@ def main(argv=None) -> int:
         "hints": cmd_hints,
         "faults": cmd_faults,
         "export": cmd_export,
+        "lint": run_lint,
     }
     return handler[args.command](args)
 

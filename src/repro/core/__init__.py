@@ -25,8 +25,11 @@ from repro.core.policy import MissingScanner, PrefetchPolicy
 from repro.core.results import SimulationResult
 from repro.core.timeline import StallEpisode, Timeline
 from repro.core.reverse_aggressive import ReverseAggressive
+from typing import Callable, Dict, Union
 
-POLICIES = {
+#: Registry of policy constructors; values are the policy classes (typed as
+#: callables so :func:`make_policy` can forward arbitrary keyword options).
+POLICIES: Dict[str, Callable[..., PrefetchPolicy]] = {
     "demand": DemandFetching,
     "fixed-horizon": FixedHorizon,
     "aggressive": Aggressive,
@@ -39,7 +42,9 @@ POLICIES = {
 }
 
 
-def make_policy(name, **kwargs) -> PrefetchPolicy:
+def make_policy(
+    name: Union[str, PrefetchPolicy], **kwargs: object
+) -> PrefetchPolicy:
     """Instantiate a policy by registry name (or pass an instance through)."""
     if isinstance(name, PrefetchPolicy):
         return name

@@ -13,32 +13,34 @@ until every free disk's batch fills or do-no-harm stops further fetching —
 exactly the implementation described in section 2.7.
 """
 
+from __future__ import annotations
+
+from typing import Optional, Set, cast
+
 from repro.core.batching import batch_size_for
 from repro.core.nextref import INFINITE
-from repro.core.policy import MissingScanner, PrefetchPolicy
+from repro.core.policy import MissingScanner, PrefetchPolicy, SimulatorLike, Victim
 
 
 class Aggressive(PrefetchPolicy):
     """Prefetch as early as the do-no-harm rule allows, in batches."""
 
-    def __init__(self, batch_size: int = None):
+    def __init__(self, batch_size: Optional[int] = None) -> None:
         super().__init__()
         self._batch_override = batch_size
-        self.batch_size = None
-        self._scanner = None
+        if batch_size is None:
+            self.name = "aggressive"
+        else:
+            self.name = f"aggressive(batch={batch_size})"
+        self.batch_size = 0  # resolved against the array size in bind()
+        self._scanner = cast(MissingScanner, None)  # set in bind()
 
-    @property
-    def name(self) -> str:
-        if self._batch_override is None:
-            return "aggressive"
-        return f"aggressive(batch={self._batch_override})"
-
-    def bind(self, sim) -> None:
+    def bind(self, sim: SimulatorLike) -> None:
         super().bind(sim)
         self.batch_size = batch_size_for(sim.num_disks, self._batch_override)
         self._scanner = MissingScanner(sim)
 
-    def on_evict(self, block, next_use) -> None:
+    def on_evict(self, block: int, next_use: float) -> None:
         self._scanner.invalidate(next_use)
 
     def before_reference(self, cursor: int, now: float) -> None:
@@ -54,7 +56,7 @@ class Aggressive(PrefetchPolicy):
 
     # -- batch construction ------------------------------------------------------
 
-    def _free_disks(self):
+    def _free_disks(self) -> Set[int]:
         """Disks that are idle with an empty queue (ready for a new batch)."""
         array = self.sim.array
         return {
@@ -68,9 +70,9 @@ class Aggressive(PrefetchPolicy):
         free = self._free_disks()
         if not free:
             return
-        budgets = {disk: self.batch_size for disk in free}
+        budgets = {disk: self.batch_size for disk in sorted(free)}
         index = sim.index
-        new_floor = None
+        new_floor: Optional[int] = None
         for position, block in self._scanner.missing_in(cursor, len(sim.blocks)):
             disk = sim.disk_of(block)
             budget = budgets.get(disk)
@@ -98,7 +100,7 @@ class Aggressive(PrefetchPolicy):
             new_floor = len(sim.blocks)
         self._scanner.floor = max(self._scanner.floor, new_floor)
 
-    def _victim_for(self, cursor: int, fetch_position: int):
+    def _victim_for(self, cursor: int, fetch_position: int) -> Victim:
         """Free buffer (None), a do-no-harm-compatible victim, or False."""
         sim = self.sim
         if sim.cache.free_buffers > 0:

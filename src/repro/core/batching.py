@@ -15,6 +15,8 @@ disks  batch
 ====== =====
 """
 
+from typing import Optional
+
 #: Table 6: batch sizes used for aggressive, keyed by number of disks.
 TABLE6_BATCH_SIZES = {1: 80, 2: 40, 3: 40, 4: 16, 5: 16, 6: 8, 7: 8}
 
@@ -22,7 +24,7 @@ TABLE6_BATCH_SIZES = {1: 80, 2: 40, 3: 40, 4: 16, 5: 16, 6: 8, 7: 8}
 TABLE6_DEFAULT = 4
 
 
-def batch_size_for(num_disks: int, override: int = None) -> int:
+def batch_size_for(num_disks: int, override: Optional[int] = None) -> int:
     """Return the Table 6 batch size for ``num_disks`` (or the override)."""
     if override is not None:
         if override < 1:

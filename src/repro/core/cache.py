@@ -7,6 +7,8 @@ available only when the fetch completes.  Resident blocks plus in-flight
 reservations therefore never exceed the capacity.
 """
 
+from __future__ import annotations
+
 from typing import Optional, Set
 
 
@@ -17,7 +19,7 @@ class CacheFullError(RuntimeError):
 class BufferCache:
     """Fixed-capacity block cache with explicit eviction."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity

@@ -14,14 +14,17 @@ checked exactly at the end of every simulation, which makes the engine
 self-auditing.
 """
 
+from __future__ import annotations
+
 import heapq
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, cast
 
 from repro.core.cache import BufferCache
 from repro.core.hints import resolve_hint_view
 from repro.core.nextref import EvictionHeap, NextRefIndex
+from repro.core.policy import PrefetchPolicy
 from repro.core.results import SimulationResult
 from repro.core.timeline import (
     EVICTION,
@@ -39,12 +42,18 @@ from repro.disk.array import (
     OUTCOME_OK,
     DiskArray,
     Placement,
+    StripedLayout,
 )
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import HP97560, HP97560_ZONED, IBM0661, DiskGeometry
+from repro.disk.scheduler import Request
 from repro.disk.seek import IBM0661_SEEK
 from repro.disk.simple import SimpleDrive
 from repro.faults.schedule import FaultSchedule, UnrecoverableReadError
+from repro.trace.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.perf.profiler import PhaseProfiler
 
 _EVENT_DISK = 0  # completions processed before app steps at equal times
 _EVENT_APP = 1
@@ -77,7 +86,7 @@ class SimConfig:
     faults: Optional[FaultSchedule] = None
     geometry: DiskGeometry = HP97560
 
-    def with_(self, **changes) -> "SimConfig":
+    def with_(self, **changes: object) -> "SimConfig":
         return replace(self, **changes)
 
 
@@ -86,13 +95,13 @@ class Simulator:
 
     def __init__(
         self,
-        trace,
-        policy,
+        trace: Trace,
+        policy: PrefetchPolicy,
         num_disks: int,
-        config: SimConfig = None,
-        hints=None,
-        profiler=None,
-    ):
+        config: Optional[SimConfig] = None,
+        hints: Optional[List[Optional[int]]] = None,
+        profiler: Optional["PhaseProfiler"] = None,
+    ) -> None:
         self.config = config if config is not None else SimConfig()
         #: Optional :class:`repro.perf.PhaseProfiler`.  When attached, the
         #: policy is wrapped so its consultation time is accounted, and the
@@ -106,9 +115,9 @@ class Simulator:
         # The application consumes the *actual* reference stream; policies
         # see the (possibly degraded) hint view.  With perfect hints the two
         # are the same list.
-        self.app_blocks = trace.blocks
+        self.app_blocks: List[int] = trace.blocks
         if hints is None:
-            self.blocks = trace.blocks
+            self.blocks: List[int] = trace.blocks
         else:
             self.blocks = resolve_hint_view(trace.blocks, hints)
         speedup = self.config.cpu_speedup
@@ -117,14 +126,11 @@ class Simulator:
         else:
             self.compute_ms = [c / speedup for c in trace.compute_ms]
 
+        self._mirror_layout: Optional[StripedLayout] = None
         if self.config.mirrored:
             if num_disks < 2 or num_disks % 2:
                 raise ValueError("mirroring needs an even number of disks")
-            from repro.disk.array import StripedLayout
-
             self._mirror_layout = StripedLayout(num_disks // 2)
-        else:
-            self._mirror_layout = None
         # Fault injection: a null schedule is dropped entirely so the
         # healthy path stays bit-for-bit identical to a fault-free run.
         faults = self.config.faults
@@ -134,7 +140,7 @@ class Simulator:
         #: Blocks whose every copy is gone (dead spindle, no live mirror).
         #: Scanners skip them; the app consumes their references as
         #: unreadable (partial-data mode) instead of stalling forever.
-        self.lost_blocks = set()
+        self.lost_blocks: Set[int] = set()
         self._fetch_attempts: Dict[int, int] = {}
         self.retry_ms_total = 0.0
         self.failover_reads = 0
@@ -151,7 +157,7 @@ class Simulator:
         self._lbn: Dict[int, int] = {}
         self._place_blocks()
 
-        self._events = []
+        self._events: List[Tuple[float, int, int, int]] = []
         self._event_seq = 0
         self.cursor = 0
         self.now = 0.0
@@ -162,7 +168,7 @@ class Simulator:
         self._done = False
 
         self._service_in_progress = [0.0] * num_disks
-        self._dirty = set()
+        self._dirty: Set[int] = set()
         self.write_count = 0
         self.flush_count = 0
         self._writes = trace.writes
@@ -180,13 +186,15 @@ class Simulator:
         if profiler is not None:
             from repro.perf import ProfiledPolicy
 
-            self.policy = ProfiledPolicy(policy, profiler)
+            # ProfiledPolicy is a transparent delegating wrapper, not a
+            # subclass; it honours the full PrefetchPolicy surface.
+            self.policy = cast(PrefetchPolicy, ProfiledPolicy(policy, profiler))
             self._instrument(profiler)
         self.policy.bind(self)
 
     # -- construction helpers --------------------------------------------------
 
-    def _instrument(self, profiler) -> None:
+    def _instrument(self, profiler: "PhaseProfiler") -> None:
         """Shadow the hot-path methods with phase-bracketed versions.
 
         Instance-attribute shadowing keeps the class methods untouched, so
@@ -196,25 +204,25 @@ class Simulator:
         """
         inner_start_disks = self._start_disks
 
-        def timed_start_disks(now):
+        def timed_start_disks(now: float) -> None:
             profiler.start("disk")
             try:
                 inner_start_disks(now)
             finally:
                 profiler.stop()
 
-        self._start_disks = timed_start_disks
+        self._start_disks = timed_start_disks  # type: ignore[method-assign]
 
         inner_issue_fetch = self.issue_fetch
 
-        def timed_issue_fetch(block, victim):
+        def timed_issue_fetch(block: int, victim: Optional[int]) -> None:
             profiler.start("cache")
             try:
                 inner_issue_fetch(block, victim)
             finally:
                 profiler.stop()
 
-        self.issue_fetch = timed_issue_fetch
+        self.issue_fetch = timed_issue_fetch  # type: ignore[method-assign]
 
     def _build_array(self) -> DiskArray:
         config = self.config
@@ -251,17 +259,17 @@ class Simulator:
         )
         total = self.array.geometry.total_blocks * effective_disks
         universe = set(self.index.positions) | set(self.app_blocks)
+        self._scatter_rng: Optional[random.Random] = None
+        self._placement: Optional[Placement] = None
+        self._files: Dict[int, Tuple[int, int]] = {}
         if self.config.placement == "scatter":
             # Ablation mode: every block lands at an independent random
             # address — no file clustering, no sequentiality for the drive
             # readahead or the CSCAN sweep to exploit.
             self._scatter_rng = random.Random(self.config.placement_seed)
-            self._placement = None
-            self._files = {}
         elif self.config.placement == "clustered":
-            self._scatter_rng = None
             self._placement = Placement(total, seed=self.config.placement_seed)
-            self._files = getattr(self.trace, "files", None) or {}
+            self._files = self.trace.files or {}
         else:
             raise ValueError(f"unknown placement {self.config.placement!r}")
         self._placement_total = total
@@ -283,6 +291,7 @@ class Simulator:
         if self._scatter_rng is not None:
             global_block = self._scatter_rng.randrange(self._placement_total)
         else:
+            assert self._placement is not None
             identity = self._files.get(block, block)
             global_block = self._placement.place(identity)
         self._disk[block] = layout.disk_of(global_block)
@@ -290,14 +299,14 @@ class Simulator:
 
     # -- policy-facing API -------------------------------------------------------
 
-    def protected_blocks(self):
+    def protected_blocks(self) -> Set[int]:
         """Blocks that must not be evicted right now: the block the
         application is stalled on (or about to reference).  With perfect
         hints these are never eviction candidates anyway (their next use is
         the cursor itself); with degraded hints the lying next-use index
         could nominate them, which would livelock the run on an endless
         evict/refetch cycle."""
-        protected = set()
+        protected: Set[int] = set()
         if self._waiting_block is not None:
             protected.add(self._waiting_block)
         if self.cursor < len(self.app_blocks):
@@ -326,15 +335,16 @@ class Simulator:
             if home_dead != mirror_dead:
                 return mirror if home_dead else home
         array = self.array
-        def load(disk):
+        def load(disk: int) -> int:
             return array.queue_length(disk) + (0 if array.is_idle(disk) else 1)
         return home if load(home) <= load(mirror) else mirror
 
-    def _live_twin(self, block: int, failed_disk: int, now: float):
+    def _live_twin(self, block: int, failed_disk: int, now: float) -> Optional[int]:
         """In mirrored mode, the other spindle of ``block``'s pair if it is
         still alive; None when there is no surviving copy to fail over to."""
         if not self.config.mirrored:
             return None
+        assert self._faults is not None  # only reachable from fault handling
         pairs = self.num_disks // 2
         home = self._disk[block]
         twin = home + pairs if failed_disk == home else home
@@ -412,9 +422,9 @@ class Simulator:
         """End the application's current stall: account the wait and
         schedule the app step that re-examines the reference."""
         if self.timeline is not None:
-            self.timeline.record(
-                max(now, self._stall_start), STALL_END, self._waiting_block
-            )
+            waiting = self._waiting_block
+            assert waiting is not None  # callers checked before waking
+            self.timeline.record(max(now, self._stall_start), STALL_END, waiting)
         self._waiting_block = None
         self._retry_miss = False
         self.stall_total += max(0.0, now - self._stall_start)
@@ -455,12 +465,16 @@ class Simulator:
 
     # -- fault handling ---------------------------------------------------------
 
-    def _fault_complete(self, disk: int, request, outcome: str, now: float) -> None:
+    def _fault_complete(
+        self, disk: int, request: Request, outcome: str, now: float
+    ) -> None:
         """A request finished with an injected fault: decide between
         failover (dead spindle, live mirror twin), retry with exponential
         backoff (failed demand fetch), abandonment (failed prefetch or
         flush), and partial-data mode (no copy of the block survives).
         """
+        faults = self._faults
+        assert faults is not None  # only reachable with fault injection on
         block = request.block
         service_ms = self._service_in_progress[disk]
         if self.timeline is not None:
@@ -501,9 +515,9 @@ class Simulator:
             # the budget is exhausted, then the data is unrecoverable.
             attempts = self._fetch_attempts.get(block, 0) + 1
             self._fetch_attempts[block] = attempts
-            if attempts > self._faults.max_retries:
+            if attempts > faults.max_retries:
                 raise UnrecoverableReadError(block, disk, attempts)
-            backoff = self._faults.retry_backoff_ms * (2 ** (attempts - 1))
+            backoff = faults.retry_backoff_ms * (2 ** (attempts - 1))
             self.retry_ms_total += service_ms + backoff
             self._push(now + backoff, _EVENT_RETRY, block)
         else:
@@ -671,6 +685,7 @@ class Simulator:
         charged to ``dispatch``; the nested policy/disk/cache brackets
         carve their self time out of it."""
         profiler = self.profiler
+        assert profiler is not None
         self._push(0.0, _EVENT_APP)
         events = self._events
         heappop = heapq.heappop
@@ -704,7 +719,7 @@ class Simulator:
         else:
             utilization = 0.0
         started = max(1, self._requests_started)
-        extras = {}
+        extras: Dict[str, float] = {}
         if self._writes is not None:
             extras["writes"] = self.write_count
             extras["flushes"] = self.flush_count

@@ -12,8 +12,12 @@ when bandwidth is scarce — the central trade-off the paper studies.  It may
 hold up to ``H`` outstanding requests, giving the disk scheduler latitude.
 """
 
+from __future__ import annotations
+
+from typing import cast
+
 from repro.core.nextref import INFINITE
-from repro.core.policy import MissingScanner, PrefetchPolicy
+from repro.core.policy import MissingScanner, PrefetchPolicy, SimulatorLike, Victim
 
 #: The paper's baseline prefetch horizon (15 ms / 243 µs).
 DEFAULT_HORIZON = 62
@@ -22,24 +26,22 @@ DEFAULT_HORIZON = 62
 class FixedHorizon(PrefetchPolicy):
     """Prefetch exactly the missing blocks within ``horizon`` references."""
 
-    def __init__(self, horizon: int = DEFAULT_HORIZON):
+    def __init__(self, horizon: int = DEFAULT_HORIZON) -> None:
         super().__init__()
         if horizon < 1:
             raise ValueError("horizon must be at least 1")
         self.horizon = horizon
-        self._scanner = None
+        if horizon == DEFAULT_HORIZON:
+            self.name = "fixed-horizon"
+        else:
+            self.name = f"fixed-horizon(H={horizon})"
+        self._scanner = cast(MissingScanner, None)  # set in bind()
 
-    @property
-    def name(self) -> str:
-        if self.horizon == DEFAULT_HORIZON:
-            return "fixed-horizon"
-        return f"fixed-horizon(H={self.horizon})"
-
-    def bind(self, sim) -> None:
+    def bind(self, sim: SimulatorLike) -> None:
         super().bind(sim)
         self._scanner = MissingScanner(sim)
 
-    def on_evict(self, block, next_use) -> None:
+    def on_evict(self, block: int, next_use: float) -> None:
         self._scanner.invalidate(next_use)
 
     def before_reference(self, cursor: int, now: float) -> None:
@@ -61,7 +63,7 @@ class FixedHorizon(PrefetchPolicy):
             self.issue(block, victim)
         self._scanner.floor = max(self._scanner.floor, min(issued_floor, end))
 
-    def _victim_beyond_horizon(self, cursor: int, boundary: int):
+    def _victim_beyond_horizon(self, cursor: int, boundary: int) -> Victim:
         """Free buffer (None), a victim needed after the horizon, or False."""
         sim = self.sim
         if sim.cache.free_buffers > 0:

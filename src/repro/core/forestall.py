@@ -24,14 +24,16 @@ Practicalities from the paper, all implemented here:
   (Appendix H studies exactly that).
 """
 
+from __future__ import annotations
+
 import bisect
 from collections import deque
-from typing import Dict, List
+from typing import Collection, Deque, Dict, Iterator, List, Optional, Set, Tuple, cast
 
 from repro.core.batching import batch_size_for
 from repro.core.fixed_horizon import DEFAULT_HORIZON
 from repro.core.nextref import INFINITE
-from repro.core.policy import PrefetchPolicy
+from repro.core.policy import PrefetchPolicy, SimulatorLike, Victim
 
 #: Fixed F' values swept by Appendix H.
 APPENDIX_H_FETCH_TIMES = (1, 2, 4, 8, 15, 30, 60)
@@ -47,7 +49,7 @@ class _MissingTracker:
     missing blocks in the window, with no stale skipping.
     """
 
-    def __init__(self, sim, window: int):
+    def __init__(self, sim: SimulatorLike, window: int) -> None:
         self.sim = sim
         self.window = window
         self.positions: List[int] = []  # sorted
@@ -87,7 +89,7 @@ class _MissingTracker:
         if index < len(self.positions) and self.positions[index] == position:
             del self.positions[index]
 
-    def on_evict(self, block: int, next_use) -> None:
+    def on_evict(self, block: int, next_use: float) -> None:
         """The block was evicted; it is missing again from its next use."""
         if next_use is INFINITE or next_use >= self.scanned_to:
             return  # beyond the scanned window; a future extend finds it
@@ -100,7 +102,7 @@ class _MissingTracker:
         self._position_of[block] = position
         bisect.insort(self.positions, position)
 
-    def walk(self, cursor: int, snapshot: bool = False):
+    def walk(self, cursor: int, snapshot: bool = False) -> Iterator[Tuple[int, int]]:
         """Yield (position, block) for missing references at/past the cursor.
 
         Always iterates a copy, so callers may mutate the missing set
@@ -127,36 +129,35 @@ class Forestall(PrefetchPolicy):
 
     def __init__(
         self,
-        batch_size: int = None,
+        batch_size: Optional[int] = None,
         horizon: int = DEFAULT_HORIZON,
-        fixed_estimate: float = None,
+        fixed_estimate: Optional[float] = None,
         history: int = 100,
         lookahead_caches: int = 2,
         fast_disk_threshold_ms: float = 5.0,
         overestimate_factor: float = 4.0,
-    ):
+    ) -> None:
         super().__init__()
         self._batch_override = batch_size
         self.horizon = horizon
         self.fixed_estimate = fixed_estimate
+        if fixed_estimate is None:
+            self.name = "forestall"
+        else:
+            self.name = f"forestall(F'={fixed_estimate})"
         self.history = history
         self.lookahead_caches = lookahead_caches
         self.fast_disk_threshold_ms = fast_disk_threshold_ms
         self.overestimate_factor = overestimate_factor
-        self.batch_size = None
-        self._tracker = None
-        self._access_history = None  # per-disk deque of recent service times
-        self._compute_history = None
+        self.batch_size = 0  # resolved against the array size in bind()
+        self._tracker = cast(_MissingTracker, None)  # set in bind()
+        #: Per-disk deque of recent service times (populated in bind()).
+        self._access_history: List[Deque[float]] = []
+        self._compute_history: Deque[float] = deque()
         self._next_check_cursor = 0
-        self._pending_triggers = set()
+        self._pending_triggers: Set[int] = set()
 
-    @property
-    def name(self) -> str:
-        if self.fixed_estimate is None:
-            return "forestall"
-        return f"forestall(F'={self.fixed_estimate})"
-
-    def bind(self, sim) -> None:
+    def bind(self, sim: SimulatorLike) -> None:
         super().bind(sim)
         self.batch_size = batch_size_for(sim.num_disks, self._batch_override)
         window = self.lookahead_caches * sim.cache.capacity
@@ -182,11 +183,11 @@ class Forestall(PrefetchPolicy):
         if compute_ms > 0:
             self._compute_history.append(compute_ms)
 
-    def on_evict(self, block, next_use) -> None:
+    def on_evict(self, block: int, next_use: float) -> None:
         self._tracker.on_evict(block, next_use)
         self._next_check_cursor = 0  # the missing set grew; recheck
 
-    def issue(self, block, victim) -> None:
+    def issue(self, block: int, victim: Optional[int]) -> None:
         self._tracker.remove(block)
         super().issue(block, victim)
 
@@ -225,7 +226,7 @@ class Forestall(PrefetchPolicy):
         array = self.sim.array
         return array.is_idle(disk) and array.queue_length(disk) == 0
 
-    def _free_disks(self):
+    def _free_disks(self) -> Set[int]:
         array = self.sim.array
         return {
             disk
@@ -246,10 +247,10 @@ class Forestall(PrefetchPolicy):
         num_disks = self.sim.num_disks
         estimates = [self.estimate(disk) for disk in range(num_disks)]
         counts: Dict[int, int] = {}
-        triggered = set()
-        backstopped = set()
-        min_slack = None
-        first_distance = None
+        triggered: Set[int] = set()
+        backstopped: Set[int] = set()
+        min_slack: Optional[float] = None
+        first_distance: Optional[int] = None
         sim = self.sim
         for position, block in tracker.walk(cursor):
             distance = position - cursor
@@ -290,7 +291,12 @@ class Forestall(PrefetchPolicy):
         advance = max(1, int(min(candidates)))
         self._next_check_cursor = cursor + advance
 
-    def _issue_batches(self, cursor: int, disks, backstop_disks=()) -> None:
+    def _issue_batches(
+        self,
+        cursor: int,
+        disks: Collection[int],
+        backstop_disks: Collection[int] = (),
+    ) -> None:
         """Aggressive-style batch fill restricted to the triggered disks.
 
         ``backstop_disks`` fired only the fixed-horizon rule: they issue
@@ -298,7 +304,7 @@ class Forestall(PrefetchPolicy):
         behaviour), not a deep batch.
         """
         sim = self.sim
-        budgets = {disk: self.batch_size for disk in disks}
+        budgets = {disk: self.batch_size for disk in sorted(disks)}
         horizon_end = cursor + self.horizon
         tracker = self._tracker
         for position, block in tracker.walk(cursor, snapshot=True):
@@ -321,7 +327,7 @@ class Forestall(PrefetchPolicy):
             self.issue(block, victim)
             budgets[disk] = budget - 1
 
-    def _victim_for(self, cursor: int, fetch_position: int):
+    def _victim_for(self, cursor: int, fetch_position: int) -> Victim:
         sim = self.sim
         if sim.cache.free_buffers > 0:
             return None

@@ -9,17 +9,21 @@ They exist as baselines, to quantify what the hints in the paper's four
 algorithms are actually worth.
 """
 
+from __future__ import annotations
+
 from collections import OrderedDict
 from typing import Optional
 
-from repro.core.policy import PrefetchPolicy
+from repro.core.policy import PrefetchPolicy, SimulatorLike, Victim
 
 
 class _LRUMixin:
     """Recency tracking + LRU victim selection (no future knowledge)."""
 
+    sim: SimulatorLike  # provided by the PrefetchPolicy side of the MRO
+
     def _lru_init(self) -> None:
-        self._recency = OrderedDict()  # block -> None, oldest first
+        self._recency: "OrderedDict[int, None]" = OrderedDict()  # oldest first
 
     def _touch(self, block: int) -> None:
         self._recency.pop(block, None)
@@ -28,7 +32,7 @@ class _LRUMixin:
     def _forget(self, block: int) -> None:
         self._recency.pop(block, None)
 
-    def lru_victim(self) -> Optional[int]:
+    def lru_victim(self) -> Victim:
         """Least-recently-used resident block, or None for a free buffer,
         or False when nothing may be evicted."""
         sim = self.sim
@@ -41,9 +45,11 @@ class _LRUMixin:
                 return block
         # Recency list may lag (blocks fetched but never referenced);
         # fall back deterministically to the lowest unprotected block.
-        candidates = [b for b in resident if b not in protected]
-        if candidates:
-            return min(candidates)
+        fallback = min(
+            (b for b in resident if b not in protected), default=None
+        )
+        if fallback is not None:
+            return fallback
         return False
 
     # shared bookkeeping hooks -------------------------------------------------
@@ -51,7 +57,7 @@ class _LRUMixin:
     def on_reference_served(self, cursor: int, compute_ms: float) -> None:
         self._touch(self.sim.app_blocks[cursor])
 
-    def on_evict(self, block: int, next_use) -> None:
+    def on_evict(self, block: int, next_use: float) -> None:
         self._forget(block)
 
 
@@ -60,7 +66,7 @@ class LRUDemand(_LRUMixin, PrefetchPolicy):
 
     name = "lru-demand"
 
-    def bind(self, sim) -> None:
+    def bind(self, sim: SimulatorLike) -> None:
         super().bind(sim)
         self._lru_init()
 
@@ -81,15 +87,12 @@ class SequentialReadahead(LRUDemand):
     point of comparing it to the hint-based algorithms.
     """
 
-    def __init__(self, depth: int = 8):
+    def __init__(self, depth: int = 8) -> None:
         super().__init__()
         if depth < 1:
             raise ValueError("readahead depth must be positive")
         self.depth = depth
-
-    @property
-    def name(self) -> str:
-        return f"seq-readahead({self.depth})"
+        self.name = f"seq-readahead({depth})"
 
     def on_miss(self, cursor: int, now: float) -> None:
         super().on_miss(cursor, now)
@@ -125,19 +128,16 @@ class StridePrefetcher(LRUDemand):
     unhinted heuristic with a chance on xds-style strided scans.
     """
 
-    def __init__(self, depth: int = 4, confirm: int = 2):
+    def __init__(self, depth: int = 4, confirm: int = 2) -> None:
         super().__init__()
         if depth < 1:
             raise ValueError("depth must be positive")
         self.depth = depth
         self.confirm = confirm
-        self._last_miss = None
+        self._last_miss: Optional[int] = None
         self._stride = 0
         self._repeats = 0
-
-    @property
-    def name(self) -> str:
-        return f"stride-prefetch({self.depth})"
+        self.name = f"stride-prefetch({depth})"
 
     def on_miss(self, cursor: int, now: float) -> None:
         block = self.sim.reference_block(cursor)

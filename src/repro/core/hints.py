@@ -96,7 +96,7 @@ def resolve_hint_view(
             f"hint stream length {len(hints)} != trace length {len(actual)}"
         )
     view: List[int] = []
-    last_hinted = None
+    last_hinted: Optional[int] = None
     for position, hint in enumerate(hints):
         if hint is None:
             if last_hinted is None:

@@ -24,17 +24,31 @@ Block identities are namespaced per process, so two traces may use the
 same small integers without colliding in the shared array.
 """
 
+from __future__ import annotations
+
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.cache import BufferCache
 from repro.core.engine import SimConfig
 from repro.core.nextref import EvictionHeap, NextRefIndex
+from repro.core.policy import PrefetchPolicy
 from repro.core.results import SimulationResult
-from repro.disk.array import DiskArray, Placement
+from repro.disk.array import DiskArray, DriveModel, Placement
 from repro.disk.drive import DiskDrive
 from repro.disk.simple import SimpleDrive
+from repro.trace.trace import Trace
 
 _EVENT_DISK = 0
 _EVENT_APP = 1
@@ -57,10 +71,10 @@ class ProcessResult:
     def total_stall_ms(self) -> float:
         return sum(r.stall_ms for r in self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SimulationResult]:
         return iter(self.results)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> SimulationResult:
         return self.results[index]
 
 
@@ -68,8 +82,10 @@ class StaticAllocator:
     """Fixed buffer shares, proportional to the given weights."""
 
     name = "static"
+    #: Simulated-time interval between rebalances; None disables them.
+    period_ms: Optional[float] = None
 
-    def __init__(self, weights: Sequence[float] = None):
+    def __init__(self, weights: Optional[Sequence[float]] = None) -> None:
         self.weights = weights
 
     def initial_shares(self, total: int, num_processes: int) -> List[int]:
@@ -81,7 +97,7 @@ class StaticAllocator:
         shares[0] += total - sum(shares)  # rounding drift to process 0
         return shares
 
-    def rebalance(self, sim) -> None:
+    def rebalance(self, sim: MultiProcessSimulator) -> None:
         """Static allocation never moves buffers."""
 
 
@@ -98,16 +114,16 @@ class CostBenefitAllocator(StaticAllocator):
 
     name = "cost-benefit"
 
-    def __init__(self, weights: Sequence[float] = None,
+    def __init__(self, weights: Optional[Sequence[float]] = None,
                  period_ms: float = 250.0, min_share: int = 8,
-                 step: int = 4):
+                 step: int = 4) -> None:
         super().__init__(weights)
         self.period_ms = period_ms
         self.min_share = min_share
         self.step = step
         self._last_stall: List[float] = []
 
-    def rebalance(self, sim) -> None:
+    def rebalance(self, sim: MultiProcessSimulator) -> None:
         live = [p for p in sim.processes if not p.done]
         if len(live) < 2:
             return
@@ -132,7 +148,7 @@ class CostBenefitAllocator(StaticAllocator):
 class _SharedSlice(BufferCache):
     """A process's partition of the shared cache, resizable at runtime."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self.allow_overflow = True  # shrinks drain via normal evictions
 
@@ -157,7 +173,14 @@ class _SharedSlice(BufferCache):
 class _Process:
     """One application's private simulation state."""
 
-    def __init__(self, pid, trace, policy, cache, sim):
+    def __init__(
+        self,
+        pid: int,
+        trace: Trace,
+        policy: PrefetchPolicy,
+        cache: _SharedSlice,
+        sim: MultiProcessSimulator,
+    ) -> None:
         self.pid = pid
         self.trace = trace
         self.policy = policy
@@ -169,12 +192,12 @@ class _Process:
         self.compute_ms = trace.compute_ms
         # The multiprocess engine does not inject faults; the attribute
         # exists because policy scanners skip a simulator's lost blocks.
-        self.lost_blocks = frozenset()
+        self.lost_blocks: FrozenSet[int] = frozenset()
         self.index = NextRefIndex(self.blocks)
         self.eviction_heap = EvictionHeap(self.index, cache.resident)
         self.cursor = 0
         self.debt = 0.0
-        self.waiting_block = None
+        self.waiting_block: Optional[int] = None
         self.retry_miss = False
         self.stall_start = 0.0
         self.done = False
@@ -187,31 +210,31 @@ class _Process:
     # -- the Simulator interface policies expect ------------------------------
 
     @property
-    def num_disks(self):
+    def num_disks(self) -> int:
         return self.sim.array.num_disks
 
     @property
-    def array(self):
+    def array(self) -> DiskArray:
         return self.sim.array
 
-    def protected_blocks(self):
-        protected = set()
+    def protected_blocks(self) -> Set[int]:
+        protected: Set[int] = set()
         if self.waiting_block is not None:
             protected.add(self.waiting_block)
         if self.cursor < len(self.app_blocks):
             protected.add(self.app_blocks[self.cursor])
         return protected
 
-    def reference_block(self, cursor):
+    def reference_block(self, cursor: int) -> int:
         return self.app_blocks[cursor]
 
-    def disk_of(self, block):
+    def disk_of(self, block: int) -> int:
         return self.sim.disk_of(block)
 
-    def lbn_of(self, block):
+    def lbn_of(self, block: int) -> int:
         return self.sim.lbn_of(block)
 
-    def issue_fetch(self, block, victim):
+    def issue_fetch(self, block: int, victim: Optional[int]) -> None:
         self.sim.issue_fetch(self, block, victim)
 
 
@@ -220,11 +243,11 @@ class MultiProcessSimulator:
 
     def __init__(
         self,
-        workloads,  # sequence of (trace, policy) pairs
+        workloads: Sequence[Tuple[Trace, PrefetchPolicy]],
         num_disks: int,
-        config: SimConfig = None,
-        allocator=None,
-    ):
+        config: Optional[SimConfig] = None,
+        allocator: Optional[StaticAllocator] = None,
+    ) -> None:
         if not workloads:
             raise ValueError("need at least one process")
         self.config = config if config is not None else SimConfig()
@@ -246,7 +269,7 @@ class MultiProcessSimulator:
             policy.bind(process)
 
         self._owner_of_request: Dict[int, _Process] = {}
-        self._events = []
+        self._events: List[Tuple[float, int, int, int]] = []
         self._event_seq = 0
         self._offer_start = 0
         self._service_in_progress = [0.0] * num_disks
@@ -256,6 +279,7 @@ class MultiProcessSimulator:
 
     def _build_array(self) -> DiskArray:
         config = self.config
+        factory: Callable[[], DriveModel]
         if config.disk_model == "hp97560":
             factory = lambda: DiskDrive(config.geometry, readahead=config.readahead)
         else:
@@ -273,7 +297,7 @@ class MultiProcessSimulator:
         placement = Placement(
             total, seed=self.config.placement_seed + process.pid
         )
-        files = getattr(process.trace, "files", None) or {}
+        files = process.trace.files or {}
         offset = process.pid * _NAMESPACE_STRIDE
         layout = self.array.layout
         for namespaced in process.index.positions:
@@ -285,20 +309,22 @@ class MultiProcessSimulator:
             self._disk[namespaced] = layout.disk_of(global_block)
             self._lbn[namespaced] = layout.lbn_of(global_block)
 
-    def disk_of(self, block):
+    def disk_of(self, block: int) -> int:
         return self._disk[block]
 
-    def lbn_of(self, block):
+    def lbn_of(self, block: int) -> int:
         return self._lbn[block]
 
     # -- shared fetch path ------------------------------------------------------
 
-    def issue_fetch(self, process: _Process, block, victim) -> None:
-        victim_next_use = None
-        if victim is not None:
-            victim_next_use = process.index.next_use(victim, process.cursor)
+    def issue_fetch(
+        self, process: _Process, block: int, victim: Optional[int]
+    ) -> None:
         process.cache.begin_fetch(block, victim)
         if victim is not None:
+            # next_use depends only on the trace, not on cache state, so
+            # computing it after begin_fetch is equivalent.
+            victim_next_use = process.index.next_use(victim, process.cursor)
             process.policy.on_evict(victim, victim_next_use)
         request = self.array.submit(self._disk[block], block, self._lbn[block])
         self._owner_of_request[request.seq] = process
@@ -309,11 +335,11 @@ class MultiProcessSimulator:
 
     # -- events -------------------------------------------------------------------
 
-    def _push(self, time, kind, payload=0):
+    def _push(self, time: float, kind: int, payload: int = 0) -> None:
         self._event_seq += 1
         heapq.heappush(self._events, (time, kind, self._event_seq, payload))
 
-    def _start_disks(self, now):
+    def _start_disks(self, now: float) -> None:
         for disk in range(self.num_disks):
             started = self.array.start_next(disk, now)
             if started is None:
@@ -322,7 +348,7 @@ class MultiProcessSimulator:
             self._service_in_progress[disk] = breakdown.total
             self._push(completion, _EVENT_DISK, disk)
 
-    def _offer_disk(self, disk, now):
+    def _offer_disk(self, disk: int, now: float) -> None:
         """Offer a free disk to every live policy, rotating who goes first."""
         live = [p for p in self.processes if not p.done]
         if not live:
@@ -333,7 +359,7 @@ class MultiProcessSimulator:
             process = live[(start + i) % len(live)]
             process.policy.on_disk_idle(disk, now)
 
-    def _disk_complete(self, disk, now):
+    def _disk_complete(self, disk: int, now: float) -> None:
         request = self.array.complete(disk)
         owner = self._owner_of_request.pop(request.seq)
         owner.cache.complete_fetch(request.block)
@@ -355,7 +381,7 @@ class MultiProcessSimulator:
                 self._push(max(now, process.stall_start), _EVENT_APP,
                            process.pid)
 
-    def _app_step(self, process: _Process, now):
+    def _app_step(self, process: _Process, now: float) -> None:
         if process.done:
             return
         if process.debt > 0.0:
@@ -404,7 +430,7 @@ class MultiProcessSimulator:
     def run(self) -> ProcessResult:
         for process in self.processes:
             self._push(0.0, _EVENT_APP, process.pid)
-        rebalance_period = getattr(self.allocator, "period_ms", None)
+        rebalance_period = self.allocator.period_ms
         while self._events and not all(p.done for p in self.processes):
             now, kind, _seq, payload = heapq.heappop(self._events)
             if kind == _EVENT_DISK:
@@ -425,7 +451,9 @@ class MultiProcessSimulator:
             [self._result_for(p, utilization) for p in self.processes]
         )
 
-    def _result_for(self, process: _Process, utilization) -> SimulationResult:
+    def _result_for(
+        self, process: _Process, utilization: float
+    ) -> SimulationResult:
         elapsed = process.elapsed
         result = SimulationResult(
             trace_name=process.trace.name,

@@ -13,9 +13,11 @@ Both are served in amortized O(log n) by per-block position lists with
 monotonic pointers plus a lazy max-heap over resident blocks.
 """
 
+from __future__ import annotations
+
 import bisect
 import heapq
-from typing import Dict, List, Optional
+from typing import Callable, Container, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 #: Sentinel distance for "never referenced again".
 INFINITE = float("inf")
@@ -24,7 +26,7 @@ INFINITE = float("inf")
 class NextRefIndex:
     """Per-block reference positions with monotone next-use queries."""
 
-    def __init__(self, blocks: List[int]):
+    def __init__(self, blocks: Sequence[int]) -> None:
         self.blocks = blocks
         self.positions: Dict[int, List[int]] = {}
         for index, block in enumerate(blocks):
@@ -39,7 +41,7 @@ class NextRefIndex:
     def distinct_blocks(self) -> int:
         return len(self.positions)
 
-    def next_use(self, block: int, cursor: int):
+    def next_use(self, block: int, cursor: int) -> float:
         """First position >= cursor referencing ``block``, else INFINITE.
 
         Cursors may move backwards relative to earlier queries for *other*
@@ -57,7 +59,7 @@ class NextRefIndex:
             return INFINITE
         return plist[pointer]
 
-    def next_use_cold(self, block: int, cursor: int):
+    def next_use_cold(self, block: int, cursor: int) -> float:
         """Like :meth:`next_use` but without pointer caching (any cursor)."""
         plist = self.positions.get(block)
         if plist is None:
@@ -76,24 +78,24 @@ class EvictionHeap:
     the index and the resident set.
     """
 
-    def __init__(self, index: NextRefIndex, resident):
+    def __init__(self, index: NextRefIndex, resident: Container[int]) -> None:
         self._index = index
         self._resident = resident  # any container supporting "in"
-        self._heap = []  # (-next_use, block)
+        self._heap: List[Tuple[float, int]] = []  # (-next_use, block)
 
     def push(self, block: int, cursor: int) -> None:
         next_use = self._index.next_use(block, cursor)
         key = -next_use if next_use is not INFINITE else float("-inf")
         heapq.heappush(self._heap, (key, block))
 
-    def best_victim(self, cursor: int, exclude=()) -> Optional[int]:
+    def best_victim(self, cursor: int, exclude: Container[int] = ()) -> Optional[int]:
         """Pop/peek the resident block with the furthest next use.
 
         The returned block is *not* removed from the heap (the caller
         decides whether to evict); stale entries encountered along the way
         are discarded.  Blocks in ``exclude`` are skipped but kept.
         """
-        skipped = []
+        skipped: List[Tuple[float, int]] = []
         victim = None
         while self._heap:
             key, block = self._heap[0]
@@ -121,19 +123,19 @@ class EvictionHeap:
 
 
 def first_missing_positions(
-    blocks: List[int],
+    blocks: Sequence[int],
     cursor: int,
-    is_present,
+    is_present: Callable[[int], bool],
     limit: int,
-    max_count: int = None,
-):
+    max_count: Optional[int] = None,
+) -> Iterator[int]:
     """Yield positions >= cursor whose block is missing (not present).
 
     Scans at most ``limit`` references ahead; duplicate blocks are reported
     only at their first missing occurrence.  ``is_present(block)`` must
     return True for blocks that are resident or already being fetched.
     """
-    seen = set()
+    seen: Set[int] = set()
     end = min(len(blocks), cursor + limit)
     found = 0
     for position in range(cursor, end):

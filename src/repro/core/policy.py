@@ -16,22 +16,101 @@ Shared helpers implement the paper's optimal prefetching rules
 * *do no harm* — never evict a block needed before the fetched one.
 """
 
-from typing import Iterator, Optional, Tuple
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Iterable,
+    Iterator,
+    Literal,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    cast,
+)
 
 from repro.core.nextref import INFINITE
+
+if TYPE_CHECKING:
+    from repro.core.cache import BufferCache
+    from repro.core.nextref import EvictionHeap, NextRefIndex
+    from repro.disk.array import DiskArray
+
+#: What a victim choice can be: ``None`` (use a free buffer), a block to
+#: evict, or ``False`` (nothing may be evicted right now — wait).
+Victim = Union[int, None, Literal[False]]
+
+
+class SimulatorLike(Protocol):
+    """The simulator surface policies are allowed to touch.
+
+    Implemented by :class:`repro.core.engine.Simulator` and by the
+    per-process view in :mod:`repro.core.multiprocess`.  Everything here is
+    read-only from the policy's perspective — simlint's SL006 rule enforces
+    that policies never mutate the shared containers behind these names.
+    """
+
+    @property
+    def num_disks(self) -> int: ...
+
+    @property
+    def cursor(self) -> int: ...
+
+    @property
+    def blocks(self) -> Sequence[int]: ...
+
+    @property
+    def app_blocks(self) -> Sequence[int]: ...
+
+    @property
+    def compute_ms(self) -> Sequence[float]: ...
+
+    @property
+    def lost_blocks(self) -> AbstractSet[int]: ...
+
+    @property
+    def trace(self) -> object: ...
+
+    @property
+    def cache(self) -> "BufferCache": ...
+
+    @property
+    def index(self) -> "NextRefIndex": ...
+
+    @property
+    def eviction_heap(self) -> "EvictionHeap": ...
+
+    @property
+    def array(self) -> "DiskArray": ...
+
+    def protected_blocks(self) -> Set[int]: ...
+
+    def reference_block(self, cursor: int) -> int: ...
+
+    def disk_of(self, block: int) -> int: ...
+
+    def lbn_of(self, block: int) -> int: ...
+
+    def issue_fetch(self, block: int, victim: Optional[int]) -> None: ...
 
 
 class PrefetchPolicy:
     """Base class for all prefetching/caching algorithms."""
 
-    name = "abstract"
+    name: str = "abstract"
 
-    def __init__(self):
-        self.sim = None
+    def __init__(self) -> None:
+        # Policies are unusable before bind(); the cast spares every hook
+        # an Optional check on a contract the engine already guarantees.
+        self.sim = cast("SimulatorLike", None)
 
     # -- engine wiring --------------------------------------------------------
 
-    def bind(self, sim) -> None:
+    def bind(self, sim: SimulatorLike) -> None:
         """Attach to a simulator; called once before the run starts."""
         self.sim = sim
 
@@ -64,7 +143,7 @@ class PrefetchPolicy:
     def on_reference_served(self, cursor: int, compute_ms: float) -> None:
         """Reference ``cursor`` hit in cache; the app computes for a while."""
 
-    def on_evict(self, block: int, next_use) -> None:
+    def on_evict(self, block: int, next_use: float) -> None:
         """``block`` was evicted; its next reference is at ``next_use``."""
 
     # -- shared actions ----------------------------------------------------------
@@ -73,7 +152,7 @@ class PrefetchPolicy:
         """Issue a fetch of ``block``, evicting ``victim`` (None = free buffer)."""
         self.sim.issue_fetch(block, victim)
 
-    def choose_victim(self, cursor: int, exclude=()) -> Optional[int]:
+    def choose_victim(self, cursor: int, exclude: Iterable[int] = ()) -> Victim:
         """Optimal replacement: free buffer first, else furthest next use.
 
         Returns ``None`` when a free buffer exists, a block to evict, or
@@ -83,9 +162,10 @@ class PrefetchPolicy:
         sim = self.sim
         if sim.cache.free_buffers > 0:
             return None
-        protected = sim.protected_blocks()
-        if exclude:
-            protected = protected | set(exclude)
+        protected: AbstractSet[int] = sim.protected_blocks()
+        excluded = set(exclude)
+        if excluded:
+            protected = protected | excluded
         victim = sim.eviction_heap.best_victim(cursor, exclude=protected)
         if victim is None:
             # Every buffer is protected or spoken for by an in-flight
@@ -121,11 +201,11 @@ class MissingScanner:
     redundant work.  See docs/PERFORMANCE.md.
     """
 
-    def __init__(self, sim):
+    def __init__(self, sim: SimulatorLike) -> None:
         self.sim = sim
         self.floor = 0
 
-    def invalidate(self, position) -> None:
+    def invalidate(self, position: float) -> None:
         if position is not INFINITE and position < self.floor:
             self.floor = int(position)
 

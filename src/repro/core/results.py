@@ -71,8 +71,8 @@ class SimulationResult:
                 f"({self.trace_name}/{self.policy_name}/{self.num_disks})"
             )
 
-    def to_dict(self) -> Dict[str, float]:
-        d = {
+    def to_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
             "trace": self.trace_name,
             "policy": self.policy_name,
             "disks": self.num_disks,

@@ -19,11 +19,13 @@ free it batch-fetches the first missing blocks on that disk, but takes its
 eviction victims from the precomputed schedule instead of choosing greedily.
 """
 
-from typing import List, Tuple
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple, cast
 
 from repro.core.batching import batch_size_for
 from repro.core.nextref import INFINITE
-from repro.core.policy import MissingScanner, PrefetchPolicy
+from repro.core.policy import MissingScanner, PrefetchPolicy, SimulatorLike, Victim
 from repro.theory.model import run_aggressive_model
 
 #: Fetch-time estimates (in reference-time units) swept by Appendix F.
@@ -38,34 +40,32 @@ class ReverseAggressive(PrefetchPolicy):
 
     def __init__(
         self,
-        fetch_time_estimate: float = None,
-        reverse_batch_size: int = None,
-        forward_batch_size: int = None,
+        fetch_time_estimate: Optional[float] = None,
+        reverse_batch_size: Optional[int] = None,
+        forward_batch_size: Optional[int] = None,
         nominal_access_ms: float = 15.0,
-    ):
+    ) -> None:
         super().__init__()
         self.fetch_time_estimate = fetch_time_estimate
         self._reverse_batch_override = reverse_batch_size
         self._forward_batch_override = forward_batch_size
         self.nominal_access_ms = nominal_access_ms
-        self.batch_size = None
-        self._scanner = None
+        if fetch_time_estimate is None and reverse_batch_size is None:
+            self.name = "reverse-aggressive"
+        else:
+            self.name = (
+                f"reverse-aggressive(F={fetch_time_estimate},"
+                f"rbatch={reverse_batch_size})"
+            )
+        self.batch_size = 0  # resolved against the array size in bind()
+        self._scanner = cast(MissingScanner, None)  # set in bind()
         # The transformed schedule: eviction choices ordered by release.
         self._evictions: List[Tuple[int, int]] = []  # (release_index, block)
         self._eviction_pos = 0
 
-    @property
-    def name(self) -> str:
-        if self.fetch_time_estimate is None and self._reverse_batch_override is None:
-            return "reverse-aggressive"
-        return (
-            f"reverse-aggressive(F={self.fetch_time_estimate},"
-            f"rbatch={self._reverse_batch_override})"
-        )
-
     # -- schedule construction ---------------------------------------------------
 
-    def bind(self, sim) -> None:
+    def bind(self, sim: SimulatorLike) -> None:
         super().bind(sim)
         self.batch_size = batch_size_for(sim.num_disks, self._forward_batch_override)
         self._scanner = MissingScanner(sim)
@@ -77,7 +77,7 @@ class ReverseAggressive(PrefetchPolicy):
             reverse_batch = self.batch_size
         self._build_schedule(sim, float(estimate), reverse_batch)
 
-    def _auto_estimate(self, sim) -> float:
+    def _auto_estimate(self, sim: SimulatorLike) -> float:
         """F ≈ expected disk access time / mean inter-reference compute time.
 
         The access-time guess is sequentiality-aware: mostly-sequential
@@ -104,7 +104,9 @@ class ReverseAggressive(PrefetchPolicy):
         estimate = access_ms / mean_compute
         return min(256.0, max(1.0, estimate))
 
-    def _build_schedule(self, sim, fetch_time: float, reverse_batch: int) -> None:
+    def _build_schedule(
+        self, sim: SimulatorLike, fetch_time: float, reverse_batch: int
+    ) -> None:
         blocks = sim.blocks
         n = len(blocks)
         run = run_aggressive_model(
@@ -131,7 +133,7 @@ class ReverseAggressive(PrefetchPolicy):
 
     # -- forward execution -----------------------------------------------------------
 
-    def on_evict(self, block, next_use) -> None:
+    def on_evict(self, block: int, next_use: float) -> None:
         self._scanner.invalidate(next_use)
 
     def before_reference(self, cursor: int, now: float) -> None:
@@ -149,7 +151,7 @@ class ReverseAggressive(PrefetchPolicy):
             return  # no buffer free; the engine retries after a completion
         self.issue(block, victim)
 
-    def _free_disks(self):
+    def _free_disks(self) -> Set[int]:
         array = self.sim.array
         return {
             disk
@@ -162,8 +164,8 @@ class ReverseAggressive(PrefetchPolicy):
         free = self._free_disks()
         if not free:
             return
-        budgets = {disk: self.batch_size for disk in free}
-        new_floor = None
+        budgets = {disk: self.batch_size for disk in sorted(free)}
+        new_floor: Optional[int] = None
         for position, block in self._scanner.missing_in(cursor, len(sim.blocks)):
             disk = sim.disk_of(block)
             budget = budgets.get(disk, 0)
@@ -187,7 +189,7 @@ class ReverseAggressive(PrefetchPolicy):
             new_floor = len(sim.blocks)
         self._scanner.floor = max(self._scanner.floor, new_floor)
 
-    def _next_scheduled_victim(self, cursor: int, fetch_position: int):
+    def _next_scheduled_victim(self, cursor: int, fetch_position: int) -> Victim:
         """The next released eviction from the schedule, or None for a free
         buffer, or False when nothing may be evicted yet."""
         sim = self.sim

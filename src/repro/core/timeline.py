@@ -51,7 +51,7 @@ class Timeline:
     )
     _sorted_count: int = field(default=-1, init=False, repr=False, compare=False)
 
-    def record(self, time: float, kind: str, block: int, disk: int = -1):
+    def record(self, time: float, kind: str, block: int, disk: int = -1) -> None:
         self.events.append((time, kind, block, disk))
         self._sorted_view = None
 
@@ -66,7 +66,7 @@ class Timeline:
     # -- derived views ---------------------------------------------------------
 
     def stall_episodes(self) -> List[StallEpisode]:
-        episodes = []
+        episodes: List[StallEpisode] = []
         open_start: Optional[Tuple[float, int]] = None
         for time, kind, block, _disk in self.events:
             if kind == STALL_START:
@@ -102,8 +102,8 @@ class Timeline:
     def busy_intervals(self, disk: int) -> List[Tuple[float, float]]:
         """(start, end) spans during which ``disk`` had a request in
         service, merged across back-to-back requests."""
-        spans = []
-        start = None
+        spans: List[Tuple[float, float]] = []
+        start: Optional[float] = None
         pending = 0
         for time, kind, _block, event_disk in self.sorted_events():
             if event_disk != disk:

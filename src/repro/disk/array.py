@@ -8,14 +8,37 @@ Traces that use raw logical block numbers are placed directly.
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+)
 
 from repro.disk.drive import DiskDrive, ServiceBreakdown
 from repro.disk.geometry import HP97560, DiskGeometry
-from repro.disk.scheduler import Request, make_queue
+from repro.disk.scheduler import Request, RequestQueue, make_queue
+
+if TYPE_CHECKING:
+    from repro.faults.schedule import FaultSchedule
 
 #: Size of a file placement group, in blocks (100 HP 97560 cylinders).
 PLACEMENT_GROUP_BLOCKS = 8550
+
+
+class DriveModel(Protocol):
+    """What the array needs from a drive: a head position for scheduling
+    and a service-time model (satisfied by :class:`DiskDrive` and
+    :class:`~repro.disk.simple.SimpleDrive`)."""
+
+    @property
+    def cylinder(self) -> int: ...
+
+    def service(self, lbn: int, start_time: float) -> ServiceBreakdown: ...
 
 
 @dataclass(frozen=True)
@@ -48,7 +71,7 @@ class Placement:
         total_blocks: int,
         group_blocks: int = PLACEMENT_GROUP_BLOCKS,
         seed: int = 0,
-    ):
+    ) -> None:
         self.total_blocks = total_blocks
         self.group_blocks = group_blocks
         self._rng = random.Random(seed)
@@ -63,7 +86,7 @@ class Placement:
             self._file_starts[file_id] = start
         return start
 
-    def place(self, block) -> int:
+    def place(self, block: Union[int, Tuple[int, int]]) -> int:
         """Return the global array block number for a trace block identity."""
         if isinstance(block, tuple):
             file_id, offset = block
@@ -96,11 +119,11 @@ class DiskArray:
     def __init__(
         self,
         num_disks: int,
-        drive_factory: Callable[[], object] = None,
+        drive_factory: Optional[Callable[[], DriveModel]] = None,
         discipline: str = "cscan",
         geometry: DiskGeometry = HP97560,
-        faults=None,
-    ):
+        faults: Optional["FaultSchedule"] = None,
+    ) -> None:
         if num_disks < 1:
             raise ValueError("need at least one disk")
         if drive_factory is None:
@@ -109,9 +132,11 @@ class DiskArray:
         self.layout = StripedLayout(num_disks)
         self.geometry = geometry
         self.faults = faults
-        self.drives = [drive_factory() for _ in range(num_disks)]
+        self.drives: List[DriveModel] = [drive_factory() for _ in range(num_disks)]
         cylinder_of = self._cylinder_of
-        self.queues = [make_queue(discipline, cylinder_of) for _ in range(num_disks)]
+        self.queues: List[RequestQueue] = [
+            make_queue(discipline, cylinder_of) for _ in range(num_disks)
+        ]
         self.in_service: List[Optional[Request]] = [None] * num_disks
         self.busy_time = [0.0] * num_disks
         self.service_time_total = 0.0
@@ -149,7 +174,9 @@ class DiskArray:
     def queue_length(self, disk: int) -> int:
         return len(self.queues[disk])
 
-    def start_next(self, disk: int, now: float):
+    def start_next(
+        self, disk: int, now: float
+    ) -> Optional[Tuple[Request, float, ServiceBreakdown]]:
         """If ``disk`` is idle and has queued work, start its next request.
 
         Returns ``(request, completion_time, breakdown)`` or ``None``.

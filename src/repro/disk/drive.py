@@ -17,6 +17,7 @@ in the paper.
 """
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.disk.geometry import HP97560, DiskGeometry
 from repro.disk.seek import SeekModel
@@ -62,9 +63,9 @@ class DiskDrive:
     def __init__(
         self,
         geometry: DiskGeometry = HP97560,
-        seek_model: SeekModel = None,
+        seek_model: Optional[SeekModel] = None,
         readahead: bool = True,
-    ):
+    ) -> None:
         self.geometry = geometry
         self.seek_model = seek_model if seek_model is not None else SeekModel()
         self.readahead = readahead
@@ -80,7 +81,7 @@ class DiskDrive:
 
     # -- cache helpers -------------------------------------------------------
 
-    def _cache_ready_time(self, lbn: int) -> float:
+    def _cache_ready_time(self, lbn: int) -> Optional[float]:
         """Return when ``lbn`` is available in the readahead cache, or None."""
         if not self.readahead or self._ra_origin < 0:
             return None

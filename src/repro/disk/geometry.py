@@ -6,7 +6,8 @@ fixed-size file-system blocks (8 KB in the paper); sector numbers address
 512-byte device sectors.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)
@@ -162,18 +163,23 @@ class ZonedGeometry(DiskGeometry):
     zoning ablation.
     """
 
-    zones: tuple = (
+    zones: Tuple[Zone, ...] = (
         Zone(500, 84),
         Zone(500, 76),
         Zone(500, 68),
         Zone(462, 60),
     )
+    # Derived in __post_init__ (via object.__setattr__; the class is frozen).
+    _zone_starts: Tuple[Tuple[int, int, Zone], ...] = field(
+        init=False, repr=False, compare=False
+    )
+    _total_blocks: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if sum(zone.cylinders for zone in self.zones) != self.cylinders:
             raise ValueError("zone cylinders must sum to the cylinder count")
-        starts = []
+        starts: List[Tuple[int, int, Zone]] = []
         block_start = 0
         cylinder_start = 0
         for zone in self.zones:
@@ -191,14 +197,14 @@ class ZonedGeometry(DiskGeometry):
     def total_blocks(self) -> int:
         return self._total_blocks
 
-    def _zone_of(self, lbn: int):
+    def _zone_of(self, lbn: int) -> Tuple[int, int, Zone]:
         self._check_block(lbn)
         for block_start, cylinder_start, zone in reversed(self._zone_starts):
             if lbn >= block_start:
                 return block_start, cylinder_start, zone
         raise AssertionError("unreachable")
 
-    def _locate(self, lbn: int):
+    def _locate(self, lbn: int) -> Tuple[Zone, int, int, int]:
         """(zone, cylinder, track-in-cylinder, sector offset in track)."""
         block_start, cylinder_start, zone = self._zone_of(lbn)
         sector = (lbn - block_start) * self.sectors_per_block

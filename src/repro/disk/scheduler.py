@@ -7,10 +7,12 @@ in the direction the platter readahead runs, which is why the paper prefers
 it to SCAN on the HP 97560.
 """
 
+from __future__ import annotations
+
 import bisect
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple, Type, Union
 
 
 @dataclass(frozen=True)
@@ -41,8 +43,8 @@ class FCFSQueue:
 
     name = "fcfs"
 
-    def __init__(self, cylinder_of: Callable[[int], int] = None):
-        self._queue = deque()
+    def __init__(self, cylinder_of: Optional[Callable[[int], int]] = None) -> None:
+        self._queue: Deque[Request] = deque()
 
     def push(self, request: Request) -> None:
         self._queue.append(request)
@@ -55,7 +57,7 @@ class FCFSQueue:
     def __len__(self) -> int:
         return len(self._queue)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Request]:
         return iter(list(self._queue))
 
 
@@ -69,10 +71,10 @@ class CSCANQueue:
 
     name = "cscan"
 
-    def __init__(self, cylinder_of: Callable[[int], int] = None):
+    def __init__(self, cylinder_of: Optional[Callable[[int], int]] = None) -> None:
         self._cylinder_of = cylinder_of if cylinder_of is not None else (lambda lbn: lbn)
-        self._keys = []  # sorted (cylinder, lbn, seq)
-        self._requests = {}  # key -> Request
+        self._keys: List[Tuple[int, int, int]] = []  # sorted (cylinder, lbn, seq)
+        self._requests: Dict[Tuple[int, int, int], Request] = {}
 
     def push(self, request: Request) -> None:
         key = (self._cylinder_of(request.lbn), request.lbn, request.seq)
@@ -92,7 +94,7 @@ class CSCANQueue:
     def __len__(self) -> int:
         return len(self._keys)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Request]:
         return iter([self._requests[key] for key in self._keys])
 
 
@@ -107,10 +109,10 @@ class SSTFQueue:
 
     name = "sstf"
 
-    def __init__(self, cylinder_of: Callable[[int], int] = None):
+    def __init__(self, cylinder_of: Optional[Callable[[int], int]] = None) -> None:
         self._cylinder_of = cylinder_of if cylinder_of is not None else (lambda lbn: lbn)
-        self._keys = []  # sorted (cylinder, seq)
-        self._requests = {}  # key -> Request
+        self._keys: List[Tuple[int, int]] = []  # sorted (cylinder, seq)
+        self._requests: Dict[Tuple[int, int], Request] = {}
 
     def push(self, request: Request) -> None:
         key = (self._cylinder_of(request.lbn), request.seq)
@@ -139,22 +141,30 @@ class SSTFQueue:
             candidate = (head_cylinder - below[0], below[1])
             if best_index is None or candidate < best:
                 best_index = below_index
+        assert best_index is not None  # keys is non-empty
         key = keys.pop(best_index)
         return self._requests.pop(key)
 
     def __len__(self) -> int:
         return len(self._keys)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Request]:
         # Arrival order, like the original list-backed queue: seq is
         # assigned monotonically at submit time.
         return iter(sorted(self._requests.values(), key=lambda r: r.seq))
 
 
-_QUEUE_TYPES = {"fcfs": FCFSQueue, "cscan": CSCANQueue, "sstf": SSTFQueue}
+#: Any of the three disciplines — they share push/pop/len/iter.
+RequestQueue = Union[FCFSQueue, CSCANQueue, SSTFQueue]
+
+_QUEUE_TYPES: Dict[str, Type[Union[FCFSQueue, CSCANQueue, SSTFQueue]]] = {
+    "fcfs": FCFSQueue, "cscan": CSCANQueue, "sstf": SSTFQueue,
+}
 
 
-def make_queue(discipline: str, cylinder_of: Callable[[int], int] = None):
+def make_queue(
+    discipline: str, cylinder_of: Optional[Callable[[int], int]] = None
+) -> RequestQueue:
     """Build a request queue for the named discipline ("fcfs" or "cscan")."""
     try:
         queue_type = _QUEUE_TYPES[discipline.lower()]

@@ -7,6 +7,8 @@ is also the disk model of the *theoretical* framework (every fetch costs F),
 which makes it useful for tests that want deterministic service times.
 """
 
+from typing import Optional
+
 from repro.disk.drive import ServiceBreakdown
 
 
@@ -19,10 +21,12 @@ class SimpleDrive:
     with none of the mechanics.
     """
 
-    def __init__(self, access_ms: float = 15.0, sequential_ms: float = None):
+    def __init__(
+        self, access_ms: float = 15.0, sequential_ms: Optional[float] = None
+    ) -> None:
         self.access_ms = access_ms
         self.sequential_ms = sequential_ms
-        self._last_lbn = None
+        self._last_lbn: Optional[int] = None
         self.requests_served = 0
         self.cache_hits = 0
 

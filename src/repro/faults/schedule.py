@@ -64,7 +64,7 @@ class UnrecoverableReadError(RuntimeError):
     layer tried before giving up.
     """
 
-    def __init__(self, block, disk: int, attempts: int):
+    def __init__(self, block: int, disk: int, attempts: int) -> None:
         super().__init__(
             f"demand fetch of block {block!r} on disk {disk} failed "
             f"{attempts} times (retries exhausted)"

@@ -1,0 +1,44 @@
+"""simlint — project-specific static analysis for the simulator.
+
+The paper's results hinge on exact, trace-driven reproducibility: PR 2
+pinned the simulator's output with SHA-256 golden digests, and this package
+keeps future changes from silently breaking that guarantee.  A small
+AST-based rule engine (stdlib :mod:`ast`, no dependencies) enforces the
+determinism and policy-contract invariants the golden tests can only catch
+after the fact, on the traces they happen to cover.
+
+Entry points:
+
+* ``repro-sim lint`` (the CLI subcommand)
+* ``python -m repro.lint``
+* :func:`repro.lint.run` for programmatic use
+
+See ``docs/LINTING.md`` for the rule catalogue and rationale.
+"""
+
+from repro.lint.engine import (
+    Baseline,
+    Finding,
+    LintModule,
+    LintReport,
+    Rule,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import ALL_RULES, all_rules
+from repro.lint.cli import add_lint_arguments, main, run_lint
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintModule",
+    "LintReport",
+    "Rule",
+    "add_lint_arguments",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "run_lint",
+]

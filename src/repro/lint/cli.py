@@ -1,0 +1,113 @@
+"""Command-line front end for simlint.
+
+Used both by ``python -m repro.lint`` and by the ``repro-sim lint``
+subcommand (``repro.cli`` reuses :func:`add_lint_arguments` and
+:func:`run_lint` so the two entry points cannot drift apart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import (
+    Baseline,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from repro.lint.rules import all_rules
+
+#: The committed baseline file, looked up relative to the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _default_paths() -> List[Path]:
+    """With no explicit paths, lint the installed ``repro`` package tree."""
+    import repro
+
+    package_file = repro.__file__
+    if package_file is None:  # pragma: no cover - namespace-package edge
+        return [Path(".")]
+    return [Path(package_file).parent]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  [{rule.severity:7s}]  {rule.summary}")
+        return 0
+    paths = list(args.paths) or _default_paths()
+    baseline_path: Optional[Path] = args.baseline
+    if baseline_path is None:
+        candidate = Path(DEFAULT_BASELINE)
+        baseline_path = candidate if candidate.exists() else None
+    select = None
+    if args.select:
+        select = {rule_id.strip().upper() for rule_id in args.select.split(",")}
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    if args.update_baseline:
+        report = lint_paths(paths, rules, baseline=None, select=select)
+        target = args.baseline or Path(DEFAULT_BASELINE)
+        Baseline.save(target, report.findings)
+        print(f"simlint: wrote {len(report.findings)} findings to {target}")
+        return 0
+    report = lint_paths(paths, rules, baseline=baseline, select=select)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim lint",
+        description="simlint: determinism & policy-contract static analysis",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,378 @@
+"""The simlint rule engine.
+
+A :class:`Rule` inspects one parsed module at a time (or, optionally, the
+whole set of modules at once for cross-module contracts) and yields
+:class:`Finding` objects.  The engine handles everything around the rules:
+file discovery, module naming, inline suppression comments, the committed
+baseline of grandfathered findings, and text/JSON reporting.
+
+Suppressions
+    A finding is suppressed by a comment on its reported line::
+
+        values = {d: 1 for d in free}  # simlint: disable=SL003
+
+    ``# simlint: disable`` with no rule list suppresses every rule on that
+    line.  Multiple rules are comma-separated.
+
+Baseline
+    ``lint-baseline.json`` (committed at the repo root) lists grandfathered
+    findings by fingerprint — ``(rule, path, message)``, deliberately
+    ignoring line numbers so unrelated edits do not invalidate entries.
+    New findings (not in the baseline) fail the run; the project policy is
+    to *fix* findings rather than baseline them, and the committed baseline
+    is empty.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Severity levels, most severe first.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: rule + path + message, line-number free."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+class LintModule:
+    """A parsed source file plus the lookups rules need."""
+
+    def __init__(self, path: str, module: str, source: str) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=path)
+        self.suppressions: Dict[int, Set[str]] = _parse_suppressions(self.lines)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule_id in rules
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    suppressions: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            suppressions[number] = {"*"}
+        else:
+            suppressions[number] = {
+                rule.strip().upper() for rule in listed.split(",") if rule.strip()
+            }
+    return suppressions
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set :attr:`id`, :attr:`severity` and :attr:`summary`, and
+    override :meth:`check` (per module) and/or :meth:`check_project`
+    (once, with every module — for cross-module contracts).
+    """
+
+    id: str = "SL000"
+    severity: str = "error"
+    summary: str = ""
+
+    def applies_to(self, module: LintModule) -> bool:
+        """Whether :meth:`check` should run on ``module`` at all."""
+        return True
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        return iter(())
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        """Yield findings that need visibility across every module."""
+        return iter(())
+
+    def finding(self, module: LintModule, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    baselined: List[Finding]
+    suppressed: int
+    stale_baseline: List[str]
+    files: int
+    parse_errors: List[Finding]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.parse_errors) else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files": self.files,
+            "findings": [f.to_dict() for f in self.all_new()],
+            "baselined": len(self.baselined),
+            "suppressed": self.suppressed,
+            "stale_baseline": list(self.stale_baseline),
+            "exit_code": self.exit_code,
+        }
+
+    def all_new(self) -> List[Finding]:
+        """Parse errors and rule findings, sorted for stable output."""
+        combined = self.parse_errors + self.findings
+        return sorted(combined, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+class Baseline:
+    """The committed set of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self.counts: Dict[str, int] = {}
+        for fingerprint in fingerprints:
+            self.counts[fingerprint] = self.counts.get(fingerprint, 0) + 1
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        entries = data.get("findings", [])
+        return cls(
+            f"{e['rule']}::{e['path']}::{e['message']}" for e in entries
+        )
+
+    @staticmethod
+    def save(path: Path, findings: Sequence[Finding]) -> None:
+        entries = [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        ]
+        payload = {"version": 1, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings into (new, grandfathered); also return stale
+        baseline fingerprints that matched nothing this run."""
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if remaining.get(fingerprint, 0) > 0:
+                remaining[fingerprint] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(
+            fingerprint
+            for fingerprint, count in remaining.items()
+            for _ in range(count)
+        )
+        return new, grandfathered, stale
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file, anchored at the ``repro`` package.
+
+    Files outside a ``repro`` package tree fall back to their stem, which
+    keeps fixture files usable in tests.
+    """
+    parts = list(path.parts)
+    name = path.stem
+    if name == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [name]
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[anchor:])
+    return name
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand directories into sorted ``.py`` file lists."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    unique: List[Path] = []
+    seen: Set[Path] = set()
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    baseline: Optional[Baseline] = None,
+    select: Optional[Set[str]] = None,
+) -> LintReport:
+    """Lint files/directories and apply the baseline. The main entry point."""
+    if select:
+        rules = [rule for rule in rules if rule.id in select]
+    modules: List[LintModule] = []
+    parse_errors: List[Finding] = []
+    files = collect_files(paths)
+    for path in files:
+        display = _display_path(path)
+        try:
+            source = path.read_text()
+            modules.append(LintModule(display, module_name_for(path), source))
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            parse_errors.append(
+                Finding(
+                    rule="SL000",
+                    severity="error",
+                    path=display,
+                    line=line,
+                    col=1,
+                    message=f"could not parse file: {error.__class__.__name__}",
+                )
+            )
+    raw, suppressed = _run_rules(modules, rules)
+    baseline = baseline or Baseline()
+    new, grandfathered, stale = baseline.partition(raw)
+    return LintReport(
+        findings=new,
+        baselined=grandfathered,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files=len(files),
+        parse_errors=parse_errors,
+    )
+
+
+def lint_source(
+    source: str,
+    module: str = "repro.core.snippet",
+    path: str = "snippet.py",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint a source string — the test-suite entry point."""
+    if rules is None:
+        from repro.lint.rules import all_rules
+
+        rules = all_rules()
+    lint_module = LintModule(path, module, source)
+    findings, _ = _run_rules([lint_module], rules)
+    return findings
+
+
+def _run_rules(
+    modules: Sequence[LintModule], rules: Sequence[Rule]
+) -> Tuple[List[Finding], int]:
+    findings: List[Finding] = []
+    suppressed = 0
+    by_path: Dict[str, LintModule] = {m.path: m for m in modules}
+    for rule in rules:
+        produced: List[Finding] = []
+        for module in modules:
+            if rule.applies_to(module):
+                produced.extend(rule.check(module))
+        produced.extend(rule.check_project(modules))
+        for finding in produced:
+            owner = by_path.get(finding.path)
+            if owner is not None and owner.is_suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report."""
+    lines = [finding.render() for finding in report.all_new()]
+    for fingerprint in report.stale_baseline:
+        lines.append(f"stale baseline entry (fix no longer needed?): {fingerprint}")
+    total = len(report.all_new())
+    noun = "finding" if total == 1 else "findings"
+    summary = (
+        f"simlint: {total} {noun} in {report.files} files"
+        f" ({len(report.baselined)} baselined, {report.suppressed} suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2)

@@ -1,7 +1,7 @@
 """Stack-based self-time profiler for the simulator's phases."""
 
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: The engine's phase vocabulary, in reporting order:
 #:
@@ -28,9 +28,11 @@ class PhaseProfiler:
     callable returning integer nanoseconds.
     """
 
-    def __init__(self, clock: Optional[Callable[[], int]] = None):
+    def __init__(self, clock: Optional[Callable[[], int]] = None) -> None:
         self._clock = clock if clock is not None else time.perf_counter_ns
-        self._stack = []  # [phase, resumed_at_ns] — top is the running phase
+        # (phase, resumed_at_ns) — top is the running phase; the top entry
+        # is replaced whenever its phase is paused or resumed.
+        self._stack: List[Tuple[str, int]] = []
         self.totals_ns: Dict[str, int] = {}
         self.counts: Dict[str, int] = {}
 
@@ -38,13 +40,12 @@ class PhaseProfiler:
         now = self._clock()
         stack = self._stack
         if stack:
-            top = stack[-1]
-            parent = top[0]
+            parent, resumed = stack[-1]
             self.totals_ns[parent] = (
-                self.totals_ns.get(parent, 0) + now - top[1]
+                self.totals_ns.get(parent, 0) + now - resumed
             )
-            top[1] = now
-        stack.append([phase, now])
+            stack[-1] = (parent, now)
+        stack.append((phase, now))
         self.counts[phase] = self.counts.get(phase, 0) + 1
 
     def stop(self) -> None:
@@ -52,7 +53,8 @@ class PhaseProfiler:
         phase, since = self._stack.pop()
         self.totals_ns[phase] = self.totals_ns.get(phase, 0) + now - since
         if self._stack:
-            self._stack[-1][1] = now
+            parent, _resumed = self._stack[-1]
+            self._stack[-1] = (parent, now)
 
     def reset(self) -> None:
         self._stack.clear()
@@ -68,15 +70,15 @@ class PhaseProfiler:
     def total_ms(self) -> float:
         return sum(self.totals_ns.values()) / 1e6
 
-    def _ordered_phases(self):
+    def _ordered_phases(self) -> List[str]:
         known = [p for p in PHASES if p in self.totals_ns]
         extra = sorted(p for p in self.totals_ns if p not in PHASES)
         return known + extra
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         """JSON-ready summary: per-phase self-time ms, call counts, shares."""
         total = self.total_ms
-        phases = {}
+        phases: Dict[str, Dict[str, object]] = {}
         for phase in self._ordered_phases():
             ms = self.ms(phase)
             phases[phase] = {

@@ -6,6 +6,14 @@ and it delegates every call unchanged — the wrapped policy cannot tell it
 is being observed, which is what keeps profiled runs bit-identical.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:
+    from repro.core.policy import PrefetchPolicy, SimulatorLike, Victim
+    from repro.perf.profiler import PhaseProfiler
+
 
 class ProfiledPolicy:
     """Wraps a :class:`PrefetchPolicy`, timing its consultations.
@@ -15,20 +23,20 @@ class ProfiledPolicy:
     policy calls on itself) passes straight through via delegation.
     """
 
-    def __init__(self, policy, profiler):
+    def __init__(self, policy: PrefetchPolicy, profiler: PhaseProfiler) -> None:
         self._policy = policy
         self._profiler = profiler
 
     @property
-    def name(self):
+    def name(self) -> str:
         return self._policy.name
 
-    def bind(self, sim) -> None:
+    def bind(self, sim: SimulatorLike) -> None:
         self._policy.bind(sim)
 
     # -- timed decision points --------------------------------------------------
 
-    def before_reference(self, cursor, now) -> None:
+    def before_reference(self, cursor: int, now: float) -> None:
         profiler = self._profiler
         profiler.start("policy")
         try:
@@ -36,7 +44,7 @@ class ProfiledPolicy:
         finally:
             profiler.stop()
 
-    def on_disk_idle(self, disk, now) -> None:
+    def on_disk_idle(self, disk: int, now: float) -> None:
         profiler = self._profiler
         profiler.start("policy")
         try:
@@ -44,7 +52,7 @@ class ProfiledPolicy:
         finally:
             profiler.stop()
 
-    def on_miss(self, cursor, now) -> None:
+    def on_miss(self, cursor: int, now: float) -> None:
         profiler = self._profiler
         profiler.start("policy")
         try:
@@ -52,7 +60,7 @@ class ProfiledPolicy:
         finally:
             profiler.stop()
 
-    def choose_victim(self, cursor, exclude=()):
+    def choose_victim(self, cursor: int, exclude: Iterable[int] = ()) -> Victim:
         profiler = self._profiler
         profiler.start("policy")
         try:
@@ -62,7 +70,7 @@ class ProfiledPolicy:
 
     # -- timed observation hooks ------------------------------------------------
 
-    def on_fetch_complete(self, disk, service_ms) -> None:
+    def on_fetch_complete(self, disk: int, service_ms: float) -> None:
         profiler = self._profiler
         profiler.start("policy")
         try:
@@ -70,7 +78,7 @@ class ProfiledPolicy:
         finally:
             profiler.stop()
 
-    def on_reference_served(self, cursor, compute_ms) -> None:
+    def on_reference_served(self, cursor: int, compute_ms: float) -> None:
         profiler = self._profiler
         profiler.start("policy")
         try:
@@ -78,7 +86,7 @@ class ProfiledPolicy:
         finally:
             profiler.stop()
 
-    def on_evict(self, block, next_use) -> None:
+    def on_evict(self, block: int, next_use: float) -> None:
         profiler = self._profiler
         profiler.start("policy")
         try:
@@ -88,5 +96,5 @@ class ProfiledPolicy:
 
     # -- transparent delegation -------------------------------------------------
 
-    def __getattr__(self, attribute):
+    def __getattr__(self, attribute: str) -> Any:
         return getattr(self._policy, attribute)

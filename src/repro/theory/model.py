@@ -10,9 +10,10 @@ run it on the reversed sequence and read the event log backwards.
 """
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Collection, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.nextref import INFINITE, EvictionHeap, NextRefIndex
+from repro.core.policy import Victim
 
 
 @dataclass(frozen=True)
@@ -44,8 +45,14 @@ class _ModelState:
     """Shared plumbing for theoretical-model policies."""
 
     def __init__(
-        self, blocks, cache_blocks, fetch_time, num_disks, disk_of, initial_cache=()
-    ):
+        self,
+        blocks: Sequence[int],
+        cache_blocks: int,
+        fetch_time: float,
+        num_disks: int,
+        disk_of: Callable[[int], int],
+        initial_cache: Collection[int] = (),
+    ) -> None:
         if cache_blocks < 1:
             raise ValueError("cache must hold at least one block")
         if len(set(initial_cache)) > cache_blocks:
@@ -62,7 +69,7 @@ class _ModelState:
         for block in self.cache:
             self.heap.push(block, 0)
         self.busy_until = [0.0] * num_disks
-        self.pending: List[List] = [[] for _ in range(num_disks)]
+        self.pending: List[List[int]] = [[] for _ in range(num_disks)]
         self.events: List[ModelEvent] = []
         self.time = 0.0
         self.cursor = 0
@@ -75,12 +82,14 @@ class _ModelState:
     def occupied(self) -> int:
         return len(self.cache) + len(self.in_flight)
 
-    def present_or_coming(self, block) -> bool:
+    def present_or_coming(self, block: int) -> bool:
         return block in self.cache or block in self.in_flight
 
     # -- fetch mechanics ---------------------------------------------------------
 
-    def issue(self, block, victim, target_position) -> None:
+    def issue(
+        self, block: int, victim: Optional[int], target_position: int
+    ) -> None:
         disk = self.disk_of(block)
         if victim is not None:
             self.cache.discard(victim)
@@ -110,7 +119,7 @@ class _ModelState:
             self.cache.add(block)
             self.heap.push(block, self.cursor)
 
-    def choose_victim(self, fetch_position):
+    def choose_victim(self, fetch_position: int) -> Victim:
         """Optimal replacement with do-no-harm against ``fetch_position``.
 
         Returns None for a free buffer, a block, or False when disallowed.
@@ -125,7 +134,7 @@ class _ModelState:
             return False
         return victim
 
-    def missing_positions(self, end):
+    def missing_positions(self, end: int) -> Iterator[int]:
         blocks = self.blocks
         end = min(end, len(blocks))
         for position in range(max(self.cursor, self._scan_floor), end):
@@ -173,13 +182,13 @@ class _ModelState:
 
 
 def run_aggressive_model(
-    blocks,
+    blocks: Sequence[int],
     cache_blocks: int,
     fetch_time: float,
     num_disks: int,
-    disk_of,
+    disk_of: Callable[[int], int],
     batch_size: int = 1,
-    initial_cache=(),
+    initial_cache: Collection[int] = (),
 ) -> ModelRun:
     """Aggressive in the theoretical model, with batched issue.
 
@@ -198,7 +207,7 @@ def run_aggressive_model(
         }
         if not budgets:
             return
-        new_floor = None
+        new_floor: Optional[int] = None
         for position in state.missing_positions(len(state.blocks)):
             block = state.blocks[position]
             disk = disk_of(block)
@@ -226,13 +235,13 @@ def run_aggressive_model(
 
 
 def run_fixed_horizon_model(
-    blocks,
+    blocks: Sequence[int],
     cache_blocks: int,
     fetch_time: float,
     num_disks: int,
-    disk_of,
+    disk_of: Callable[[int], int],
     horizon: int,
-    initial_cache=(),
+    initial_cache: Collection[int] = (),
 ) -> ModelRun:
     """Fixed horizon in the theoretical model (H references lookahead)."""
     state = _ModelState(
@@ -241,9 +250,10 @@ def run_fixed_horizon_model(
 
     def fill() -> None:
         boundary = state.cursor + horizon
-        stop = None
+        stop: Optional[int] = None
         for position in state.missing_positions(boundary):
             block = state.blocks[position]
+            victim: Optional[int]
             if state.occupied < state.cache_blocks:
                 victim = None
             else:
@@ -263,7 +273,12 @@ def run_fixed_horizon_model(
 
 
 def run_demand_model(
-    blocks, cache_blocks: int, fetch_time: float, num_disks: int, disk_of, initial_cache=()
+    blocks: Sequence[int],
+    cache_blocks: int,
+    fetch_time: float,
+    num_disks: int,
+    disk_of: Callable[[int], int],
+    initial_cache: Collection[int] = (),
 ) -> ModelRun:
     """Demand fetching with Belady replacement in the theoretical model."""
     state = _ModelState(
@@ -273,13 +288,13 @@ def run_demand_model(
 
 
 def run_reverse_aggressive_model(
-    blocks,
+    blocks: Sequence[int],
     cache_blocks: int,
     fetch_time: float,
     num_disks: int,
-    disk_of,
+    disk_of: Callable[[int], int],
     batch_size: int = 1,
-    initial_cache=(),
+    initial_cache: Collection[int] = (),
 ) -> ModelRun:
     """Reverse aggressive executed entirely inside the theoretical model.
 
@@ -289,14 +304,14 @@ def run_reverse_aggressive_model(
     so Theorem 2's bound (elapsed <= (1 + F d / K) x optimal) can be checked
     against the brute-force optimum on tiny instances.
     """
-    blocks = list(blocks)
-    n = len(blocks)
+    block_list = list(blocks)
+    n = len(block_list)
     # Boundary condition: the reverse execution must END holding the
     # forward run's initial cache.  Appending those blocks to the reversed
     # sequence (virtual references at forward time -1) forces the greedy
     # reverse pass to have them resident when it finishes; events targeting
     # the virtual tail release at forward index 0.
-    reverse_sequence = blocks[::-1] + list(initial_cache)
+    reverse_sequence = block_list[::-1] + list(initial_cache)
     reverse_run = run_aggressive_model(
         reverse_sequence, cache_blocks, fetch_time, num_disks, disk_of,
         batch_size=batch_size,
@@ -308,11 +323,11 @@ def run_reverse_aggressive_model(
     )
 
     state = _ModelState(
-        blocks, cache_blocks, fetch_time, num_disks, disk_of, initial_cache
+        block_list, cache_blocks, fetch_time, num_disks, disk_of, initial_cache
     )
     eviction_pos = [0]
 
-    def scheduled_victim(fetch_position):
+    def scheduled_victim(fetch_position: int) -> Victim:
         if state.occupied < state.cache_blocks:
             return None
         position = eviction_pos[0]
@@ -343,7 +358,7 @@ def run_reverse_aggressive_model(
         }
         if not budgets:
             return
-        new_floor = None
+        new_floor: Optional[int] = None
         for position in state.missing_positions(len(state.blocks)):
             block = state.blocks[position]
             disk = disk_of(block)

@@ -17,16 +17,36 @@ every dimension; keep instances tiny (n ≲ 10).
 
 from collections import deque
 from itertools import product
+from typing import (
+    Callable,
+    Collection,
+    Deque,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+#: One outstanding fetch: (disk, block, remaining time units).
+_InFlight = Tuple[int, int, int]
+#: Search state: (cursor, cache contents, in-flight fetches).
+_State = Tuple[int, FrozenSet[int], Tuple[_InFlight, ...]]
+#: One fetch decision: (disk, block, victim-or-None).
+_Action = Tuple[int, int, Optional[int]]
 
 
 def optimal_elapsed(
-    blocks,
+    blocks: Sequence[int],
     cache_blocks: int,
     fetch_time: int,
     num_disks: int,
-    disk_of,
+    disk_of: Callable[[int], int],
     state_limit: int = 2_000_000,
-    initial_cache=(),
+    initial_cache: Collection[int] = (),
 ) -> int:
     """Minimum elapsed time to serve ``blocks`` in the theoretical model."""
     if fetch_time != int(fetch_time) or fetch_time < 1:
@@ -38,23 +58,23 @@ def optimal_elapsed(
         return 0
     universe = sorted(set(blocks), key=str)
 
-    def next_use(block, cursor: int) -> int:
+    def next_use(block: int, cursor: int) -> int:
         for position in range(cursor, n):
             if blocks[position] == block:
                 return position
         return n + 1  # effectively infinite
 
-    def successors(state):
+    def successors(state: _State) -> Iterator[_State]:
         cursor, cache, inflight = state
         busy = {disk for disk, _b, _r in inflight}
         coming = {block for _d, block, _r in inflight}
         occupancy = len(cache) + len(inflight)
 
-        menus = []
+        menus: List[List[Optional[_Action]]] = []
         for disk in range(num_disks):
             if disk in busy:
                 continue
-            menu = [None]
+            menu: List[Optional[_Action]] = [None]
             missing = [
                 b
                 for b in universe
@@ -70,7 +90,10 @@ def optimal_elapsed(
                     menu.append((disk, block, victim))
             menus.append(menu)
 
-        for actions in product(*menus) if menus else [()]:
+        action_sets: Iterable[Tuple[Optional[_Action], ...]] = (
+            product(*menus) if menus else [()]
+        )
+        for actions in action_sets:
             chosen = [a for a in actions if a is not None]
             fetch_targets = [a[1] for a in chosen]
             victims = [a[2] for a in chosen if a[2] is not None]
@@ -96,8 +119,8 @@ def optimal_elapsed(
                 (disk, block, fetch_time) for disk, block, _v in chosen
             ]
             new_cursor = cursor + 1 if blocks[cursor] in new_cache else cursor
-            advanced = []
-            arrived = set()
+            advanced: List[_InFlight] = []
+            arrived: Set[int] = set()
             for disk, block, remaining in new_inflight:
                 if remaining - 1 <= 0:
                     arrived.add(block)
@@ -109,13 +132,13 @@ def optimal_elapsed(
                 tuple(sorted(advanced, key=str)),
             )
 
-    start = (0, frozenset(initial_cache), ())
+    start: _State = (0, frozenset(initial_cache), ())
     seen = {start}
-    frontier = deque([start])
+    frontier: Deque[_State] = deque([start])
     elapsed = 0
     while frontier:
         elapsed += 1
-        next_frontier = deque()
+        next_frontier: Deque[_State] = deque()
         while frontier:
             state = frontier.popleft()
             for child in successors(state):

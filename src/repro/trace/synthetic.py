@@ -8,13 +8,13 @@ slices, and the compute-gap distributions layered on top.
 """
 
 import random
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 
 class BlockSpace:
     """Allocates contiguous block-id ranges, one per file."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._next_block = 0
         self._next_file = 0
         self.files: Dict[int, Tuple[int, int]] = {}
@@ -53,7 +53,7 @@ def interleave_rounds(streams: Sequence[Iterable[int]]) -> List[int]:
     refs: List[int] = []
     live = list(iterators)
     while live:
-        still = []
+        still: List[Iterator[int]] = []
         for iterator in live:
             try:
                 refs.append(next(iterator))

@@ -69,7 +69,7 @@ class Trace:
             return 0.0
         return sum(self.compute_ms) / len(self.blocks)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, object]:
         """The Table 3 row for this trace."""
         return {
             "trace": self.name,

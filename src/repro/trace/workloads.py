@@ -13,7 +13,7 @@ randomness.
 """
 
 import random
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.trace.synthetic import (
     BlockSpace,
@@ -65,7 +65,7 @@ def cache_blocks_for(trace_name: str, scale: float = 1.0) -> int:
     return max(16, int(base * scale))
 
 
-def _targets(name: str, scale: float):
+def _targets(name: str, scale: float) -> Tuple[int, int, float]:
     reads, distinct, _compute_s = TABLE3[name]
     compute_s = COMPUTE_AS_SIMULATED[name]
     return (
@@ -75,7 +75,16 @@ def _targets(name: str, scale: float):
     )
 
 
-def _finish(name, refs, reads, compute_s, gap_builder, files, rng, description):
+def _finish(
+    name: str,
+    refs: List[int],
+    reads: int,
+    compute_s: float,
+    gap_builder: Callable[[int], List[float]],
+    files: Optional[Dict[int, Tuple[int, int]]],
+    rng: random.Random,
+    description: str,
+) -> Trace:
     refs = fit_length(refs, reads, rng)
     gaps = gap_builder(reads)
     trace = Trace(
@@ -88,7 +97,9 @@ def _finish(name, refs, reads, compute_s, gap_builder, files, rng, description):
     return trace.rescale_compute(compute_s)
 
 
-def _split_file_sizes(total_blocks: int, num_files: int, rng) -> List[int]:
+def _split_file_sizes(
+    total_blocks: int, num_files: int, rng: random.Random
+) -> List[int]:
     """Uneven file sizes summing to ``total_blocks`` (log-uniform-ish)."""
     num_files = min(num_files, total_blocks)
     weights = [rng.uniform(0.5, 2.0) ** 2 for _ in range(num_files)]
@@ -133,6 +144,7 @@ def _cscope(name: str, scale: float, seed: int, bursty: bool = False) -> Trace:
         one_query.extend(blocks)
     queries = reads / len(one_query)
     refs = sequential_passes(one_query, queries)
+    gap_builder: Callable[[int], List[float]]
     if bursty:
         gap_builder = lambda n: bursty_gaps(n, 1.0, 7.0, 40, rng)
     else:
@@ -166,7 +178,7 @@ def glimpse(scale: float = 1.0, seed: int = 5) -> Trace:
     index = space.new_file(index_size)
     data_total = distinct - index_size
     searches = 4
-    partitions = []
+    partitions: List[List[int]] = []
     base = data_total // searches
     for i in range(searches):
         size = base if i < searches - 1 else data_total - base * (searches - 1)
@@ -378,7 +390,7 @@ WORKLOADS: Dict[str, Callable[..., Trace]] = {
 }
 
 
-def build(name: str, scale: float = 1.0, seed: int = None) -> Trace:
+def build(name: str, scale: float = 1.0, seed: Optional[int] = None) -> Trace:
     """Build a workload by name."""
     try:
         builder = WORKLOADS[name]

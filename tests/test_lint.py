@@ -1,0 +1,642 @@
+"""simlint rule-engine tests: per-rule fixtures, suppressions, baseline,
+and the JSON report schema."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, Finding, lint_paths, lint_source
+from repro.lint.engine import render_json, render_text
+from repro.lint.rules import all_rules
+
+
+def rules_hit(source, module="repro.core.snippet", select=None):
+    """Rule ids triggered by a source snippet, as a set."""
+    source = textwrap.dedent(source)
+    findings = lint_source(source, module=module)
+    hits = {f.rule for f in findings}
+    if select is not None:
+        hits &= {select}
+    return hits
+
+
+# -- SL001: unseeded/global random ------------------------------------------------------
+
+
+class TestUnseededRandom:
+    def test_global_call_flagged(self):
+        src = """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+        assert rules_hit(src) == {"SL001"}
+
+    def test_aliased_import_flagged(self):
+        src = """
+        import random as rnd
+
+        def pick(items):
+            return rnd.choice(items)
+        """
+        assert rules_hit(src) == {"SL001"}
+
+    def test_from_import_flagged(self):
+        src = """
+        from random import shuffle
+        """
+        assert rules_hit(src) == {"SL001"}
+
+    def test_unseeded_random_instance_flagged(self):
+        src = """
+        import random
+
+        rng = random.Random()
+        """
+        assert rules_hit(src) == {"SL001"}
+
+    def test_system_random_flagged(self):
+        src = """
+        import random
+
+        rng = random.SystemRandom()
+        """
+        assert rules_hit(src) == {"SL001"}
+
+    def test_seeded_random_instance_clean(self):
+        src = """
+        import random
+
+        def build(seed: int):
+            rng = random.Random(seed)
+            return rng.random()
+        """
+        assert rules_hit(src) == set()
+
+    def test_annotation_use_clean(self):
+        src = """
+        import random
+
+        def scan(rng: random.Random) -> float:
+            return rng.random()
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL002: wall-clock reads ------------------------------------------------------------
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        src = """
+        import time
+
+        def now_ms():
+            return time.time() * 1000.0
+        """
+        assert rules_hit(src) == {"SL002"}
+
+    def test_perf_counter_flagged(self):
+        src = """
+        import time
+
+        start = time.perf_counter()
+        """
+        assert rules_hit(src) == {"SL002"}
+
+    def test_datetime_now_flagged(self):
+        src = """
+        import datetime
+
+        stamp = datetime.datetime.now()
+        """
+        assert rules_hit(src) == {"SL002"}
+
+    def test_from_time_import_flagged(self):
+        src = """
+        from time import perf_counter_ns
+        """
+        assert rules_hit(src) == {"SL002"}
+
+    def test_repro_perf_exempt(self):
+        src = """
+        import time
+
+        start = time.perf_counter_ns()
+        """
+        assert rules_hit(src, module="repro.perf.profiler") == set()
+
+    def test_sleep_clean(self):
+        src = """
+        import time
+
+        def pause():
+            time.sleep(0.1)
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL003: unsorted set iteration in core/disk -----------------------------------------
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal_flagged(self):
+        src = """
+        def scan():
+            for disk in {2, 0, 1}:
+                print(disk)
+        """
+        assert "SL003" in rules_hit(src)
+
+    def test_for_over_set_call_flagged(self):
+        src = """
+        def scan(items):
+            for item in set(items):
+                print(item)
+        """
+        assert "SL003" in rules_hit(src)
+
+    def test_dict_comp_over_set_local_flagged(self):
+        src = """
+        def budgets(size):
+            free = {d for d in range(4) if d % 2}
+            return {d: size for d in free}
+        """
+        assert "SL003" in rules_hit(src)
+
+    def test_set_returning_method_flagged(self):
+        src = """
+        class Policy:
+            def _free_disks(self):
+                return {d for d in range(4)}
+
+            def fill(self):
+                for disk in self._free_disks():
+                    print(disk)
+        """
+        assert "SL003" in rules_hit(src)
+
+    def test_dict_keys_flagged(self):
+        src = """
+        def walk(table):
+            for key in table.keys():
+                print(key)
+        """
+        assert "SL003" in rules_hit(src)
+
+    def test_known_set_attribute_flagged(self):
+        src = """
+        def walk(cache):
+            return [b for b in cache.resident]
+        """
+        assert "SL003" in rules_hit(src)
+
+    def test_sorted_iteration_clean(self):
+        src = """
+        def scan(items):
+            for item in sorted(set(items)):
+                print(item)
+        """
+        assert rules_hit(src) == set()
+
+    def test_order_free_reduction_clean(self):
+        src = """
+        def low(cache, protected):
+            return min(b for b in cache.resident if b not in protected)
+        """
+        assert rules_hit(src) == set()
+
+    def test_outside_core_disk_not_checked(self):
+        src = """
+        def scan(items):
+            for item in set(items):
+                print(item)
+        """
+        assert rules_hit(src, module="repro.analysis.snippet") == set()
+
+    def test_list_over_set_still_flagged(self):
+        src = """
+        def scan(items):
+            for item in list(set(items)):
+                print(item)
+        """
+        assert "SL003" in rules_hit(src)
+
+
+# -- SL004: float equality on simulated time --------------------------------------------
+
+
+class TestTimeEquality:
+    def test_time_equality_flagged(self):
+        src = """
+        def check(service_ms, expected_ms):
+            return service_ms == expected_ms
+        """
+        assert "SL004" in rules_hit(src)
+
+    def test_attribute_time_flagged(self):
+        src = """
+        def stalled(episode):
+            return episode.start_ms != episode.end_ms
+        """
+        assert "SL004" in rules_hit(src)
+
+    def test_ordering_clean(self):
+        src = """
+        def positive(compute_ms):
+            return compute_ms > 0
+        """
+        assert rules_hit(src) == set()
+
+    def test_non_time_name_clean(self):
+        src = """
+        def same(speedup, factor):
+            return speedup == factor
+        """
+        assert rules_hit(src) == set()
+
+    def test_integrality_check_clean(self):
+        src = """
+        def integral(fetch_time):
+            return fetch_time != int(fetch_time)
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL005: list head operations --------------------------------------------------------
+
+
+class TestListHead:
+    def test_pop_zero_flagged(self):
+        src = """
+        def drain(queue):
+            return queue.pop(0)
+        """
+        assert rules_hit(src) == {"SL005"}
+
+    def test_insert_zero_flagged(self):
+        src = """
+        def push(queue, item):
+            queue.insert(0, item)
+        """
+        assert rules_hit(src) == {"SL005"}
+
+    def test_pop_last_clean(self):
+        src = """
+        def drain(queue):
+            return queue.pop()
+        """
+        assert rules_hit(src) == set()
+
+    def test_insert_middle_clean(self):
+        src = """
+        def place(queue, index, item):
+            queue.insert(index, item)
+        """
+        assert rules_hit(src) == set()
+
+    def test_outside_hot_paths_not_checked(self):
+        src = """
+        def drain(queue):
+            return queue.pop(0)
+        """
+        assert rules_hit(src, module="repro.analysis.snippet") == set()
+
+
+# -- SL006: policy contract -------------------------------------------------------------
+
+
+class TestPolicyContract:
+    def test_unknown_hook_flagged(self):
+        src = """
+        from repro.core.policy import PrefetchPolicy
+
+        class Typo(PrefetchPolicy):
+            def on_disk_ready(self, disk, now):
+                pass
+        """
+        assert "SL006" in rules_hit(src)
+
+    def test_wrong_arity_flagged(self):
+        src = """
+        from repro.core.policy import PrefetchPolicy
+
+        class Wrong(PrefetchPolicy):
+            def on_miss(self, cursor):
+                pass
+        """
+        assert "SL006" in rules_hit(src)
+
+    def test_trace_mutation_flagged(self):
+        src = """
+        from repro.core.policy import PrefetchPolicy
+
+        class Mutator(PrefetchPolicy):
+            def before_reference(self, cursor, now):
+                self.sim.blocks.append(0)
+        """
+        assert "SL006" in rules_hit(src)
+
+    def test_trace_item_assignment_flagged(self):
+        src = """
+        from repro.core.policy import PrefetchPolicy
+
+        class Mutator(PrefetchPolicy):
+            def before_reference(self, cursor, now):
+                self.sim.compute_ms[cursor] = 0.0
+        """
+        assert "SL006" in rules_hit(src)
+
+    def test_conforming_policy_clean(self):
+        src = """
+        from repro.core.policy import PrefetchPolicy
+
+        class Fine(PrefetchPolicy):
+            def before_reference(self, cursor, now):
+                head = self.sim.compute_ms[:10]
+                return sum(head)
+
+            def on_disk_idle(self, disk, now):
+                pass
+        """
+        assert rules_hit(src) == set()
+
+    def test_registry_checked_across_modules(self):
+        registry = textwrap.dedent(
+            """
+            from nowhere import NotAPolicy
+
+            POLICIES = {
+                "bogus": NotAPolicy,
+            }
+            """
+        )
+        findings = lint_source(
+            registry, module="repro.core", path="core/__init__.py"
+        )
+        assert {f.rule for f in findings} == {"SL006"}
+        assert "bogus" in findings[0].message
+
+
+# -- SL007: mutable defaults ------------------------------------------------------------
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        src = """
+        def record(value, seen=[]):
+            seen.append(value)
+            return seen
+        """
+        assert rules_hit(src) == {"SL007"}
+
+    def test_dict_call_default_flagged(self):
+        src = """
+        def config(options=dict()):
+            return options
+        """
+        assert rules_hit(src) == {"SL007"}
+
+    def test_kwonly_set_default_flagged(self):
+        src = """
+        def gather(*, acc={1}):
+            return acc
+        """
+        assert rules_hit(src) == {"SL007"}
+
+    def test_none_default_clean(self):
+        src = """
+        def record(value, seen=None):
+            if seen is None:
+                seen = []
+            seen.append(value)
+            return seen
+        """
+        assert rules_hit(src) == set()
+
+    def test_tuple_default_clean(self):
+        src = """
+        def choose(cursor, exclude=()):
+            return exclude
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL008: bare except -----------------------------------------------------------------
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        src = """
+        def fetch(disk):
+            try:
+                disk.read()
+            except:
+                pass
+        """
+        assert rules_hit(src) == {"SL008"}
+
+    def test_base_exception_flagged(self):
+        src = """
+        def fetch(disk):
+            try:
+                disk.read()
+            except BaseException:
+                pass
+        """
+        assert rules_hit(src) == {"SL008"}
+
+    def test_specific_exception_clean(self):
+        src = """
+        def fetch(disk):
+            try:
+                disk.read()
+            except KeyError:
+                return None
+        """
+        assert rules_hit(src) == set()
+
+
+# -- suppression comments ---------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_targeted_suppression(self):
+        src = """
+        def drain(queue):
+            return queue.pop(0)  # simlint: disable=SL005
+        """
+        assert rules_hit(src) == set()
+
+    def test_blanket_suppression(self):
+        src = """
+        def drain(queue):
+            return queue.pop(0)  # simlint: disable
+        """
+        assert rules_hit(src) == set()
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = """
+        def drain(queue):
+            return queue.pop(0)  # simlint: disable=SL001
+        """
+        assert rules_hit(src) == {"SL005"}
+
+    def test_suppression_is_line_scoped(self):
+        src = """
+        def drain(queue):
+            queue.pop(0)  # simlint: disable=SL005
+            return queue.pop(0)
+        """
+        assert rules_hit(src) == {"SL005"}
+
+
+# -- baseline ---------------------------------------------------------------------------
+
+
+def _finding(message="m", rule="SL005", path="a.py", line=3):
+    return Finding(
+        rule=rule, severity="warning", path=path, line=line, col=1, message=message
+    )
+
+
+class TestBaseline:
+    def test_round_trip_and_partition(self, tmp_path):
+        grandfathered = _finding("old finding")
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, [grandfathered])
+        baseline = Baseline.load(path)
+        # Same finding on a different line still matches (line-number free).
+        moved = _finding("old finding", line=99)
+        fresh = _finding("new finding")
+        new, matched, stale = baseline.partition([moved, fresh])
+        assert new == [fresh]
+        assert matched == [moved]
+        assert stale == []
+
+    def test_stale_entries_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, [_finding("fixed since")])
+        baseline = Baseline.load(path)
+        new, matched, stale = baseline.partition([])
+        assert new == [] and matched == []
+        assert len(stale) == 1 and "fixed since" in stale[0]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_duplicate_findings_need_duplicate_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, [_finding("dup")])
+        baseline = Baseline.load(path)
+        new, matched, _ = baseline.partition([_finding("dup"), _finding("dup")])
+        assert len(matched) == 1 and len(new) == 1
+
+
+# -- end-to-end over files + JSON schema ------------------------------------------------
+
+
+BAD_SOURCE = textwrap.dedent(
+    """
+    import random
+
+    def jitter(queue):
+        queue.pop(0)
+        return random.random()
+    """
+)
+
+
+class TestLintPaths:
+    def _write_package(self, tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        target = package / "bad.py"
+        target.write_text(BAD_SOURCE)
+        return target
+
+    def test_exit_code_and_findings(self, tmp_path):
+        target = self._write_package(tmp_path)
+        report = lint_paths([target], all_rules())
+        assert report.exit_code == 1
+        assert {f.rule for f in report.findings} == {"SL001", "SL005"}
+
+    def test_baseline_silences_known_findings(self, tmp_path):
+        target = self._write_package(tmp_path)
+        first = lint_paths([target], all_rules())
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.save(baseline_path, first.findings)
+        second = lint_paths(
+            [target], all_rules(), baseline=Baseline.load(baseline_path)
+        )
+        assert second.exit_code == 0
+        assert second.findings == []
+        assert len(second.baselined) == 2
+
+    def test_directory_discovery(self, tmp_path):
+        self._write_package(tmp_path)
+        report = lint_paths([tmp_path], all_rules())
+        assert report.files == 3  # two __init__.py + bad.py
+        assert report.exit_code == 1
+
+    def test_json_schema(self, tmp_path):
+        target = self._write_package(tmp_path)
+        report = lint_paths([target], all_rules())
+        payload = json.loads(render_json(report))
+        assert payload["version"] == 1
+        assert payload["files"] == 1
+        assert payload["exit_code"] == 1
+        assert payload["baselined"] == 0
+        assert payload["suppressed"] == 0
+        assert payload["stale_baseline"] == []
+        for entry in payload["findings"]:
+            assert set(entry) == {
+                "rule", "severity", "path", "line", "col", "message"
+            }
+            assert isinstance(entry["line"], int)
+            assert entry["severity"] in ("error", "warning")
+
+    def test_text_render_mentions_rule_and_location(self, tmp_path):
+        target = self._write_package(tmp_path)
+        report = lint_paths([target], all_rules())
+        text = render_text(report)
+        assert "SL001" in text and "SL005" in text
+        assert "bad.py" in text
+        assert "2 findings" in text
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        report = lint_paths([broken], all_rules())
+        assert report.exit_code == 1
+        assert report.parse_errors and report.parse_errors[0].rule == "SL000"
+
+
+# -- the repo itself must be clean ------------------------------------------------------
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_findings(self):
+        package = Path(__file__).resolve().parent.parent / "src" / "repro"
+        report = lint_paths([package], all_rules())
+        assert report.exit_code == 0, render_text(report)
+        assert report.findings == []
+
+    def test_module_entry_point(self):
+        package = Path(__file__).resolve().parent.parent / "src" / "repro"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(package), "--format", "json"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["findings"] == []
