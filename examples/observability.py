@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Looking inside a run: stall episodes and disk activity.
+"""Looking inside a run: stall episodes, disk activity, and attribution.
 
-The paper's tables compress each run to six numbers.  With
-``record_timeline=True`` the engine keeps the time axis, so you can see
-*why* a configuration stalls: how many episodes, how long, on which
-blocks, and how evenly the fetch load spread across the array.
+The paper's tables compress each run to six numbers.  Two tools recover
+the time axis:
+
+* ``record_timeline=True`` keeps raw stall/fetch events on the engine;
+* a ``repro.obs.Observer`` adds typed events, metrics, and an *exact*
+  decomposition of stall time into causes, plus Perfetto export
+  (see docs/OBSERVABILITY.md).
 
 Run:  python examples/observability.py [trace-name] [num-disks]
 """
@@ -12,7 +15,9 @@ Run:  python examples/observability.py [trace-name] [num-disks]
 import sys
 
 import repro
+from repro.analysis.tables import format_stall_table
 from repro.core import SimConfig, Simulator, make_policy
+from repro.obs import Observer, write_chrome_trace
 from repro.trace import cache_blocks_for
 
 
@@ -60,6 +65,26 @@ def main() -> None:
     print("Forestall's episodes should be fewer and shorter: it starts")
     print("fetching exactly when the i*F' > d_i test proves a stall is")
     print("otherwise inevitable.")
+
+    # -- the observer: why did it stall, not just how long ------------------
+    observer = Observer()
+    sim = Simulator(
+        trace, make_policy("forestall", horizon=31), num_disks,
+        SimConfig(cache_blocks=cache_blocks_for(trace_name, 0.5)),
+        observer=observer,
+    )
+    result = sim.run()
+    print()
+    print("forestall with an Observer attached (result is bit-identical):")
+    print(format_stall_table(result))
+    worst = observer.worst_stalls(1)
+    if worst:
+        episode = worst[0]
+        print(f"  worst stall: block {episode.block} for "
+              f"{episode.duration_ms:.1f} ms — cause: {episode.cause}")
+    out_path = f"{trace_name}.trace.json"
+    write_chrome_trace(observer, out_path)
+    print(f"  timeline written to {out_path} — open at https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,10 @@ Quickstart::
     print(result)
 """
 
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.obs import Observer
 
 from repro.core import (
     CostBenefitAllocator,
@@ -57,6 +60,7 @@ def run_simulation(
     config: Optional[SimConfig] = None,
     hint_quality: Optional[HintQuality] = None,
     faults: Optional[FaultSchedule] = None,
+    observer: Optional["Observer"] = None,
     **policy_kwargs: object,
 ) -> SimulationResult:
     """Simulate ``trace`` under ``policy`` on a ``num_disks`` array.
@@ -67,8 +71,11 @@ def run_simulation(
     degrades the hints the policy sees (missing/wrong fractions) while the
     application still follows the true reference stream.  ``faults``
     injects hardware faults (transient read errors, fail-slow spindles,
-    disk death — see :class:`FaultSchedule` and ``docs/FAULTS.md``).  Any
-    extra keyword arguments are forwarded to the policy constructor.
+    disk death — see :class:`FaultSchedule` and ``docs/FAULTS.md``).
+    ``observer`` (a :class:`repro.obs.Observer`) records the event trace,
+    metrics, and stall attribution without perturbing the result (see
+    ``docs/OBSERVABILITY.md``).  Any extra keyword arguments are forwarded
+    to the policy constructor.
     """
     if config is None:
         config = SimConfig()
@@ -85,7 +92,7 @@ def run_simulation(
         hints = degrade_hints(trace, hint_quality)
     policy_instance = make_policy(policy, **policy_kwargs)
     simulator = Simulator(trace, policy_instance, num_disks, config,
-                          hints=hints)
+                          hints=hints, observer=observer)
     return simulator.run()
 
 

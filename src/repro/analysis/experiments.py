@@ -99,6 +99,7 @@ def run_one(
     num_disks: int,
     config_overrides: dict = None,
     profiler=None,
+    observer=None,
     **policy_kwargs,
 ) -> SimulationResult:
     """One simulation under an experiment setting.
@@ -106,7 +107,9 @@ def run_one(
     Policies receive scale-adjusted horizon/batch defaults (see
     :func:`scaled_policy_kwargs`); explicit keyword arguments win.  A
     :class:`~repro.perf.PhaseProfiler` passed as ``profiler`` collects a
-    per-phase wall-clock breakdown without changing the result.
+    per-phase wall-clock breakdown without changing the result; a
+    :class:`~repro.obs.Observer` passed as ``observer`` records the event
+    trace and stall attribution (also without changing the result).
     """
     trace = setting.trace(trace_name)
     config = setting.sim_config(trace_name, **(config_overrides or {}))
@@ -114,7 +117,8 @@ def run_one(
     kwargs.update(policy_kwargs)
     policy_instance = make_policy(policy, **kwargs)
     return Simulator(
-        trace, policy_instance, num_disks, config, profiler=profiler
+        trace, policy_instance, num_disks, config,
+        profiler=profiler, observer=observer,
     ).run()
 
 

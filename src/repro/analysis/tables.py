@@ -49,6 +49,54 @@ def format_breakdown_table(
     return f"{title}\n{body}" if title else body
 
 
+def format_stall_table(result: SimulationResult) -> str:
+    """Stall attribution: per cause, the stall time it explains.
+
+    Uses the ``stall_breakdown`` filled in by an attached
+    :class:`repro.obs.Observer` (empty on unobserved runs); causes are
+    ordered by explained time, and the total row closes the identity
+    against ``stall_ms``.
+    """
+    breakdown = result.stall_breakdown
+    if not breakdown:
+        return "(no stall attribution: run without an observer)"
+    total = result.stall_ms
+    rows = [
+        (
+            cause,
+            round(ms / 1000.0, 3),
+            f"{ms / total:.1%}" if total > 0 else "-",
+        )
+        for cause, ms in sorted(
+            breakdown.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    rows.append(("total", round(total / 1000.0, 3), "100.0%" if total > 0 else "-"))
+    return format_table(("stall cause", "stall_s", "share"), rows)
+
+
+def format_utilization_table(result: SimulationResult) -> str:
+    """Per-disk busy time and utilization (Table 4's numbers, per disk)."""
+    elapsed = result.elapsed_ms
+    rows = []
+    for disk, busy in enumerate(result.per_disk_busy_ms):
+        rows.append(
+            (
+                f"disk {disk}",
+                round(busy / 1000.0, 3),
+                round(busy / elapsed, 3) if elapsed > 0 else 0.0,
+            )
+        )
+    rows.append(
+        (
+            "mean",
+            round(sum(result.per_disk_busy_ms) / max(1, result.num_disks) / 1000.0, 3),
+            round(result.disk_utilization, 3),
+        )
+    )
+    return format_table(("disk", "busy_s", "utilization"), rows)
+
+
 def format_appendix_table(
     table: Dict[str, List[SimulationResult]], disk_counts: Sequence[int]
 ) -> str:

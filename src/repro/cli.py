@@ -11,13 +11,21 @@ Subcommands::
     repro-sim faults -t cscope2 -d 2        # fault-injection sensitivity
     repro-sim export -t ld -o ld.trace      # write a workload to a file
     repro-sim lint src/repro                # simlint determinism analysis
+    repro-sim report -t ld -p forestall     # stall attribution + worst stalls
 
 Use ``--scale`` to shrink workloads for quick experiments.  ``run`` and
 ``sweep`` accept ``--fault-*`` flags to inject transient read errors,
 fail-slow spindles, and disk deaths (see ``docs/FAULTS.md``).
+
+``run`` and ``report`` accept ``--trace-out FILE`` (Chrome ``trace_event``
+JSON, loadable in Perfetto) and ``--metrics FILE`` (JSONL events +
+metrics); either flag attaches a ``repro.obs`` observer, which never
+changes simulation results (see ``docs/OBSERVABILITY.md``).  The flag is
+``--trace-out`` because ``--trace`` already names the workload.
 """
 
 import argparse
+import json
 import sys
 
 from repro.analysis.experiments import ExperimentSetting, run_one, sweep_policies
@@ -109,6 +117,49 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability (docs/OBSERVABILITY.md)")
+    group.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace_event JSON timeline (open in Perfetto); "
+        "named --trace-out because --trace selects the workload",
+    )
+    group.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write events, counters, and histograms as JSON Lines",
+    )
+    group.add_argument(
+        "--trace-full", action="store_true",
+        help="include per-reference/per-fetch instants in the timeline "
+        "(larger files; default keeps spans, counters, and faults)",
+    )
+
+
+def _maybe_observer(args):
+    """An attached-to-nothing Observer when any --trace-out/--metrics flag
+    asks for one; None otherwise (the zero-overhead default)."""
+    if args.trace_out is None and args.metrics is None:
+        return None
+    from repro.obs import Observer
+
+    return Observer()
+
+
+def _write_obs_outputs(observer, args) -> None:
+    if observer is None:
+        return
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    full = getattr(args, "trace_full", False)
+    if args.trace_out is not None:
+        write_chrome_trace(observer, args.trace_out, full=full)
+        print(f"wrote timeline ({len(observer.events)} events) to "
+              f"{args.trace_out} — open at https://ui.perfetto.dev")
+    if args.metrics is not None:
+        write_jsonl(observer, args.metrics)
+        print(f"wrote metrics to {args.metrics}")
+
+
 def _parse_slow(spec: str) -> SlowWindow:
     parts = spec.split(":")
     if len(parts) not in (2, 4):
@@ -173,21 +224,56 @@ def cmd_run(args) -> int:
     faults = _fault_schedule(args)
     overrides = {"faults": faults} if faults is not None else None
     profiler = None
-    if args.profile:
+    if args.profile or args.profile_json is not None:
         from repro.perf import PhaseProfiler
 
         profiler = PhaseProfiler()
+    observer = _maybe_observer(args)
     result = run_one(
         _setting(args), args.trace, args.policy, args.disks,
-        config_overrides=overrides, profiler=profiler,
+        config_overrides=overrides, profiler=profiler, observer=observer,
     )
     print(format_breakdown_table([result]))
     if faults is not None:
         print(str(result))
-    if profiler is not None:
+    if observer is not None:
+        from repro.analysis.tables import format_stall_table
+
         print()
-        print("wall-clock phase breakdown (self time):")
-        print(profiler.report())
+        print("stall attribution:")
+        print(format_stall_table(result))
+    if profiler is not None:
+        if args.profile:
+            print()
+            print("wall-clock phase breakdown (self time):")
+            print(profiler.report())
+        if args.profile_json is not None:
+            payload = json.dumps(profiler.to_dict(), indent=2, sort_keys=True)
+            if args.profile_json == "-":
+                print(payload)
+            else:
+                with open(args.profile_json, "w") as handle:
+                    handle.write(payload + "\n")
+                print(f"wrote phase profile to {args.profile_json}")
+    _write_obs_outputs(observer, args)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run one observed simulation and print the observability report:
+    stall attribution, per-disk utilization, counters, histograms, and the
+    top-K worst stalls with their surrounding event windows."""
+    from repro.obs import Observer, render_report
+
+    faults = _fault_schedule(args)
+    overrides = {"faults": faults} if faults is not None else None
+    observer = Observer()
+    run_one(
+        _setting(args), args.trace, args.policy, args.disks,
+        config_overrides=overrides, observer=observer,
+    )
+    print(render_report(observer, top=args.top))
+    _write_obs_outputs(observer, args)
     return 0
 
 
@@ -351,7 +437,13 @@ def main(argv=None) -> int:
         help="print a wall-clock phase breakdown of the simulator "
         "(policy / disk / cache / dispatch; see docs/PERFORMANCE.md)",
     )
+    run_parser.add_argument(
+        "--profile-json", default=None, metavar="FILE",
+        help="write the phase profile as JSON (implies profiling; "
+        "use - for stdout)",
+    )
     _add_fault_flags(run_parser)
+    _add_obs_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="sweep policies x disks")
     _add_common(sweep_parser)
@@ -394,6 +486,22 @@ def main(argv=None) -> int:
     faults_parser.add_argument("--disks", "-d", type=int, default=2)
     faults_parser.add_argument("--fault-seed", type=int, default=0)
 
+    report_parser = sub.add_parser(
+        "report", help="observed run: stall attribution, utilization, "
+        "metrics, and the worst stalls with event context"
+    )
+    _add_common(report_parser)
+    report_parser.add_argument(
+        "--policy", "-p", default="forestall", choices=sorted(POLICIES)
+    )
+    report_parser.add_argument("--disks", "-d", type=int, default=1)
+    report_parser.add_argument(
+        "--top", type=int, default=5,
+        help="how many worst stalls to show with event windows",
+    )
+    _add_fault_flags(report_parser)
+    _add_obs_flags(report_parser)
+
     lint_parser = sub.add_parser(
         "lint", help="simlint: determinism & policy-contract static analysis"
     )
@@ -420,6 +528,7 @@ def main(argv=None) -> int:
         "hints": cmd_hints,
         "faults": cmd_faults,
         "export": cmd_export,
+        "report": cmd_report,
         "lint": run_lint,
     }
     return handler[args.command](args)

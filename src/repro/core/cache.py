@@ -44,6 +44,11 @@ class BufferCache:
     def free_buffers(self) -> int:
         return self.capacity - len(self.resident) - len(self.in_flight)
 
+    @property
+    def occupancy(self) -> int:
+        """Buffers in use: resident blocks plus in-flight reservations."""
+        return len(self.resident) + len(self.in_flight)
+
     def is_in_flight(self, block: int) -> bool:
         return block in self.in_flight
 

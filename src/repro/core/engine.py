@@ -53,6 +53,7 @@ from repro.faults.schedule import FaultSchedule, UnrecoverableReadError
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:
+    from repro.obs.observer import Observer
     from repro.perf.profiler import PhaseProfiler
 
 _EVENT_DISK = 0  # completions processed before app steps at equal times
@@ -101,6 +102,7 @@ class Simulator:
         config: Optional[SimConfig] = None,
         hints: Optional[List[Optional[int]]] = None,
         profiler: Optional["PhaseProfiler"] = None,
+        observer: Optional["Observer"] = None,
     ) -> None:
         self.config = config if config is not None else SimConfig()
         #: Optional :class:`repro.perf.PhaseProfiler`.  When attached, the
@@ -108,6 +110,12 @@ class Simulator:
         #: engine brackets disk service and cache bookkeeping; when None the
         #: hot path carries no timing calls at all.
         self.profiler = profiler
+        #: Optional :class:`repro.obs.Observer`.  When attached, the event
+        #: handlers are shadowed with recording versions (event tracing,
+        #: metrics, stall attribution — see docs/OBSERVABILITY.md); tracing
+        #: is read-only, so results stay bit-identical.  When None the hot
+        #: path carries no tracing calls at all.
+        self.observer = observer
         self.trace = trace
         self.policy = policy
         self.num_disks = num_disks
@@ -190,6 +198,11 @@ class Simulator:
             # subclass; it honours the full PrefetchPolicy surface.
             self.policy = cast(PrefetchPolicy, ProfiledPolicy(policy, profiler))
             self._instrument(profiler)
+        if observer is not None:
+            # Attached after the profiler so tracing wraps the profiled
+            # hooks; with both active the profiler's numbers include the
+            # observer's recording cost (see docs/OBSERVABILITY.md).
+            observer.attach(self)
         self.policy.bind(self)
 
     # -- construction helpers --------------------------------------------------

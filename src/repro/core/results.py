@@ -38,6 +38,14 @@ class SimulationResult:
     faults_injected: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        #: Per-cause stall decomposition (``repro.obs`` stall attribution;
+        #: see docs/OBSERVABILITY.md).  Filled only on observed runs, and
+        #: deliberately *not* a dataclass field: ``dataclasses.asdict``
+        #: serializations — including the golden-digest suite — are
+        #: identical whether or not a run was observed.
+        self.stall_breakdown: Dict[str, float] = {}
+
     @property
     def degraded(self) -> bool:
         """True when data became unreachable (partial-data run): some
@@ -72,6 +80,13 @@ class SimulationResult:
             )
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary.
+
+        The ``*_s`` fields are rounded for display; the exact ``*_ms``
+        fields are included alongside them so downstream JSON consumers
+        can rely on the ``compute + driver + stall == elapsed`` identity
+        at full float precision (rounding to 4 decimals breaks it).
+        """
         d: Dict[str, object] = {
             "trace": self.trace_name,
             "policy": self.policy_name,
@@ -80,9 +95,15 @@ class SimulationResult:
             "driver_s": round(self.driver_s, 4),
             "stall_s": round(self.stall_s, 4),
             "elapsed_s": round(self.elapsed_s, 4),
+            "compute_ms": self.compute_ms,
+            "driver_ms": self.driver_ms,
+            "stall_ms": self.stall_ms,
+            "elapsed_ms": self.elapsed_ms,
             "avg_fetch_ms": round(self.average_fetch_ms, 3),
             "disk_util": round(self.disk_utilization, 3),
         }
+        if self.stall_breakdown:
+            d["stall_breakdown_ms"] = dict(self.stall_breakdown)
         if self.faults_injected or self.retry_ms or self.failover_reads:
             d["faults"] = self.faults_injected
             d["retry_ms"] = round(self.retry_ms, 3)

@@ -114,6 +114,11 @@ class DiskArray:
     surfaced to the engine via :meth:`take_outcome`; the array itself
     never retries — recovery policy (backoff, failover, abandonment) is
     the engine's job.
+
+    ``repro.obs`` instruments the request lifecycle by shadowing
+    :meth:`submit` and :meth:`start_next` on the *instance* (queue-depth
+    samples, busy spans); changing those signatures means updating
+    ``repro.obs.observer`` in the same commit.
     """
 
     def __init__(

@@ -17,7 +17,7 @@ in the paper.
 """
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.disk.geometry import HP97560, DiskGeometry
 from repro.disk.seek import SeekModel
@@ -50,6 +50,19 @@ class ServiceBreakdown:
             + self.cache_wait
             + self.fault_ms
         )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready component breakdown (zero components omitted), used
+        by the ``repro.obs`` disk-busy trace events."""
+        row: Dict[str, object] = {"total_ms": self.total}
+        for name in ("overhead", "seek", "rotation", "transfer",
+                     "cache_wait", "fault_ms"):
+            value = getattr(self, name)
+            if value:
+                row[name] = value
+        if self.cache_hit:
+            row["cache_hit"] = True
+        return row
 
 
 class DiskDrive:

@@ -33,6 +33,16 @@ class Request:
     kind: str = "read"
     attempt: int = 0
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form for trace exports (``repro.obs``)."""
+        row: Dict[str, object] = {
+            "lbn": self.lbn, "block": self.block, "seq": self.seq,
+            "kind": self.kind,
+        }
+        if self.attempt:
+            row["attempt"] = self.attempt
+        return row
+
 
 class FCFSQueue:
     """First-come first-served request queue.

@@ -152,9 +152,15 @@ class WallClockRule(Rule):
     )
     _DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
 
+    #: Modules allowed to read the host clock.  ``repro.perf`` measures the
+    #: simulator's own wall-clock cost; ``repro.obs.export`` may stamp trace
+    #: files with the *generation* time (``stamp=True``) — simulated
+    #: timestamps inside the trace still come only from the event loop.
+    _ALLOWED = ("repro.perf", "repro.obs.export")
+
     def applies_to(self, module: LintModule) -> bool:
         return module.module.startswith("repro") and not module.module.startswith(
-            "repro.perf"
+            self._ALLOWED
         )
 
     def check(self, module: LintModule) -> Iterator[Finding]:

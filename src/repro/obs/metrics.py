@@ -1,0 +1,177 @@
+"""Counters, gauges, and fixed-bucket histograms for per-run metrics.
+
+All instruments are plain accumulators over *simulated* quantities — they
+never read the host clock (simlint SL002 applies to this module).  The
+registry keeps insertion order so exports are deterministic.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+#: Default bucket upper bounds (ms) for latency-like histograms.
+LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
+#: Default bucket upper bounds (ms) for single-request service times.
+SERVICE_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0, 100.0)
+#: Default bucket upper bounds for disk queue depths.
+DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+#: Default bucket upper bounds for victim forward distances (references).
+DISTANCE_BUCKETS = (4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+
+def occupancy_buckets(capacity: int, steps: int = 8) -> List[float]:
+    """Evenly spaced occupancy bounds up to the cache capacity."""
+    bounds: List[float] = []
+    for step in range(1, steps + 1):
+        bound = float(max(1, (capacity * step) // steps))
+        if not bounds or bound > bounds[-1]:
+            bounds.append(bound)
+    return bounds
+
+
+class Counter:
+    """A monotone event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A sampled level; tracks last, min, and max."""
+
+    __slots__ = ("name", "value", "min", "max", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "samples": self.samples,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``bounds`` are inclusive upper edges.
+
+    Values above the last bound land in an implicit overflow bucket
+    (``float("inf")`` observations included — used for "never referenced
+    again" victim distances).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = [float(b) for b in bounds]
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        # bisect_left gives inclusive upper edges: a value exactly on a
+        # bound belongs to that bound's bucket, so e.g. a full cache lands
+        # in the <=capacity bucket, not in overflow.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def overflow(self) -> int:
+        """Observations above the last bound."""
+        return self.counts[-1]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.bounds, self.counts)
+            ],
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, exported in creation order."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            if bounds is None:
+                raise ValueError(
+                    f"histogram {name!r} does not exist yet; bounds required"
+                )
+            histogram = self.histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "gauges": {name: g.as_dict() for name, g in self.gauges.items()},
+            "histograms": {
+                name: h.as_dict() for name, h in self.histograms.items()
+            },
+        }

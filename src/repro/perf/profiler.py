@@ -3,7 +3,8 @@
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-#: The engine's phase vocabulary, in reporting order:
+#: The engine's phase vocabulary (reports order phases by self time, not
+#: by this tuple):
 #:
 #: * ``policy``   — time inside policy decision points and hooks
 #:   (``before_reference``, ``on_disk_idle``, ``on_miss``, …);
@@ -71,9 +72,11 @@ class PhaseProfiler:
         return sum(self.totals_ns.values()) / 1e6
 
     def _ordered_phases(self) -> List[str]:
-        known = [p for p in PHASES if p in self.totals_ns]
-        extra = sorted(p for p in self.totals_ns if p not in PHASES)
-        return known + extra
+        # Hottest first: the report exists to answer "where did the time
+        # go", so order by self time descending, name breaking ties.
+        return sorted(
+            self.totals_ns, key=lambda p: (-self.totals_ns[p], p)
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready summary: per-phase self-time ms, call counts, shares."""

@@ -34,6 +34,102 @@ class TestRun:
             main(["run", "-t", "ld", "-p", "lru"])
 
 
+class TestObservability:
+    def test_trace_out_writes_perfetto_json(self, capsys, tmp_path):
+        out_path = tmp_path / "run.trace.json"
+        code = main([
+            "run", "-t", "ld", "-p", "forestall", "-d", "2",
+            "--scale", "0.1", "--cache", "128",
+            "--trace-out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stall attribution:" in out
+        assert "ui.perfetto.dev" in out
+        import json
+
+        document = json.loads(out_path.read_text())
+        assert document["traceEvents"]
+        assert document["otherData"]["trace"] == "ld"
+
+    def test_metrics_writes_jsonl(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "-d", "1",
+            "--scale", "0.1", "--cache", "128", "--metrics", str(out_path),
+        ])
+        assert code == 0
+        import json
+
+        first = json.loads(out_path.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+
+    def test_run_without_obs_flags_prints_no_attribution(self, capsys):
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "-d", "1",
+            "--scale", "0.1", "--cache", "128",
+        ])
+        assert code == 0
+        assert "stall attribution:" not in capsys.readouterr().out
+
+    def test_profile_json_to_stdout(self, capsys):
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "-d", "1",
+            "--scale", "0.1", "--cache", "128", "--profile-json", "-",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"phases"' in out
+        assert '"total_ms"' in out
+
+    def test_profile_json_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "profile.json"
+        code = main([
+            "run", "-t", "ld", "-p", "demand", "-d", "1",
+            "--scale", "0.1", "--cache", "128",
+            "--profile-json", str(out_path),
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"phases", "total_ms"}
+
+
+class TestReport:
+    def test_report_prints_all_sections(self, capsys):
+        code = main([
+            "report", "-t", "ld", "-p", "forestall", "-d", "2",
+            "--scale", "0.1", "--cache", "128", "--top", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for needle in (
+            "stall attribution:", "disk utilization:",
+            "counters (non-zero):", "stall episodes:",
+        ):
+            assert needle in out
+
+    def test_report_accepts_fault_flags(self, capsys):
+        code = main([
+            "report", "-t", "ld", "-p", "forestall", "-d", "2",
+            "--scale", "0.1", "--cache", "128",
+            "--fault-error-rate", "0.05",
+        ])
+        assert code == 0
+        assert "fault" in capsys.readouterr().out
+
+    def test_report_exports_too(self, capsys, tmp_path):
+        out_path = tmp_path / "report.trace.json"
+        code = main([
+            "report", "-t", "ld", "-p", "demand", "-d", "1",
+            "--scale", "0.1", "--cache", "128",
+            "--trace-out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+
+
 class TestSweep:
     def test_sweep_runs_selected_policies(self, capsys):
         code = main([

@@ -52,8 +52,12 @@ def cell_id(cell) -> str:
     return f"{trace}/{policy}/d{disks}/{discipline}{suffix}"
 
 
-def run_cell(cell) -> str:
-    """Run one cell and digest its complete serialized outcome."""
+def run_cell(cell, observer=None) -> str:
+    """Run one cell and digest its complete serialized outcome.
+
+    ``observer`` lets tests/test_obs.py assert the read-only guarantee:
+    digests must be identical with a ``repro.obs.Observer`` attached.
+    """
     trace_name, policy, disks, discipline, record_timeline = cell
     trace = build_workload(trace_name, scale=SCALE)
     config = SimConfig(
@@ -61,7 +65,8 @@ def run_cell(cell) -> str:
         discipline=discipline,
         record_timeline=record_timeline,
     )
-    sim = Simulator(trace, make_policy(policy), disks, config)
+    sim = Simulator(trace, make_policy(policy), disks, config,
+                    observer=observer)
     result = sim.run()
     payload = dataclasses.asdict(result)
     if record_timeline:

@@ -140,6 +140,28 @@ class TestWallClock:
         """
         assert rules_hit(src) == set()
 
+    def test_obs_export_exempt(self):
+        # repro.obs.export may stamp trace files with their generation
+        # time; simulated timestamps still come only from the event loop.
+        src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert rules_hit(src, module="repro.obs.export") == set()
+
+    def test_obs_observer_not_exempt(self):
+        # The allowlist covers only the exporter — the observer itself
+        # records simulated time and must never touch the host clock.
+        src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert rules_hit(src, module="repro.obs.observer") == {"SL002"}
+
 
 # -- SL003: unsorted set iteration in core/disk -----------------------------------------
 
@@ -365,6 +387,37 @@ class TestPolicyContract:
                 pass
         """
         assert rules_hit(src) == set()
+
+    def test_observer_hook_wrappers_clean(self):
+        # The repro.obs instrumentation pattern: hook wrappers are local
+        # closures installed on the *instance*, not methods of a Policy
+        # class — SL006's contract checks must not fire on them.
+        src = """
+        class Observer:
+            def attach(self, sim):
+                policy = sim.policy
+                inner = policy.before_reference
+
+                def before_reference(cursor, now):
+                    self.counter += 1
+                    return inner(cursor, now)
+
+                policy.before_reference = before_reference
+        """
+        assert rules_hit(src, module="repro.obs.snippet", select="SL006") == set()
+
+    def test_observer_style_policy_class_still_checked(self):
+        # The exemption is structural (closures, not classes): a *Policy*
+        # class with a malformed hook still fires even if it claims to be
+        # tracing instrumentation.
+        src = """
+        from repro.core.policy import PrefetchPolicy
+
+        class TracingPolicy(PrefetchPolicy):
+            def before_reference(self, cursor):
+                pass
+        """
+        assert "SL006" in rules_hit(src, module="repro.obs.snippet")
 
     def test_registry_checked_across_modules(self):
         registry = textwrap.dedent(

@@ -90,7 +90,8 @@ class TestPhaseProfiler:
         summary = profiler.to_dict()
         shares = [entry["share"] for entry in summary["phases"].values()]
         assert sum(shares) == pytest.approx(1.0, abs=1e-3)
-        assert list(summary["phases"]) == ["policy", "disk", "dispatch"]
+        # Phases are reported hottest-first (self time descending).
+        assert list(summary["phases"]) == ["dispatch", "disk", "policy"]
 
     def test_reset_clears_everything(self):
         clock = FakeClock()

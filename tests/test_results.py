@@ -50,6 +50,38 @@ class TestRendering:
         assert d["elapsed_s"] == 1.1
         assert d["disks"] == 2
 
+    def test_to_dict_exact_ms_fields_preserve_identity(self):
+        # The rounded *_s display fields break the accounting identity
+        # (compute + driver + stall == elapsed); the exact *_ms fields
+        # alongside them must preserve it at full float precision.
+        r = result(
+            compute_ms=1000.0001, driver_ms=5.00004, stall_ms=95.00003,
+            elapsed_ms=1000.0001 + 5.00004 + 95.00003,
+        )
+        d = r.to_dict()
+        assert d["compute_ms"] + d["driver_ms"] + d["stall_ms"] == d["elapsed_ms"]
+        assert d["compute_ms"] == r.compute_ms
+        assert d["elapsed_ms"] == r.elapsed_ms
+        # The rounded fields are still present for human consumption.
+        assert d["elapsed_s"] == round(r.elapsed_s, 4)
+
+    def test_to_dict_includes_stall_breakdown_only_when_attributed(self):
+        r = result()
+        assert "stall_breakdown_ms" not in r.to_dict()
+        r.stall_breakdown = {"demand-miss-never-prefetched": 95.0}
+        assert r.to_dict()["stall_breakdown_ms"] == {
+            "demand-miss-never-prefetched": 95.0
+        }
+
+    def test_stall_breakdown_is_not_a_dataclass_field(self):
+        # Keeping the breakdown out of dataclasses.asdict() keeps golden
+        # digests stable across observed/unobserved runs.
+        import dataclasses
+
+        r = result()
+        r.stall_breakdown = {"failover": 1.0}
+        assert "stall_breakdown" not in dataclasses.asdict(r)
+
 
 class TestSimpleDrive:
     def test_uniform_access(self):
