@@ -7,9 +7,9 @@ queue depths, while CSCAN retains the readahead-direction advantage the
 paper chose it for.
 """
 
-from repro.analysis.experiments import run_one
 from repro.analysis.tables import format_table
 
+from benchmarks.common import grid_cell, run_keyed_cells
 from benchmarks.conftest import once
 
 DISCIPLINES = ("fcfs", "sstf", "cscan")
@@ -18,15 +18,16 @@ TRACES = ("postgres-select", "glimpse")
 
 def test_ablation_disciplines(benchmark, setting):
     def sweep():
-        table = {}
-        for trace in TRACES:
-            for discipline in DISCIPLINES:
-                for disks in (1, 2):
-                    table[(trace, discipline, disks)] = run_one(
-                        setting, trace, "aggressive", disks,
-                        config_overrides={"discipline": discipline},
-                    )
-        return table
+        plan = {
+            (trace, discipline, disks): grid_cell(
+                setting, trace, "aggressive", disks,
+                config_overrides={"discipline": discipline},
+            )
+            for trace in TRACES
+            for discipline in DISCIPLINES
+            for disks in (1, 2)
+        }
+        return run_keyed_cells(setting, plan)
 
     table = once(benchmark, sweep)
     rows = []

@@ -8,9 +8,9 @@ the number of fetches grows with batch size in cache-pressured traces.
 
 import pytest
 
-from repro.analysis.experiments import run_one
 from repro.analysis.tables import format_breakdown_table
 
+from benchmarks.common import grid_cell, run_keyed_cells
 from benchmarks.conftest import full_run, once
 
 TRACES = ("dinero", "cscope2") if not full_run() else (
@@ -26,13 +26,14 @@ def test_appendix_e_aggressive_batch(benchmark, setting, trace):
     counts = (1, 2, 4)
 
     def sweep():
-        return {
-            (batch, disks): run_one(
+        plan = {
+            (batch, disks): grid_cell(
                 setting, trace, "aggressive", disks, batch_size=batch
             )
             for batch in batches
             for disks in counts
         }
+        return run_keyed_cells(setting, plan)
 
     results = once(benchmark, sweep)
     print()

@@ -7,9 +7,9 @@ larger batches in aggressive.  The best cell varies per disk count, which
 is why the paper's baseline tunes (F, batch) per configuration.
 """
 
-from repro.analysis.experiments import run_one
 from repro.analysis.tables import format_elapsed_grid
 
+from benchmarks.common import grid_cell, run_keyed_cells
 from benchmarks.conftest import full_run, once
 
 FETCH_TIMES = (2, 4, 8, 16, 32, 64) if full_run() else (2, 8, 32)
@@ -21,19 +21,25 @@ def test_appendix_f_reverse_aggressive_grid(benchmark, setting):
     counts = (1, 2, 4)
 
     def sweep():
-        grid = {}
-        for fetch_time in FETCH_TIMES:
-            for batch in BATCHES:
-                scaled_batch = max(2, int(batch * setting.scale))
-                grid[(fetch_time, batch)] = [
-                    run_one(
-                        setting, trace, "reverse-aggressive", disks,
-                        fetch_time_estimate=fetch_time,
-                        reverse_batch_size=scaled_batch,
-                    ).elapsed_s
-                    for disks in counts
-                ]
-        return grid
+        plan = {
+            (fetch_time, batch, disks): grid_cell(
+                setting, trace, "reverse-aggressive", disks,
+                fetch_time_estimate=fetch_time,
+                reverse_batch_size=max(2, int(batch * setting.scale)),
+            )
+            for fetch_time in FETCH_TIMES
+            for batch in BATCHES
+            for disks in counts
+        }
+        results = run_keyed_cells(setting, plan)
+        return {
+            (fetch_time, batch): [
+                results[(fetch_time, batch, disks)].elapsed_s
+                for disks in counts
+            ]
+            for fetch_time in FETCH_TIMES
+            for batch in BATCHES
+        }
 
     grid = once(benchmark, sweep)
     view = {

@@ -7,9 +7,9 @@ replacement); I/O-bound traces benefit from larger H before declining.
 
 import pytest
 
-from repro.analysis.experiments import run_one
 from repro.analysis.tables import format_breakdown_table
 
+from benchmarks.common import grid_cell, run_keyed_cells
 from benchmarks.conftest import full_run, once
 
 TRACES = ("dinero", "postgres-select") if not full_run() else (
@@ -34,13 +34,14 @@ def test_appendix_g_horizon(benchmark, setting, trace):
     counts = (1, 2, 4)
 
     def sweep():
-        return {
-            (horizon, disks): run_one(
+        plan = {
+            (horizon, disks): grid_cell(
                 setting, trace, "fixed-horizon", disks, horizon=horizon
             )
             for horizon in horizons
             for disks in counts
         }
+        return run_keyed_cells(setting, plan)
 
     results = once(benchmark, sweep)
     print()

@@ -30,6 +30,7 @@ import sys
 import time
 
 from repro.core import SimConfig, Simulator, make_policy
+from repro.runner import write_json_atomic
 from repro.trace import build as build_workload
 from repro.trace import cache_blocks_for
 
@@ -203,9 +204,9 @@ def main(argv=None) -> int:
         "platform": platform.platform(),
         "cells": records,
     }
-    with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Atomic (tmp + rename): a run killed mid-write can't leave a truncated
+    # baseline that poisons later --baseline gating.
+    write_json_atomic(args.output, payload)
     print(f"wrote {len(records)} cells to {args.output}")
 
     if regressions:

@@ -1,14 +1,18 @@
-"""Shared helpers for the figure/table benchmarks."""
+"""Shared helpers for the figure/table benchmarks.
+
+The harnesses describe their sweeps as declarative **cell plans**
+(:class:`repro.runner.Cell`) and execute them through ``repro.runner`` —
+the same plan/executor layer behind ``repro-sim sweep --jobs``, so a
+benchmark's cells can equally run on the supervised parallel runner
+(see ``docs/RUNNER.md``).
+"""
 
 from typing import Dict, List, Sequence
 
-from repro.analysis.experiments import (
-    ExperimentSetting,
-    run_one,
-    tuned_reverse_aggressive,
-)
+from repro.analysis.experiments import ExperimentSetting
 from repro.analysis.tables import format_breakdown_table, format_table
 from repro.core.results import SimulationResult
+from repro.runner import Cell, execute_cells, sweep_cells
 
 
 def figure_sweep(
@@ -19,18 +23,41 @@ def figure_sweep(
     tuned_reverse: bool = True,
 ) -> List[SimulationResult]:
     """The standard figure layout: per disk count, one bar per policy."""
-    results = []
-    for disks in disk_counts:
-        for policy in policies:
-            if policy == "reverse-aggressive" and tuned_reverse:
-                results.append(
-                    tuned_reverse_aggressive(
-                        setting, trace_name, disks, fetch_times=(2, 8, 32)
-                    )
-                )
-            else:
-                results.append(run_one(setting, trace_name, policy, disks))
-    return results
+    cells = sweep_cells(
+        setting, trace_name, policies, disk_counts,
+        tuned_reverse=tuned_reverse, tuned_fetch_times=(2, 8, 32),
+    )
+    outcomes = execute_cells(cells, trace_cache=setting._trace_cache)
+    return [outcome.result for outcome in outcomes]
+
+
+def run_keyed_cells(
+    setting: ExperimentSetting, keyed_cells: Dict
+) -> Dict[object, SimulationResult]:
+    """Execute a ``{key: Cell}`` plan, preserving keys.
+
+    The grid benchmarks (appendix parameter sweeps, ablations) build
+    their cells up front and index results by grid coordinates.
+    """
+    outcomes = execute_cells(
+        list(keyed_cells.values()), trace_cache=setting._trace_cache
+    )
+    return {
+        key: outcome.result
+        for key, outcome in zip(keyed_cells, outcomes)
+    }
+
+
+def grid_cell(
+    setting: ExperimentSetting, trace_name: str, policy: str, disks: int,
+    config_overrides: Dict = None, **policy_kwargs,
+) -> Cell:
+    """One grid point as a declarative cell (``run_one``'s plan form)."""
+    return Cell.from_setting(
+        setting, trace_name, policy, disks,
+        config_overrides=dict(config_overrides or {}),
+        policy_kwargs=dict(policy_kwargs),
+    )
 
 
 def print_figure(title: str, results: List[SimulationResult]) -> None:

@@ -4,6 +4,7 @@ Run from the repository root:  python results/collect_fullscale.py
 Takes ~10 minutes; writes results/fullscale.json and prints progress.
 """
 import json, time
+from repro.runner import write_json_atomic
 from repro.analysis.experiments import ExperimentSetting, run_one, tuned_reverse_aggressive, compare_disciplines
 
 s = ExperimentSetting(scale=1.0)
@@ -66,5 +67,5 @@ for d in (1,2,4):
         rec(f"dinero/{p}/{d}", run_one(s,"dinero",p,d))
         rec(f"pjoin/{p}/{d}", run_one(s,"postgres-join",p,d))
 
-json.dump(out, open("results/fullscale.json","w"), indent=1)
+write_json_atomic("results/fullscale.json", out, indent=1)
 print("DONE", time.time()-t0)

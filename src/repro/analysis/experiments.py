@@ -2,9 +2,13 @@
 
 Every evaluation artifact in the paper reduces to a sweep over (trace,
 policy, number of disks, parameters).  :class:`ExperimentSetting` carries
-the shared context (scale, discipline, cache), and the functions here run
-the sweeps and return :class:`~repro.core.results.SimulationResult` lists
-that the table renderers and benchmark harnesses consume.
+the shared context (scale, discipline, cache), and the functions here
+build declarative **cell plans** (:class:`repro.runner.Cell`) and hand
+them to :mod:`repro.runner` for execution, returning
+:class:`~repro.core.results.SimulationResult` lists that the table
+renderers and benchmark harnesses consume.  The same plans run
+unchanged — and bit-identically — on the supervised parallel runner
+(``repro-sim sweep --jobs``; see ``docs/RUNNER.md``).
 
 ``scale`` shrinks traces *and* the cache proportionally, preserving the
 working-set/cache ratio that determines which regime (I/O-bound vs
@@ -16,10 +20,29 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import SimConfig, Simulator, make_policy
-from repro.core.batching import batch_size_for
 from repro.core.results import SimulationResult
-from repro.trace import build as build_workload
+from repro.runner.execute import (
+    execute_cell,
+    execute_cells,
+    get_trace,
+    scaled_policy_kwargs,
+    validate_names,
+)
+from repro.runner.plan import Cell, baseline_cells, sweep_cells, tuned_reverse_cell
 from repro.trace import cache_blocks_for
+
+__all__ = [
+    "PAPER_DISK_COUNTS",
+    "FIGURE_POLICY_ORDER",
+    "ExperimentSetting",
+    "baseline_rows",
+    "compare_disciplines",
+    "default_scale",
+    "run_one",
+    "scaled_policy_kwargs",
+    "sweep_policies",
+    "tuned_reverse_aggressive",
+]
 
 #: Disk-array sizes simulated by the paper.
 PAPER_DISK_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16)
@@ -47,14 +70,10 @@ class ExperimentSetting:
     cache_blocks: Optional[int] = None  # None: the paper's per-trace choice
     disk_model: str = "hp97560"
     seed: Optional[int] = None
-    _trace_cache: Dict[str, object] = field(default_factory=dict, repr=False)
+    _trace_cache: Dict[object, object] = field(default_factory=dict, repr=False)
 
     def trace(self, name: str):
-        trace = self._trace_cache.get(name)
-        if trace is None:
-            trace = build_workload(name, scale=self.scale, seed=self.seed)
-            self._trace_cache[name] = trace
-        return trace
+        return get_trace(name, self.scale, self.seed, cache=self._trace_cache)
 
     def cache_for(self, trace_name: str) -> int:
         if self.cache_blocks is not None:
@@ -69,27 +88,10 @@ class ExperimentSetting:
             disk_model=self.disk_model,
         ).with_(**overrides)
 
-
-def scaled_policy_kwargs(
-    policy: str, num_disks: int, scale: float
-) -> dict:
-    """Device-time parameters, shrunk alongside the trace.
-
-    The prefetch horizon (62) and Table 6 batch sizes are *device*
-    constants; at reduced trace scale they would dwarf the (shrunken)
-    missing-block runs and distort every regime.  Scaling them with the
-    trace preserves the paper's qualitative structure.
-    """
-    if scale >= 1.0:
-        return {}
-    kwargs = {}
-    if policy in ("fixed-horizon", "forestall"):
-        kwargs["horizon"] = max(8, int(62 * scale))
-    if policy in ("aggressive", "forestall", "reverse-aggressive"):
-        kwargs["batch_size"] = max(4, int(batch_size_for(num_disks) * scale))
-    if policy == "reverse-aggressive":
-        kwargs["forward_batch_size"] = kwargs.pop("batch_size")
-    return kwargs
+    def cell(self, trace_name: str, policy: str, num_disks: int,
+             **extra) -> Cell:
+        """The declarative form of one ``run_one`` call."""
+        return Cell.from_setting(self, trace_name, policy, num_disks, **extra)
 
 
 def run_one(
@@ -104,22 +106,36 @@ def run_one(
 ) -> SimulationResult:
     """One simulation under an experiment setting.
 
-    Policies receive scale-adjusted horizon/batch defaults (see
-    :func:`scaled_policy_kwargs`); explicit keyword arguments win.  A
-    :class:`~repro.perf.PhaseProfiler` passed as ``profiler`` collects a
-    per-phase wall-clock breakdown without changing the result; a
-    :class:`~repro.obs.Observer` passed as ``observer`` records the event
-    trace and stall attribution (also without changing the result).
+    Unknown trace or policy names fail immediately with a ``ValueError``
+    listing the valid names (the runner's failure records quote this
+    message, so it must be readable).  Policies receive scale-adjusted
+    horizon/batch defaults (see :func:`scaled_policy_kwargs`); explicit
+    keyword arguments win.  A :class:`~repro.perf.PhaseProfiler` passed
+    as ``profiler`` collects a per-phase wall-clock breakdown without
+    changing the result; a :class:`~repro.obs.Observer` passed as
+    ``observer`` records the event trace and stall attribution (also
+    without changing the result).
     """
-    trace = setting.trace(trace_name)
-    config = setting.sim_config(trace_name, **(config_overrides or {}))
-    kwargs = scaled_policy_kwargs(policy, num_disks, setting.scale)
-    kwargs.update(policy_kwargs)
-    policy_instance = make_policy(policy, **kwargs)
-    return Simulator(
-        trace, policy_instance, num_disks, config,
-        profiler=profiler, observer=observer,
-    ).run()
+    validate_names(trace_name, policy)
+    if not isinstance(policy, str):
+        # Pre-built policy instances can't ride in a declarative cell;
+        # run them directly on the same code path the executor uses.
+        trace = setting.trace(trace_name)
+        config = setting.sim_config(trace_name, **(config_overrides or {}))
+        return Simulator(
+            trace, make_policy(policy, **policy_kwargs), num_disks, config,
+            profiler=profiler, observer=observer,
+        ).run()
+    cell = setting.cell(
+        trace_name, policy, num_disks,
+        config_overrides=dict(config_overrides or {}),
+        policy_kwargs=dict(policy_kwargs),
+    )
+    outcome = execute_cell(
+        cell, profiler=profiler, observer=observer,
+        trace_cache=setting._trace_cache,
+    )
+    return outcome.result
 
 
 def sweep_policies(
@@ -135,16 +151,11 @@ def sweep_policies(
     reverse batch size are grid-searched per disk count, as the paper's
     baseline does ("chosen to minimize its elapsed time").
     """
-    results = []
-    for num_disks in disk_counts:
-        for policy in policies:
-            if policy == "reverse-aggressive" and tuned_reverse:
-                results.append(
-                    tuned_reverse_aggressive(setting, trace_name, num_disks)
-                )
-            else:
-                results.append(run_one(setting, trace_name, policy, num_disks))
-    return results
+    cells = sweep_cells(
+        setting, trace_name, policies, disk_counts, tuned_reverse=tuned_reverse
+    )
+    outcomes = execute_cells(cells, trace_cache=setting._trace_cache)
+    return [outcome.result for outcome in outcomes]
 
 
 def tuned_reverse_aggressive(
@@ -159,25 +170,16 @@ def tuned_reverse_aggressive(
     The paper uses "the single best estimate of F ... for each trace" and
     per-configuration batch sizes; this helper reproduces that tuning with
     a small grid (pass :data:`APPENDIX_F_FETCH_TIMES` /
-    :data:`APPENDIX_F_BATCH_SIZES` for the full Appendix F grid).
+    :data:`APPENDIX_F_BATCH_SIZES` for the full Appendix F grid).  An
+    empty grid raises :class:`ValueError` naming the offending argument
+    rather than failing later on a missing best result.
     """
-    if batch_sizes is None:
-        batch_sizes = (batch_size_for(num_disks),)
-    best = None
-    for fetch_time in fetch_times:
-        for batch in batch_sizes:
-            result = run_one(
-                setting,
-                trace_name,
-                "reverse-aggressive",
-                num_disks,
-                fetch_time_estimate=fetch_time,
-                reverse_batch_size=batch,
-            )
-            if best is None or result.elapsed_ms < best.elapsed_ms:
-                best = result
-    best.policy_name = "reverse-aggressive"
-    return best
+    cell = tuned_reverse_cell(
+        setting, trace_name, num_disks,
+        fetch_times=fetch_times, batch_sizes=batch_sizes,
+    )
+    outcome = execute_cell(cell, trace_cache=setting._trace_cache)
+    return outcome.result
 
 
 def baseline_rows(
@@ -193,15 +195,15 @@ def baseline_rows(
     tuned_reverse: bool = True,
 ) -> Dict[str, List[SimulationResult]]:
     """One Appendix-A-style table: per policy, one result per disk count."""
+    cells = baseline_cells(
+        setting, trace_name, disk_counts, policies, tuned_reverse=tuned_reverse
+    )
+    outcomes = execute_cells(cells, trace_cache=setting._trace_cache)
     table: Dict[str, List[SimulationResult]] = {}
-    for policy in policies:
-        row = []
-        for num_disks in disk_counts:
-            if policy == "reverse-aggressive" and tuned_reverse:
-                row.append(tuned_reverse_aggressive(setting, trace_name, num_disks))
-            else:
-                row.append(run_one(setting, trace_name, policy, num_disks))
-        table[policy] = row
+    per_policy = len(disk_counts)
+    for index, policy in enumerate(policies):
+        row = outcomes[index * per_policy:(index + 1) * per_policy]
+        table[policy] = [outcome.result for outcome in row]
     return table
 
 

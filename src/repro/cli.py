@@ -17,6 +17,13 @@ Use ``--scale`` to shrink workloads for quick experiments.  ``run`` and
 ``sweep`` accept ``--fault-*`` flags to inject transient read errors,
 fail-slow spindles, and disk deaths (see ``docs/FAULTS.md``).
 
+``sweep`` can run under the crash-safe supervised runner: ``--jobs N``
+fans cells out to worker processes with per-cell ``--timeout-s`` and
+crash retries, journaling every result so ``--resume`` (or
+``repro-sim runs resume``) continues an interrupted sweep — bit-identical
+to the serial run (see ``docs/RUNNER.md``).  ``repro-sim runs`` lists and
+inspects run journals.
+
 ``run`` and ``report`` accept ``--trace-out FILE`` (Chrome ``trace_event``
 JSON, loadable in Perfetto) and ``--metrics FILE`` (JSONL events +
 metrics); either flag attaches a ``repro.obs`` observer, which never
@@ -277,7 +284,10 @@ def cmd_report(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def _sweep_cells(args):
+    """The sweep's declarative plan (shared by both execution paths)."""
+    from repro.runner import Cell, sweep_cells
+
     disk_counts = _split_ints(args.disks, "disks")
     policies = (
         _split_list(args.policies, "policies", allowed=POLICIES)
@@ -286,19 +296,135 @@ def cmd_sweep(args) -> int:
     faults = _fault_schedule(args)
     setting = _setting(args)
     if faults is None:
-        results = sweep_policies(
+        return sweep_cells(
             setting, args.trace, policies, disk_counts,
             tuned_reverse=args.tuned_reverse,
         )
-    else:
-        results = [
-            run_one(setting, args.trace, policy, disks,
-                    config_overrides={"faults": faults})
-            for policy in policies
-            for disks in disk_counts
-        ]
+    return [
+        Cell.from_setting(setting, args.trace, policy, disks,
+                          config_overrides={"faults": faults})
+        for policy in policies
+        for disks in disk_counts
+    ]
+
+
+def cmd_sweep(args) -> int:
+    supervised = (
+        args.jobs is not None or args.resume or args.journal is not None
+        or args.timeout_s is not None or args.max_minutes is not None
+    )
+    if supervised:
+        return _cmd_sweep_supervised(args)
+    from repro.runner import execute_cells
+
+    results = [outcome.result for outcome in execute_cells(_sweep_cells(args))]
     print(format_breakdown_table(results))
     return 0
+
+
+def _cmd_sweep_supervised(args) -> int:
+    """Journaled, resumable, parallel sweep (docs/RUNNER.md)."""
+    from repro.obs import MetricsRegistry
+    from repro.runner import (
+        default_journal_dir,
+        format_failure,
+        run_plan,
+        write_json_atomic,
+    )
+
+    cells = _sweep_cells(args)
+    journal_dir = args.journal or default_journal_dir(cells)
+    metrics = MetricsRegistry()
+
+    def progress(record, done, total):
+        status = record["status"]
+        detail = (
+            f"digest={record['digest'][:12]} {record.get('wall_s', 0):.2f}s"
+            if status == "ok"
+            else f"{record.get('failure')}: {record['error']['message']}"
+        )
+        print(f"[{done}/{total}] {status:6s} {record['cell_id']}  {detail}")
+
+    report = run_plan(
+        cells,
+        journal_dir=journal_dir,
+        jobs=args.jobs or 1,
+        timeout_s=args.timeout_s,
+        max_retries=args.retries,
+        retry_backoff_s=args.retry_backoff_s,
+        resume=args.resume,
+        max_minutes=args.max_minutes,
+        metrics=metrics,
+        progress=progress,
+        argv=getattr(args, "_raw_argv", None),
+    )
+    results = [result for result in report.results() if result is not None]
+    if results:
+        print()
+        print(format_breakdown_table(results))
+    if report.skipped:
+        print(f"resumed: skipped {report.skipped} completed cells")
+    if report.failures:
+        print(f"{len(report.failures)} cells failed:")
+        for record in report.failures:
+            print(format_failure(record))
+    if report.stop_reason is not None:
+        print(
+            f"sweep {report.status} — journal saved to {journal_dir}; "
+            f"continue with --resume (or: repro-sim runs resume "
+            f"{journal_dir})"
+        )
+    counters = ", ".join(
+        f"{name}={value}"
+        for name, value in sorted(report.counters.items()) if value
+    )
+    print(f"runner: {counters or 'nothing to do'}  [journal: {journal_dir}]")
+    if args.runner_metrics is not None:
+        write_json_atomic(args.runner_metrics, metrics.to_dict())
+        print(f"wrote runner metrics to {args.runner_metrics}")
+    return report.exit_code
+
+
+def cmd_runs(args) -> int:
+    """List, inspect, and resume run journals."""
+    import os
+
+    from repro.runner import (
+        Journal,
+        format_run_detail,
+        format_runs_table,
+        resume_argv,
+    )
+
+    if args.runs_action == "list":
+        print(format_runs_table(args.root))
+        return 0
+
+    directory = args.run
+    if not os.path.isdir(directory):
+        candidate = os.path.join(args.root, directory)
+        if os.path.isdir(candidate):
+            directory = candidate
+        else:
+            raise SystemExit(
+                f"no run journal at {args.run!r} or {candidate!r} "
+                f"(try: repro-sim runs list --root {args.root})"
+            )
+    journal = Journal(directory)
+
+    if args.runs_action == "show":
+        print(format_run_detail(journal, verbose=args.verbose))
+        return 0
+
+    # resume: re-issue the creating sweep command with --resume appended.
+    argv = resume_argv(journal)
+    if argv is None:
+        raise SystemExit(
+            f"{directory}: manifest records no creating command; re-run the "
+            "original sweep with --resume and --journal pointing here"
+        )
+    print(f"resuming: repro-sim {' '.join(argv)}")
+    return main(argv)
 
 
 def cmd_figure(args) -> int:
@@ -456,6 +582,67 @@ def main(argv=None) -> int:
         "--tuned-reverse", action="store_true",
         help="grid-search reverse aggressive's parameters per disk count",
     )
+    runner_group = sweep_parser.add_argument_group(
+        "supervised runner (docs/RUNNER.md)"
+    )
+    runner_group.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="run cells on N supervised worker processes with a crash-safe "
+        "journal (default: in-process, unjournaled)",
+    )
+    runner_group.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="journal directory (default: runs/run-<planhash>, so the same "
+        "sweep command finds its own journal)",
+    )
+    runner_group.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already completed in the journal; re-run failures",
+    )
+    runner_group.add_argument(
+        "--timeout-s", type=float, default=None, metavar="S",
+        help="kill any cell running longer than S seconds and record a "
+        "structured timeout failure (the sweep continues)",
+    )
+    runner_group.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry budget for cells whose worker process crashes "
+        "(exceptions are deterministic and never retried; default 2)",
+    )
+    runner_group.add_argument(
+        "--retry-backoff-s", type=float, default=0.5, metavar="S",
+        help="base backoff before a crash retry (doubles per attempt)",
+    )
+    runner_group.add_argument(
+        "--max-minutes", type=float, default=None, metavar="M",
+        help="stop dispatching after M minutes, drain in-flight cells, and "
+        "exit resumable (code 76)",
+    )
+    runner_group.add_argument(
+        "--runner-metrics", default=None, metavar="FILE",
+        help="write runner counters (repro.obs metrics) as JSON",
+    )
+
+    runs_parser = sub.add_parser(
+        "runs", help="list, inspect, and resume sweep run journals"
+    )
+    runs_sub = runs_parser.add_subparsers(dest="runs_action", required=True)
+    runs_list = runs_sub.add_parser("list", help="summarize runs under --root")
+    runs_list.add_argument("--root", default="runs")
+    runs_show = runs_sub.add_parser(
+        "show", help="manifest, digests, and outstanding failures of one run"
+    )
+    runs_show.add_argument("run", help="run directory (or name under --root)")
+    runs_show.add_argument("--root", default="runs")
+    runs_show.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="include failure tracebacks",
+    )
+    runs_resume = runs_sub.add_parser(
+        "resume", help="re-issue a journaled sweep command with --resume"
+    )
+    runs_resume.add_argument("run", help="run directory (or name under --root)")
+    runs_resume.add_argument("--root", default="runs")
 
     figure_parser = sub.add_parser(
         "figure", help="render a paper-style stacked-bar figure"
@@ -519,6 +706,9 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
+    # The raw argv is journaled by supervised sweeps so `repro-sim runs
+    # resume` can re-issue the exact creating command.
+    args._raw_argv = list(argv) if argv is not None else sys.argv[1:]
     handler = {
         "traces": cmd_traces,
         "run": cmd_run,
@@ -530,6 +720,7 @@ def main(argv=None) -> int:
         "export": cmd_export,
         "report": cmd_report,
         "lint": run_lint,
+        "runs": cmd_runs,
     }
     return handler[args.command](args)
 

@@ -156,11 +156,21 @@ class WallClockRule(Rule):
     #: simulator's own wall-clock cost; ``repro.obs.export`` may stamp trace
     #: files with the *generation* time (``stamp=True``) — simulated
     #: timestamps inside the trace still come only from the event loop.
-    _ALLOWED = ("repro.perf", "repro.obs.export")
+    #: ``repro.runner`` is orchestration, not simulation: it times cells,
+    #: enforces per-cell timeouts, and backs off crash retries against the
+    #: host clock, and its bit-identity tests prove none of that can leak
+    #: into simulated results.
+    _ALLOWED = ("repro.perf", "repro.obs.export", "repro.runner")
 
     def applies_to(self, module: LintModule) -> bool:
-        return module.module.startswith("repro") and not module.module.startswith(
-            self._ALLOWED
+        name = module.module
+        if not name.startswith("repro"):
+            return False
+        # Package-boundary match: "repro.runner.pool" is exempt,
+        # "repro.runners" is not.
+        return not any(
+            name == allowed or name.startswith(allowed + ".")
+            for allowed in self._ALLOWED
         )
 
     def check(self, module: LintModule) -> Iterator[Finding]:

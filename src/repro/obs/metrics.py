@@ -167,6 +167,17 @@ class MetricsRegistry:
             histogram = self.histograms[name] = Histogram(name, bounds)
         return histogram
 
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Shorthand for ``registry.counter(name).inc(amount)`` (the common
+        case for ``repro.runner``'s supervision counters)."""
+        self.counter(name).inc(amount)
+
+    def merge_counters(self, values: Dict[str, int], prefix: str = "") -> None:
+        """Fold a plain ``{name: count}`` mapping (e.g. a pool's counter
+        snapshot) into this registry, optionally under a prefix."""
+        for name, value in values.items():
+            self.counter(f"{prefix}{name}").inc(value)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "counters": {name: c.value for name, c in self.counters.items()},

@@ -1,0 +1,167 @@
+"""Crash-safe run journals: append-only fsynced JSONL + atomic manifest.
+
+A run directory holds two files:
+
+``journal.jsonl``
+    One JSON record per line, appended and fsynced as each cell finishes
+    (``{"v": 1, "kind": "cell", "hash": …, "status": "ok"|"failed", …}``).
+    A run killed at any instant leaves at worst one truncated final line,
+    which the loader skips — every fully written record survives.
+
+``manifest.json``
+    Plan-level metadata (plan hash, cell count, creating argv, status),
+    rewritten atomically (tmp + ``os.replace``) so readers never observe
+    a torn manifest.
+
+``--resume`` keys on the cell **config hash** (see
+:mod:`repro.runner.plan`): completed cells are skipped, failed or missing
+cells re-run.  See ``docs/RUNNER.md`` for the full schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+JOURNAL_NAME = "journal.jsonl"
+MANIFEST_NAME = "manifest.json"
+
+#: Journal/manifest schema version.
+SCHEMA_VERSION = 1
+
+
+def write_json_atomic(path: str, payload: Any, indent: int = 2) -> None:
+    """Write JSON durably: tmp file in the same directory, fsync, rename.
+
+    A process killed mid-write can never leave a truncated file at
+    ``path`` — it either has the old content or the new.  Benchmarks use
+    this for ``BENCH_*.json`` baselines so a killed run cannot poison
+    later ``--baseline`` gating.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = os.path.join(directory, f".{os.path.basename(path)}.tmp")
+    with open(tmp_path, "w") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    _fsync_dir(directory)
+
+
+def _fsync_dir(directory: str) -> None:
+    """Durably record a rename/append in the directory entry (best effort;
+    some filesystems refuse O_RDONLY directory fds)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class Journal:
+    """One run directory: append-only cell records plus a manifest."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.journal_path = os.path.join(directory, JOURNAL_NAME)
+        self.manifest_path = os.path.join(directory, MANIFEST_NAME)
+        self._handle = None
+
+    # -- manifest ---------------------------------------------------------
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        manifest = dict(manifest)
+        manifest.setdefault("v", SCHEMA_VERSION)
+        write_json_atomic(self.manifest_path, manifest)
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.manifest_path) as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # -- journal ----------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record and fsync before returning: once ``append``
+        returns, the record survives any crash."""
+        record = dict(record)
+        record.setdefault("v", SCHEMA_VERSION)
+        if self._handle is None:
+            os.makedirs(self.directory, exist_ok=True)
+            self._handle = open(self.journal_path, "a")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every fully written record, oldest first.  A torn final line
+        (crash mid-append) is skipped, not fatal."""
+        records = []
+        try:
+            with open(self.journal_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        continue  # torn tail of a killed run
+        except OSError:
+            pass
+        return records
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Latest successful record per config hash (resume skip-set)."""
+        done: Dict[str, Dict[str, Any]] = {}
+        for record in self.records():
+            if record.get("kind") == "cell" and record.get("status") == "ok":
+                done[record["hash"]] = record
+        return done
+
+    def failures(self) -> List[Dict[str, Any]]:
+        """Failure records whose cells never subsequently succeeded."""
+        done = self.completed()
+        failures: Dict[str, Dict[str, Any]] = {}
+        for record in self.records():
+            if record.get("kind") != "cell":
+                continue
+            if record.get("status") == "failed" and record["hash"] not in done:
+                failures[record["hash"]] = record
+        return list(failures.values())
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+def list_runs(root: str) -> List[Journal]:
+    """Journals under ``root``, sorted by directory name."""
+    journals = []
+    try:
+        entries = sorted(os.listdir(root))
+    except OSError:
+        return []
+    for name in entries:
+        directory = os.path.join(root, name)
+        if os.path.isfile(os.path.join(directory, MANIFEST_NAME)) or \
+                os.path.isfile(os.path.join(directory, JOURNAL_NAME)):
+            journals.append(Journal(directory))
+    return journals

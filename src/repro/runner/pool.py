@@ -1,0 +1,340 @@
+"""Supervised worker pool: fan cells out, survive the workers.
+
+The pool owns long-lived worker processes (fork start method where
+available, so each worker inherits the parent's warm imports and any
+test-registered cell kinds) and supervises them:
+
+* **per-cell timeout** — a cell running longer than ``timeout_s`` gets its
+  worker killed, a structured ``timeout`` failure record, and a fresh
+  worker; the rest of the sweep continues.
+* **crash retry** — a worker that dies mid-cell (OOM kill, segfault,
+  ``os._exit``) is respawned and the cell retried up to ``max_retries``
+  times with exponential backoff; exhausted retries become a ``crash``
+  failure record.  In-worker Python exceptions are *not* retried — the
+  simulator is deterministic, so they would fail identically — and are
+  recorded immediately with their traceback.
+* **graceful stop** — ``request_stop`` (wired to SIGINT/SIGTERM by
+  :func:`repro.runner.runner.run_plan`) stops dispatching, drains cells
+  already in flight, and leaves the remainder for ``--resume``.
+
+Records are emitted to a callback the moment each cell reaches a terminal
+state, so the journal is fsynced continuously, not at the end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.runner.execute import execute_cell
+from repro.runner.plan import Cell
+
+#: How long a killed worker gets to die before escalating to SIGKILL.
+_KILL_GRACE_S = 2.0
+#: Supervisor poll granularity.
+_POLL_S = 0.05
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """Worker loop: receive (cell, attempt), execute, send the record.
+
+    Workers ignore SIGINT so a terminal Ctrl-C (delivered to the whole
+    foreground process group) lets the *parent* coordinate the drain
+    instead of killing cells mid-flight.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if task is None:
+            return
+        cell, attempt = task
+        record: Dict[str, Any]
+        try:
+            outcome = execute_cell(cell)
+            record = {
+                "status": "ok",
+                "digest": outcome.digest,
+                "wall_s": round(outcome.wall_s, 6),
+                "result_obj": outcome.result,
+                # Full-precision serialization for the journal: resumed
+                # runs rebuild SimulationResult(**record["result"]) and
+                # the digest pins every float, so nothing is lost.
+                "result": dataclasses.asdict(outcome.result),
+            }
+        except Exception as exc:  # report as a failure record, don't die
+            record = {
+                "status": "failed",
+                "failure": "exception",
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                },
+            }
+        record.update(
+            kind="cell",
+            hash=cell.config_hash,
+            cell_id=cell.cell_id,
+            cell=cell.to_dict(),
+            attempt=attempt,
+            worker=worker_id,
+        )
+        try:
+            conn.send(record)
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _pool_context():
+    """fork where the platform has it (warm imports, test-kind
+    inheritance); the default context elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-fork platforms
+        return multiprocessing.get_context()
+
+
+class _Worker:
+    """One supervised worker process and its dedicated duplex pipe."""
+
+    def __init__(self, context, worker_id: int) -> None:
+        self.id = worker_id
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = context.Process(
+            target=_worker_main, args=(child_conn, worker_id), daemon=True
+        )
+        self.process.start()
+        child_conn.close()  # parent copy; EOF must reach us when it dies
+        self.task: Optional[Tuple[Cell, int]] = None
+        self.started_at: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def dispatch(self, cell: Cell, attempt: int) -> None:
+        self.task = (cell, attempt)
+        self.started_at = time.monotonic()
+        self.conn.send((cell, attempt))
+
+    def kill(self) -> None:
+        """Terminate, escalating to SIGKILL after a short grace."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_KILL_GRACE_S)
+            if self.process.is_alive():  # pragma: no cover — stuck in D state
+                self.process.kill()
+                self.process.join(_KILL_GRACE_S)
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        """Polite stop for an idle worker."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(_KILL_GRACE_S)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+
+@dataclass
+class PoolStatus:
+    """What the pool did and why it returned."""
+
+    stop_reason: Optional[str] = None  # None | "signal" | "deadline"
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Cells never dispatched (stop/deadline); candidates for --resume.
+    not_run: List[Cell] = field(default_factory=list)
+
+
+class SupervisedPool:
+    """Run cells on ``jobs`` supervised workers; emit terminal records."""
+
+    def __init__(
+        self,
+        jobs: int,
+        timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.5,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self._stop_reason: Optional[str] = None
+        self._context = _pool_context()
+        self._next_worker_id = 0
+        self.counters: Dict[str, int] = {
+            "dispatched": 0, "ok": 0, "failed": 0, "timeouts": 0,
+            "crashes": 0, "retries": 0, "respawns": 0,
+        }
+
+    def request_stop(self, reason: str = "signal") -> None:
+        """Stop dispatching; drain in-flight cells, then return."""
+        if self._stop_reason is None:
+            self._stop_reason = reason
+
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self._context, self._next_worker_id)
+        self._next_worker_id += 1
+        return worker
+
+    def _failure_record(self, cell: Cell, attempt: int, failure: str,
+                        error: Dict[str, str]) -> Dict[str, Any]:
+        return {
+            "kind": "cell",
+            "hash": cell.config_hash,
+            "cell_id": cell.cell_id,
+            "cell": cell.to_dict(),
+            "status": "failed",
+            "failure": failure,
+            "attempt": attempt,
+            "error": error,
+        }
+
+    def run(
+        self,
+        cells: List[Cell],
+        emit: Callable[[Dict[str, Any]], None],
+        deadline_monotonic: Optional[float] = None,
+    ) -> PoolStatus:
+        """Execute ``cells``; call ``emit`` once per terminal record."""
+        # (cell, attempt, not_before): retries wait out their backoff.
+        pending: Deque[Tuple[Cell, int, float]] = deque(
+            (cell, 1, 0.0) for cell in cells
+        )
+        workers = [self._spawn() for _ in range(min(self.jobs, max(1, len(cells))))]
+
+        def handle_terminal(record: Dict[str, Any]) -> None:
+            self.counters["ok" if record["status"] == "ok" else "failed"] += 1
+            emit(record)
+
+        def handle_crash(worker: _Worker, failure: str,
+                         error_type: str, message: str) -> None:
+            cell, attempt = worker.task  # type: ignore[misc]
+            worker.task = None
+            retryable = failure == "crash"
+            if retryable and attempt <= self.max_retries:
+                self.counters["retries"] += 1
+                backoff = self.retry_backoff_s * (2.0 ** (attempt - 1))
+                pending.appendleft((cell, attempt + 1,
+                                    time.monotonic() + backoff))
+            else:
+                handle_terminal(self._failure_record(
+                    cell, attempt, failure,
+                    {"type": error_type, "message": message, "traceback": ""},
+                ))
+
+        try:
+            while True:
+                now = time.monotonic()
+                if (deadline_monotonic is not None and now >= deadline_monotonic
+                        and self._stop_reason is None):
+                    self._stop_reason = "deadline"
+                if self._stop_reason is not None:
+                    pending_drained = not any(w.busy for w in workers)
+                    if pending_drained:
+                        break
+                else:
+                    # Dispatch to idle workers (respecting retry backoff).
+                    for worker in workers:
+                        if worker.busy or not pending:
+                            continue
+                        ready_idx = next(
+                            (i for i, (_, _, nb) in enumerate(pending)
+                             if nb <= now),
+                            None,
+                        )
+                        if ready_idx is None:
+                            break
+                        pending.rotate(-ready_idx)
+                        cell, attempt, _ = pending.popleft()
+                        pending.rotate(ready_idx)
+                        worker.dispatch(cell, attempt)
+                        self.counters["dispatched"] += 1
+                    if not pending and not any(w.busy for w in workers):
+                        break
+
+                # Collect results (or EOFs from dead workers).
+                busy_conns = {w.conn: w for w in workers if w.busy}
+                if busy_conns:
+                    ready = multiprocessing.connection.wait(
+                        list(busy_conns), timeout=_POLL_S
+                    )
+                    for conn in ready:
+                        worker = busy_conns[conn]
+                        try:
+                            record = conn.recv()
+                        except (EOFError, OSError):
+                            self.counters["crashes"] += 1
+                            self.counters["respawns"] += 1
+                            exitcode = worker.process.exitcode
+                            cell_id = worker.task[0].cell_id  # type: ignore[index]
+                            worker.process.join(_KILL_GRACE_S)
+                            worker.conn.close()
+                            replacement = self._spawn()
+                            handle_crash(
+                                worker, "crash", "WorkerCrashed",
+                                f"worker {worker.id} exited with code "
+                                f"{exitcode} while running {cell_id}",
+                            )
+                            workers[workers.index(worker)] = replacement
+                            continue
+                        worker.task = None
+                        handle_terminal(record)
+                else:
+                    time.sleep(_POLL_S)
+
+                # Hung-cell detection: kill, record, respawn.
+                if self.timeout_s is not None:
+                    now = time.monotonic()
+                    for index, worker in enumerate(workers):
+                        if not worker.busy:
+                            continue
+                        if now - worker.started_at <= self.timeout_s:
+                            continue
+                        self.counters["timeouts"] += 1
+                        self.counters["respawns"] += 1
+                        cell, attempt = worker.task
+                        worker.kill()
+                        workers[index] = self._spawn()
+                        worker.task = None
+                        handle_terminal(self._failure_record(
+                            cell, attempt, "timeout",
+                            {
+                                "type": "CellTimeout",
+                                "message": (
+                                    f"{cell.cell_id} exceeded the per-cell "
+                                    f"timeout of {self.timeout_s}s "
+                                    f"(attempt {attempt})"
+                                ),
+                                "traceback": "",
+                            },
+                        ))
+        finally:
+            for worker in workers:
+                worker.shutdown()
+
+        return PoolStatus(
+            stop_reason=self._stop_reason,
+            counters=dict(self.counters),
+            not_run=[cell for cell, _, _ in pending],
+        )

@@ -1,0 +1,111 @@
+"""Human-readable views of run journals (the ``repro-sim runs`` command)."""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.runner.journal import Journal, list_runs
+
+
+def _manifest_row(journal: Journal) -> Dict[str, Any]:
+    manifest = journal.read_manifest() or {}
+    completed = journal.completed()
+    failures = journal.failures()
+    return {
+        "name": os.path.basename(journal.directory.rstrip(os.sep)),
+        "status": manifest.get("status", "unknown"),
+        "cells": manifest.get("cells", "?"),
+        "completed": len(completed),
+        "failed": len(failures),
+        "plan_hash": (manifest.get("plan_hash") or "")[:12],
+        "updated": manifest.get("updated", ""),
+    }
+
+
+def format_runs_table(root: str) -> str:
+    """One line per run directory under ``root``."""
+    journals = list_runs(root)
+    if not journals:
+        return f"no runs under {root}/"
+    header = ("run", "status", "done", "failed", "plan", "updated")
+    rows = []
+    for journal in journals:
+        row = _manifest_row(journal)
+        rows.append((
+            row["name"], row["status"],
+            f"{row['completed']}/{row['cells']}", str(row["failed"]),
+            row["plan_hash"], row["updated"],
+        ))
+    widths = [
+        max(len(header[i]), max(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_failure(record: Dict[str, Any], verbose: bool = False) -> str:
+    """One failure record, message first, traceback only when asked."""
+    error = record.get("error", {})
+    line = (
+        f"  {record.get('cell_id', record.get('hash', '?'))}: "
+        f"{record.get('failure', 'exception')} — "
+        f"{error.get('type', '?')}: {error.get('message', '')}"
+        f" (attempt {record.get('attempt', '?')})"
+    )
+    if verbose and error.get("traceback"):
+        indented = "\n".join(
+            "    " + l for l in error["traceback"].rstrip().splitlines()
+        )
+        line += "\n" + indented
+    return line
+
+
+def format_run_detail(journal: Journal, verbose: bool = False) -> str:
+    """Manifest summary, per-cell digests, and outstanding failures."""
+    manifest = journal.read_manifest() or {}
+    completed = journal.completed()
+    failures = journal.failures()
+    lines = [f"run {journal.directory}"]
+    for key in ("status", "plan_hash", "cells", "jobs", "created", "updated"):
+        if key in manifest:
+            lines.append(f"  {key}: {manifest[key]}")
+    if manifest.get("argv"):
+        lines.append(f"  argv: {' '.join(manifest['argv'])}")
+    counters = ", ".join(
+        f"{k}={v}"
+        for k, v in sorted((manifest.get("counters") or {}).items()) if v
+    )
+    if counters:
+        lines.append(f"  counters: {counters}")
+    lines.append(f"completed cells ({len(completed)}):")
+    for record in sorted(completed.values(), key=lambda r: r.get("cell_id", "")):
+        wall = record.get("wall_s")
+        wall_text = f" {wall:.3f}s" if isinstance(wall, (int, float)) else ""
+        lines.append(
+            f"  {record.get('cell_id', record['hash'])}"
+            f"  digest={record['digest'][:12]}{wall_text}"
+        )
+    if failures:
+        lines.append(f"outstanding failures ({len(failures)}):")
+        for record in failures:
+            lines.append(format_failure(record, verbose=verbose))
+    return "\n".join(lines)
+
+
+def resume_argv(journal: Journal) -> Optional[List[str]]:
+    """The CLI argv that re-runs this journal's sweep with ``--resume``."""
+    manifest = journal.read_manifest() or {}
+    argv = manifest.get("argv")
+    if not argv:
+        return None
+    argv = list(argv)
+    if "--resume" not in argv:
+        argv.append("--resume")
+    return argv

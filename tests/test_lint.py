@@ -151,6 +151,27 @@ class TestWallClock:
         """
         assert rules_hit(src, module="repro.obs.export") == set()
 
+    def test_runner_pool_exempt(self):
+        # repro.runner is orchestration, not simulation: timeouts, retry
+        # backoff, and deadlines are wall-clock by nature.  The golden
+        # digest tests prove no host time leaks into results.
+        src = """
+        import time
+
+        deadline = time.monotonic() + 60.0
+        """
+        assert rules_hit(src, module="repro.runner.pool") == set()
+
+    def test_runner_prefix_not_exempt(self):
+        # The allowlist is prefix-per-package, not substring: a module
+        # merely named like the runner is still checked.
+        src = """
+        import time
+
+        start = time.monotonic()
+        """
+        assert rules_hit(src, module="repro.runners") == {"SL002"}
+
     def test_obs_observer_not_exempt(self):
         # The allowlist covers only the exporter — the observer itself
         # records simulated time and must never touch the host clock.
