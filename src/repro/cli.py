@@ -12,6 +12,7 @@ Subcommands::
     repro-sim export -t ld -o ld.trace      # write a workload to a file
     repro-sim lint src/repro                # simlint determinism analysis
     repro-sim report -t ld -p forestall     # stall attribution + worst stalls
+    repro-sim serve --store svc-store       # crash-safe simulation service
 
 Use ``--scale`` to shrink workloads for quick experiments.  ``run`` and
 ``sweep`` accept ``--fault-*`` flags to inject transient read errors,
@@ -427,6 +428,31 @@ def cmd_runs(args) -> int:
     return main(argv)
 
 
+def cmd_serve(args) -> int:
+    """Run the crash-safe simulation service (docs/SERVICE.md)."""
+    from repro.svc import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        store_dir=args.store,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        request_timeout_s=args.request_timeout_s,
+        cell_timeout_s=args.timeout_s,
+        max_retries=args.retries,
+        retry_backoff_s=args.retry_backoff_s,
+        breaker_failures=args.breaker_failures,
+        breaker_reset_s=args.breaker_reset_s,
+        store_max_entries=args.store_max_entries,
+    )
+    deadline_s = args.max_minutes * 60.0 if args.max_minutes else None
+    print(
+        f"repro-sim service on http://{args.host}:{args.port} "
+        f"(store: {args.store}, {args.jobs} workers) — "
+        "POST /v1/cells, GET /v1/status; Ctrl-C drains gracefully"
+    )
+    return serve_forever(config, args.host, args.port, deadline_s)
+
+
 def cmd_figure(args) -> int:
     disk_counts = _split_ints(args.disks, "disks")
     policies = (
@@ -547,6 +573,9 @@ def main(argv=None) -> int:
         prog="repro-sim",
         description="Trace-driven parallel prefetching/caching simulator "
         "(Kimbrel et al., OSDI 1996 reproduction)",
+        epilog="exit codes: 0 success; 1 failed cells; 75 interrupted "
+        "by a signal, resumable with --resume (sweep) or from the result "
+        "store (serve); 76 stopped at --max-minutes, equally resumable.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -621,6 +650,72 @@ def main(argv=None) -> int:
     runner_group.add_argument(
         "--runner-metrics", default=None, metavar="FILE",
         help="write runner counters (repro.obs metrics) as JSON",
+    )
+    sweep_parser.epilog = (
+        "exit codes: 0 all cells completed; 1 some cells failed; "
+        "75 interrupted by SIGINT/SIGTERM after a graceful drain "
+        "(resume with --resume); 76 stopped at --max-minutes "
+        "(also resumable)."
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve simulations over HTTP with a crash-safe result store",
+        description="A long-lived simulation service: cells arrive as "
+        "JSON over HTTP, results are cached in a content-addressed store "
+        "(an identical request is O(1) and bit-identical), identical "
+        "in-flight requests are coalesced, and overload answers 429/503 "
+        "instead of queueing without bound (docs/SERVICE.md).",
+        epilog="exit codes: 75 drained after SIGINT/SIGTERM — restart "
+        "resumes from the store; 76 drained at --max-minutes.",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642)
+    serve_parser.add_argument(
+        "--store", default="svc-store", metavar="DIR",
+        help="result store directory (default: svc-store)",
+    )
+    serve_parser.add_argument(
+        "--jobs", "-j", type=int, default=2, metavar="N",
+        help="supervised worker processes (default 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="admission limit: cells in the system before 429 (default 32)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout-s", type=float, default=120.0, metavar="S",
+        help="per-request timeout before 504 (default 120)",
+    )
+    serve_parser.add_argument(
+        "--timeout-s", type=float, default=None, metavar="S",
+        help="per-cell compute timeout (kills and respawns the worker)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="crash retry budget per cell (default 2)",
+    )
+    serve_parser.add_argument(
+        "--retry-backoff-s", type=float, default=0.5, metavar="S",
+        help="base crash-retry backoff, doubling per attempt (default 0.5)",
+    )
+    serve_parser.add_argument(
+        "--breaker-failures", type=int, default=5, metavar="N",
+        help="consecutive crash/timeouts that trip the circuit breaker "
+        "(default 5)",
+    )
+    serve_parser.add_argument(
+        "--breaker-reset-s", type=float, default=30.0, metavar="S",
+        help="open-breaker cooldown before a half-open probe (default 30)",
+    )
+    serve_parser.add_argument(
+        "--store-max-entries", type=int, default=None, metavar="N",
+        help="bound store residency; beyond it the least recently used "
+        "result is evicted (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--max-minutes", type=float, default=None, metavar="M",
+        help="drain and exit 76 after M minutes (smoke tests, cron)",
     )
 
     runs_parser = sub.add_parser(
@@ -721,6 +816,7 @@ def main(argv=None) -> int:
         "report": cmd_report,
         "lint": run_lint,
         "runs": cmd_runs,
+        "serve": cmd_serve,
     }
     return handler[args.command](args)
 

@@ -159,8 +159,12 @@ class WallClockRule(Rule):
     #: ``repro.runner`` is orchestration, not simulation: it times cells,
     #: enforces per-cell timeouts, and backs off crash retries against the
     #: host clock, and its bit-identity tests prove none of that can leak
-    #: into simulated results.
-    _ALLOWED = ("repro.perf", "repro.obs.export", "repro.runner")
+    #: into simulated results.  ``repro.svc`` is the same kind of
+    #: orchestration one layer up — request timeouts, breaker cooldowns,
+    #: and request-latency histograms are host-clock by nature, and the
+    #: service's bit-identity chaos tests prove results stay unaffected.
+    _ALLOWED = ("repro.perf", "repro.obs.export", "repro.runner",
+                "repro.svc")
 
     def applies_to(self, module: LintModule) -> bool:
         name = module.module

@@ -18,6 +18,12 @@ SERVICE_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0, 100.0)
 DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 #: Default bucket upper bounds for victim forward distances (references).
 DISTANCE_BUCKETS = (4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+#: Default bucket upper bounds (ms) for service request latencies: store
+#: hits land in the low buckets, computed cells in the high ones
+#: (``repro.svc`` reads a real clock for these — allowlisted by SL002).
+REQUEST_BUCKETS_MS = (
+    1.0, 5.0, 25.0, 100.0, 500.0, 2000.0, 10000.0, 60000.0, 300000.0,
+)
 
 
 def occupancy_buckets(capacity: int, steps: int = 8) -> List[float]:

@@ -17,7 +17,12 @@ from repro.runner.execute import (
     scaled_policy_kwargs,
     validate_names,
 )
-from repro.runner.journal import Journal, list_runs, write_json_atomic
+from repro.runner.journal import (
+    Journal,
+    list_runs,
+    sweep_stale_tmp,
+    write_json_atomic,
+)
 from repro.runner.plan import (
     Cell,
     baseline_cells,
@@ -69,6 +74,7 @@ __all__ = [
     "run_plan",
     "scaled_policy_kwargs",
     "sweep_cells",
+    "sweep_stale_tmp",
     "tuned_reverse_cell",
     "validate_names",
     "write_json_atomic",

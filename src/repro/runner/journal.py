@@ -31,6 +31,31 @@ MANIFEST_NAME = "manifest.json"
 SCHEMA_VERSION = 1
 
 
+def sweep_stale_tmp(directory: str) -> int:
+    """Remove orphaned ``.*.tmp`` files left by a crash mid-
+    :func:`write_json_atomic` (killed between tmp-write and ``os.replace``).
+
+    Callers invoke this when they *open* a run directory or store shard —
+    never concurrently with a live writer, which is the same single-writer
+    assumption the fixed tmp name already makes.  Returns the number of
+    stale files removed.
+    """
+    removed = 0
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return 0
+    for name in entries:
+        if not (name.startswith(".") and name.endswith(".tmp")):
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
 def write_json_atomic(path: str, payload: Any, indent: int = 2) -> None:
     """Write JSON durably: tmp file in the same directory, fsync, rename.
 
@@ -74,10 +99,28 @@ class Journal:
         self.journal_path = os.path.join(directory, JOURNAL_NAME)
         self.manifest_path = os.path.join(directory, MANIFEST_NAME)
         self._handle = None
+        self._swept = False
+        #: Orphaned ``.*.tmp`` files removed when this journal first wrote
+        #: to its directory (a crash between tmp-write and rename).
+        self.swept_tmp = 0
+        #: Malformed lines skipped by the most recent :meth:`records` read.
+        #: A torn *final* line is the expected crash shape, but resume can
+        #: also append over a torn tail, leaving garbage mid-file — both
+        #: are skipped and counted here (runner metrics:
+        #: ``runner.journal_skipped_lines``).
+        self.skipped_lines = 0
+
+    def _open_directory(self) -> None:
+        """Create the run directory and sweep crash debris, once."""
+        os.makedirs(self.directory, exist_ok=True)
+        if not self._swept:
+            self._swept = True
+            self.swept_tmp = sweep_stale_tmp(self.directory)
 
     # -- manifest ---------------------------------------------------------
 
     def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        self._open_directory()
         manifest = dict(manifest)
         manifest.setdefault("v", SCHEMA_VERSION)
         write_json_atomic(self.manifest_path, manifest)
@@ -97,7 +140,7 @@ class Journal:
         record = dict(record)
         record.setdefault("v", SCHEMA_VERSION)
         if self._handle is None:
-            os.makedirs(self.directory, exist_ok=True)
+            self._open_directory()
             self._handle = open(self.journal_path, "a")
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
@@ -109,9 +152,16 @@ class Journal:
             self._handle = None
 
     def records(self) -> List[Dict[str, Any]]:
-        """Every fully written record, oldest first.  A torn final line
-        (crash mid-append) is skipped, not fatal."""
+        """Every fully written record, oldest first.
+
+        Malformed lines are skipped, not fatal, wherever they appear: a
+        crash mid-append leaves a torn *final* line, and a resumed run
+        appending after such a crash turns that torn tail into a malformed
+        *mid-file* line.  Each call recounts the skips into
+        :attr:`skipped_lines`.
+        """
         records = []
+        skipped = 0
         try:
             with open(self.journal_path) as handle:
                 for line in handle:
@@ -121,9 +171,10 @@ class Journal:
                     try:
                         records.append(json.loads(line))
                     except json.JSONDecodeError:
-                        continue  # torn tail of a killed run
+                        skipped += 1  # torn tail, or garbage appended over
         except OSError:
             pass
+        self.skipped_lines = skipped
         return records
 
     def completed(self) -> Dict[str, Dict[str, Any]]:

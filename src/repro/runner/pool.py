@@ -13,12 +13,27 @@ test-registered cell kinds) and supervises them:
   failure record.  In-worker Python exceptions are *not* retried — the
   simulator is deterministic, so they would fail identically — and are
   recorded immediately with their traceback.
+* **cooperative cancellation** — :meth:`SupervisedPool.cancel` (used by
+  ``repro.svc`` when a request times out or its client goes away) drops a
+  cell from the pending queue, or kills and respawns the worker running
+  it, emitting a structured ``cancelled`` record either way.
 * **graceful stop** — ``request_stop`` (wired to SIGINT/SIGTERM by
-  :func:`repro.runner.runner.run_plan`) stops dispatching, drains cells
-  already in flight, and leaves the remainder for ``--resume``.
+  :func:`repro.runner.runner.run_plan` and ``repro.svc``'s drain path)
+  stops dispatching, drains cells already in flight, and leaves the
+  remainder for ``--resume``.
+
+Two driving modes share one supervision loop: :meth:`SupervisedPool.run`
+executes a fixed plan and returns when it is done (sweeps), while
+:meth:`SupervisedPool.serve` runs until ``request_stop`` and accepts new
+cells at any time through the thread-safe :meth:`SupervisedPool.submit`
+(the simulation service).
 
 Records are emitted to a callback the moment each cell reaches a terminal
 state, so the journal is fsynced continuously, not at the end.
+
+The pool reads the host clock through an injectable ``clock`` callable
+(default ``time.monotonic``) so retry backoff and timeout scheduling are
+testable under a fake clock.
 """
 
 from __future__ import annotations
@@ -28,11 +43,12 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import signal
+import threading
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.runner.execute import execute_cell
 from repro.runner.plan import Cell
@@ -41,6 +57,30 @@ from repro.runner.plan import Cell
 _KILL_GRACE_S = 2.0
 #: Supervisor poll granularity.
 _POLL_S = 0.05
+
+#: Failure type recorded for cooperatively cancelled cells.
+FAILURE_CANCELLED = "cancelled"
+
+
+def _close_inherited_fds(keep: Set[int]) -> None:
+    """Close every fd a forked worker inherited except stdio and ``keep``.
+
+    Forked children copy *all* parent descriptors.  For batch sweeps that
+    is harmless, but the service forks (and respawns) workers while it
+    holds accepted sockets — a long-lived worker's copy would hold a
+    client connection open long after the parent sent its FIN, so clients
+    waiting for EOF would hang.  Standard preforking-server hygiene.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # pragma: no cover — no procfs
+        fds = list(range(3, 256))
+    for fd in fds:
+        if fd > 2 and fd not in keep:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
 
 
 def _worker_main(conn, worker_id: int) -> None:
@@ -52,6 +92,7 @@ def _worker_main(conn, worker_id: int) -> None:
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    _close_inherited_fds({conn.fileno()})
     while True:
         try:
             task = conn.recv()
@@ -125,9 +166,9 @@ class _Worker:
     def busy(self) -> bool:
         return self.task is not None
 
-    def dispatch(self, cell: Cell, attempt: int) -> None:
+    def dispatch(self, cell: Cell, attempt: int, now: float) -> None:
         self.task = (cell, attempt)
-        self.started_at = time.monotonic()
+        self.started_at = now
         self.conn.send((cell, attempt))
 
     def kill(self) -> None:
@@ -172,6 +213,7 @@ class SupervisedPool:
         timeout_s: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -179,18 +221,81 @@ class SupervisedPool:
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self._clock = clock
         self._stop_reason: Optional[str] = None
         self._context = _pool_context()
         self._next_worker_id = 0
+        # Pending work and cancellations may be touched from other threads
+        # (``repro.svc`` submits and cancels from its event loop while the
+        # supervision loop runs in a pool thread), so both live behind one
+        # lock.  (cell, attempt, not_before): retries wait out backoff.
+        self._lock = threading.Lock()
+        self._pending: Deque[Tuple[Cell, int, float]] = deque()
+        self._cancelled: Set[str] = set()
+        self._workers: List[_Worker] = []
         self.counters: Dict[str, int] = {
             "dispatched": 0, "ok": 0, "failed": 0, "timeouts": 0,
-            "crashes": 0, "retries": 0, "respawns": 0,
+            "crashes": 0, "retries": 0, "respawns": 0, "cancelled": 0,
         }
+
+    # -- external control (any thread) ------------------------------------
 
     def request_stop(self, reason: str = "signal") -> None:
         """Stop dispatching; drain in-flight cells, then return."""
         if self._stop_reason is None:
             self._stop_reason = reason
+
+    def submit(self, cell: Cell, attempt: int = 1) -> None:
+        """Queue one cell (thread-safe; the serve loop picks it up)."""
+        with self._lock:
+            self._pending.append((cell, attempt, 0.0))
+
+    def cancel(self, config_hash: str) -> bool:
+        """Cooperatively cancel the cell with ``config_hash``.
+
+        A pending cell is dropped before dispatch; a running cell gets its
+        worker killed and respawned.  Either way a structured
+        ``cancelled`` record is emitted.  Returns True when the hash
+        matched queued or in-flight work, False when there was nothing to
+        cancel (already terminal, or never submitted) — in which case no
+        cancellation is recorded, so a later resubmission of the same
+        hash is unaffected.
+        """
+        with self._lock:
+            queued = any(
+                cell.config_hash == config_hash
+                for cell, _, _ in self._pending
+            )
+            running = any(
+                worker.task is not None
+                and worker.task[0].config_hash == config_hash
+                for worker in self._workers
+            )
+            if queued or running:
+                self._cancelled.add(config_hash)
+                return True
+        return False
+
+    def queue_depth(self) -> int:
+        """Cells waiting for a worker (thread-safe snapshot)."""
+        with self._lock:
+            return len(self._pending)
+
+    # -- scheduling arithmetic (fake-clock testable) -----------------------
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before re-running a crash that happened on ``attempt``
+        (exponential: base, 2x base, 4x base, ...)."""
+        return self.retry_backoff_s * (2.0 ** (attempt - 1))
+
+    def _schedule_retry(self, cell: Cell, attempt: int) -> None:
+        """Re-queue a crashed cell at the head, gated by its backoff."""
+        self.counters["retries"] += 1
+        not_before = self._clock() + self.backoff_s(attempt)
+        with self._lock:
+            self._pending.appendleft((cell, attempt + 1, not_before))
+
+    # -- records -----------------------------------------------------------
 
     def _spawn(self) -> _Worker:
         worker = _Worker(self._context, self._next_worker_id)
@@ -210,6 +315,185 @@ class SupervisedPool:
             "error": error,
         }
 
+    def _cancel_record(self, cell: Cell, attempt: int) -> Dict[str, Any]:
+        return self._failure_record(
+            cell, attempt, FAILURE_CANCELLED,
+            {
+                "type": "CellCancelled",
+                "message": f"{cell.cell_id} was cancelled before completing "
+                           f"(attempt {attempt})",
+                "traceback": "",
+            },
+        )
+
+    def _emit_terminal(self, emit: Callable[[Dict[str, Any]], None],
+                       record: Dict[str, Any]) -> None:
+        self.counters["ok" if record["status"] == "ok" else "failed"] += 1
+        with self._lock:
+            self._cancelled.discard(record["hash"])
+        emit(record)
+
+    # -- supervision loop steps --------------------------------------------
+
+    def _next_ready(self, now: float) -> Optional[Tuple[Cell, int]]:
+        """Pop the first pending cell whose backoff has elapsed."""
+        with self._lock:
+            ready_idx = next(
+                (i for i, (_, _, nb) in enumerate(self._pending)
+                 if nb <= now),
+                None,
+            )
+            if ready_idx is None:
+                return None
+            self._pending.rotate(-ready_idx)
+            cell, attempt, _ = self._pending.popleft()
+            self._pending.rotate(ready_idx)
+            return cell, attempt
+
+    def _reap_cancelled_pending(
+        self, emit: Callable[[Dict[str, Any]], None]
+    ) -> None:
+        """Drop cancelled cells that are still queued."""
+        dropped: List[Tuple[Cell, int, float]] = []
+        with self._lock:
+            if not self._cancelled:
+                return
+            kept: Deque[Tuple[Cell, int, float]] = deque()
+            for item in self._pending:
+                if item[0].config_hash in self._cancelled:
+                    dropped.append(item)
+                else:
+                    kept.append(item)
+            self._pending = kept
+        for cell, attempt, _ in dropped:
+            self.counters["cancelled"] += 1
+            self._emit_terminal(emit, self._cancel_record(cell, attempt))
+
+    def _kill_cancelled(self, emit: Callable[[Dict[str, Any]], None]) -> None:
+        """Kill workers running cancelled cells; respawn and record."""
+        with self._lock:
+            if not self._cancelled:
+                return
+            cancelled = set(self._cancelled)
+        for index, worker in enumerate(self._workers):
+            if not worker.busy:
+                continue
+            cell, attempt = worker.task  # type: ignore[misc]
+            if cell.config_hash not in cancelled:
+                continue
+            self.counters["cancelled"] += 1
+            self.counters["respawns"] += 1
+            worker.kill()
+            self._workers[index] = self._spawn()
+            worker.task = None
+            self._emit_terminal(emit, self._cancel_record(cell, attempt))
+
+    def _dispatch(self, now: float) -> None:
+        """Hand ready pending cells to idle workers."""
+        for index, worker in enumerate(self._workers):
+            if worker.busy:
+                continue
+            task = self._next_ready(now)
+            if task is None:
+                break
+            cell, attempt = task
+            try:
+                worker.dispatch(cell, attempt, now)
+            except OSError:
+                # The worker died (e.g. SIGKILLed) between _collect's
+                # liveness check and this send.  The cell never started:
+                # requeue it at the same attempt — the death is not its
+                # failure — and replace the corpse.
+                worker.task = None
+                with self._lock:
+                    self._pending.appendleft((cell, attempt, 0.0))
+                self.counters["respawns"] += 1
+                worker.kill()
+                self._workers[index] = self._spawn()
+                continue
+            self.counters["dispatched"] += 1
+
+    def _handle_worker_failure(
+        self,
+        emit: Callable[[Dict[str, Any]], None],
+        worker: _Worker,
+        failure: str,
+        error_type: str,
+        message: str,
+    ) -> None:
+        """A worker died or was killed mid-cell: retry or record."""
+        cell, attempt = worker.task  # type: ignore[misc]
+        worker.task = None
+        if failure == "crash" and attempt <= self.max_retries:
+            self._schedule_retry(cell, attempt)
+        else:
+            self._emit_terminal(emit, self._failure_record(
+                cell, attempt, failure,
+                {"type": error_type, "message": message, "traceback": ""},
+            ))
+
+    def _collect(self, emit: Callable[[Dict[str, Any]], None]) -> None:
+        """Receive finished records (or EOFs from dead workers)."""
+        busy_conns = {w.conn: w for w in self._workers if w.busy}
+        if not busy_conns:
+            time.sleep(_POLL_S)
+            return
+        ready = multiprocessing.connection.wait(
+            list(busy_conns), timeout=_POLL_S
+        )
+        for conn in ready:
+            worker = busy_conns[conn]
+            try:
+                record = conn.recv()
+            except (EOFError, OSError):
+                self.counters["crashes"] += 1
+                self.counters["respawns"] += 1
+                exitcode = worker.process.exitcode
+                cell_id = worker.task[0].cell_id  # type: ignore[index]
+                worker.process.join(_KILL_GRACE_S)
+                worker.conn.close()
+                replacement = self._spawn()
+                self._handle_worker_failure(
+                    emit, worker, "crash", "WorkerCrashed",
+                    f"worker {worker.id} exited with code "
+                    f"{exitcode} while running {cell_id}",
+                )
+                self._workers[self._workers.index(worker)] = replacement
+                continue
+            worker.task = None
+            self._emit_terminal(emit, record)
+
+    def _expire_timeouts(self, emit: Callable[[Dict[str, Any]], None]) -> None:
+        """Kill, record, and respawn workers over the per-cell timeout."""
+        if self.timeout_s is None:
+            return
+        now = self._clock()
+        for index, worker in enumerate(self._workers):
+            if not worker.busy:
+                continue
+            if now - worker.started_at <= self.timeout_s:
+                continue
+            self.counters["timeouts"] += 1
+            self.counters["respawns"] += 1
+            cell, attempt = worker.task  # type: ignore[misc]
+            worker.kill()
+            self._workers[index] = self._spawn()
+            worker.task = None
+            self._emit_terminal(emit, self._failure_record(
+                cell, attempt, "timeout",
+                {
+                    "type": "CellTimeout",
+                    "message": (
+                        f"{cell.cell_id} exceeded the per-cell "
+                        f"timeout of {self.timeout_s}s "
+                        f"(attempt {attempt})"
+                    ),
+                    "traceback": "",
+                },
+            ))
+
+    # -- driving modes -----------------------------------------------------
+
     def run(
         self,
         cells: List[Cell],
@@ -217,124 +501,75 @@ class SupervisedPool:
         deadline_monotonic: Optional[float] = None,
     ) -> PoolStatus:
         """Execute ``cells``; call ``emit`` once per terminal record."""
-        # (cell, attempt, not_before): retries wait out their backoff.
-        pending: Deque[Tuple[Cell, int, float]] = deque(
-            (cell, 1, 0.0) for cell in cells
+        with self._lock:
+            self._pending.extend((cell, 1, 0.0) for cell in cells)
+        return self._supervise(
+            emit,
+            deadline_monotonic=deadline_monotonic,
+            workers_n=min(self.jobs, max(1, len(cells))),
+            persistent=False,
         )
-        workers = [self._spawn() for _ in range(min(self.jobs, max(1, len(cells))))]
 
-        def handle_terminal(record: Dict[str, Any]) -> None:
-            self.counters["ok" if record["status"] == "ok" else "failed"] += 1
-            emit(record)
+    def serve(
+        self,
+        emit: Callable[[Dict[str, Any]], None],
+        deadline_monotonic: Optional[float] = None,
+    ) -> PoolStatus:
+        """Service mode: supervise until :meth:`request_stop`.
 
-        def handle_crash(worker: _Worker, failure: str,
-                         error_type: str, message: str) -> None:
-            cell, attempt = worker.task  # type: ignore[misc]
-            worker.task = None
-            retryable = failure == "crash"
-            if retryable and attempt <= self.max_retries:
-                self.counters["retries"] += 1
-                backoff = self.retry_backoff_s * (2.0 ** (attempt - 1))
-                pending.appendleft((cell, attempt + 1,
-                                    time.monotonic() + backoff))
-            else:
-                handle_terminal(self._failure_record(
-                    cell, attempt, failure,
-                    {"type": error_type, "message": message, "traceback": ""},
-                ))
+        Unlike :meth:`run`, an empty queue is not the end — the loop idles
+        and picks up cells queued by :meth:`submit` from any thread.  On
+        stop, in-flight cells drain exactly as in ``run``.
+        """
+        return self._supervise(
+            emit,
+            deadline_monotonic=deadline_monotonic,
+            workers_n=self.jobs,
+            persistent=True,
+        )
 
+    def _supervise(
+        self,
+        emit: Callable[[Dict[str, Any]], None],
+        deadline_monotonic: Optional[float],
+        workers_n: int,
+        persistent: bool,
+    ) -> PoolStatus:
+        self._workers = [self._spawn() for _ in range(workers_n)]
         try:
             while True:
-                now = time.monotonic()
+                now = self._clock()
                 if (deadline_monotonic is not None and now >= deadline_monotonic
                         and self._stop_reason is None):
                     self._stop_reason = "deadline"
                 if self._stop_reason is not None:
-                    pending_drained = not any(w.busy for w in workers)
-                    if pending_drained:
+                    # Draining still honours cancellation: without this a
+                    # cancelled long cell would hold the drain hostage for
+                    # its full runtime.
+                    self._reap_cancelled_pending(emit)
+                    self._kill_cancelled(emit)
+                    if not any(w.busy for w in self._workers):
                         break
                 else:
-                    # Dispatch to idle workers (respecting retry backoff).
-                    for worker in workers:
-                        if worker.busy or not pending:
-                            continue
-                        ready_idx = next(
-                            (i for i, (_, _, nb) in enumerate(pending)
-                             if nb <= now),
-                            None,
-                        )
-                        if ready_idx is None:
-                            break
-                        pending.rotate(-ready_idx)
-                        cell, attempt, _ = pending.popleft()
-                        pending.rotate(ready_idx)
-                        worker.dispatch(cell, attempt)
-                        self.counters["dispatched"] += 1
-                    if not pending and not any(w.busy for w in workers):
+                    self._reap_cancelled_pending(emit)
+                    self._kill_cancelled(emit)
+                    self._dispatch(now)
+                    if (not persistent and self.queue_depth() == 0
+                            and not any(w.busy for w in self._workers)):
                         break
-
-                # Collect results (or EOFs from dead workers).
-                busy_conns = {w.conn: w for w in workers if w.busy}
-                if busy_conns:
-                    ready = multiprocessing.connection.wait(
-                        list(busy_conns), timeout=_POLL_S
-                    )
-                    for conn in ready:
-                        worker = busy_conns[conn]
-                        try:
-                            record = conn.recv()
-                        except (EOFError, OSError):
-                            self.counters["crashes"] += 1
-                            self.counters["respawns"] += 1
-                            exitcode = worker.process.exitcode
-                            cell_id = worker.task[0].cell_id  # type: ignore[index]
-                            worker.process.join(_KILL_GRACE_S)
-                            worker.conn.close()
-                            replacement = self._spawn()
-                            handle_crash(
-                                worker, "crash", "WorkerCrashed",
-                                f"worker {worker.id} exited with code "
-                                f"{exitcode} while running {cell_id}",
-                            )
-                            workers[workers.index(worker)] = replacement
-                            continue
-                        worker.task = None
-                        handle_terminal(record)
-                else:
-                    time.sleep(_POLL_S)
-
-                # Hung-cell detection: kill, record, respawn.
-                if self.timeout_s is not None:
-                    now = time.monotonic()
-                    for index, worker in enumerate(workers):
-                        if not worker.busy:
-                            continue
-                        if now - worker.started_at <= self.timeout_s:
-                            continue
-                        self.counters["timeouts"] += 1
-                        self.counters["respawns"] += 1
-                        cell, attempt = worker.task
-                        worker.kill()
-                        workers[index] = self._spawn()
-                        worker.task = None
-                        handle_terminal(self._failure_record(
-                            cell, attempt, "timeout",
-                            {
-                                "type": "CellTimeout",
-                                "message": (
-                                    f"{cell.cell_id} exceeded the per-cell "
-                                    f"timeout of {self.timeout_s}s "
-                                    f"(attempt {attempt})"
-                                ),
-                                "traceback": "",
-                            },
-                        ))
+                self._collect(emit)
+                self._expire_timeouts(emit)
         finally:
-            for worker in workers:
+            for worker in self._workers:
                 worker.shutdown()
+            self._workers = []
 
+        with self._lock:
+            not_run = [cell for cell, _, _ in self._pending]
+            if not persistent:
+                self._pending.clear()
         return PoolStatus(
             stop_reason=self._stop_reason,
             counters=dict(self.counters),
-            not_run=[cell for cell, _, _ in pending],
+            not_run=not_run,
         )

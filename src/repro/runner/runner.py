@@ -222,6 +222,8 @@ def run_plan(
     if metrics is not None:
         metrics.inc("runner.cells_total", len(unique))
         metrics.inc("runner.cells_skipped_resume", report.skipped)
+        metrics.inc("runner.journal_skipped_lines", journal.skipped_lines)
+        metrics.inc("runner.journal_swept_tmp", journal.swept_tmp)
         metrics.merge_counters(status.counters, prefix="runner.")
         if report.stop_reason is not None:
             metrics.inc("runner.interrupted")

@@ -1,0 +1,69 @@
+"""Admission control: a bounded queue with explicit backpressure.
+
+Under overload a service has exactly two honest choices: queue a bounded
+amount of work, or tell the client *now* with a retryable status.  The
+controller counts cells in the system (queued + running in the pool) and
+admits new ones only below ``limit``; beyond that the HTTP front end
+returns 429 with a Retry-After hint instead of letting the queue — and
+every client's latency — grow without bound.
+
+All calls happen on the service's event loop thread, so plain integers
+suffice; the counters mirror into ``repro.obs`` metrics for the
+``/v1/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class AdmissionController:
+    """Admit at most ``limit`` cells into the system at once."""
+
+    def __init__(self, limit: int, metrics: Any = None) -> None:
+        if limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.in_system = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.metrics = metrics
+
+    def _gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("svc.admission.in_system").set(
+                float(self.in_system)
+            )
+
+    def try_acquire(self) -> bool:
+        """Claim one slot; False means the queue is full (HTTP 429)."""
+        if self.in_system >= self.limit:
+            self.rejected += 1
+            if self.metrics is not None:
+                self.metrics.inc("svc.admission.rejected")
+            return False
+        self.in_system += 1
+        self.admitted += 1
+        if self.metrics is not None:
+            self.metrics.inc("svc.admission.admitted")
+        self._gauge()
+        return True
+
+    def release(self) -> None:
+        """A cell reached a terminal state (ok, failed, or cancelled)."""
+        if self.in_system > 0:
+            self.in_system -= 1
+        self._gauge()
+
+    @property
+    def available(self) -> int:
+        return max(0, self.limit - self.in_system)
+
+    def status(self) -> dict:
+        return {
+            "limit": self.limit,
+            "in_system": self.in_system,
+            "available": self.available,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }

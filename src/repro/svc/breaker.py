@@ -1,0 +1,160 @@
+"""Circuit breaker around the supervised worker pool.
+
+Worker crashes and per-cell timeouts are the pool's *infrastructure*
+failure modes (a sick machine, a poisoned environment).  When they come
+consecutively, hammering more cells at the pool just burns respawns and
+queues latency behind doomed work — so the service trips a breaker:
+
+``closed``
+    Normal operation.  ``failure_threshold`` *consecutive* crash/timeout
+    records trip it open.  Deterministic in-cell exceptions do **not**
+    count: the worker executed correctly; the cell itself is bad.
+``open``
+    Every request is rejected (HTTP 503 with Retry-After) without
+    touching the pool.  After ``reset_timeout_s`` the next ``allow``
+    transitions to half-open.
+``half-open``
+    Exactly one probe request is admitted.  Success closes the breaker;
+    failure re-opens it for another full cooldown.  A probe that never
+    reports (e.g. cancelled by its client) stops blocking new probes
+    after another ``reset_timeout_s``.
+
+The clock is injectable so tests drive the cooldown with a fake clock,
+exactly like the pool's retry/backoff timing tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding of the state, for dashboards: higher is sicker.
+_STATE_LEVEL = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Trip on consecutive pool failures; recover through half-open probes.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`:
+    transitions are counted under ``svc.breaker.*`` and the current state
+    is a gauge (0 closed, 1 half-open, 2 open).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Any = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self.metrics = metrics
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_started_at: Optional[float] = None
+        self._set_gauge()
+
+    def _set_gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("svc.breaker.state").set(
+                _STATE_LEVEL[self.state]
+            )
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if self.metrics is not None:
+            self.metrics.inc(f"svc.breaker.to_{state.replace('-', '_')}")
+        self._set_gauge()
+
+    # -- decision surface --------------------------------------------------
+
+    def allow(self) -> bool:
+        """May one more request reach the pool right now?
+
+        Called once per would-be dispatch; in half-open it *claims* the
+        probe slot, so callers must follow through with a real request
+        and eventually report its outcome.
+        """
+        now = self._clock()
+        if self.state == OPEN:
+            assert self._opened_at is not None
+            if now - self._opened_at < self.reset_timeout_s:
+                if self.metrics is not None:
+                    self.metrics.inc("svc.breaker.rejected")
+                return False
+            self._transition(HALF_OPEN)
+            self._probe_started_at = None
+        if self.state == HALF_OPEN:
+            if (
+                self._probe_started_at is not None
+                and now - self._probe_started_at < self.reset_timeout_s
+            ):
+                if self.metrics is not None:
+                    self.metrics.inc("svc.breaker.rejected")
+                return False  # a probe is already in flight
+            self._probe_started_at = now
+            return True
+        return True
+
+    @property
+    def retry_after_s(self) -> float:
+        """A client-facing hint: how long until a request might pass."""
+        if self.state == OPEN and self._opened_at is not None:
+            remaining = self.reset_timeout_s - (
+                self._clock() - self._opened_at
+            )
+            return max(0.0, remaining)
+        return self.reset_timeout_s if self.state == HALF_OPEN else 0.0
+
+    # -- outcome reporting -------------------------------------------------
+
+    def record_success(self) -> None:
+        """A cell completed (or failed deterministically — the worker
+        itself is healthy)."""
+        self.consecutive_failures = 0
+        if self.state in (HALF_OPEN, OPEN):
+            self._probe_started_at = None
+            self._opened_at = None
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A crash or timeout record: one more strike."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._trip()
+        elif (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._opened_at = self._clock()
+        self._probe_started_at = None
+        self._transition(OPEN)
+
+    def status(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "reset_timeout_s": self.reset_timeout_s,
+            "retry_after_s": round(self.retry_after_s, 3),
+        }

@@ -1,0 +1,392 @@
+"""A minimal HTTP/1.1 JSON front end over :class:`SimulationService`.
+
+The container ships no async HTTP framework, so this is a deliberately
+small hand-rolled server on :func:`asyncio.start_server`: request line +
+headers + ``Content-Length`` body, JSON in, JSON out, one request per
+connection (``Connection: close``).  That is all the surface the service
+needs, and it keeps the robustness story auditable end to end.
+
+Routes (all JSON):
+
+``GET /v1/healthz``
+    ``200 {"ok": true}`` — or ``503`` once draining.
+``GET /v1/status``
+    Breaker, admission, pool, and store status.
+``GET /v1/metrics``
+    The full :class:`repro.obs.MetricsRegistry` export.
+``GET /v1/store``
+    Store stats alone (hit ratio, residency, evictions).
+``GET /v1/results/<config-hash>``
+    The stored record, or ``404`` on a miss (never triggers compute).
+``POST /v1/cells``
+    Body: a cell spec.  ``200`` with ``{"served": "store"|"computed"|
+    "coalesced", "record": ...}``; ``400`` bad spec; ``429``/``503``
+    backpressure (with ``Retry-After``); ``504`` request timeout;
+    ``500`` with the failure record when the cell itself failed.
+``POST /v1/sweeps``
+    Body: ``{"cells": [spec, ...]}``.  One entry per cell plus bundle
+    stats (hits/computed/coalesced and the store hit ratio).
+``GET /v1/events?since=N``
+    Chunked JSONL stream of service progress events.
+
+``serve_forever`` wires SIGINT/SIGTERM to a graceful drain and returns
+the runner's resumable exit codes (75 interrupted / 76 deadline).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Dict, Optional, Tuple
+
+from repro.svc.service import (
+    Overloaded,
+    RequestTimedOut,
+    ServiceConfig,
+    SimulationService,
+    SpecError,
+    cell_from_spec,
+)
+
+MAX_BODY_BYTES = 4 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+def _response_bytes(
+    status: int,
+    payload: Any,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one request: ``(method, path, headers, body)``."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        raise _HttpError(413, "headers too large") from None
+    except (asyncio.IncompleteReadError, ConnectionError):
+        raise _HttpError(400, "truncated request") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise _HttpError(413, "headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body too large ({length} bytes)")
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            raise _HttpError(400, "truncated body") from None
+    return method, path, headers, body
+
+
+def _parse_json_body(body: bytes) -> Any:
+    if not body:
+        raise _HttpError(400, "a JSON body is required")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise _HttpError(400, f"invalid JSON body: {exc}") from None
+
+
+class ServiceServer:
+    """The asyncio server wrapping one :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = 8642) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (useful when constructed with port 0)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if not self.service.started:
+            await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_HEADER_BYTES,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, headers, body = await _read_request(reader)
+            except _HttpError as exc:
+                writer.write(_response_bytes(
+                    exc.status, {"error": exc.message}, exc.headers
+                ))
+                await writer.drain()
+                return
+            if path.startswith("/v1/events"):
+                await self._stream_events(writer, path)
+                return
+            try:
+                status, payload, extra = await self._dispatch(
+                    method, path, body
+                )
+            except _HttpError as exc:
+                status, payload, extra = (
+                    exc.status, {"error": exc.message}, exc.headers
+                )
+            writer.write(_response_bytes(status, payload, extra))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        service = self.service
+        if path == "/v1/healthz" and method == "GET":
+            if service.draining:
+                return 503, {"ok": False, "draining": True}, None
+            return 200, {"ok": True, "resident": len(service.store)}, None
+        if path == "/v1/status" and method == "GET":
+            return 200, service.status(), None
+        if path == "/v1/metrics" and method == "GET":
+            return 200, service.metrics.to_dict(), None
+        if path == "/v1/store" and method == "GET":
+            return 200, service.store.stats(), None
+        if path.startswith("/v1/results/") and method == "GET":
+            config_hash = path[len("/v1/results/"):]
+            record = service.store.get(config_hash)
+            if record is None:
+                return 404, {"error": f"no stored result for {config_hash}"}, None
+            return 200, {"served": "store", "record": record}, None
+        if path == "/v1/cells" and method == "POST":
+            return await self._post_cell(_parse_json_body(body))
+        if path == "/v1/sweeps" and method == "POST":
+            return await self._post_sweep(_parse_json_body(body))
+        if path in ("/v1/healthz", "/v1/status", "/v1/metrics", "/v1/store",
+                    "/v1/cells", "/v1/sweeps"):
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        raise _HttpError(404, f"unknown path {path}")
+
+    async def _post_cell(
+        self, spec: Any
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        try:
+            cell = cell_from_spec(spec)
+        except SpecError as exc:
+            raise _HttpError(400, str(exc)) from None
+        try:
+            record, served = await self.service.run_cell(cell)
+        except Overloaded as exc:
+            raise _HttpError(
+                exc.status, exc.reason,
+                {"Retry-After": str(max(1, round(exc.retry_after_s)))},
+            ) from None
+        except RequestTimedOut as exc:
+            raise _HttpError(504, str(exc)) from None
+        payload = {"served": served, "record": record}
+        if record["status"] != "ok":
+            return 500, payload, None
+        return 200, payload, None
+
+    async def _post_sweep(
+        self, body: Any
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        if not isinstance(body, dict) or not isinstance(
+            body.get("cells"), list
+        ):
+            raise _HttpError(
+                400, 'sweep body must be {"cells": [spec, ...]}'
+            )
+        if not body["cells"]:
+            raise _HttpError(400, "sweep needs at least one cell")
+        try:
+            cells = [cell_from_spec(spec) for spec in body["cells"]]
+        except SpecError as exc:
+            raise _HttpError(400, str(exc)) from None
+        results = await self.service.run_cells(cells)
+        entries = []
+        counts = {"store": 0, "computed": 0, "coalesced": 0,
+                  "failed": 0, "rejected": 0, "timeout": 0}
+        for cell, (record, served) in zip(cells, results):
+            entry: Dict[str, Any] = {
+                "cell_id": cell.cell_id,
+                "hash": cell.config_hash,
+                "served": served,
+            }
+            if record is None:
+                counts["rejected" if served.startswith("rejected") else
+                       "timeout"] += 1
+            else:
+                entry["status"] = record["status"]
+                if record["status"] == "ok":
+                    entry["digest"] = record["digest"]
+                    counts[served] += 1
+                else:
+                    entry["failure"] = record.get("failure")
+                    counts["failed"] += 1
+            entries.append(entry)
+        store = self.service.store
+        payload = {
+            "cells": entries,
+            "counts": counts,
+            "store": {"hit_ratio": round(store.hit_ratio, 6),
+                      "hits": store.hits, "misses": store.misses},
+        }
+        return 200, payload, None
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, path: str
+    ) -> None:
+        """Chunked JSONL event stream; ends when the client goes away or
+        the service finishes draining."""
+        since = 0
+        if "?" in path:
+            for pair in path.split("?", 1)[1].split("&"):
+                name, _, value = pair.partition("=")
+                if name == "since":
+                    try:
+                        since = int(value)
+                    except ValueError:
+                        pass
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/jsonl\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        try:
+            while True:
+                events = await self.service.events_since(since, timeout_s=5.0)
+                for event in events:
+                    since = max(since, event["seq"])
+                    line = (json.dumps(event, sort_keys=True) + "\n").encode()
+                    writer.write(b"%x\r\n%s\r\n" % (len(line), line))
+                await writer.drain()
+                if self.service.draining and not events:
+                    break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+async def serve_async(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    deadline_s: Optional[float] = None,
+    metrics: Any = None,
+) -> int:
+    """Run the service until SIGINT/SIGTERM (or ``deadline_s``); returns
+    the process exit code (75 interrupted, 76 deadline)."""
+    service = SimulationService(config, metrics=metrics)
+    server = ServiceServer(service, host, port)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    reason = {"value": "signal"}
+
+    def _on_signal() -> None:
+        reason["value"] = "signal"
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, _on_signal)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    try:
+        if deadline_s is not None:
+            try:
+                await asyncio.wait_for(stop.wait(), deadline_s)
+            except asyncio.TimeoutError:
+                reason["value"] = "deadline"
+        else:
+            await stop.wait()
+    finally:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await server.stop()
+    return await service.drain(reason["value"])
+
+
+def serve_forever(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    deadline_s: Optional[float] = None,
+) -> int:
+    """Blocking entry point for ``repro-sim serve``."""
+    return asyncio.run(serve_async(config, host, port, deadline_s))

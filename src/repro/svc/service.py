@@ -1,0 +1,458 @@
+"""The simulation service core: store → single-flight → admission → pool.
+
+:class:`SimulationService` is the transport-independent heart of
+``repro-sim serve`` (the HTTP layer in :mod:`repro.svc.http` is a thin
+skin over it, and tests drive it directly).  One request for a cell
+travels:
+
+1. **Store lookup** — a hit returns the journal record in O(1), bit-
+   identical to the computed path (the digest pins every float).
+2. **Single-flight** — a miss joins the in-flight computation for its
+   config hash; only the flight leader goes further.
+3. **Circuit breaker** — open: reject 503 without touching the pool.
+4. **Admission** — bounded queue full: reject 429.  Otherwise the cell
+   is submitted to the long-lived :class:`~repro.runner.pool
+   .SupervisedPool` running ``serve()`` in a dedicated thread.
+5. **Completion** — the pool's terminal record crosses back onto the
+   event loop, feeds the breaker, lands in the store (successes), and
+   resolves every coalesced waiter.
+
+Per-request timeouts cancel cooperatively: a timed-out waiter leaves its
+flight, and when the *last* waiter is gone the pool drops or kills the
+cell (:meth:`SupervisedPool.cancel`).  ``drain`` reuses the runner's
+SIGINT/SIGTERM semantics — stop admitting, drain in-flight cells, report
+exit 75 (or 76 on deadline) — so a killed service resumes from its store
+exactly like an interrupted sweep resumes from its journal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, REQUEST_BUCKETS_MS
+from repro.runner.plan import Cell
+from repro.runner.pool import SupervisedPool
+from repro.runner.runner import EXIT_DEADLINE, EXIT_INTERRUPTED
+from repro.runner.execute import validate_names
+from repro.svc.admission import AdmissionController
+from repro.svc.breaker import CircuitBreaker
+from repro.svc.singleflight import SingleFlight
+from repro.svc.store import ResultStore
+
+#: How results were served, reported per request and counted in metrics.
+SERVED_STORE = "store"
+SERVED_COMPUTED = "computed"
+SERVED_COALESCED = "coalesced"
+
+
+class SpecError(ValueError):
+    """A request body that cannot become a valid Cell (HTTP 400)."""
+
+
+class Overloaded(Exception):
+    """Backpressure: the request was rejected before any work happened."""
+
+    def __init__(self, status: int, reason: str,
+                 retry_after_s: float = 1.0) -> None:
+        super().__init__(reason)
+        self.status = status  # 429 (queue full) or 503 (breaker/draining)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class RequestTimedOut(Exception):
+    """The per-request timeout elapsed (HTTP 504); the cell was cancelled
+    unless other waiters still want it."""
+
+    def __init__(self, config_hash: str, timeout_s: float) -> None:
+        super().__init__(
+            f"request for {config_hash[:12]} timed out after {timeout_s}s"
+        )
+        self.config_hash = config_hash
+        self.timeout_s = timeout_s
+
+
+#: Cell fields settable over the wire, with coercions for JSON types.
+_SPEC_FIELDS = {
+    "trace": str,
+    "policy": str,
+    "disks": int,
+    "kind": str,
+    "scale": float,
+    "discipline": str,
+    "cpu_speedup": float,
+    "cache_blocks": int,
+    "disk_model": str,
+    "seed": int,
+    "scaled_defaults": bool,
+    "config_overrides": dict,
+    "policy_kwargs": dict,
+    "params": dict,
+}
+_REQUIRED_FIELDS = ("trace", "policy", "disks")
+_OPTIONAL_NONE = ("cache_blocks", "seed")
+
+
+def cell_from_spec(spec: Any) -> Cell:
+    """A validated :class:`Cell` from a JSON request body.
+
+    Raises :class:`SpecError` (not bare KeyError/TypeError) so the HTTP
+    layer can answer 400 with a message that names the problem.
+    """
+    if not isinstance(spec, dict):
+        raise SpecError(f"cell spec must be a JSON object, got {type(spec).__name__}")
+    unknown = sorted(set(spec) - set(_SPEC_FIELDS))
+    if unknown:
+        raise SpecError(
+            f"unknown cell field(s) {', '.join(unknown)}; valid fields: "
+            f"{', '.join(sorted(_SPEC_FIELDS))}"
+        )
+    missing = [name for name in _REQUIRED_FIELDS if name not in spec]
+    if missing:
+        raise SpecError(f"missing required cell field(s): {', '.join(missing)}")
+    kwargs: Dict[str, Any] = {}
+    for name, value in spec.items():
+        expected = _SPEC_FIELDS[name]
+        if value is None and name in _OPTIONAL_NONE:
+            kwargs[name] = None
+            continue
+        if expected in (int, float) and isinstance(value, bool):
+            raise SpecError(f"cell field {name!r} must be {expected.__name__}")
+        if expected is float and isinstance(value, int):
+            value = float(value)
+        if not isinstance(value, expected):
+            raise SpecError(
+                f"cell field {name!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        kwargs[name] = value
+    try:
+        validate_names(kwargs["trace"], kwargs["policy"])
+    except ValueError as exc:
+        raise SpecError(str(exc)) from None
+    return Cell(**kwargs)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one service instance (CLI flags map 1:1)."""
+
+    store_dir: str = "svc-store"
+    jobs: int = 2
+    queue_limit: int = 32
+    request_timeout_s: Optional[float] = 120.0
+    cell_timeout_s: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff_s: float = 0.5
+    breaker_failures: int = 5
+    breaker_reset_s: float = 30.0
+    store_max_entries: Optional[int] = None
+    #: Ring-buffer capacity of the progress event stream.
+    event_buffer: int = 1024
+
+
+class SimulationService:
+    """Crash-safe simulation-as-a-service over the supervised runner."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        metrics: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock
+        self.store = ResultStore(
+            config.store_dir,
+            max_entries=config.store_max_entries,
+            metrics=self.metrics,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failures,
+            reset_timeout_s=config.breaker_reset_s,
+            clock=clock,
+            metrics=self.metrics,
+        )
+        self.admission = AdmissionController(
+            config.queue_limit, metrics=self.metrics
+        )
+        self.flights = SingleFlight()
+        self.pool = SupervisedPool(
+            jobs=config.jobs,
+            timeout_s=config.cell_timeout_s,
+            max_retries=config.max_retries,
+            retry_backoff_s=config.retry_backoff_s,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool_thread: Optional[threading.Thread] = None
+        self._pool_status = None
+        self.draining = False
+        self.drain_reason: Optional[str] = None
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=config.event_buffer)
+        self._event_seq = 0
+        self._event_cond: Optional[asyncio.Condition] = None
+        self.started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running event loop and start the pool thread."""
+        self._loop = asyncio.get_running_loop()
+        self._event_cond = asyncio.Condition()
+        self._pool_thread = threading.Thread(
+            target=self._pool_main, name="svc-pool", daemon=True
+        )
+        self._pool_thread.start()
+        self.started = True
+        self._publish({"type": "service", "state": "started",
+                       "resident": len(self.store)})
+
+    def _pool_main(self) -> None:
+        self._pool_status = self.pool.serve(self._emit_from_pool_thread)
+
+    async def drain(self, reason: str = "signal") -> int:
+        """Stop admitting, drain in-flight cells, close the store.
+
+        Returns the runner's resumable exit codes: 75 for signal, 76 for
+        deadline — a drained service continues from its store exactly as
+        an interrupted sweep continues from its journal.
+        """
+        if not self.draining:
+            self.draining = True
+            self.drain_reason = reason
+            self._publish({"type": "service", "state": "draining",
+                           "reason": reason})
+        # Unconditionally: the draining flag may have been raised without
+        # the pool being told (and request_stop is idempotent anyway).
+        self.pool.request_stop(reason)
+        if self._pool_thread is not None:
+            await asyncio.to_thread(self._pool_thread.join)
+        self.store.close()
+        self._publish({"type": "service", "state": "drained",
+                       "reason": reason})
+        return EXIT_DEADLINE if reason == "deadline" else EXIT_INTERRUPTED
+
+    # -- pool completion path ----------------------------------------------
+
+    def _emit_from_pool_thread(self, record: Dict[str, Any]) -> None:
+        """Pool thread → event loop handoff for terminal records."""
+        loop = self._loop
+        if loop is None or loop.is_closed():  # pragma: no cover — teardown
+            return
+        loop.call_soon_threadsafe(self._on_record, record)
+
+    def _on_record(self, record: Dict[str, Any]) -> None:
+        """A cell reached a terminal state (event loop thread)."""
+        self.admission.release()
+        failure = record.get("failure")
+        state_before = self.breaker.state
+        # Waiters receive the journal-shaped record (no live result
+        # object) so computed responses serialize — and match what a
+        # later store hit returns, byte for byte.
+        record = _storable(record)
+        if record["status"] == "ok":
+            self.breaker.record_success()
+            try:
+                self.store.put(record["hash"], record)
+            except OSError as exc:
+                # A full/failing store must not fail the request: the
+                # result is still returned, it is just not cached.
+                self.metrics.inc("svc.store.put_errors")
+                self._publish({
+                    "type": "store-error", "hash": record["hash"],
+                    "error": str(exc),
+                })
+        elif failure in ("crash", "timeout"):
+            self.breaker.record_failure()
+        elif failure == "exception":
+            # Deterministic in-cell failure: the worker itself is healthy.
+            self.breaker.record_success()
+        if self.breaker.state != state_before:
+            self._publish({"type": "breaker", "from": state_before,
+                           "to": self.breaker.state})
+        self.flights.resolve(record["hash"], record)
+        self._publish(_event_for(record))
+
+    # -- request path ------------------------------------------------------
+
+    async def run_spec(self, spec: Any) -> Tuple[Dict[str, Any], str]:
+        """Serve one JSON cell spec; see :meth:`run_cell`."""
+        return await self.run_cell(cell_from_spec(spec))
+
+    async def run_cell(
+        self, cell: Cell, timeout_s: Optional[float] = None
+    ) -> Tuple[Dict[str, Any], str]:
+        """Serve one cell: ``(terminal record, how it was served)``.
+
+        ``timeout_s`` overrides the configured per-request timeout for
+        this call only.  Raises :class:`Overloaded` on backpressure and
+        :class:`RequestTimedOut` when the timeout elapses.
+        """
+        if timeout_s is None:
+            timeout_s = self.config.request_timeout_s
+        start = self._clock()
+        config_hash = cell.config_hash
+        self.metrics.inc("svc.requests")
+        cached = self.store.get(config_hash)
+        if cached is not None:
+            self.metrics.inc("svc.served_store")
+            self._observe_latency(start)
+            self._publish({"type": "request", "hash": config_hash,
+                           "cell_id": cell.cell_id, "served": SERVED_STORE})
+            return cached, SERVED_STORE
+        future, leader = self.flights.join(config_hash)
+        if leader:
+            # No awaits between join and submit: the leader's admission
+            # decisions are atomic on the event loop.
+            try:
+                self._admit(cell)
+            except Overloaded:
+                self.flights.leave(config_hash)
+                raise
+        try:
+            if timeout_s is not None:
+                record = await asyncio.wait_for(
+                    asyncio.shield(future), timeout_s
+                )
+            else:
+                record = await future
+        except asyncio.TimeoutError:
+            remaining = self.flights.leave(config_hash)
+            if remaining == 0:
+                self.pool.cancel(config_hash)
+            self.metrics.inc("svc.request_timeouts")
+            raise RequestTimedOut(config_hash, timeout_s or 0.0) from None
+        served = SERVED_COMPUTED if leader else SERVED_COALESCED
+        self.metrics.inc(f"svc.served_{served}")
+        self._observe_latency(start)
+        self._publish({"type": "request", "hash": config_hash,
+                       "cell_id": cell.cell_id, "served": served})
+        return record, served
+
+    def _admit(self, cell: Cell) -> None:
+        """Leader-side backpressure checks, then submit to the pool."""
+        if self.draining:
+            raise Overloaded(503, "service is draining", 5.0)
+        if not self.breaker.allow():
+            raise Overloaded(
+                503,
+                f"circuit breaker {self.breaker.state} after "
+                f"{self.breaker.consecutive_failures} consecutive pool "
+                "failures",
+                self.breaker.retry_after_s or 1.0,
+            )
+        if not self.admission.try_acquire():
+            raise Overloaded(
+                429,
+                f"admission queue full ({self.admission.limit} cells in "
+                "the system)",
+                1.0,
+            )
+        self.pool.submit(cell)
+        self._publish({"type": "queued", "hash": cell.config_hash,
+                       "cell_id": cell.cell_id})
+
+    async def run_cells(
+        self, cells: List[Cell]
+    ) -> List[Tuple[Optional[Dict[str, Any]], str]]:
+        """Serve a bundle of cells concurrently (a sweep request).
+
+        Returns one ``(record, served)`` pair per cell, in order; a cell
+        rejected by backpressure or timed out yields ``(None, reason)``
+        so one hot bundle member cannot sink its siblings.
+        """
+        async def one(cell: Cell) -> Tuple[Optional[Dict[str, Any]], str]:
+            try:
+                return await self.run_cell(cell)
+            except Overloaded as exc:
+                return None, f"rejected:{exc.status}"
+            except RequestTimedOut:
+                return None, "timeout"
+
+        return list(await asyncio.gather(*(one(cell) for cell in cells)))
+
+    # -- events & status ---------------------------------------------------
+
+    def _observe_latency(self, start: float) -> None:
+        self.metrics.histogram(
+            "svc.request_ms", REQUEST_BUCKETS_MS
+        ).observe((self._clock() - start) * 1000.0)
+
+    def _publish(self, event: Dict[str, Any]) -> None:
+        self._event_seq += 1
+        event = dict(event, seq=self._event_seq)
+        self._events.append(event)
+        cond = self._event_cond
+        if cond is not None:
+            # Wake streaming readers; schedule rather than await (callers
+            # of _publish are synchronous).
+            asyncio.ensure_future(_notify(cond))
+
+    async def events_since(
+        self, seq: int, timeout_s: float = 10.0
+    ) -> List[Dict[str, Any]]:
+        """Events with ``seq`` greater than the given one, waiting up to
+        ``timeout_s`` for news; empty list on timeout (long-poll/stream
+        heartbeat)."""
+        fresh = [e for e in self._events if e["seq"] > seq]
+        if fresh or self._event_cond is None:
+            return fresh
+        try:
+            async with self._event_cond:
+                await asyncio.wait_for(
+                    self._event_cond.wait(), timeout_s
+                )
+        except asyncio.TimeoutError:
+            return []
+        return [e for e in self._events if e["seq"] > seq]
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "draining": self.draining,
+            "drain_reason": self.drain_reason,
+            "breaker": self.breaker.status(),
+            "admission": self.admission.status(),
+            "pool": {
+                "jobs": self.pool.jobs,
+                "queue_depth": self.pool.queue_depth(),
+                "counters": dict(self.pool.counters),
+            },
+            "store": self.store.stats(),
+            "requests": {
+                name: counter.value
+                for name, counter in self.metrics.counters.items()
+                if name.startswith("svc.")
+            },
+        }
+
+
+async def _notify(cond: asyncio.Condition) -> None:
+    async with cond:
+        cond.notify_all()
+
+
+def _storable(record: Dict[str, Any]) -> Dict[str, Any]:
+    """The journal-shaped subset of a record that belongs in the store
+    (drop the live result object; the serialized form is lossless)."""
+    return {k: v for k, v in record.items() if k != "result_obj"}
+
+
+def _event_for(record: Dict[str, Any]) -> Dict[str, Any]:
+    event = {
+        "type": "record",
+        "hash": record["hash"],
+        "cell_id": record.get("cell_id"),
+        "status": record["status"],
+    }
+    if record["status"] == "ok":
+        event["digest"] = record["digest"]
+        event["wall_s"] = record.get("wall_s")
+    else:
+        event["failure"] = record.get("failure")
+    return event

@@ -1,0 +1,83 @@
+"""Single-flight request coalescing: N waiters, one computation.
+
+Identical cells hash identically, so when several requests for the same
+config hash arrive before the first completes, computing it N times is
+pure waste — and would also record N journal entries for one logical
+result.  A *flight* is the in-progress computation for one hash: the
+first caller to :meth:`SingleFlight.join` becomes the **leader** (it
+submits the cell to the pool); everyone else awaits the same future.
+
+Waiter accounting makes cancellation safe: a waiter that times out calls
+:meth:`SingleFlight.leave`, and only when the *last* waiter leaves does
+the service cancel the underlying pool work — one impatient client never
+yanks a result out from under the others.
+
+Everything here runs on the service's event loop thread; no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass
+class _Flight:
+    future: "asyncio.Future[Any]"
+    waiters: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+class SingleFlight:
+    """In-flight computations keyed by config hash."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[str, _Flight] = {}
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._flights
+
+    def join(self, key: str) -> Tuple["asyncio.Future[Any]", bool]:
+        """Join (or start) the flight for ``key``.
+
+        Returns ``(future, leader)``: the leader is responsible for
+        actually submitting the work; followers just await the future.
+        """
+        flight = self._flights.get(key)
+        leader = flight is None
+        if flight is None:
+            flight = self._flights[key] = _Flight(
+                future=asyncio.get_event_loop().create_future()
+            )
+        flight.waiters += 1
+        return flight.future, leader
+
+    def leave(self, key: str) -> int:
+        """One waiter gave up; returns how many remain.
+
+        When the last waiter leaves an unresolved flight, the flight is
+        dropped — the caller should cancel the underlying work, and a
+        later request for the same key starts fresh.
+        """
+        flight = self._flights.get(key)
+        if flight is None:
+            return 0
+        flight.waiters -= 1
+        if flight.waiters <= 0 and not flight.future.done():
+            del self._flights[key]
+            return 0
+        return flight.waiters
+
+    def resolve(self, key: str, record: Any) -> bool:
+        """Deliver the terminal record to every waiter; True if a flight
+        was actually waiting (False for e.g. a cancelled-then-completed
+        race, which is benign)."""
+        flight = self._flights.pop(key, None)
+        if flight is None or flight.future.done():
+            return False
+        flight.future.set_result(record)
+        return True

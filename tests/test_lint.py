@@ -172,6 +172,28 @@ class TestWallClock:
         """
         assert rules_hit(src, module="repro.runners") == {"SL002"}
 
+    def test_svc_exempt(self):
+        # repro.svc is orchestration one layer above the runner: request
+        # timeouts, breaker cooldowns, and latency histograms are
+        # host-clock by nature; the chaos bit-identity tests prove none
+        # of it leaks into results.
+        src = """
+        import time
+
+        opened_at = time.monotonic()
+        """
+        assert rules_hit(src, module="repro.svc.breaker") == set()
+
+    def test_svc_prefix_not_exempt(self):
+        # Package-boundary matching again: "repro.svcx" is not the
+        # service package.
+        src = """
+        import time
+
+        start = time.monotonic()
+        """
+        assert rules_hit(src, module="repro.svcx.breaker") == {"SL002"}
+
     def test_obs_observer_not_exempt(self):
         # The allowlist covers only the exporter — the observer itself
         # records simulated time and must never touch the host clock.

@@ -346,6 +346,303 @@ class TestSupervision:
         assert counters["runner.dispatched"] == 1
 
 
+# -- journal hardening: mid-file corruption, stale tmp sweep ----------------------------
+
+
+class TestJournalHardening:
+    def test_malformed_midfile_lines_are_skipped_and_counted(self, tmp_path):
+        journal = Journal(str(tmp_path / "run"))
+        journal.append({"kind": "cell", "hash": "h1", "status": "ok"})
+        journal.append({"kind": "cell", "hash": "h2", "status": "ok"})
+        journal.close()
+        # Corrupt the middle of the file, not just the tail: a partial
+        # overwrite or bad sector, not a torn final append.
+        with open(journal.journal_path) as handle:
+            lines = handle.readlines()
+        lines.insert(1, '{"kind": "cell", "hash": "h-torn", "sta\n')
+        lines.insert(2, "\x00\x00garbage\x00\n")
+        with open(journal.journal_path, "w") as handle:
+            handle.writelines(lines)
+        assert [r["hash"] for r in journal.records()] == ["h1", "h2"]
+        assert journal.skipped_lines == 2
+        assert set(journal.completed()) == {"h1", "h2"}
+
+    def test_skipped_lines_reach_runner_metrics(self, test_kinds, tmp_path):
+        journal_dir = str(tmp_path / "run")
+        plan = [kind_cell("instant", n=1)]
+        run_plan(plan, journal_dir=journal_dir, jobs=1,
+                 install_signal_handlers=False)
+        with open(os.path.join(journal_dir, "journal.jsonl"), "a") as handle:
+            handle.write('{"kind": "cell", "hash": "h-torn", "sta\n')
+        metrics = MetricsRegistry()
+        resumed = run_plan(plan, journal_dir=journal_dir, jobs=1, resume=True,
+                           metrics=metrics, install_signal_handlers=False)
+        assert resumed.skipped == 1
+        counters = metrics.to_dict()["counters"]
+        assert counters["runner.journal_skipped_lines"] == 1
+
+    def test_stale_tmp_files_are_swept_on_open(self, tmp_path):
+        from repro.runner import sweep_stale_tmp
+
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        # The write_json_atomic naming scheme: .<name>.<pid>.tmp
+        stale = run_dir / ".manifest.json.12345.tmp"
+        stale.write_text('{"half": ')
+        keeper = run_dir / "manifest.json"
+        keeper.write_text("{}")
+        journal = Journal(str(run_dir))
+        journal.append({"kind": "cell", "hash": "h1", "status": "ok"})
+        journal.close()
+        assert not stale.exists()
+        assert keeper.exists()
+        assert journal.swept_tmp == 1
+        # Idempotent and selective: nothing left to sweep.
+        assert sweep_stale_tmp(str(run_dir)) == 0
+
+    def test_sweep_reaches_runner_metrics(self, test_kinds, tmp_path):
+        journal_dir = tmp_path / "run"
+        journal_dir.mkdir()
+        (journal_dir / ".manifest.json.999.tmp").write_text("{")
+        metrics = MetricsRegistry()
+        run_plan([kind_cell("instant", n=1)], journal_dir=str(journal_dir),
+                 jobs=1, metrics=metrics, install_signal_handlers=False)
+        assert metrics.to_dict()["counters"]["runner.journal_swept_tmp"] == 1
+
+
+# -- fake-clock scheduling: backoff values, timeout/respawn ordering --------------------
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class StubWorker:
+    """A worker stand-in for scheduling tests: no process, no pipe."""
+
+    def __init__(self, worker_id=0):
+        self.id = worker_id
+        self.task = None
+        self.started_at = 0.0
+        self.killed = False
+        self.dispatched = []
+
+    @property
+    def busy(self):
+        return self.task is not None
+
+    def dispatch(self, cell, attempt, now):
+        self.task = (cell, attempt)
+        self.started_at = now
+        self.dispatched.append((cell.config_hash, attempt, now))
+
+    def kill(self):
+        self.killed = True
+
+
+class TestPoolScheduling:
+    """The pool's retry/backoff/timeout arithmetic under a fake clock —
+    no real processes, no real sleeps, exact expected values."""
+
+    def make_pool(self, clock, **kwargs):
+        from repro.runner.pool import SupervisedPool
+
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("retry_backoff_s", 0.5)
+        return SupervisedPool(clock=clock, **kwargs)
+
+    def test_backoff_is_exponential_from_base(self):
+        pool = self.make_pool(FakeClock(), retry_backoff_s=0.5)
+        assert [pool.backoff_s(a) for a in (1, 2, 3, 4)] == [
+            0.5, 1.0, 2.0, 4.0,
+        ]
+
+    def test_retry_waits_out_backoff_on_the_clock(self, test_kinds):
+        clock = FakeClock(now=100.0)
+        pool = self.make_pool(clock)
+        cell = kind_cell("instant", n=1)
+        pool._schedule_retry(cell, attempt=1)  # crashed on attempt 1
+        assert pool.counters["retries"] == 1
+        # Backoff for attempt 1 is 0.5s: not ready at +0.49, ready at +0.5.
+        clock.advance(0.49)
+        assert pool._next_ready(clock()) is None
+        clock.advance(0.01)
+        ready = pool._next_ready(clock())
+        assert ready is not None
+        ready_cell, attempt = ready
+        assert ready_cell.config_hash == cell.config_hash
+        assert attempt == 2
+
+    def test_second_retry_doubles_the_wait(self, test_kinds):
+        clock = FakeClock(now=50.0)
+        pool = self.make_pool(clock)
+        cell = kind_cell("instant", n=1)
+        pool._schedule_retry(cell, attempt=2)
+        clock.advance(0.99)  # attempt-2 backoff is 1.0s
+        assert pool._next_ready(clock()) is None
+        clock.advance(0.01)
+        assert pool._next_ready(clock()) is not None
+
+    def test_backing_off_retry_does_not_block_fresh_work(self, test_kinds):
+        clock = FakeClock(now=10.0)
+        pool = self.make_pool(clock)
+        retry = kind_cell("instant", n=1)
+        fresh = kind_cell("instant", n=2)
+        pool._schedule_retry(retry, attempt=1)  # head of the queue, gated
+        pool.submit(fresh)
+        ready = pool._next_ready(clock())
+        assert ready is not None and ready[0].config_hash == fresh.config_hash
+        # The gated retry is still queued, untouched.
+        assert pool.queue_depth() == 1
+
+    def test_timeout_kills_respawns_then_dispatches_next(self, test_kinds):
+        clock = FakeClock(now=0.0)
+        pool = self.make_pool(clock, timeout_s=5.0)
+        replacement = StubWorker(worker_id=99)
+        pool._spawn = lambda: replacement  # no real processes
+        worker = StubWorker(worker_id=0)
+        pool._workers = [worker]
+
+        slow = kind_cell("sleep", sleep_s=99.0)
+        nxt = kind_cell("instant", n=1)
+        pool.submit(slow)
+        pool.submit(nxt)
+        pool._dispatch(clock())
+        assert worker.task is not None
+        assert worker.started_at == 0.0
+
+        emitted = []
+        clock.advance(5.0)  # exactly at the limit: not expired yet
+        pool._expire_timeouts(emitted.append)
+        assert not worker.killed and not emitted
+
+        clock.advance(0.01)  # past the limit: kill, record, respawn
+        pool._expire_timeouts(emitted.append)
+        assert worker.killed
+        (record,) = emitted
+        assert record["failure"] == "timeout"
+        assert record["hash"] == slow.config_hash
+        assert "exceeded the per-cell timeout" in record["error"]["message"]
+        assert pool.counters["timeouts"] == 1
+        assert pool.counters["respawns"] == 1
+        # The replacement worker is in place and immediately usable: the
+        # next dispatch puts the next cell on it with a fresh start time.
+        assert pool._workers == [replacement]
+        pool._dispatch(clock())
+        assert replacement.task == (nxt, 1)
+        assert replacement.started_at == clock.now
+
+    def test_dispatch_to_freshly_dead_worker_requeues_and_respawns(
+            self, test_kinds):
+        """A worker SIGKILLed between the liveness check and the pipe
+        send must not crash the supervisor: the cell is requeued at the
+        SAME attempt (the death was not its failure) and the corpse is
+        replaced."""
+        clock = FakeClock(now=0.0)
+        pool = self.make_pool(clock)
+        replacement = StubWorker(worker_id=99)
+        pool._spawn = lambda: replacement
+
+        class DeadWorker(StubWorker):
+            def dispatch(self, cell, attempt, now):
+                raise BrokenPipeError(32, "Broken pipe")
+
+        corpse = DeadWorker(worker_id=0)
+        pool._workers = [corpse]
+        cell = kind_cell("instant", n=1)
+        pool.submit(cell)
+
+        pool._dispatch(clock())
+        assert corpse.killed
+        assert pool._workers == [replacement]
+        assert pool.counters["respawns"] == 1
+        assert pool.counters["dispatched"] == 0
+        assert pool.counters["retries"] == 0  # no retry budget consumed
+        # The cell went back to the head of the queue, immediately ready,
+        # and the next dispatch lands it on the replacement at attempt 1.
+        assert pool.queue_depth() == 1
+        pool._dispatch(clock())
+        assert replacement.task == (cell, 1)
+        assert pool.counters["dispatched"] == 1
+
+
+# -- cancellation (real processes) ------------------------------------------------------
+
+
+class TestPoolCancellation:
+    def run_serve(self, pool, emit):
+        import threading
+
+        thread = threading.Thread(target=pool.serve, args=(emit,))
+        thread.start()
+        return thread
+
+    def test_cancel_pending_cell_drops_it_before_dispatch(self, test_kinds):
+        from repro.runner.pool import SupervisedPool
+
+        pool = SupervisedPool(jobs=1)
+        records = []
+        slow = kind_cell("sleep", sleep_s=0.4)
+        queued = kind_cell("instant", n=1)
+        pool.submit(slow)
+        pool.submit(queued)
+        thread = self.run_serve(pool, records.append)
+        try:
+            assert pool.cancel(queued.config_hash) is True
+            deadline = time.monotonic() + 30.0
+            while len(records) < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+        finally:
+            pool.request_stop()
+            thread.join(timeout=30.0)
+        by_hash = {r["hash"]: r for r in records}
+        assert by_hash[slow.config_hash]["status"] == "ok"
+        cancelled = by_hash[queued.config_hash]
+        assert cancelled["failure"] == "cancelled"
+        assert cancelled["error"]["type"] == "CellCancelled"
+        assert pool.counters["cancelled"] == 1
+
+    def test_cancel_running_cell_kills_and_respawns(self, test_kinds):
+        from repro.runner.pool import SupervisedPool
+
+        pool = SupervisedPool(jobs=1)
+        records = []
+        stuck = kind_cell("sleep", sleep_s=60.0)
+        after = kind_cell("instant", n=2)
+        pool.submit(stuck)
+        thread = self.run_serve(pool, records.append)
+        try:
+            deadline = time.monotonic() + 30.0
+            while pool.counters["dispatched"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert pool.cancel(stuck.config_hash) is True
+            pool.submit(after)  # the respawned worker picks this up
+            while len(records) < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+        finally:
+            pool.request_stop()
+            thread.join(timeout=30.0)
+        by_hash = {r["hash"]: r for r in records}
+        assert by_hash[stuck.config_hash]["failure"] == "cancelled"
+        assert by_hash[after.config_hash]["status"] == "ok"
+        assert pool.counters["respawns"] >= 1
+
+    def test_cancel_unknown_hash_is_a_noop(self, test_kinds):
+        from repro.runner.pool import SupervisedPool
+
+        pool = SupervisedPool(jobs=1)
+        assert pool.cancel("no-such-hash") is False
+        assert pool.counters["cancelled"] == 0
+
+
 # -- resume -----------------------------------------------------------------------------
 
 

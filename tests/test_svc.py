@@ -1,0 +1,535 @@
+"""repro.svc units: store, breaker, admission, single-flight, service.
+
+The chaos suite (``tests/test_svc_chaos.py``) attacks the crash windows;
+this file pins the normal-operation semantics each component promises:
+store hits are bit-identical and O(1), the breaker's state machine
+follows closed → open → half-open → closed, admission rejects above the
+limit, single-flight computes once for N concurrent waiters, and the
+service composes them in the documented order.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.runner import Cell
+from repro.runner.execute import CELL_KINDS
+from repro.svc import (
+    AdmissionController,
+    CircuitBreaker,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    Overloaded,
+    RequestTimedOut,
+    ResultStore,
+    ServiceConfig,
+    SimulationService,
+    SingleFlight,
+    SpecError,
+    cell_from_spec,
+)
+
+from tests.test_runner import (
+    FakeClock,
+    _kind_always_crash,
+    _kind_always_fail,
+    _kind_instant,
+    _kind_sleep,
+    kind_cell,
+    test_kinds,  # noqa: F401 — fixture re-export
+)
+
+
+def ok_record(config_hash, digest="digest-1", **extra):
+    record = {
+        "kind": "cell", "hash": config_hash, "cell_id": "t/p/d1/cscan",
+        "status": "ok", "digest": digest, "wall_s": 0.01,
+        "result": {"elapsed_ms": 1.5},
+    }
+    record.update(extra)
+    return record
+
+
+# -- ResultStore ------------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_miss_then_put_then_bit_identical_hit(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        assert store.get("h1") is None
+        record = ok_record("h1")
+        assert store.put("h1", record) is True
+        got = store.get("h1")
+        assert got == record
+        assert store.hits == 1 and store.misses == 1
+        assert store.hit_ratio == 0.5
+        # The result is the atomically written file, sharded by prefix.
+        assert os.path.exists(str(tmp_path / "store" / "h1"[:2] / "h1.json"))
+
+    def test_reopen_recovers_residency_from_log_and_files(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ResultStore(root)
+        store.put("aaaa", ok_record("aaaa", digest="d-a"))
+        store.put("bbbb", ok_record("bbbb", digest="d-b"))
+        store.close()
+        reopened = ResultStore(root)
+        assert len(reopened) == 2
+        assert "aaaa" in reopened and "bbbb" in reopened
+        assert reopened.get("aaaa") == ok_record("aaaa", digest="d-a")
+
+    def test_put_is_idempotent_for_identical_digest(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        record = ok_record("h1")
+        assert store.put("h1", record) is True
+        assert store.put("h1", dict(record)) is False
+        assert store.writes == 1 and store.put_dedup == 1
+        # Only one put entry ever hits the log: no duplicate computation
+        # is recorded.
+        puts = [e for e in store.read_log() if e["op"] == "put"]
+        assert len(puts) == 1
+
+    def test_rejects_failure_records_and_hash_mismatch(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(ValueError, match="storable"):
+            store.put("h1", {"hash": "h1", "status": "failed"})
+        with pytest.raises(ValueError, match="!="):
+            store.put("h1", ok_record("other"))
+
+    def test_torn_result_file_is_quarantined_into_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put("h1", ok_record("h1"))
+        path = store.path_for("h1")
+        with open(path, "w") as handle:
+            handle.write('{"hash": "h1", "status": "ok", "dig')
+        assert store.get("h1") is None
+        assert store.corrupt == 1
+        assert not os.path.exists(path)  # quarantined, will recompute
+
+    def test_wrong_hash_inside_file_is_corrupt(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put("h1", ok_record("h1"))
+        with open(store.path_for("h1"), "w") as handle:
+            json.dump(ok_record("h2"), handle)
+        assert store.get("h1") is None
+        assert store.corrupt == 1
+
+    def test_lru_eviction_bounds_residency(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"), max_entries=2)
+        store.put("h1", ok_record("h1"))
+        store.put("h2", ok_record("h2"))
+        store.get("h1")  # refresh h1: h2 becomes the LRU victim
+        store.put("h3", ok_record("h3"))
+        assert store.evictions == 1
+        assert "h2" not in store
+        assert store.get("h2") is None
+        assert store.get("h1") is not None and store.get("h3") is not None
+        assert not os.path.exists(store.path_for("h2"))
+        evicts = [e for e in store.read_log() if e["op"] == "evict"]
+        assert [e["hash"] for e in evicts] == ["h2"]
+
+    def test_recency_survives_reopen_via_touch_entries(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ResultStore(root, max_entries=2)
+        store.put("h1", ok_record("h1"))
+        store.put("h2", ok_record("h2"))
+        store.get("h1")
+        store.close()
+        reopened = ResultStore(root, max_entries=2)
+        reopened.put("h3", ok_record("h3"))
+        assert "h1" in reopened and "h2" not in reopened
+
+    def test_malformed_log_lines_are_skipped_and_counted(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ResultStore(root)
+        store.put("h1", ok_record("h1"))
+        store.close()
+        with open(os.path.join(root, "store.log.jsonl"), "a") as handle:
+            handle.write('{"op": "put", "hash": "h2", "dig\n')
+        reopened = ResultStore(root)
+        assert reopened.skipped_log_lines == 1
+        assert len(reopened) == 1
+
+    def test_stale_tmp_files_swept_from_root_and_shards(self, tmp_path):
+        root = tmp_path / "store"
+        shard = root / "ab"
+        shard.mkdir(parents=True)
+        (root / ".x.json.1.tmp").write_text("{")
+        (shard / ".abcd.json.2.tmp").write_text("{")
+        store = ResultStore(str(root))
+        assert store.swept_tmp == 2
+        assert not (root / ".x.json.1.tmp").exists()
+        assert not (shard / ".abcd.json.2.tmp").exists()
+
+    def test_counters_mirror_into_metrics(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = ResultStore(str(tmp_path / "store"), metrics=metrics)
+        store.get("h1")
+        store.put("h1", ok_record("h1"))
+        store.get("h1")
+        counters = metrics.to_dict()["counters"]
+        assert counters["svc.store.misses"] == 1
+        assert counters["svc.store.writes"] == 1
+        assert counters["svc.store.hits"] == 1
+
+
+# -- CircuitBreaker ---------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_timeout_s", 30.0)
+        return CircuitBreaker(clock=clock, **kwargs)
+
+    def test_trips_after_consecutive_failures_only(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # streak broken
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_half_open_probe_after_cooldown_then_close_on_success(self):
+        clock = FakeClock(now=0.0)
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(29.9)
+        assert not breaker.allow()
+        assert breaker.retry_after_s == pytest.approx(0.1)
+        clock.advance(0.1)
+        assert breaker.allow()  # the single half-open probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # second request: probe slot taken
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_for_full_cooldown(self):
+        clock = FakeClock(now=0.0)
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(29.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_stale_probe_unblocks_after_another_cooldown(self):
+        clock = FakeClock(now=0.0)
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()  # probe claimed, outcome never reported
+        clock.advance(29.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()  # a new probe may go
+
+    def test_metrics_record_transitions_and_state(self):
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=clock, metrics=metrics)
+        breaker.record_failure()
+        assert metrics.to_dict()["gauges"]["svc.breaker.state"]["value"] == 2.0
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        counters = metrics.to_dict()["counters"]
+        assert counters["svc.breaker.to_open"] == 1
+        assert counters["svc.breaker.to_half_open"] == 1
+        assert counters["svc.breaker.to_closed"] == 1
+
+
+# -- AdmissionController ----------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_rejects_above_limit_until_release(self):
+        admission = AdmissionController(limit=2)
+        assert admission.try_acquire() and admission.try_acquire()
+        assert not admission.try_acquire()
+        assert admission.rejected == 1
+        admission.release()
+        assert admission.try_acquire()
+        assert admission.status()["in_system"] == 2
+
+    def test_release_never_goes_negative(self):
+        admission = AdmissionController(limit=1)
+        admission.release()
+        assert admission.in_system == 0
+        assert admission.available == 1
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            AdmissionController(limit=0)
+
+
+# -- SingleFlight -----------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_one_leader_many_followers_one_result(self):
+        async def scenario():
+            flights = SingleFlight()
+            f1, lead1 = flights.join("k")
+            f2, lead2 = flights.join("k")
+            assert lead1 and not lead2
+            assert f1 is f2
+            assert flights.resolve("k", {"answer": 42}) is True
+            assert await f1 == {"answer": 42}
+            assert "k" not in flights
+
+        asyncio.run(scenario())
+
+    def test_last_leaver_drops_the_flight(self):
+        async def scenario():
+            flights = SingleFlight()
+            flights.join("k")
+            flights.join("k")
+            assert flights.leave("k") == 1  # one waiter remains
+            assert "k" in flights
+            assert flights.leave("k") == 0  # last leaver: flight dropped
+            assert "k" not in flights
+            # A late resolve is benign (the cancelled-then-completed race).
+            assert flights.resolve("k", {}) is False
+
+        asyncio.run(scenario())
+
+
+# -- spec validation --------------------------------------------------------------------
+
+
+class TestCellFromSpec:
+    def test_minimal_spec_builds_a_cell(self):
+        cell = cell_from_spec({"trace": "ld", "policy": "demand", "disks": 2})
+        assert isinstance(cell, Cell)
+        assert cell.cell_id == "ld/demand/d2/cscan"
+
+    def test_int_scale_coerces_to_float(self):
+        cell = cell_from_spec(
+            {"trace": "ld", "policy": "demand", "disks": 1, "scale": 1}
+        )
+        assert cell.scale == 1.0
+
+    @pytest.mark.parametrize("spec,message", [
+        ("nope", "must be a JSON object"),
+        ({"trace": "ld"}, "missing required"),
+        ({"trace": "ld", "policy": "demand", "disks": 1, "bogus": 1},
+         "unknown cell field"),
+        ({"trace": "ld", "policy": "demand", "disks": "two"},
+         "must be int"),
+        ({"trace": "ld", "policy": "demand", "disks": True},
+         "must be int"),
+        ({"trace": "nope", "policy": "demand", "disks": 1},
+         "unknown trace"),
+        ({"trace": "ld", "policy": "nope", "disks": 1},
+         "unknown policy"),
+    ])
+    def test_bad_specs_raise_spec_error(self, spec, message):
+        with pytest.raises(SpecError, match=message):
+            cell_from_spec(spec)
+
+
+# -- SimulationService ------------------------------------------------------------------
+
+
+def service_config(tmp_path, **kwargs):
+    kwargs.setdefault("store_dir", str(tmp_path / "store"))
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("request_timeout_s", 60.0)
+    return ServiceConfig(**kwargs)
+
+
+def run_service(tmp_path, scenario, **config_kwargs):
+    """Start a service, run the async scenario, always drain."""
+    async def main():
+        service = SimulationService(service_config(tmp_path, **config_kwargs))
+        await service.start()
+        try:
+            return await scenario(service)
+        finally:
+            await service.drain("signal")
+
+    return asyncio.run(main())
+
+
+class TestSimulationService:
+    def test_compute_then_store_hit_bit_identical(self, test_kinds, tmp_path):
+        async def scenario(service):
+            cell = kind_cell("instant", n=7)
+            first, served1 = await service.run_cell(cell)
+            second, served2 = await service.run_cell(cell)
+            assert served1 == "computed" and served2 == "store"
+            assert first == second  # byte-for-byte the same record
+            assert first["digest"] == "digest-7"
+            assert service.store.writes == 1
+
+        run_service(tmp_path, scenario)
+
+    def test_concurrent_identical_requests_coalesce(self, test_kinds, tmp_path):
+        async def scenario(service):
+            cell = kind_cell("sleep", sleep_s=0.3)
+            results = await asyncio.gather(
+                service.run_cell(cell), service.run_cell(cell),
+                service.run_cell(cell),
+            )
+            served = sorted(s for _, s in results)
+            assert served == ["coalesced", "coalesced", "computed"]
+            records = [r for r, _ in results]
+            assert records[0] == records[1] == records[2]
+            # One computation, one store write, one admission slot.
+            assert service.pool.counters["dispatched"] == 1
+            assert service.store.writes == 1
+            assert service.admission.admitted == 1
+
+        run_service(tmp_path, scenario)
+
+    def test_deterministic_failure_served_not_stored_not_breaking(
+            self, test_kinds, tmp_path):
+        async def scenario(service):
+            record, served = await service.run_cell(kind_cell("always-fail"))
+            assert served == "computed"
+            assert record["status"] == "failed"
+            assert record["failure"] == "exception"
+            # Not cached: a failure is not a result.
+            assert len(service.store) == 0
+            # And not a breaker strike: the worker executed correctly.
+            assert service.breaker.state == CLOSED
+            assert service.breaker.consecutive_failures == 0
+
+        run_service(tmp_path, scenario)
+
+    def test_crashes_trip_the_breaker_and_reject_503(self, test_kinds, tmp_path):
+        async def scenario(service):
+            for n in range(2):
+                record, _ = await service.run_cell(
+                    kind_cell("always-crash", n=n)
+                )
+                assert record["failure"] == "crash"
+            assert service.breaker.state == OPEN
+            with pytest.raises(Overloaded) as exc_info:
+                await service.run_cell(kind_cell("instant", n=1))
+            assert exc_info.value.status == 503
+            assert exc_info.value.retry_after_s > 0
+            # The rejected cell never reached the pool.
+            assert service.pool.counters["dispatched"] == 2 * 2  # 1 + retry
+
+        run_service(tmp_path, scenario, breaker_failures=2, max_retries=1,
+                    retry_backoff_s=0.05)
+
+    def test_admission_rejects_429_beyond_queue_limit(self, test_kinds, tmp_path):
+        async def scenario(service):
+            slow = [kind_cell("sleep", sleep_s=0.5, n=n) for n in range(2)]
+            tasks = [asyncio.ensure_future(service.run_cell(c)) for c in slow]
+            await asyncio.sleep(0.05)  # both admitted (limit 2, jobs 1)
+            with pytest.raises(Overloaded) as exc_info:
+                await service.run_cell(kind_cell("instant", n=9))
+            assert exc_info.value.status == 429
+            for record, _ in await asyncio.gather(*tasks):
+                assert record["status"] == "ok"
+            # Slots released on completion: the same request now admits.
+            record, _ = await service.run_cell(kind_cell("instant", n=9))
+            assert record["status"] == "ok"
+
+        run_service(tmp_path, scenario, queue_limit=2)
+
+    def test_request_timeout_cancels_pool_work(self, test_kinds, tmp_path):
+        async def scenario(service):
+            stuck = kind_cell("sleep", sleep_s=60.0)
+            with pytest.raises(RequestTimedOut):
+                await service.run_cell(stuck)
+            # The flight is gone and the pool was told to cancel.
+            assert stuck.config_hash not in service.flights
+            deadline = asyncio.get_event_loop().time() + 30.0
+            while service.admission.in_system > 0:
+                assert asyncio.get_event_loop().time() < deadline
+                await asyncio.sleep(0.02)
+            assert service.pool.counters["cancelled"] == 1
+            # The worker was respawned: new work completes fine.
+            record, _ = await service.run_cell(kind_cell("instant", n=3))
+            assert record["status"] == "ok"
+
+        run_service(tmp_path, scenario, request_timeout_s=0.3)
+
+    def test_one_timed_out_waiter_does_not_sink_the_others(
+            self, test_kinds, tmp_path):
+        async def scenario(service):
+            cell = kind_cell("sleep", sleep_s=0.5)
+
+            async def impatient():
+                return await service.run_cell(cell, timeout_s=0.1)
+
+            async def patient():
+                await asyncio.sleep(0.02)  # join as a follower
+                return await service.run_cell(cell)
+
+            results = await asyncio.gather(
+                impatient(), patient(), return_exceptions=True
+            )
+            assert isinstance(results[0], RequestTimedOut)
+            record, served = results[1]
+            assert record["status"] == "ok"
+            # The patient waiter kept the flight alive: no cancellation.
+            assert service.pool.counters["cancelled"] == 0
+
+        run_service(tmp_path, scenario)
+
+    def test_draining_rejects_new_requests(self, test_kinds, tmp_path):
+        async def scenario(service):
+            service.draining = True
+            with pytest.raises(Overloaded) as exc_info:
+                await service.run_cell(kind_cell("instant", n=1))
+            assert exc_info.value.status == 503
+
+        run_service(tmp_path, scenario)
+
+    def test_run_cells_bundle_mixes_hits_and_computes(self, test_kinds, tmp_path):
+        async def scenario(service):
+            warm = kind_cell("instant", n=1)
+            await service.run_cell(warm)
+            results = await service.run_cells(
+                [warm, kind_cell("instant", n=2)]
+            )
+            assert [served for _, served in results] == ["store", "computed"]
+            events = await service.events_since(0, timeout_s=0.1)
+            assert any(e["type"] == "record" for e in events)
+
+        run_service(tmp_path, scenario)
+
+    def test_drain_returns_resumable_exit_codes(self, test_kinds, tmp_path):
+        async def main():
+            service = SimulationService(service_config(tmp_path))
+            await service.start()
+            assert await service.drain("deadline") == 76
+            # Drain is idempotent.
+            assert await service.drain("deadline") == 76
+
+        asyncio.run(main())
+
+    def test_status_surfaces_all_components(self, test_kinds, tmp_path):
+        async def scenario(service):
+            await service.run_cell(kind_cell("instant", n=1))
+            status = service.status()
+            assert status["breaker"]["state"] == CLOSED
+            assert status["admission"]["limit"] == service.admission.limit
+            assert status["store"]["writes"] == 1
+            assert status["pool"]["counters"]["ok"] == 1
+            assert status["requests"]["svc.served_computed"] == 1
+
+        run_service(tmp_path, scenario)

@@ -1,0 +1,401 @@
+"""The chaos harness: kill it, tear it, fill it — lose nothing.
+
+Every scenario here attacks a window the service claims to survive and
+then asserts the service-level invariants (docs/SERVICE.md):
+
+* **No lost result** — any result the store's log claims is either
+  resident and valid, or safely recomputable to the *same* digest.
+* **No duplicate computation recorded** — per config hash, every digest
+  the log ever records is identical; an idempotent re-put after a crash
+  recompute adds no new entry.
+* **Bit-identity under fire** — with workers SIGKILLed mid-cell, files
+  torn at random offsets, the process dying between log append and
+  rename, and ENOSPC on the store, the 14 pinned golden digests of
+  ``tests/test_golden_results.py`` still come out exactly.
+* **Clean restart-and-resume** — a killed service reopens its store and
+  serves previously computed cells with zero simulation work.
+"""
+
+import asyncio
+import json
+import os
+import random
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.runner import Cell, execute_cell
+from repro.svc import (
+    CHAOS_EXIT_CODE,
+    CRASH_ENV,
+    RAISE_ENV,
+    STORE_LOG_NAME,
+    ResultStore,
+    ServiceConfig,
+    SimulationService,
+    kill_worker,
+    tear_file,
+    worker_pids,
+)
+
+from tests import test_golden_results as golden
+from tests.test_runner import golden_plan, kind_cell, test_kinds  # noqa: F401
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+GOLDEN_DIGESTS = set(golden.EXPECTED.values())
+
+
+def assert_store_invariants(root):
+    """The log is the authority; everything on disk must agree with it."""
+    store = ResultStore(root)
+    try:
+        digests_by_hash = {}
+        for entry in store.read_log():
+            if entry.get("op") == "put":
+                digests_by_hash.setdefault(entry["hash"], set()).add(
+                    entry["digest"]
+                )
+        for config_hash, digests in digests_by_hash.items():
+            # No duplicate computation recorded: every digest ever logged
+            # for one hash is the same digest.
+            assert len(digests) == 1, (
+                f"{config_hash}: divergent digests recorded {digests}"
+            )
+        for config_hash in list(store._lru):
+            record = store.get(config_hash)
+            if record is None:
+                continue  # quarantined just now; recompute will re-pin it
+            logged = digests_by_hash.get(config_hash)
+            if logged:
+                assert record["digest"] == next(iter(logged))
+    finally:
+        store.close()
+
+
+def service_scenario(tmp_path, scenario, **config_kwargs):
+    config_kwargs.setdefault("store_dir", str(tmp_path / "store"))
+    config_kwargs.setdefault("jobs", 2)
+
+    async def main():
+        service = SimulationService(ServiceConfig(**config_kwargs))
+        await service.start()
+        try:
+            return await scenario(service)
+        finally:
+            await service.drain("signal")
+
+    return asyncio.run(main())
+
+
+# -- worker SIGKILL mid-cell ------------------------------------------------------------
+
+
+class TestWorkerKills:
+    def test_killed_worker_retries_to_the_same_digest(self, test_kinds, tmp_path):
+        async def scenario(service):
+            cell = kind_cell("sleep", sleep_s=0.5)
+            task = asyncio.ensure_future(service.run_cell(cell))
+            deadline = time.monotonic() + 30.0
+            while service.pool.counters["dispatched"] < 1:
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.02)
+            pids = worker_pids(service.pool)
+            assert pids
+            assert kill_worker(pids[0])
+            record, served = await task
+            assert served == "computed"
+            assert record["status"] == "ok"
+            assert record["digest"] == "digest-slept"
+            assert record["attempt"] == 2
+            assert service.pool.counters["crashes"] == 1
+            assert service.pool.counters["retries"] == 1
+            # The crash counted against the breaker, the recovery reset it.
+            assert service.breaker.consecutive_failures == 0
+            # Exactly one result recorded despite the violent first attempt.
+            puts = [e for e in service.store.read_log() if e["op"] == "put"]
+            assert len(puts) == 1
+
+        service_scenario(tmp_path, scenario, jobs=1, retry_backoff_s=0.05)
+        assert_store_invariants(str(tmp_path / "store"))
+
+    def test_golden_digests_survive_worker_kills(self, tmp_path):
+        """The headline: SIGKILL workers repeatedly during the golden
+        sweep; every one of the 14 pinned digests still comes out."""
+
+        async def scenario(service):
+            cells = golden_plan()
+            sweep = asyncio.ensure_future(service.run_cells(cells))
+            killed = 0
+            deadline = time.monotonic() + 120.0
+            while killed < 3 and not sweep.done():
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.3)
+                pids = worker_pids(service.pool)
+                if pids and kill_worker(pids[killed % len(pids)]):
+                    killed += 1
+            results = await sweep
+            assert killed >= 1, "chaos never landed a kill"
+            digests = set()
+            for (record, served), cell in zip(results, cells):
+                assert record is not None, cell.cell_id
+                assert record["status"] == "ok", record
+                digests.add(record["digest"])
+            assert digests == GOLDEN_DIGESTS
+            assert service.pool.counters["crashes"] >= 1
+
+        service_scenario(tmp_path, scenario, jobs=2, max_retries=4,
+                         retry_backoff_s=0.05, request_timeout_s=300.0)
+        assert_store_invariants(str(tmp_path / "store"))
+
+
+# -- torn files -------------------------------------------------------------------------
+
+
+class TestTornWrites:
+    def test_torn_result_files_recompute_to_logged_digest(
+            self, test_kinds, tmp_path):
+        async def scenario(service):
+            cell = kind_cell("instant", n=42)
+            first, _ = await service.run_cell(cell)
+            rng = random.Random(1996)
+            for round_no in range(5):
+                offset = tear_file(
+                    service.store.path_for(cell.config_hash), rng
+                )
+                assert offset is not None
+                again, served = await service.run_cell(cell)
+                # Torn file → quarantined miss → recompute; the digest
+                # must match what the log pinned the first time.
+                assert served in ("computed", "store")
+                assert again["digest"] == first["digest"]
+            assert service.store.corrupt >= 1
+
+        service_scenario(tmp_path, scenario, jobs=1)
+        assert_store_invariants(str(tmp_path / "store"))
+
+    def test_torn_store_log_only_loses_recency_not_results(
+            self, test_kinds, tmp_path):
+        root = str(tmp_path / "store")
+
+        async def scenario(service):
+            for n in (1, 2, 3):
+                await service.run_cell(kind_cell("instant", n=n))
+
+        service_scenario(tmp_path, scenario, jobs=1)
+        # Tear the log mid-file (not just the tail).
+        log_path = os.path.join(root, STORE_LOG_NAME)
+        with open(log_path) as handle:
+            lines = handle.readlines()
+        assert len(lines) >= 3
+        lines[1] = lines[1][: len(lines[1]) // 2] + "\n"
+        with open(log_path, "w") as handle:
+            handle.writelines(lines)
+
+        reopened = ResultStore(root)
+        try:
+            assert reopened.skipped_log_lines == 1
+            # All three results still resident and valid: the files are
+            # the results, the log is residency metadata.
+            assert len(reopened) == 3
+            hits = 0
+            for cell in [kind_cell("instant", n=n) for n in (1, 2, 3)]:
+                if reopened.get(cell.config_hash) is not None:
+                    hits += 1
+            assert hits == 3
+        finally:
+            reopened.close()
+
+
+# -- ENOSPC on the store ----------------------------------------------------------------
+
+
+class TestFullDisk:
+    def test_enospc_still_serves_results_uncached(
+            self, test_kinds, tmp_path, monkeypatch):
+        async def scenario(service):
+            monkeypatch.setenv(RAISE_ENV, "store.put.pre-log")
+            cell = kind_cell("instant", n=7)
+            record, served = await service.run_cell(cell)
+            # The client is served even though the store is "full".
+            assert served == "computed" and record["status"] == "ok"
+            assert service.metrics.counters["svc.store.put_errors"].value == 1
+            assert len(service.store) == 0
+            # Disk "recovers": the recompute caches and pins the same
+            # digest the full-disk request produced.
+            monkeypatch.delenv(RAISE_ENV)
+            again, served = await service.run_cell(cell)
+            assert served == "computed"
+            assert again["digest"] == record["digest"]
+            final, served = await service.run_cell(cell)
+            assert served == "store" and final == again
+
+        service_scenario(tmp_path, scenario, jobs=1)
+        assert_store_invariants(str(tmp_path / "store"))
+
+
+# -- process death inside the put window ------------------------------------------------
+
+
+CRASH_DRIVER = textwrap.dedent(
+    """
+    import asyncio, os, sys
+    sys.path[:0] = [r"{repo}", r"{repo}/src"]
+    os.environ[{crash_env!r}] = {point!r}
+    from repro.runner import Cell
+    from repro.svc import ServiceConfig, SimulationService
+
+    async def main():
+        service = SimulationService(
+            ServiceConfig(store_dir=r"{store}", jobs=1,
+                          request_timeout_s=120.0)
+        )
+        await service.start()
+        record, served = await service.run_cell(
+            Cell(trace="ld", policy="demand", disks=1, scale=0.05)
+        )
+        print("UNREACHABLE", served, flush=True)
+
+    asyncio.run(main())
+    """
+)
+
+
+def run_crash_driver(store_dir, point):
+    proc = subprocess.run(
+        [sys.executable, "-c", CRASH_DRIVER.format(
+            repo=REPO_ROOT, store=store_dir, point=point,
+            crash_env=CRASH_ENV,
+        )],
+        cwd=REPO_ROOT, capture_output=True, timeout=120.0,
+    )
+    assert proc.returncode == CHAOS_EXIT_CODE, proc.stderr.decode()
+    assert b"UNREACHABLE" not in proc.stdout
+    return proc
+
+
+class TestCrashWindows:
+    CELL = Cell(trace="ld", policy="demand", disks=1, scale=0.05)
+
+    def serve_once(self, store_dir):
+        async def main():
+            service = SimulationService(
+                ServiceConfig(store_dir=store_dir, jobs=1)
+            )
+            await service.start()
+            try:
+                return await service.run_cell(self.CELL), service.status()
+            finally:
+                await service.drain("signal")
+
+        return asyncio.run(main())
+
+    def test_killed_between_log_append_and_rename(self, tmp_path):
+        """SIGKILL in the most dangerous window: the put is logged, the
+        result file does not exist yet."""
+        store_dir = str(tmp_path / "store")
+        run_crash_driver(store_dir, "store.put.post-log")
+
+        store = ResultStore(store_dir)
+        puts = [e for e in store.read_log() if e["op"] == "put"]
+        assert len(puts) == 1  # the log append survived (it is fsynced)
+        logged_digest = puts[0]["digest"]
+        # The file never made it; recovery treats it as not resident.
+        assert store.get(self.CELL.config_hash) is None
+        store.close()
+
+        # Restart and re-request: the recompute must produce exactly the
+        # digest the dead process logged, and the store heals.
+        (record, served), _status = self.serve_once(store_dir)
+        assert served == "computed"
+        assert record["digest"] == logged_digest
+        assert_store_invariants(store_dir)
+        # The healed store now serves it with zero simulation work.
+        (record2, served2), status = self.serve_once(store_dir)
+        assert served2 == "store"
+        assert record2 == record
+        assert status["pool"]["counters"]["dispatched"] == 0
+
+    def test_killed_after_rename_restart_serves_from_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        run_crash_driver(store_dir, "store.put.post-write")
+        # Everything durable landed before the kill: restart serves the
+        # result without computing anything.
+        (record, served), status = self.serve_once(store_dir)
+        assert served == "store"
+        assert record["status"] == "ok"
+        assert status["pool"]["counters"]["dispatched"] == 0
+        # Cross-check: an independent in-process compute agrees.
+        outcome = execute_cell(self.CELL)
+        assert record["digest"] == outcome.digest
+        assert_store_invariants(store_dir)
+
+    def test_killed_before_log_is_a_clean_recompute(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        run_crash_driver(store_dir, "store.put.pre-log")
+        store = ResultStore(store_dir)
+        assert [e for e in store.read_log() if e["op"] == "put"] == []
+        store.close()
+        (record, served), _ = self.serve_once(store_dir)
+        assert served == "computed"
+        outcome = execute_cell(self.CELL)
+        assert record["digest"] == outcome.digest
+        assert_store_invariants(store_dir)
+
+
+# -- the acceptance sweep: golden cells, cached == computed, hit ratio 1.0 --------------
+
+
+class TestGoldenAcceptance:
+    def test_golden_sweep_then_identical_resweep_is_pure_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+
+        async def scenario(service):
+            cells = golden_plan()
+            first = await service.run_cells(cells)
+            digests = {}
+            for (record, served), gcell in zip(first, golden.CELLS):
+                assert record is not None and record["status"] == "ok"
+                assert served in ("computed", "coalesced")
+                digests[golden.cell_id(gcell)] = record["digest"]
+            # Computed digests are exactly the pinned golden values.
+            assert digests == golden.EXPECTED
+
+            hits_before = service.store.hits
+            misses_before = service.store.misses
+            dispatched_before = service.pool.counters["dispatched"]
+            writes_before = service.store.writes
+
+            second = await service.run_cells(cells)
+            for (a, _), (b, served) in zip(first, second):
+                assert served == "store"
+                assert b == a  # cached == computed, byte for byte
+
+            # The repeated sweep: hit ratio 1.0, zero simulation work,
+            # nothing new recorded.
+            assert service.store.misses == misses_before
+            assert service.store.hits == hits_before + len(cells)
+            assert service.pool.counters["dispatched"] == dispatched_before
+            assert service.store.writes == writes_before
+            bundle_hits = service.store.hits - hits_before
+            bundle_misses = service.store.misses - misses_before
+            assert bundle_hits / (bundle_hits + bundle_misses) == 1.0
+
+        service_scenario(tmp_path, scenario, jobs=2, request_timeout_s=300.0)
+        assert_store_invariants(store_dir)
+
+        # And across a restart: a fresh service over the same store still
+        # serves all 14 bit-identically with zero simulation work.
+        async def restart_scenario(service):
+            results = await service.run_cells(golden_plan())
+            for (record, served), gcell in zip(results, golden.CELLS):
+                assert served == "store"
+                assert record["digest"] == golden.EXPECTED[
+                    golden.cell_id(gcell)
+                ]
+            assert service.pool.counters["dispatched"] == 0
+            assert service.store.hit_ratio == 1.0
+
+        service_scenario(tmp_path, restart_scenario, jobs=2,
+                         request_timeout_s=300.0)

@@ -1,0 +1,265 @@
+"""The service's HTTP front end, driven over real sockets.
+
+Each test starts a :class:`ServiceServer` on an ephemeral port inside one
+event loop and speaks raw HTTP/1.1 through ``asyncio.open_connection`` —
+the same framing any external client uses, so header casing, status
+lines, Content-Length bodies, and the chunked event stream are all
+exercised for real.
+"""
+
+import asyncio
+import json
+
+from repro.svc import ServiceConfig, ServiceServer, SimulationService
+
+from tests.test_runner import kind_cell, test_kinds  # noqa: F401
+
+
+async def fetch(port, method, path, body=None, timeout_s=30.0):
+    """One HTTP exchange: ``(status, headers, parsed-json-or-None)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode() + payload
+    writer.write(request)
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), timeout_s)
+    writer.close()
+    head, _, body_bytes = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parsed = json.loads(body_bytes) if body_bytes.strip() else None
+    return status, headers, parsed
+
+
+def http_test(scenario, **config_kwargs):
+    """Run ``scenario(service, port)`` against a live server in tmp dirs
+    supplied by the caller via config_kwargs["store_dir"]."""
+
+    async def main():
+        config = ServiceConfig(**config_kwargs)
+        service = SimulationService(config)
+        server = ServiceServer(service, port=0)
+        await server.start()
+        try:
+            return await scenario(service, server.bound_port)
+        finally:
+            await server.stop()
+            await service.drain("signal")
+
+    return asyncio.run(main())
+
+
+SPEC = {"trace": "ld", "policy": "demand", "disks": 1, "scale": 0.05}
+
+
+class TestHttpSurface:
+    def test_healthz_metrics_status_store(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, _, payload = await fetch(port, "GET", "/v1/healthz")
+            assert status == 200 and payload["ok"] is True
+            status, _, payload = await fetch(port, "GET", "/v1/status")
+            assert status == 200
+            assert payload["breaker"]["state"] == "closed"
+            status, _, payload = await fetch(port, "GET", "/v1/metrics")
+            assert status == 200 and "counters" in payload
+            status, _, payload = await fetch(port, "GET", "/v1/store")
+            assert status == 200 and payload["resident"] == 0
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_post_cell_compute_then_store_hit(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            cell = kind_cell("instant", n=5)
+            spec = {"trace": cell.trace, "policy": cell.policy,
+                    "disks": cell.disks, "kind": "instant",
+                    "params": {"n": 5}}
+            status, _, first = await fetch(port, "POST", "/v1/cells", spec)
+            assert status == 200
+            assert first["served"] == "computed"
+            assert first["record"]["digest"] == "digest-5"
+            status, _, second = await fetch(port, "POST", "/v1/cells", spec)
+            assert status == 200
+            assert second["served"] == "store"
+            # Served bytes are identical either way.
+            assert second["record"] == first["record"]
+            status, _, got = await fetch(
+                port, "GET", "/v1/results/" + first["record"]["hash"]
+            )
+            assert status == 200 and got["record"] == first["record"]
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_results_miss_is_404_and_never_computes(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, _, payload = await fetch(port, "GET", "/v1/results/feed")
+            assert status == 404 and "error" in payload
+            assert service.pool.counters["dispatched"] == 0
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_bad_specs_and_bad_requests_are_400(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, _, payload = await fetch(
+                port, "POST", "/v1/cells", dict(SPEC, trace="nope")
+            )
+            assert status == 400 and "unknown trace" in payload["error"]
+            status, _, payload = await fetch(port, "POST", "/v1/cells")
+            assert status == 400 and "JSON body" in payload["error"]
+            # Raw garbage body.
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"POST /v1/cells HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 3\r\n\r\n{{{"
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 10)
+            writer.close()
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_unknown_path_404_wrong_method_405(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, _, _ = await fetch(port, "GET", "/v2/nope")
+            assert status == 404
+            status, _, _ = await fetch(port, "POST", "/v1/healthz")
+            assert status == 405
+            status, _, _ = await fetch(port, "GET", "/v1/cells")
+            assert status == 405
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_failure_record_maps_to_500(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, _, payload = await fetch(
+                port, "POST", "/v1/cells",
+                {"trace": "ld", "policy": "demand", "disks": 1,
+                 "kind": "always-fail"},
+            )
+            assert status == 500
+            assert payload["record"]["failure"] == "exception"
+            assert "injected deterministic failure" in (
+                payload["record"]["error"]["message"]
+            )
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_queue_full_is_429_with_retry_after(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            slow = {"trace": "ld", "policy": "demand", "disks": 1,
+                    "kind": "sleep", "params": {"sleep_s": 0.6}}
+            task = asyncio.ensure_future(
+                fetch(port, "POST", "/v1/cells", slow)
+            )
+            await asyncio.sleep(0.1)
+            status, headers, payload = await fetch(
+                port, "POST", "/v1/cells", dict(slow, params={"sleep_s": 0.7})
+            )
+            assert status == 429
+            assert "admission queue full" in payload["error"]
+            assert int(headers["retry-after"]) >= 1
+            status, _, first = await task
+            assert status == 200 and first["record"]["status"] == "ok"
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1,
+                  queue_limit=1)
+
+    def test_request_timeout_is_504(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, _, payload = await fetch(
+                port, "POST", "/v1/cells",
+                {"trace": "ld", "policy": "demand", "disks": 1,
+                 "kind": "sleep", "params": {"sleep_s": 60.0}},
+            )
+            assert status == 504
+            assert "timed out" in payload["error"]
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1,
+                  request_timeout_s=0.3)
+
+    def test_sweep_bundle_reports_hit_ratio(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            specs = [
+                {"trace": "ld", "policy": "demand", "disks": 1,
+                 "kind": "instant", "params": {"n": n}}
+                for n in (1, 2)
+            ]
+            status, _, first = await fetch(
+                port, "POST", "/v1/sweeps", {"cells": specs}
+            )
+            assert status == 200
+            assert first["counts"]["computed"] == 2
+            # The identical sweep again: pure store hits, zero new work.
+            dispatched = service.pool.counters["dispatched"]
+            status, _, again = await fetch(
+                port, "POST", "/v1/sweeps", {"cells": specs}
+            )
+            assert status == 200
+            assert again["counts"]["store"] == 2
+            assert again["counts"]["computed"] == 0
+            assert service.pool.counters["dispatched"] == dispatched
+            by_hash = {c["hash"]: c for c in again["cells"]}
+            for entry in first["cells"]:
+                assert by_hash[entry["hash"]]["digest"] == entry["digest"]
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=2)
+
+    def test_sweep_body_validation(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, _, _ = await fetch(port, "POST", "/v1/sweeps", {})
+            assert status == 400
+            status, _, _ = await fetch(
+                port, "POST", "/v1/sweeps", {"cells": []}
+            )
+            assert status == 400
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_event_stream_carries_progress(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            spec = {"trace": "ld", "policy": "demand", "disks": 1,
+                    "kind": "instant", "params": {"n": 3}}
+            status, _, _ = await fetch(port, "POST", "/v1/cells", spec)
+            assert status == 200
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"GET /v1/events?since=0 HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(
+                reader.readuntil(b'"served": "computed"'), 10
+            )
+            writer.close()
+            assert b"Transfer-Encoding: chunked" in raw
+            assert b'"type": "record"' in raw
+            assert b'"status": "ok"' in raw
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_healthz_503_when_draining(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            service.draining = True
+            status, _, payload = await fetch(port, "GET", "/v1/healthz")
+            assert status == 503 and payload["draining"] is True
+            status, _, _ = await fetch(port, "POST", "/v1/cells", SPEC)
+            assert status == 503
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+
+class TestServeForever:
+    def test_deadline_drains_with_exit_76(self, test_kinds, tmp_path):
+        from repro.svc import serve_async
+
+        async def main():
+            config = ServiceConfig(store_dir=str(tmp_path / "store"), jobs=1)
+            return await serve_async(
+                config, host="127.0.0.1", port=0, deadline_s=0.3
+            )
+
+        assert asyncio.run(main()) == 76
