@@ -43,6 +43,10 @@ DEFAULT_CELLS = [
     ("glimpse", "forestall", 4, "cscan"),
     ("synth", "aggressive", 2, "sstf"),
     ("postgres-select", "reverse-aggressive", 4, "cscan"),
+    # XL tier: 10^5–10^6 refs even at fractional scale; exercises the
+    # batched array-backed core where dict-of-lists scans used to dominate.
+    ("synth-xl", "aggressive", 4, "cscan"),
+    ("synth-xl", "forestall", 4, "cscan"),
 ]
 
 #: Reduced set for the CI perf-smoke job.
@@ -51,6 +55,7 @@ QUICK_CELLS = [
     ("ld", "forestall", 4, "cscan"),
     ("cscope2", "aggressive", 4, "cscan"),
     ("synth", "aggressive", 2, "sstf"),
+    ("synth-xl", "aggressive", 4, "cscan"),
 ]
 
 

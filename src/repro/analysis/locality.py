@@ -19,6 +19,7 @@ The Mattson computation uses a Fenwick tree: O(n log m) for n references
 over m distinct blocks.
 """
 
+import math
 from typing import Dict, List, Sequence
 
 from repro.core.nextref import INFINITE
@@ -88,7 +89,7 @@ def miss_ratio_curve(
     for size in cache_sizes:
         if size < 1:
             raise ValueError("cache sizes must be positive")
-        misses = sum(1 for d in distances if d is INFINITE or d >= size)
+        misses = sum(1 for d in distances if math.isinf(d) or d >= size)
         out[size] = misses / n
     return out
 

@@ -24,10 +24,10 @@ The bench ``bench_ext_tuning.py`` scores the analytic recommendations
 against exhaustively searched optima.
 """
 
+import math
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.locality import reuse_distances, sequentiality
-from repro.core.nextref import INFINITE
 
 #: Access-time estimates by access pattern (ms): drive-cache hits vs seeks.
 SEQUENTIAL_ACCESS_MS = 3.5
@@ -71,7 +71,7 @@ def missing_run_length(blocks: Sequence[int], cache_blocks: int) -> float:
     runs: List[int] = []
     current = 0
     for distance in distances:
-        missing = distance is INFINITE or distance >= cache_blocks
+        missing = math.isinf(distance) or distance >= cache_blocks
         if missing:
             current += 1
         elif current:

@@ -20,7 +20,14 @@ from repro.core.multiprocess import (
 )
 from repro.core.forestall import Forestall
 from repro.core.heuristics import LRUDemand, SequentialReadahead, StridePrefetcher
-from repro.core.nextref import INFINITE, EvictionHeap, NextRefIndex
+from repro.core.nextref import (
+    HAVE_NUMPY,
+    INFINITE,
+    EvictionHeap,
+    NextRefIndex,
+    ReferenceNextRefIndex,
+    ScanSupport,
+)
 from repro.core.policy import MissingScanner, PrefetchPolicy
 from repro.core.results import SimulationResult
 from repro.core.timeline import StallEpisode, Timeline
@@ -67,6 +74,7 @@ __all__ = [
     "EvictionHeap",
     "FixedHorizon",
     "Forestall",
+    "HAVE_NUMPY",
     "HintQuality",
     "INFINITE",
     "LRUDemand",
@@ -76,7 +84,9 @@ __all__ = [
     "POLICIES",
     "PrefetchPolicy",
     "ProcessResult",
+    "ReferenceNextRefIndex",
     "ReverseAggressive",
+    "ScanSupport",
     "SimConfig",
     "SequentialReadahead",
     "SimulationResult",

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Optional, Set, cast
 
 from repro.core.batching import batch_size_for
-from repro.core.nextref import INFINITE
 from repro.core.policy import MissingScanner, PrefetchPolicy, SimulatorLike, Victim
 
 
@@ -110,7 +109,8 @@ class Aggressive(PrefetchPolicy):
         )
         if victim is None:
             return False
-        next_use = sim.index.next_use(victim, cursor)
-        if next_use is not INFINITE and next_use <= fetch_position:
+        # next_use is index.never (> any real fetch position) for a block
+        # that is never referenced again, so one exact comparison suffices.
+        if sim.index.next_use(victim, cursor) <= fetch_position:
             return False
         return victim

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, cast
 
 from repro.core.cache import BufferCache
 from repro.core.hints import resolve_hint_view
-from repro.core.nextref import EvictionHeap, NextRefIndex
+from repro.core.nextref import EvictionHeap, NextRefIndex, ScanSupport
 from repro.core.policy import PrefetchPolicy
 from repro.core.results import SimulationResult
 from repro.core.timeline import (
@@ -164,6 +164,17 @@ class Simulator:
         self._disk: Dict[int, int] = {}
         self._lbn: Dict[int, int] = {}
         self._place_blocks()
+        #: Vectorized scan support (None without numpy).  Purely an
+        #: accelerator: every consumer re-validates candidates against live
+        #: cache state, so results are bit-identical with or without it.
+        self.scan: Optional[ScanSupport] = ScanSupport.build(self.blocks)
+        if self.scan is not None:
+            self.cache.attach_present_mask(self.scan.mask)
+            if not self.config.mirrored:
+                # Static placement: per-position disk homes can be
+                # precomputed.  Mirrored reads are load-dependent, so the
+                # policies fall back to disk_of() there.
+                self.scan.attach_disks(self._disk)
 
         self._events: List[Tuple[float, int, int, int]] = []
         self._event_seq = 0
@@ -271,7 +282,7 @@ class Simulator:
             self.num_disks // 2 if self.config.mirrored else self.num_disks
         )
         total = self.array.geometry.total_blocks * effective_disks
-        universe = set(self.index.positions) | set(self.app_blocks)
+        universe = set(self.index.unique_blocks()) | set(self.app_blocks)
         self._scatter_rng: Optional[random.Random] = None
         self._placement: Optional[Placement] = None
         self._files: Dict[int, Tuple[int, int]] = {}

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import cast
 
-from repro.core.nextref import INFINITE
 from repro.core.policy import MissingScanner, PrefetchPolicy, SimulatorLike, Victim
 
 #: The paper's baseline prefetch horizon (15 ms / 243 µs).
@@ -73,7 +72,9 @@ class FixedHorizon(PrefetchPolicy):
         )
         if victim is None:
             return False
+        # The boundary can lie past the end of the stream, so "never
+        # referenced again" (== index.never) must stay evictable there.
         next_use = sim.index.next_use(victim, cursor)
-        if next_use is not INFINITE and next_use <= boundary:
+        if next_use != sim.index.never and next_use <= boundary:
             return False
         return victim

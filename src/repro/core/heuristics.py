@@ -96,27 +96,32 @@ class SequentialReadahead(LRUDemand):
 
     def on_miss(self, cursor: int, now: float) -> None:
         super().on_miss(cursor, now)
-        block = self.sim.reference_block(cursor)
+        sim = self.sim
+        block = sim.reference_block(cursor)
+        # The file table and the missed block's home file are loop
+        # invariants: resolve them once per miss instead of once per
+        # readahead candidate (the window is walked on every single miss).
+        files = getattr(sim.trace, "files", None)
+        block_filed = bool(files) and block in files
+        home = files[block][0] if block_filed else None
+        present_or_coming = sim.cache.present_or_coming
         for successor in range(block + 1, block + 1 + self.depth):
-            if not self._known_and_same_file(block, successor):
-                break
-            if self.sim.cache.present_or_coming(successor):
+            if block_filed and successor in files:
+                if files[successor][0] != home:
+                    break
+            else:
+                # No file metadata for the pair: accept any block the
+                # simulator can place.
+                try:
+                    sim.disk_of(successor)
+                except KeyError:
+                    break
+            if present_or_coming(successor):
                 continue
             victim = self.lru_victim()
             if victim is False:
                 break
             self.issue(successor, victim)
-
-    def _known_and_same_file(self, block: int, successor: int) -> bool:
-        files = getattr(self.sim.trace, "files", None)
-        if files and block in files and successor in files:
-            return files[block][0] == files[successor][0]
-        # No file metadata: accept any block the simulator can place.
-        try:
-            self.sim.disk_of(successor)
-        except KeyError:
-            return False
-        return True
 
 
 class StridePrefetcher(LRUDemand):

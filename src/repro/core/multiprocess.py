@@ -42,7 +42,7 @@ from typing import (
 
 from repro.core.cache import BufferCache
 from repro.core.engine import SimConfig
-from repro.core.nextref import EvictionHeap, NextRefIndex
+from repro.core.nextref import EvictionHeap, NextRefIndex, ScanSupport
 from repro.core.policy import PrefetchPolicy
 from repro.core.results import SimulationResult
 from repro.disk.array import DiskArray, DriveModel, Placement
@@ -195,6 +195,9 @@ class _Process:
         self.lost_blocks: FrozenSet[int] = frozenset()
         self.index = NextRefIndex(self.blocks)
         self.eviction_heap = EvictionHeap(self.index, cache.resident)
+        # Namespaced block ids are far too sparse for a dense present mask;
+        # policies fall back to the scalar scan loops.
+        self.scan: Optional[ScanSupport] = None
         self.cursor = 0
         self.debt = 0.0
         self.waiting_block: Optional[int] = None
@@ -300,7 +303,7 @@ class MultiProcessSimulator:
         files = process.trace.files or {}
         offset = process.pid * _NAMESPACE_STRIDE
         layout = self.array.layout
-        for namespaced in process.index.positions:
+        for namespaced in process.index.unique_blocks():
             raw = namespaced - offset
             identity = files.get(raw, (process.pid, raw))
             if not isinstance(identity, tuple):

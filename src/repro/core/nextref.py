@@ -4,70 +4,221 @@ All four algorithms exploit full advance knowledge of the reference stream.
 The two queries they need constantly are:
 
 * ``next_use(block, cursor)`` — the first position at or after the cursor
-  that references ``block`` (``INFINITE`` if none), used by the *optimal
-  replacement* and *do-no-harm* rules; and
+  that references ``block`` (:attr:`NextRefIndex.never` if none), used by
+  the *optimal replacement* and *do-no-harm* rules; and
 * "the resident block whose next reference is furthest in the future" —
   the optimal eviction victim.
 
-Both are served in amortized O(log n) by per-block position lists with
-monotonic pointers plus a lazy max-heap over resident blocks.
+The index precomputes a **successor array**: ``succ[i]`` is the next
+position after ``i`` that references ``blocks[i]`` (``len(blocks)`` when
+there is none).  Next-use queries then walk the array with a per-block
+cached position — amortized O(1) for the monotone cursors the engine
+produces, with an exact bisect fallback when a cursor moves backwards.
+"Never referenced again" is the integer ``len(blocks)``, one past the end
+of the stream, so every comparison in the hot path is an exact integer
+comparison — no float identity, no ``inf`` arithmetic (the hazard class
+simlint SL009 now rejects).
+
+Construction is vectorized with numpy when available and falls back to a
+stdlib ``array``-module build otherwise; both produce bit-identical
+structures (see tests/test_batched_core.py).
 """
 
 from __future__ import annotations
 
 import bisect
 import heapq
-from typing import Callable, Container, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+import os
+from array import array
+from typing import (
+    Any,
+    Callable,
+    Container,
+    Dict,
+    Iterator,
+    KeysView,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-#: Sentinel distance for "never referenced again".
+#: Optional numpy handle.  ``REPRO_PURE_PYTHON=1`` forces the stdlib path
+#: even when numpy is importable (used by tests and CI to prove the two
+#: paths are bit-identical).
+_np: Any
+try:
+    import numpy
+
+    _np = numpy
+except ImportError:
+    _np = None
+if os.environ.get("REPRO_PURE_PYTHON"):
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Float sentinel retained for the analysis layer's reuse-distance series
+#: (cold misses have no previous reference).  The simulator core itself
+#: uses :attr:`NextRefIndex.never` — an int — for "never referenced again".
 INFINITE = float("inf")
 
 
 class NextRefIndex:
-    """Per-block reference positions with monotone next-use queries."""
+    """Successor-array next-use index with an exact integer sentinel."""
 
     def __init__(self, blocks: Sequence[int]) -> None:
         self.blocks = blocks
-        self.positions: Dict[int, List[int]] = {}
-        for index, block in enumerate(blocks):
-            self.positions.setdefault(block, []).append(index)
-        self._pointers: Dict[int, int] = {block: 0 for block in self.positions}
-        self._last_cursor = 0
+        n = len(blocks)
+        #: "Never referenced again": one past the end of the stream.  Every
+        #: real next-use is < ``never``, so ordering comparisons against
+        #: positions behave exactly like the old ``float('inf')`` sentinel
+        #: while staying in exact integer arithmetic.
+        self.never: int = n
+        if _np is not None:
+            try:
+                succ, first = self._build_numpy(blocks, n)
+            except (ValueError, TypeError, OverflowError):
+                # Non-integer block ids (the theory model uses labels) or
+                # ids beyond int64: the stdlib build handles any hashable.
+                succ, first = self._build_python(blocks, n)
+        else:
+            succ, first = self._build_python(blocks, n)
+        self._succ = succ
+        #: block -> first position referencing it, in first-occurrence order
+        #: (both construction paths produce the identical dict).
+        self._first = first
+        #: block -> [last queried cursor, cached first position >= it].
+        self._state: Dict[int, List[int]] = {
+            block: [0, position] for block, position in first.items()
+        }
+        self._positions: Optional[Dict[int, List[int]]] = None
+
+    @staticmethod
+    def _build_numpy(
+        blocks: Sequence[int], n: int
+    ) -> Tuple["array[int]", Dict[int, int]]:
+        first: Dict[int, int] = {}
+        succ = array("q")
+        if n == 0:
+            return succ, first
+        blk = _np.asarray(blocks, dtype=_np.int64)
+        order = _np.argsort(blk, kind="stable")
+        succ_np = _np.full(n, n, dtype=_np.int64)
+        same = blk[order[:-1]] == blk[order[1:]]
+        succ_np[order[:-1][same]] = order[1:][same]
+        succ.frombytes(succ_np.tobytes())
+        starts = _np.empty(n, dtype=bool)
+        starts[0] = True
+        starts[1:] = blk[order[1:]] != blk[order[:-1]]
+        for position in _np.sort(order[starts]).tolist():
+            first[blocks[position]] = position
+        return succ, first
+
+    @staticmethod
+    def _build_python(
+        blocks: Sequence[int], n: int
+    ) -> Tuple["array[int]", Dict[int, int]]:
+        succ = array("q", [n]) * n if n else array("q")
+        nxt: Dict[int, int] = {}
+        for position in range(n - 1, -1, -1):
+            block = blocks[position]
+            later = nxt.get(block)
+            if later is not None:
+                succ[position] = later
+            nxt[block] = position
+        first = dict(sorted(nxt.items(), key=lambda item: item[1]))
+        return succ, first
 
     def __len__(self) -> int:
         return len(self.blocks)
 
     @property
     def distinct_blocks(self) -> int:
-        return len(self.positions)
+        return len(self._first)
 
-    def next_use(self, block: int, cursor: int) -> float:
-        """First position >= cursor referencing ``block``, else INFINITE.
+    def unique_blocks(self) -> KeysView[int]:
+        """Distinct referenced blocks, in first-occurrence order."""
+        return self._first.keys()
 
-        Cursors may move backwards relative to earlier queries for *other*
-        blocks, but queries for the same block must use nondecreasing
-        cursors — which holds because the application cursor is monotone.
+    @property
+    def positions(self) -> Dict[int, List[int]]:
+        """Per-block sorted position lists (compat view, built lazily —
+        only the cold-query bisect path and a few tests need it)."""
+        if self._positions is None:
+            table: Dict[int, List[int]] = {}
+            for position, block in enumerate(self.blocks):
+                table.setdefault(block, []).append(position)
+            self._positions = table
+        return self._positions
+
+    def next_use(self, block: int, cursor: int) -> int:
+        """First position >= cursor referencing ``block``, else ``never``.
+
+        Queries for one block normally use nondecreasing cursors (the
+        application cursor is monotone) and cost amortized O(1) via the
+        successor array.  A backwards cursor is detected against the
+        per-block anchor and answered exactly with a bisect instead of
+        silently returning a too-late position.
         """
-        plist = self.positions.get(block)
-        if plist is None:
-            return INFINITE
-        pointer = self._pointers[block]
-        while pointer < len(plist) and plist[pointer] < cursor:
-            pointer += 1
-        self._pointers[block] = pointer
-        if pointer == len(plist):
-            return INFINITE
-        return plist[pointer]
+        state = self._state.get(block)
+        if state is None:
+            return self.never
+        anchor, position = state
+        if cursor < anchor:
+            position = self.next_use_cold(block, cursor)
+        else:
+            if cursor > self.never:
+                cursor = self.never
+            succ = self._succ
+            while position < cursor:
+                position = succ[position]
+        state[0] = cursor
+        state[1] = position
+        return position
 
-    def next_use_cold(self, block: int, cursor: int) -> float:
-        """Like :meth:`next_use` but without pointer caching (any cursor)."""
+    def next_use_cold(self, block: int, cursor: int) -> int:
+        """Like :meth:`next_use` but stateless: exact for any cursor."""
         plist = self.positions.get(block)
         if plist is None:
-            return INFINITE
+            return self.never
         index = bisect.bisect_left(plist, cursor)
         if index == len(plist):
-            return INFINITE
+            return self.never
         return plist[index]
+
+
+class ReferenceNextRefIndex:
+    """Executable specification for :class:`NextRefIndex`.
+
+    The original dict-of-lists structure, kept deliberately slow and
+    obvious: every query bisects the block's sorted position list, so it
+    is exact for *any* cursor order with no cached state to go stale.  The
+    randomized agreement tests drive :class:`NextRefIndex` (both the numpy
+    and the stdlib construction) against this class.
+    """
+
+    def __init__(self, blocks: Sequence[int]) -> None:
+        self.blocks = blocks
+        self.never: int = len(blocks)
+        self.positions: Dict[int, List[int]] = {}
+        for position, block in enumerate(blocks):
+            self.positions.setdefault(block, []).append(position)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def next_use(self, block: int, cursor: int) -> int:
+        plist = self.positions.get(block)
+        if plist is None:
+            return self.never
+        index = bisect.bisect_left(plist, cursor)
+        if index == len(plist):
+            return self.never
+        return plist[index]
+
+    next_use_cold = next_use
 
 
 class EvictionHeap:
@@ -75,17 +226,18 @@ class EvictionHeap:
 
     Entries go stale when a block is evicted or when the cursor passes one
     of its references; staleness is detected on pop by revalidating against
-    the index and the resident set.
+    the index and the resident set.  Keys are negated integer positions
+    (``-index.never`` for "never again"), so ordering and revalidation are
+    exact integer comparisons — never float identity or float ``!=``.
     """
 
     def __init__(self, index: NextRefIndex, resident: Container[int]) -> None:
         self._index = index
         self._resident = resident  # any container supporting "in"
-        self._heap: List[Tuple[float, int]] = []  # (-next_use, block)
+        self._heap: List[Tuple[int, int]] = []  # (-next_use, block)
 
     def push(self, block: int, cursor: int) -> None:
-        next_use = self._index.next_use(block, cursor)
-        key = -next_use if next_use is not INFINITE else float("-inf")
+        key = -self._index.next_use(block, cursor)
         heapq.heappush(self._heap, (key, block))
 
     def best_victim(self, cursor: int, exclude: Container[int] = ()) -> Optional[int]:
@@ -95,18 +247,16 @@ class EvictionHeap:
         decides whether to evict); stale entries encountered along the way
         are discarded.  Blocks in ``exclude`` are skipped but kept.
         """
-        skipped: List[Tuple[float, int]] = []
+        skipped: List[Tuple[int, int]] = []
         victim = None
         while self._heap:
             key, block = self._heap[0]
             if block not in self._resident:
                 heapq.heappop(self._heap)
                 continue
-            true_next = self._index.next_use(block, cursor)
-            true_key = -true_next if true_next is not INFINITE else float("-inf")
+            true_key = -self._index.next_use(block, cursor)
             if true_key != key:
-                heapq.heappop(self._heap)
-                heapq.heappush(self._heap, (true_key, block))
+                heapq.heapreplace(self._heap, (true_key, block))
                 continue
             if block in exclude:
                 skipped.append(heapq.heappop(self._heap))
@@ -122,6 +272,96 @@ class EvictionHeap:
         return True
 
 
+class ScanSupport:
+    """Vectorized missing-block candidate probes over the reference stream.
+
+    Built by the engine when numpy is available: the stream as an int64
+    array plus a dense 0/1 ``bytearray`` present mask kept in lockstep with
+    the cache's ``present`` set (see ``BufferCache.attach_present_mask``).
+    One :meth:`missing_candidates` call resolves a whole lookahead window;
+    callers re-validate each candidate against live cache state, so the
+    lazy-evaluation semantics of the scalar scan loops are preserved
+    exactly (see ``MissingScanner.missing_in``).
+    """
+
+    #: Refuse to build a mask beyond this many entries: a sparse block-id
+    #: space (e.g. multiprocess namespacing) would waste memory on it.
+    MAX_MASK_ENTRIES = 1 << 26
+
+    def __init__(self, blocks_arr: Any, mask: bytearray, mask_np: Any) -> None:
+        self.blocks_arr = blocks_arr
+        self.mask = mask
+        self.mask_np = mask_np
+        #: Per-position disk homes (int64), or None when the placement is
+        #: load-dependent (mirrored arrays) — set via :meth:`attach_disks`.
+        self.disk_by_pos: Any = None
+
+    @classmethod
+    def build(cls, blocks: Sequence[int]) -> Optional["ScanSupport"]:
+        """A ScanSupport for ``blocks``, or None when ineligible (no numpy,
+        empty stream, negative ids, or an unreasonably sparse id space)."""
+        if _np is None or not blocks:
+            return None
+        try:
+            blocks_arr = _np.asarray(blocks, dtype=_np.int64)
+        except (OverflowError, ValueError):
+            return None
+        if int(blocks_arr.min()) < 0:
+            return None
+        size = int(blocks_arr.max()) + 1
+        if size > cls.MAX_MASK_ENTRIES:
+            return None
+        mask = bytearray(size)
+        mask_np = _np.frombuffer(mask, dtype=_np.uint8)
+        return cls(blocks_arr, mask, mask_np)
+
+    def attach_disks(self, disk_map: Dict[int, int]) -> None:
+        """Precompute per-position disk homes from a static placement."""
+        dense = _np.zeros(len(self.mask), dtype=_np.int64)
+        for block, disk in disk_map.items():
+            if 0 <= block < len(self.mask):
+                dense[block] = disk
+        self.disk_by_pos = dense[self.blocks_arr]
+
+    def missing_candidates(self, start: int, end: int) -> List[int]:
+        """Positions in ``[start, end)`` whose block's mask bit is clear.
+
+        A probe, not an answer: the mask reflects the cache at call time,
+        so callers that issue fetches or evict between consuming candidates
+        must re-validate each one (and re-probe after an eviction).
+        """
+        if start >= end:
+            return []
+        window = self.blocks_arr[start:end]
+        hits = self.mask_np[window]
+        missing = _np.flatnonzero(hits == 0)
+        result: List[int] = (missing + start).tolist()
+        return result
+
+    #: Candidates are materialized to Python ints in slices of this many,
+    #: so a consumer that stops after a small per-disk batch budget never
+    #: pays for the whole probe window.
+    ITER_SLICE = 64
+
+    def missing_candidates_iter(self, start: int, end: int) -> Iterator[int]:
+        """Lazy :meth:`missing_candidates`: same positions, same order,
+        converted to Python ints a slice at a time.
+
+        On mostly-missing windows (cold sweeps, tiny caches) nearly every
+        position is a hit; eagerly listing thousands of candidates a
+        consumer will abandon after a dozen dominated the aggressive
+        policy's profile on the synth-xl tier.
+        """
+        if start >= end:
+            return
+        window = self.blocks_arr[start:end]
+        hits = self.mask_np[window]
+        missing = _np.flatnonzero(hits == 0)
+        step = self.ITER_SLICE
+        for i in range(0, len(missing), step):
+            yield from (missing[i : i + step] + start).tolist()
+
+
 def first_missing_positions(
     blocks: Sequence[int],
     cursor: int,
@@ -132,8 +372,10 @@ def first_missing_positions(
     """Yield positions >= cursor whose block is missing (not present).
 
     Scans at most ``limit`` references ahead; duplicate blocks are reported
-    only at their first missing occurrence.  ``is_present(block)`` must
-    return True for blocks that are resident or already being fetched.
+    only at their first missing occurrence *within one call* (the ``seen``
+    set is per-call, so a block suppressed here is reported again by the
+    next call).  ``is_present(block)`` must return True for blocks that are
+    resident or already being fetched.
     """
     seen: Set[int] = set()
     end = min(len(blocks), cursor + limit)
@@ -147,3 +389,39 @@ def first_missing_positions(
         found += 1
         if max_count is not None and found >= max_count:
             return
+
+
+def first_missing_positions_batched(
+    blocks: Sequence[int],
+    cursor: int,
+    is_present: Callable[[int], bool],
+    limit: int,
+    max_count: Optional[int] = None,
+    scan: Optional[ScanSupport] = None,
+) -> List[int]:
+    """Batched twin of :func:`first_missing_positions`.
+
+    One call resolves the whole lookahead window and returns the positions
+    as a list.  With ``scan`` support the candidates come from a single
+    vectorized mask probe; each candidate is still re-validated through
+    ``is_present`` and the per-call duplicate suppression, so the result
+    matches the reference generator exactly.  ``scan`` may only be passed
+    when ``is_present`` agrees with the scan's present mask (i.e. cache
+    membership): a mask hit must imply ``is_present(block)``.
+    """
+    if scan is None:
+        return list(
+            first_missing_positions(blocks, cursor, is_present, limit, max_count)
+        )
+    seen: Set[int] = set()
+    end = min(len(blocks), cursor + limit)
+    out: List[int] = []
+    for position in scan.missing_candidates(cursor, end):
+        block = blocks[position]
+        if block in seen or is_present(block):
+            continue
+        seen.add(block)
+        out.append(position)
+        if max_count is not None and len(out) >= max_count:
+            break
+    return out

@@ -33,16 +33,23 @@ from typing import (
     cast,
 )
 
-from repro.core.nextref import INFINITE
-
 if TYPE_CHECKING:
     from repro.core.cache import BufferCache
-    from repro.core.nextref import EvictionHeap, NextRefIndex
+    from repro.core.nextref import EvictionHeap, NextRefIndex, ScanSupport
     from repro.disk.array import DiskArray
 
 #: What a victim choice can be: ``None`` (use a free buffer), a block to
 #: evict, or ``False`` (nothing may be evicted right now — wait).
 Victim = Union[int, None, Literal[False]]
+
+#: Batched missing-scan tuning — see ``MissingScanner.missing_in``.  The
+#: first ``_SCAN_PREFIX`` positions are probed scalar (consumers with small
+#: batch budgets usually stop there); vectorized probes then start at
+#: ``_SCAN_CHUNK_MIN`` references and double per exhausted chunk up to
+#: ``_SCAN_CHUNK``.
+_SCAN_CHUNK = 4096
+_SCAN_CHUNK_MIN = 512
+_SCAN_PREFIX = 256
 
 
 class SimulatorLike(Protocol):
@@ -86,6 +93,9 @@ class SimulatorLike(Protocol):
 
     @property
     def array(self) -> "DiskArray": ...
+
+    @property
+    def scan(self) -> Optional["ScanSupport"]: ...
 
     def protected_blocks(self) -> Set[int]: ...
 
@@ -206,7 +216,9 @@ class MissingScanner:
         self.floor = 0
 
     def invalidate(self, position: float) -> None:
-        if position is not INFINITE and position < self.floor:
+        # ``position`` is ``index.never`` (or legacy float inf) for a block
+        # with no upcoming reference; neither can be below the floor.
+        if position < self.floor:
             self.floor = int(position)
 
     def missing_in(self, cursor: int, end: int) -> Iterator[Tuple[int, int]]:
@@ -222,10 +234,51 @@ class MissingScanner:
         present = sim.cache.present
         lost = sim.lost_blocks
         end = min(end, len(blocks))
-        for position in range(max(cursor, self.floor), end):
+        start = max(cursor, self.floor)
+        scan = sim.scan
+        if scan is None:
+            for position in range(start, end):
+                block = blocks[position]
+                if block not in present and block not in lost:
+                    # Lost blocks (every copy on a dead spindle) are
+                    # skipped: no fetch can ever serve them, so they are
+                    # not "missing" in any actionable sense.
+                    yield position, block
+            return
+        # Hybrid walk.  Missing-block scans are bimodal: either the consumer
+        # (a per-disk batch budget) is satisfied within a few dozen
+        # references of the floor — where a numpy probe costs more than the
+        # handful of set lookups it replaces — or the scan must skate over
+        # thousands of consecutive cached references, where scalar lookups
+        # dominated whole-run profiles.  Serve the first ``_SCAN_PREFIX``
+        # positions exactly like the scalar loop, then switch to vectorized
+        # probes whose stride doubles per exhausted chunk.
+        for position in range(start, min(end, start + _SCAN_PREFIX)):
             block = blocks[position]
             if block not in present and block not in lost:
-                # Lost blocks (every copy on a dead spindle) are skipped:
-                # no fetch can ever serve them, so they are not "missing"
-                # in any actionable sense.
                 yield position, block
+        # Vectorized tail: probe a chunk at once, re-validate each candidate
+        # at yield time.  Fetches issued by the caller mid-iteration are
+        # caught by the re-validation; an eviction can make a
+        # *probed-present* block missing again, so the eviction counter is
+        # checked after every yield and the remainder of the chunk is
+        # re-probed when it moved.
+        cache = sim.cache
+        position = start + _SCAN_PREFIX
+        chunk = _SCAN_CHUNK_MIN
+        while position < end:
+            stop = min(end, position + chunk)
+            chunk = min(chunk * 2, _SCAN_CHUNK)
+            stamp = cache.evictions
+            resumed = False
+            for candidate in scan.missing_candidates_iter(position, stop):
+                block = blocks[candidate]
+                if block in present or block in lost:
+                    continue
+                yield candidate, block
+                if cache.evictions != stamp:
+                    position = candidate + 1
+                    resumed = True
+                    break
+            if not resumed:
+                position = stop

@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple, cast
 
 from repro.core.batching import batch_size_for
-from repro.core.nextref import INFINITE
 from repro.core.policy import MissingScanner, PrefetchPolicy, SimulatorLike, Victim
 from repro.theory.model import run_aggressive_model
 
@@ -210,8 +209,9 @@ class ReverseAggressive(PrefetchPolicy):
                 self._eviction_pos = position
                 return False
             if block in sim.cache.resident:
-                next_use = sim.index.next_use(block, cursor)
-                if next_use is not INFINITE and next_use <= fetch_position:
+                # next_use == index.never exceeds any real fetch position,
+                # so never-again blocks stay evictable here.
+                if sim.index.next_use(block, cursor) <= fetch_position:
                     self._eviction_pos = position
                     return False  # do-no-harm overrides the schedule
                 self._eviction_pos = position + 1

@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001–SL008).
+"""The simlint rule catalogue (SL001–SL009).
 
 Every rule defends one facet of the project's bit-identical guarantee or
 of the policy contract the simulator engine relies on.  docs/LINTING.md
@@ -814,3 +814,56 @@ class BareExceptRule(Rule):
                             "including fault-injection errors from "
                             "repro.faults; catch the specific exception",
                         )
+
+
+# --------------------------------------------------------------------------------------
+# SL009 — identity comparison against float sentinels
+# --------------------------------------------------------------------------------------
+
+
+@register
+class FloatSentinelIdentityRule(Rule):
+    """``x is INFINITE`` only works while every producer returns the *same*
+    float object; any arithmetic, numpy scalar, or ``float("inf")`` built
+    elsewhere silently breaks the check.  The simulator core uses the exact
+    integer sentinel ``index.never`` instead — compare with ``==``/``>=``."""
+
+    id = "SL009"
+    severity = "error"
+    summary = "`is` comparison against a float sentinel (INFINITE / float('inf'))"
+
+    SENTINEL_NAMES = {"INFINITE", "INF", "INFINITY", "NAN"}
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.module.startswith("repro")
+
+    def _is_float_sentinel(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = _dotted(node)
+            if name is not None:
+                return name.rsplit(".", 1)[-1].upper() in self.SENTINEL_NAMES
+            return False
+        if isinstance(node, ast.Call):
+            if _call_name(node) == "float" and len(node.args) == 1:
+                arg = node.args[0]
+                return isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+        return False
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Is, ast.IsNot)):
+                    continue
+                if self._is_float_sentinel(left) or self._is_float_sentinel(right):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`{_unparse(node)}` relies on float object identity; "
+                        "floats from arithmetic, numpy, or a fresh "
+                        "float('inf') are distinct objects. Compare against "
+                        "the integer sentinel `index.never` (or use == / "
+                        "math.isinf) instead",
+                    )

@@ -151,7 +151,7 @@ class Observer:
 
         def victim_distance(victim: int) -> float:
             next_use = index.next_use_cold(victim, sim.cursor)
-            if math.isinf(next_use):
+            if next_use >= index.never:
                 c_evict_dead.inc()
                 return -1.0
             distance = float(next_use - sim.cursor)

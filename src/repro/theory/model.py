@@ -12,7 +12,7 @@ run it on the reversed sequence and read the event log backwards.
 from dataclasses import dataclass, field
 from typing import Callable, Collection, Dict, Iterator, List, Optional, Sequence, Set
 
-from repro.core.nextref import INFINITE, EvictionHeap, NextRefIndex
+from repro.core.nextref import EvictionHeap, NextRefIndex
 from repro.core.policy import Victim
 
 
@@ -93,9 +93,11 @@ class _ModelState:
         disk = self.disk_of(block)
         if victim is not None:
             self.cache.discard(victim)
+            # next_use == index.never (never referenced again) can never be
+            # below the scan floor, so no sentinel check is needed.
             next_use = self.index.next_use(victim, self.cursor)
-            if next_use is not INFINITE and next_use < self._scan_floor:
-                self._scan_floor = int(next_use)
+            if next_use < self._scan_floor:
+                self._scan_floor = next_use
         start = max(self.time, self.busy_until[disk])
         completion = start + self.fetch_time
         self.busy_until[disk] = completion
@@ -129,8 +131,9 @@ class _ModelState:
         victim = self.heap.best_victim(self.cursor)
         if victim is None:
             return False
-        next_use = self.index.next_use(victim, self.cursor)
-        if next_use is not INFINITE and next_use <= fetch_position:
+        # index.never exceeds any real fetch position, so never-again
+        # blocks stay evictable with one exact comparison.
+        if self.index.next_use(victim, self.cursor) <= fetch_position:
             return False
         return victim
 
@@ -261,8 +264,10 @@ def run_fixed_horizon_model(
                 if victim is None:
                     stop = position
                     break
+                # The boundary can lie past the end of the sequence, so
+                # "never again" (== index.never) must stay evictable here.
                 next_use = state.index.next_use(victim, state.cursor)
-                if next_use is not INFINITE and next_use <= boundary:
+                if next_use != state.index.never and next_use <= boundary:
                     stop = position
                     break
             state.issue(block, victim, position)
@@ -337,8 +342,8 @@ def run_reverse_aggressive_model(
                 eviction_pos[0] = position
                 return False
             if block in state.cache:
-                next_use = state.index.next_use(block, state.cursor)
-                if next_use is not INFINITE and next_use <= fetch_position:
+                # index.never > any real fetch position: one comparison.
+                if state.index.next_use(block, state.cursor) <= fetch_position:
                     eviction_pos[0] = position
                     return False
                 eviction_pos[0] = position + 1

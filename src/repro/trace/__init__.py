@@ -9,6 +9,7 @@ from repro.trace.workloads import (
     PAPER_CACHE_BLOCKS,
     TABLE3,
     WORKLOADS,
+    XL_WORKLOADS,
     build,
     cache_blocks_for,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "Trace",
     "trace_io",
     "WORKLOADS",
+    "XL_WORKLOADS",
     "build",
     "cache_blocks_for",
 ]

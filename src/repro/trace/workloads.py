@@ -375,6 +375,42 @@ def synth(scale: float = 1.0, seed: int = 10) -> Trace:
     )
 
 
+def synth_xl(scale: float = 1.0, seed: int = 11) -> Trace:
+    """Million-block stress trace for the batched hot core (not in Table 3).
+
+    At scale 1.0: two million references over one hundred thousand distinct
+    blocks — a 2% hot index touched between variable-length sequential runs
+    through a large cold file.  The shape deliberately exercises every hot
+    path the array-backed core vectorizes: long missing-block scans (cold
+    sweeps), heap revalidation (hot blocks keep jumping forward), and
+    successor-array walks far past the cursor.
+    """
+    reads = max(1_000, int(2_000_000 * scale))
+    distinct = max(100, int(100_000 * scale))
+    rng = random.Random(seed)
+    space = BlockSpace()
+    hot_size = max(2, distinct // 50)
+    hot = space.new_file(hot_size)
+    cold = space.new_file(distinct - hot_size)
+    refs: List[int] = []
+    cold_pos = 0
+    n_cold = len(cold)
+    while len(refs) < reads:
+        for _ in range(rng.randrange(8, 64)):
+            refs.append(cold[cold_pos])
+            cold_pos = (cold_pos + 1) % n_cold
+        refs.append(hot[rng.randrange(hot_size)])
+    del refs[reads:]
+    trace = Trace(
+        name="synth-xl",
+        blocks=refs,
+        compute_ms=exponential_gaps(reads, 1.0, rng),
+        files=space.files,
+        description="XL stress: hot index between sequential cold sweeps",
+    )
+    return trace.rescale_compute(reads / 1000.0)
+
+
 #: Registry of all workload builders, in the paper's Table 3 order.
 WORKLOADS: Dict[str, Callable[..., Trace]] = {
     "dinero": dinero,
@@ -389,15 +425,21 @@ WORKLOADS: Dict[str, Callable[..., Trace]] = {
     "synth": synth,
 }
 
+#: Extra-large traces for performance work only — deliberately *not* part of
+#: WORKLOADS, which tests pin to the paper's ten Table 3 rows.
+XL_WORKLOADS: Dict[str, Callable[..., Trace]] = {
+    "synth-xl": synth_xl,
+}
+
 
 def build(name: str, scale: float = 1.0, seed: Optional[int] = None) -> Trace:
-    """Build a workload by name."""
-    try:
-        builder = WORKLOADS[name]
-    except KeyError:
+    """Build a workload by name (Table 3 set plus the XL perf tier)."""
+    builder = WORKLOADS.get(name) or XL_WORKLOADS.get(name)
+    if builder is None:
         raise ValueError(
-            f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
-        ) from None
+            f"unknown workload {name!r}; expected one of "
+            f"{sorted(WORKLOADS) + sorted(XL_WORKLOADS)}"
+        )
     if seed is None:
         return builder(scale=scale)
     return builder(scale=scale, seed=seed)

@@ -85,8 +85,8 @@ class TestReplacementDiscipline:
         sim = Simulator(trace, Spy(horizon=2), 1, simple_config(cache_blocks=3))
         sim.run()
         for victim, next_use, cursor in evictions:
-            if next_use != float("inf"):
-                assert next_use > cursor  # never evict the immediate need
+            # never-again victims (next_use == index.never) pass trivially
+            assert next_use > cursor  # never evict the immediate need
 
     def test_fewest_fetches_of_prefetchers_on_loop(self):
         """Section 4: fixed horizon consistently places the least I/O load

@@ -558,6 +558,72 @@ class TestBareExcept:
         assert rules_hit(src) == set()
 
 
+# -- SL009: float-sentinel identity comparison ------------------------------------------
+
+
+class TestFloatSentinelIdentity:
+    def test_is_infinite_flagged(self):
+        src = """
+        INFINITE = float("inf")
+
+        def drop(next_use, fetch_pos):
+            if next_use is not INFINITE and next_use <= fetch_pos:
+                return True
+            return False
+        """
+        assert rules_hit(src) == {"SL009"}
+
+    def test_is_float_inf_call_flagged(self):
+        src = """
+        def cold(next_use):
+            return next_use is float("inf")
+        """
+        assert rules_hit(src) == {"SL009"}
+
+    def test_attribute_sentinel_flagged(self):
+        src = """
+        def cold(next_use, nextref):
+            return next_use is nextref.INFINITE
+        """
+        assert rules_hit(src) == {"SL009"}
+
+    def test_equality_against_sentinel_clean(self):
+        src = """
+        INFINITE = float("inf")
+
+        def cold(next_use):
+            return next_use == INFINITE
+        """
+        assert rules_hit(src) == set()
+
+    def test_integer_sentinel_comparison_clean(self):
+        src = """
+        def drop(index, victim, cursor, fetch_pos):
+            return index.next_use(victim, cursor) <= fetch_pos
+        """
+        assert rules_hit(src) == set()
+
+    def test_is_none_clean(self):
+        src = """
+        def pick(victim):
+            return victim is not None
+        """
+        assert rules_hit(src) == set()
+
+    def test_old_nextref_pattern_fires(self):
+        """The exact pattern the batched core removed from repro.core."""
+        src = """
+        from repro.core.nextref import INFINITE
+
+        def victim_ok(sim, victim, cursor, fetch_position):
+            next_use = sim.index.next_use(victim, cursor)
+            if next_use is not INFINITE and next_use <= fetch_position:
+                return False
+            return True
+        """
+        assert rules_hit(src) == {"SL009"}
+
+
 # -- suppression comments ---------------------------------------------------------------
 
 

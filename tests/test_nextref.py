@@ -3,10 +3,10 @@
 import pytest
 
 from repro.core.nextref import (
-    INFINITE,
     EvictionHeap,
     NextRefIndex,
     first_missing_positions,
+    first_missing_positions_batched,
 )
 
 
@@ -24,11 +24,18 @@ class TestNextRefIndex:
     def test_next_use_advances_with_cursor(self):
         index = NextRefIndex([5, 6, 5])
         assert index.next_use(5, 1) == 2
-        assert index.next_use(5, 3) is INFINITE
+        assert index.next_use(5, 3) == index.never
 
-    def test_unknown_block_is_infinite(self):
+    def test_unknown_block_is_never_sentinel(self):
         index = NextRefIndex([1, 2, 3])
-        assert index.next_use(99, 0) is INFINITE
+        assert index.next_use(99, 0) == index.never
+
+    def test_never_sentinel_is_exact_int_past_the_end(self):
+        # The sentinel is len(blocks): an exact integer that compares
+        # greater than every real position — no float identity involved.
+        index = NextRefIndex([1, 2, 3])
+        assert index.never == 3
+        assert isinstance(index.next_use(99, 0), int)
 
     def test_next_use_exactly_at_position(self):
         index = NextRefIndex([7, 8, 7])
@@ -38,7 +45,21 @@ class TestNextRefIndex:
         index = NextRefIndex([1, 2, 1, 2, 1])
         assert index.next_use_cold(1, 4) == 4
         assert index.next_use_cold(1, 0) == 0  # backwards is fine cold
-        assert index.next_use_cold(2, 4) is INFINITE
+        assert index.next_use_cold(2, 4) == index.never
+
+    def test_backwards_cursor_answers_exactly(self):
+        # The old pointer-based index silently returned a too-late position
+        # when the cursor moved backwards for a previously-queried block
+        # (see TestMonotoneCursorRegression); the rewrite falls back to a
+        # bisect and stays exact.
+        index = NextRefIndex([7, 7, 7])
+        assert index.next_use(7, 2) == 2
+        assert index.next_use(7, 0) == 0
+        assert index.next_use(7, 1) == 1
+        index2 = NextRefIndex([1, 2, 1, 2, 1])
+        assert index2.next_use(1, 4) == 4
+        assert index2.next_use(1, 1) == 2
+        assert index2.next_use(1, 0) == 0
 
     def test_distinct_blocks(self):
         index = NextRefIndex([1, 1, 2, 3, 3, 3])
@@ -130,3 +151,161 @@ class TestFirstMissingPositions:
         blocks = [1, 2, 3]
         got = list(first_missing_positions(blocks, 1, lambda b: False, limit=10))
         assert got == [1, 2]
+
+    # -- boundary audit: the batched scan must match these exactly ---------
+
+    def test_cursor_at_end_yields_nothing(self):
+        blocks = [1, 2, 3]
+        got = list(
+            first_missing_positions(blocks, len(blocks), lambda b: False, limit=10)
+        )
+        assert got == []
+
+    def test_cursor_past_end_yields_nothing(self):
+        blocks = [1, 2, 3]
+        got = list(
+            first_missing_positions(blocks, 99, lambda b: False, limit=10)
+        )
+        assert got == []
+
+    def test_limit_zero_yields_nothing(self):
+        got = list(first_missing_positions([1, 2], 0, lambda b: False, limit=0))
+        assert got == []
+
+    def test_limit_caps_window_not_count(self):
+        # limit bounds how far ahead the scan looks (cursor + limit), while
+        # max_count bounds how many positions are reported within it.
+        blocks = [1, 1, 2, 3, 4]
+        got = list(first_missing_positions(blocks, 0, lambda b: False, limit=3))
+        assert got == [0, 2]  # position 1 is a duplicate, 3 is past limit
+
+    def test_max_count_stops_before_limit_exhausted(self):
+        blocks = [1, 2, 3, 4]
+        got = list(
+            first_missing_positions(
+                blocks, 0, lambda b: False, limit=10, max_count=2
+            )
+        )
+        assert got == [0, 1]
+
+    def test_max_count_zero_behaves_like_unbounded(self):
+        # max_count=0 can never satisfy found >= max_count after a yield,
+        # so the first missing position is still reported.  Pinned: the
+        # check happens after yielding, not before.
+        blocks = [1, 2]
+        got = list(
+            first_missing_positions(
+                blocks, 0, lambda b: False, limit=10, max_count=0
+            )
+        )
+        assert got == [0]
+
+    def test_duplicate_suppression_is_per_call(self):
+        # The seen-set resets each call: a block suppressed as a duplicate
+        # in one call is reported again by the next call.
+        blocks = [7, 7, 7]
+        first = list(first_missing_positions(blocks, 0, lambda b: False, limit=10))
+        assert first == [0]
+        second = list(first_missing_positions(blocks, 1, lambda b: False, limit=10))
+        assert second == [1]
+
+    def test_present_blocks_filtered_not_deduplicated(self):
+        # A present block is skipped without entering the seen set, so a
+        # later occurrence is re-tested (and still skipped while present).
+        blocks = [5, 6, 5]
+        got = list(
+            first_missing_positions(blocks, 0, lambda b: b == 5, limit=10)
+        )
+        assert got == [1]
+
+    def test_limit_window_clamps_to_length(self):
+        blocks = [1, 2]
+        got = list(first_missing_positions(blocks, 1, lambda b: False, limit=999))
+        assert got == [1]
+
+
+class TestFirstMissingPositionsBatched:
+    """The batched variant must agree with the generator on every case."""
+
+    CASES = [
+        ([], 0, 10, None),
+        ([1, 2, 3], 0, 10, None),
+        ([1, 2, 3], 3, 10, None),
+        ([1, 2, 3], 99, 10, None),
+        ([1, 1, 2, 3, 4], 0, 3, None),
+        ([7, 7, 7], 0, 10, None),
+        ([7, 7, 7], 1, 10, None),
+        ([1, 2, 3, 4], 0, 10, 2),
+        ([1, 2], 0, 10, 0),
+        ([5, 6, 5], 0, 10, None),
+        ([1, 2], 1, 999, None),
+        ([1, 2], 0, 0, None),
+    ]
+
+    def test_matches_reference_generator(self):
+        for blocks, cursor, limit, max_count in self.CASES:
+            present = {2, 5}
+            is_present = lambda b: b in present
+            expected = list(
+                first_missing_positions(blocks, cursor, is_present, limit, max_count)
+            )
+            got = first_missing_positions_batched(
+                blocks, cursor, is_present, limit, max_count
+            )
+            assert got == expected, (blocks, cursor, limit, max_count)
+
+
+class TestMonotoneCursorRegression:
+    """The pre-rewrite pointer walk answered backwards queries wrongly.
+
+    The old ``next_use`` advanced a per-block pointer monotonically and
+    never rewound it, so querying a smaller cursor after a larger one
+    silently returned a too-late position instead of the correct one.
+    ``_old_next_use`` below is that implementation, verbatim in miniature;
+    the test documents the wrong answer it gives and asserts the rewritten
+    index returns the right one.
+    """
+
+    @staticmethod
+    def _old_next_use(positions, pointers, block, cursor, infinite):
+        plist = positions.get(block)
+        if plist is None:
+            return infinite
+        pointer = pointers.get(block, 0)
+        while pointer < len(plist) and plist[pointer] < cursor:
+            pointer += 1
+        pointers[block] = pointer
+        if pointer == len(plist):
+            return infinite
+        return plist[pointer]
+
+    def test_old_code_returns_wrong_answer_backwards(self):
+        positions = {7: [0, 1, 2]}
+        pointers = {}
+        # Forward query advances the pointer past positions 0 and 1...
+        assert self._old_next_use(positions, pointers, 7, 2, None) == 2
+        # ...so the backwards query returns 2 even though 0 is correct.
+        assert self._old_next_use(positions, pointers, 7, 0, None) == 2
+
+    def test_new_index_detects_regression_and_answers_exactly(self):
+        index = NextRefIndex([7, 7, 7])
+        assert index.next_use(7, 2) == 2
+        assert index.next_use(7, 0) == 0  # old code said 2
+
+    def test_interleaved_backwards_and_forwards(self):
+        blocks = [3, 1, 3, 2, 3, 1, 3]
+        index = NextRefIndex(blocks)
+        for cursor in [5, 1, 6, 0, 4, 2, 3, 0, 6]:
+            for block in [1, 2, 3, 9]:
+                expected = next(
+                    (
+                        p
+                        for p in range(cursor, len(blocks))
+                        if blocks[p] == block
+                    ),
+                    index.never,
+                )
+                assert index.next_use(block, cursor) == expected
+
+    def test_dead_pointer_attribute_is_gone(self):
+        assert not hasattr(NextRefIndex([1]), "_last_cursor")

@@ -6,7 +6,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import POLICIES, Simulator, make_policy
-from repro.core.nextref import INFINITE, NextRefIndex
+from repro.core.nextref import NextRefIndex
 from repro.theory.model import run_aggressive_model, run_demand_model
 from tests.conftest import make_trace, simple_config
 
@@ -148,7 +148,7 @@ class TestNextRefProperties:
     def test_cold_matches_linear_scan(self, blocks, cursor):
         index = NextRefIndex(blocks)
         for block in set(blocks):
-            expected = INFINITE
+            expected = index.never
             for position in range(cursor, len(blocks)):
                 if blocks[position] == block:
                     expected = position

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.trace import TABLE3, Trace, build, cache_blocks_for
-from repro.trace.workloads import COMPUTE_AS_SIMULATED, WORKLOADS
+from repro.trace.workloads import COMPUTE_AS_SIMULATED, WORKLOADS, XL_WORKLOADS
 
 
 @pytest.fixture(scope="module")
@@ -133,6 +133,29 @@ class TestRegistry:
     def test_all_ten_present(self):
         assert len(WORKLOADS) == 10
         assert set(WORKLOADS) == set(TABLE3)
+
+    def test_xl_tier_separate_from_table3(self):
+        assert "synth-xl" in XL_WORKLOADS
+        assert not set(XL_WORKLOADS) & set(WORKLOADS)
+
+    def test_synth_xl_builds_and_simulates_small(self):
+        import repro
+
+        trace = build("synth-xl", scale=0.002)
+        assert trace.name == "synth-xl"
+        assert trace.references >= 1_000
+        assert trace.distinct_blocks >= 100
+        result = repro.run_simulation(
+            trace, policy="aggressive", num_disks=2,
+            cache_blocks=cache_blocks_for("synth-xl", 0.002),
+        )
+        assert result.references == trace.references
+
+    def test_synth_xl_deterministic(self):
+        a = build("synth-xl", scale=0.001)
+        b = build("synth-xl", scale=0.001)
+        assert a.blocks == b.blocks
+        assert a.compute_ms == b.compute_ms
 
 
 class TestScaleRobustness:
