@@ -25,7 +25,9 @@ from repro.lint.engine import (
     lint_paths,
     lint_source,
 )
+from repro.lint.project import ProjectIndex
 from repro.lint.rules import ALL_RULES, all_rules
+from repro.lint.sarif import render_sarif
 from repro.lint.cli import add_lint_arguments, main, run_lint
 
 __all__ = [
@@ -34,11 +36,13 @@ __all__ = [
     "Finding",
     "LintModule",
     "LintReport",
+    "ProjectIndex",
     "Rule",
     "add_lint_arguments",
     "all_rules",
     "lint_paths",
     "lint_source",
     "main",
+    "render_sarif",
     "run_lint",
 ]

@@ -1,0 +1,57 @@
+"""Small AST helpers shared by the simlint engine layers and rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    return dotted(node.func)
+
+
+def unparse(node: ast.AST, limit: int = 60) -> str:
+    text = ast.unparse(node)
+    if len(text) > limit:
+        text = text[: limit - 1] + "…"
+    return text
+
+
+def scoped_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function/class scopes.
+
+    The root itself is yielded; nested ``def`` / ``async def`` / ``class``
+    statements are yielded (so callers can see the binding) but their
+    bodies are not — code inside them runs in a different scope and, for
+    call-graph purposes, only when something actually calls them.
+    """
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def receiver_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a method call's receiver (``self._q`` -> ``_q``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

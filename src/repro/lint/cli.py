@@ -19,6 +19,7 @@ from repro.lint.engine import (
     render_text,
 )
 from repro.lint.rules import all_rules
+from repro.lint.sarif import render_sarif
 
 #: The committed baseline file, looked up relative to the working directory.
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -43,9 +44,24 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif renders as GitHub "
+        "code-scanning annotations)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to a file instead of stdout (CI uploads "
+        "the SARIF artifact from here)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the whole analysis takes longer than this "
+        "budget — keeps the multi-pass engine fast enough for pre-commit",
     )
     parser.add_argument(
         "--baseline",
@@ -94,10 +110,27 @@ def run_lint(args: argparse.Namespace) -> int:
         return 0
     report = lint_paths(paths, rules, baseline=baseline, select=select)
     if args.format == "json":
-        print(render_json(report))
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report, rules)
     else:
-        print(render_text(report))
-    return report.exit_code
+        rendered = render_text(report)
+    output: Optional[Path] = getattr(args, "output", None)
+    if output is not None:
+        output.write_text(rendered + "\n")
+    else:
+        print(rendered)
+    exit_code = report.exit_code
+    max_seconds: Optional[float] = getattr(args, "max_seconds", None)
+    if max_seconds is not None and report.elapsed_s > max_seconds:
+        print(
+            f"simlint: analysis took {report.elapsed_s:.2f}s, over the "
+            f"{max_seconds:.2f}s budget — the engine must stay fast enough "
+            "for pre-commit",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    return exit_code
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -1,0 +1,101 @@
+"""A lightweight intraprocedural forward-dataflow framework.
+
+simlint's crash-consistency pass (SL013) needs more than pattern
+matching: "was this handle fsync'd before the rename?" is a question
+about *order along every path*, which is a forward dataflow problem.
+This module provides the minimal machinery — an abstract state the
+analysis defines, a statement walker that handles Python's structured
+control flow, and path joins at branch merges.
+
+The framework is deliberately small:
+
+* **Forward only.**  Statements are interpreted in source order.
+* **Structured control flow.**  ``if`` runs both arms on copies of the
+  state and joins; loops run their body once against a copy and join
+  with the pre-state (one unrolling — enough for protocol code, which
+  does not fsync in loops); ``try`` bodies, handlers and ``finally``
+  run sequentially (an over-approximation that keeps straight-line
+  protocol sequences precise); ``with`` gets enter/exit hooks so
+  analyses can model context-manager cleanup (``close()`` on block
+  exit).
+* **Join = analysis-defined.**  The state object implements ``copy()``
+  and ``join(other)``; the framework never looks inside it.
+
+Nested function and class definitions are *not* interpreted — they
+execute in a different frame, and the call-summary layer
+(:mod:`repro.lint.project`) owns cross-function reasoning.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+
+class AbstractState:
+    """Base class for analysis states.  Subclasses own the representation."""
+
+    def copy(self) -> "AbstractState":
+        raise NotImplementedError
+
+    def join(self, other: "AbstractState") -> None:
+        """Merge ``other`` into ``self`` (in place) at a control-flow join."""
+        raise NotImplementedError
+
+
+class ForwardAnalysis:
+    """Subclass and override :meth:`transfer` (and the ``with`` hooks)."""
+
+    def transfer(self, stmt: ast.stmt, state: AbstractState) -> None:
+        """Interpret one simple statement (or a compound header) in place."""
+
+    def enter_with(self, stmt: ast.stmt, state: AbstractState) -> None:
+        """Bind ``with``-item targets before the body runs.
+
+        ``stmt`` is an ``ast.With`` or ``ast.AsyncWith``.
+        """
+
+    def exit_with(self, stmt: ast.stmt, state: AbstractState) -> None:
+        """Model context-manager ``__exit__`` after the body ran."""
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt], state: AbstractState) -> None:
+        for stmt in body:
+            self._step(stmt, state)
+
+    def _step(self, stmt: ast.stmt, state: AbstractState) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.If):
+            self.transfer(stmt, state)
+            then_state = state.copy()
+            self.run(stmt.body, then_state)
+            self.run(stmt.orelse, state)
+            state.join(then_state)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            self.transfer(stmt, state)
+            body_state = state.copy()
+            self.run(stmt.body, body_state)
+            self.run(stmt.orelse, body_state)
+            state.join(body_state)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.enter_with(stmt, state)
+            self.run(stmt.body, state)
+            self.exit_with(stmt, state)
+        elif isinstance(stmt, ast.Try):
+            self.run(stmt.body, state)
+            for handler in stmt.handlers:
+                self.run(handler.body, state)
+            self.run(stmt.orelse, state)
+            self.run(stmt.finalbody, state)
+        else:
+            self.transfer(stmt, state)
+
+    def analyze(
+        self, func: ast.AST, state: AbstractState
+    ) -> AbstractState:
+        """Run the analysis over a function body and return the final state."""
+        body: List[ast.stmt] = getattr(func, "body", [])
+        self.run(body, state)
+        return state

@@ -28,9 +28,13 @@ from __future__ import annotations
 import ast
 import json
 import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.lint.project import ProjectIndex
 
 #: Severity levels, most severe first.
 SEVERITIES: Tuple[str, ...] = ("error", "warning")
@@ -134,8 +138,14 @@ class Rule:
         """Yield findings for one module."""
         return iter(())
 
-    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
-        """Yield findings that need visibility across every module."""
+    def check_project(
+        self, modules: Sequence[LintModule], project: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        """Yield findings that need visibility across every module.
+
+        ``project`` is the shared :class:`~repro.lint.project.ProjectIndex`
+        (import graph, call summaries, reachability), built once per run.
+        """
         return iter(())
 
     def finding(self, module: LintModule, node: ast.AST, message: str) -> Finding:
@@ -161,6 +171,9 @@ class LintReport:
     stale_baseline: List[str]
     files: int
     parse_errors: List[Finding]
+    #: Wall-clock cost of the whole run (parse + every pass), so CI can
+    #: gate on the analyzer staying fast enough for pre-commit use.
+    elapsed_s: float = 0.0
 
     @property
     def exit_code(self) -> int:
@@ -174,6 +187,7 @@ class LintReport:
             "baselined": len(self.baselined),
             "suppressed": self.suppressed,
             "stale_baseline": list(self.stale_baseline),
+            "elapsed_s": round(self.elapsed_s, 3),
             "exit_code": self.exit_code,
         }
 
@@ -286,6 +300,9 @@ def lint_paths(
     select: Optional[Set[str]] = None,
 ) -> LintReport:
     """Lint files/directories and apply the baseline. The main entry point."""
+    # Host-clock timing of the analyzer itself (never of simulations):
+    # the CI/pre-commit budget gate reads LintReport.elapsed_s.
+    started = time.perf_counter()
     if select:
         rules = [rule for rule in rules if rule.id in select]
     modules: List[LintModule] = []
@@ -318,6 +335,7 @@ def lint_paths(
         stale_baseline=stale,
         files=len(files),
         parse_errors=parse_errors,
+        elapsed_s=time.perf_counter() - started,
     )
 
 
@@ -340,6 +358,9 @@ def lint_source(
 def _run_rules(
     modules: Sequence[LintModule], rules: Sequence[Rule]
 ) -> Tuple[List[Finding], int]:
+    from repro.lint.project import ProjectIndex  # deferred: avoids import cycle
+
+    project = ProjectIndex(modules)
     findings: List[Finding] = []
     suppressed = 0
     by_path: Dict[str, LintModule] = {m.path: m for m in modules}
@@ -348,7 +369,7 @@ def _run_rules(
         for module in modules:
             if rule.applies_to(module):
                 produced.extend(rule.check(module))
-        produced.extend(rule.check_project(modules))
+        produced.extend(rule.check_project(modules, project))
         for finding in produced:
             owner = by_path.get(finding.path)
             if owner is not None and owner.is_suppressed(finding.rule, finding.line):

@@ -1,0 +1,772 @@
+"""Whole-project index for simlint's cross-module passes.
+
+A :class:`ProjectIndex` is built once per lint run from every parsed
+module and gives rules three things single-file AST walks cannot see:
+
+Import graph
+    Every ``import``/``from … import`` in every module, resolved to a
+    dotted module name and classified by scope — module level, inside a
+    function (lazy import), or under ``if TYPE_CHECKING:``.  SL015 reads
+    this directly.
+
+Call summaries
+    A table of every function and method in the project
+    (``module:Class.method`` qualnames) with its resolved call sites and
+    the blocking primitives it touches, plus a transitive *blocks*
+    fixpoint with witness chains ("``ResultStore.get`` → ``open()``").
+    Resolution is intentionally lightweight but covers the idioms this
+    codebase actually uses: module functions, ``self.method``, attributes
+    typed by ``self.attr = ClassName(...)`` or annotations, locals typed
+    by construction or annotation, ``from``-imports, module aliases, and
+    module-level dict registries (``CELL_KINDS[kind](...)`` resolves to
+    every function in the dict).  SL010/SL012/SL014 consume this.
+
+Reachability
+    ``reachable_from(roots)`` computes the call-graph closure — used to
+    answer "which code runs inside a forked ``SupervisedPool`` worker"
+    for SL014, starting from every ``target=`` handed to a
+    ``*.Process(...)`` constructor.
+
+The index never imports or executes project code; everything is derived
+from the ASTs the engine already parsed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.astutil import dotted, receiver_name, scoped_walk
+from repro.lint.engine import LintModule
+
+#: Fully-qualified calls that block the calling thread.  Values are the
+#: human-readable witness used in finding messages.
+BLOCKING_CALLS: Dict[str, str] = {
+    "time.sleep": "time.sleep()",
+    "open": "open()",
+    "io.open": "io.open()",
+    "os.fsync": "os.fsync()",
+    "os.fdatasync": "os.fdatasync()",
+    "os.replace": "os.replace()",
+    "os.rename": "os.rename()",
+    "subprocess.run": "subprocess.run()",
+    "subprocess.call": "subprocess.call()",
+    "subprocess.check_call": "subprocess.check_call()",
+    "subprocess.check_output": "subprocess.check_output()",
+    "subprocess.Popen": "subprocess.Popen()",
+    "socket.create_connection": "socket.create_connection()",
+}
+
+#: Method names that block when the receiver looks like a queue / pool /
+#: thread / pipe object.  Matched against the receiver's last identifier;
+#: ``await``-ed calls (and calls fed straight into asyncio wrappers) are
+#: exempt before this table is consulted.
+BLOCKING_METHODS: Dict[str, "re.Pattern[str]"] = {
+    "get": re.compile(r"queue|pool|result", re.IGNORECASE),
+    "join": re.compile(r"thread|proc|process|pool|worker|queue", re.IGNORECASE),
+    "acquire": re.compile(r"lock|sem", re.IGNORECASE),
+    "recv": re.compile(r"conn|sock|pipe", re.IGNORECASE),
+    "recv_bytes": re.compile(r"conn|sock|pipe", re.IGNORECASE),
+    "accept": re.compile(r"sock|server|listener", re.IGNORECASE),
+    "wait": re.compile(r"event|cond|barrier|proc|process", re.IGNORECASE),
+}
+
+#: asyncio helpers that consume a coroutine/future argument — a call fed
+#: directly into one of these is scheduled on the loop, not executed
+#: synchronously, so it is never a blocking call site.
+_ASYNC_WRAPPERS = frozenset(
+    {
+        "wait_for", "shield", "gather", "wait", "ensure_future",
+        "create_task", "as_completed", "run_coroutine_threadsafe",
+        "to_thread", "run_in_executor",
+    }
+)
+
+#: Constructors whose result is mutable shared state when bound at module
+#: level (the objects SL014 watches for cross-fork mutation).
+_MUTABLE_CTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "deque", "Counter"}
+)
+
+#: Calls that produce an OS-level handle (fd / socket) — capturing one of
+#: these across ``fork`` shares the handle with the child.
+_HANDLE_CTORS = frozenset({"open", "io.open", "socket.socket"})
+_HANDLE_METHODS = frozenset({"accept", "makefile"})
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement, resolved and classified."""
+
+    module: str          #: importing module's dotted name
+    target: str          #: imported module's dotted name
+    names: Tuple[str, ...]  #: names pulled from ``target`` ("" for plain import)
+    scope: str           #: "module" | "function" | "type_checking"
+    node: ast.stmt
+
+
+@dataclass
+class CallSite:
+    """One call expression with its resolved candidate targets."""
+
+    node: ast.Call
+    display: str                 #: source-ish text for messages
+    targets: Tuple[str, ...]     #: candidate qualnames in the project
+    awaited: bool                #: under ``await`` or fed to an asyncio wrapper
+    blocking: Optional[str] = None  #: witness if this is a blocking primitive
+
+
+@dataclass
+class FunctionInfo:
+    """Call summary for one function or method."""
+
+    qualname: str
+    module: LintModule
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str]
+    is_async: bool
+    calls: List[CallSite] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.split(":", 1)[1]
+
+    @property
+    def display(self) -> str:
+        return self.name.replace(".<locals>", "")
+
+
+class _ClassInfo:
+    def __init__(self, key: str) -> None:
+        self.key = key  # "module:Class"
+        self.methods: Dict[str, str] = {}     # method name -> qualname
+        self.attr_types: Dict[str, str] = {}  # self.attr -> class key
+        self.handle_attrs: Set[str] = set()   # self.attr bound to an fd/socket
+
+
+class _ModuleEnv:
+    """Name-resolution environment for one module."""
+
+    def __init__(self, module: LintModule) -> None:
+        self.module = module
+        self.functions: Dict[str, str] = {}      # top-level name -> qualname
+        self.classes: Dict[str, str] = {}        # local class name -> class key
+        self.module_aliases: Dict[str, str] = {} # alias -> dotted module
+        self.from_imports: Dict[str, Tuple[str, str]] = {}  # name -> (module, orig)
+        self.registries: Dict[str, Tuple[str, ...]] = {}    # dict-of-functions
+        self.mutable_globals: Set[str] = set()
+        self.handle_globals: Set[str] = set()
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    # A non-package module's first dot is its containing package.
+    drop = node.level
+    if len(parts) < drop:
+        return node.module
+    base = parts[: len(parts) - drop]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _is_awaitedish(module: LintModule, call: ast.Call) -> bool:
+    """True when the call's result is awaited or fed into asyncio machinery."""
+    node: ast.AST = call
+    parent = module.parent(node)
+    while parent is not None:
+        if isinstance(parent, ast.Await):
+            return True
+        if isinstance(parent, ast.Call) and parent.func is not node:
+            name = dotted(parent.func)
+            if name is not None and name.rsplit(".", 1)[-1] in _ASYNC_WRAPPERS:
+                return True
+        if isinstance(parent, ast.stmt):
+            return False
+        node, parent = parent, module.parent(parent)
+    return False
+
+
+class ProjectIndex:
+    """Cross-module facts derived once per lint run."""
+
+    def __init__(self, modules: Sequence[LintModule]) -> None:
+        self.modules: Dict[str, LintModule] = {m.module: m for m in modules}
+        self.imports: Dict[str, List[ImportRecord]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._classes: Dict[str, _ClassInfo] = {}
+        self._envs: Dict[str, _ModuleEnv] = {}
+        #: qualname -> witness chain ending in a blocking primitive
+        self.blocks: Dict[str, Tuple[str, ...]] = {}
+        #: (qualname of Process target, Call node, module) for every
+        #: ``*.Process(target=...)`` constructor in the project.
+        self.process_targets: List[Tuple[str, ast.Call, LintModule]] = []
+
+        for module in modules:
+            self._collect_definitions(module)
+        for module in modules:
+            self._collect_imports(module)
+            self._collect_env_details(module)
+        for module in modules:
+            self._collect_calls(module)
+        self._propagate_blocking()
+        self._collect_process_targets()
+
+    # -- construction ------------------------------------------------------
+
+    def _collect_definitions(self, module: LintModule) -> None:
+        env = _ModuleEnv(module)
+        self._envs[module.module] = env
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{module.module}:{node.name}"
+                env.functions[node.name] = qualname
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname,
+                    module=module,
+                    node=node,
+                    cls=None,
+                    is_async=isinstance(node, ast.AsyncFunctionDef),
+                )
+            elif isinstance(node, ast.ClassDef):
+                key = f"{module.module}:{node.name}"
+                info = _ClassInfo(key)
+                env.classes[node.name] = key
+                self._classes[key] = info
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualname = f"{module.module}:{node.name}.{item.name}"
+                        info.methods[item.name] = qualname
+                        self.functions[qualname] = FunctionInfo(
+                            qualname=qualname,
+                            module=module,
+                            node=item,
+                            cls=node.name,
+                            is_async=isinstance(item, ast.AsyncFunctionDef),
+                        )
+
+    def _collect_imports(self, module: LintModule) -> None:
+        env = self._envs[module.module]
+        records: List[ImportRecord] = []
+        type_checking: Set[ast.AST] = set()
+        in_function: Set[ast.AST] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.If) and self._is_type_checking(node.test):
+                for child in node.body:
+                    type_checking.update(ast.walk(child))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in node.body:
+                    in_function.update(ast.walk(child))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    scope = self._scope_of(node, type_checking, in_function)
+                    records.append(
+                        ImportRecord(module.module, alias.name, ("",), scope, node)
+                    )
+                    if scope != "type_checking":
+                        bound = alias.asname or alias.name.split(".", 1)[0]
+                        target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                        env.module_aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve_relative(module.module, node)
+                if target is None:
+                    continue
+                scope = self._scope_of(node, type_checking, in_function)
+                names = tuple(alias.name for alias in node.names)
+                records.append(ImportRecord(module.module, target, names, scope, node))
+                if scope != "type_checking":
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        if f"{target}.{alias.name}" in self.modules:
+                            env.module_aliases[bound] = f"{target}.{alias.name}"
+                        else:
+                            env.from_imports[bound] = (target, alias.name)
+        self.imports[module.module] = records
+
+    @staticmethod
+    def _is_type_checking(test: ast.AST) -> bool:
+        name = dotted(test)
+        return name is not None and name.rsplit(".", 1)[-1] == "TYPE_CHECKING"
+
+    @staticmethod
+    def _scope_of(
+        node: ast.AST, type_checking: Set[ast.AST], in_function: Set[ast.AST]
+    ) -> str:
+        if node in type_checking:
+            return "type_checking"
+        if node in in_function:
+            return "function"
+        return "module"
+
+    def _collect_env_details(self, module: LintModule) -> None:
+        """Registries, mutable globals, handle globals, and attribute types."""
+        env = self._envs[module.module]
+        for node in module.tree.body:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if value is None or not names:
+                continue
+            if isinstance(value, ast.Dict):
+                resolved: List[str] = []
+                for entry in value.values:
+                    target = self._value_target(env, entry)
+                    if target is not None:
+                        resolved.append(target)
+                if resolved and len(resolved) == len(value.values):
+                    for name in names:
+                        env.registries[name] = tuple(resolved)
+            if self._is_mutable_ctor(value):
+                env.mutable_globals.update(names)
+            if self._is_handle_expr(value):
+                env.handle_globals.update(names)
+        # self.attr types / handle attributes, from every method body.
+        for class_name, key in env.classes.items():
+            info = self._classes[key]
+            class_node = next(
+                (
+                    n
+                    for n in module.tree.body
+                    if isinstance(n, ast.ClassDef) and n.name == class_name
+                ),
+                None,
+            )
+            if class_node is None:
+                continue
+            for method in class_node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                param_types = self._param_types(env, method)
+                for stmt in ast.walk(method):
+                    target: Optional[ast.AST] = None
+                    value = None
+                    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                        target, value = stmt.targets[0], stmt.value
+                    elif isinstance(stmt, ast.AnnAssign):
+                        target, value = stmt.target, stmt.value
+                        annotated = self._class_key_for_annotation(env, stmt.annotation)
+                        if (
+                            annotated is not None
+                            and isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            info.attr_types[target.attr] = annotated
+                    if (
+                        not isinstance(target, ast.Attribute)
+                        or not isinstance(target.value, ast.Name)
+                        or target.value.id != "self"
+                        or value is None
+                    ):
+                        continue
+                    constructed = self._constructed_class(env, value)
+                    if constructed is not None:
+                        info.attr_types[target.attr] = constructed
+                    elif isinstance(value, ast.Name) and value.id in param_types:
+                        info.attr_types[target.attr] = param_types[value.id]
+                    if self._is_handle_expr(value):
+                        info.handle_attrs.add(target.attr)
+
+    def _param_types(self, env: _ModuleEnv, func: ast.AST) -> Dict[str, str]:
+        """Parameter name -> class key, from annotations resolvable in-project."""
+        types: Dict[str, str] = {}
+        arguments = getattr(func, "args", None)
+        if arguments is None:
+            return types
+        for arg in list(arguments.posonlyargs) + list(arguments.args) + list(
+            arguments.kwonlyargs
+        ):
+            if arg.annotation is None:
+                continue
+            key = self._class_key_for_annotation(env, arg.annotation)
+            if key is not None:
+                types[arg.arg] = key
+        return types
+
+    def _class_key_for_annotation(
+        self, env: _ModuleEnv, annotation: ast.AST
+    ) -> Optional[str]:
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            name = annotation.value.strip()
+            if name in env.classes:
+                return env.classes[name]
+            return self._imported_class(env, name)
+        name = dotted(annotation)
+        if name is None:
+            return None
+        if name in env.classes:
+            return env.classes[name]
+        return self._imported_class(env, name)
+
+    def _imported_class(self, env: _ModuleEnv, name: str) -> Optional[str]:
+        head = name.split(".", 1)[0]
+        if head in env.from_imports:
+            target, orig = env.from_imports[head]
+            key = f"{target}:{orig}"
+            if key in self._classes:
+                return key
+        if "." in name:
+            prefix, last = name.rsplit(".", 1)
+            target_module = env.module_aliases.get(prefix.split(".", 1)[0])
+            if target_module is not None:
+                rest = prefix.split(".", 1)[1:]
+                full = ".".join([target_module] + rest)
+                key = f"{full}:{last}"
+                if key in self._classes:
+                    return key
+        return None
+
+    def _constructed_class(self, env: _ModuleEnv, value: ast.AST) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        name = dotted(value.func)
+        if name is None:
+            return None
+        if name in env.classes:
+            return env.classes[name]
+        return self._imported_class(env, name)
+
+    def _is_mutable_ctor(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            return True
+        if isinstance(value, ast.Call):
+            name = dotted(value.func)
+            return name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CTORS
+        return False
+
+    def _is_handle_expr(self, value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        name = dotted(value.func)
+        if name in _HANDLE_CTORS:
+            return True
+        if isinstance(value.func, ast.Attribute):
+            return value.func.attr in _HANDLE_METHODS
+        return False
+
+    def _value_target(self, env: _ModuleEnv, value: ast.AST) -> Optional[str]:
+        """Qualname when a dict-registry value is a project function."""
+        if isinstance(value, ast.Name) and value.id in env.functions:
+            return env.functions[value.id]
+        return None
+
+    # -- call collection ---------------------------------------------------
+
+    def _collect_calls(self, module: LintModule) -> None:
+        env = self._envs[module.module]
+        for info in list(self.functions.values()):
+            if info.module is not module:
+                continue
+            self._summarize_function(env, info)
+
+    def _summarize_function(self, env: _ModuleEnv, info: FunctionInfo) -> None:
+        assert isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        local_types = dict(self._param_types(env, info.node))
+        local_funcs: Dict[str, Tuple[str, ...]] = {}
+        nested: Dict[str, str] = {}
+        for node in scoped_walk(info.node):
+            if node is info.node:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{info.qualname}.<locals>.{node.name}"
+                nested[node.name] = qualname
+                if qualname not in self.functions:
+                    self.functions[qualname] = FunctionInfo(
+                        qualname=qualname,
+                        module=info.module,
+                        node=node,
+                        cls=info.cls,
+                        is_async=isinstance(node, ast.AsyncFunctionDef),
+                    )
+                    self._summarize_function(env, self.functions[qualname])
+        # Local variable typing: construction, annotation, registry lookup.
+        for node in scoped_walk(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            constructed = self._constructed_class(env, value)
+            if constructed is not None:
+                local_types[target.id] = constructed
+                continue
+            targets = self._registry_lookup(env, info, value)
+            if targets is not None:
+                local_funcs[target.id] = targets
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and info.cls is not None
+            ):
+                cls = self._classes.get(f"{info.module.module}:{info.cls}")
+                if cls is not None and value.attr in cls.attr_types:
+                    local_types[target.id] = cls.attr_types[value.attr]
+        for node in scoped_walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            awaited = _is_awaitedish(info.module, node)
+            display = ast.unparse(node.func)
+            targets = self._resolve_call(env, info, node, local_types, local_funcs, nested)
+            blocking = None if awaited else self._blocking_reason(env, node)
+            if targets or blocking is not None:
+                info.calls.append(
+                    CallSite(
+                        node=node,
+                        display=display,
+                        targets=targets,
+                        awaited=awaited,
+                        blocking=blocking,
+                    )
+                )
+
+    def _registry_lookup(
+        self, env: _ModuleEnv, info: FunctionInfo, value: ast.AST
+    ) -> Optional[Tuple[str, ...]]:
+        if (
+            isinstance(value, ast.Subscript)
+            and isinstance(value.value, ast.Name)
+            and value.value.id in env.registries
+        ):
+            return env.registries[value.value.id]
+        return None
+
+    def _resolve_call(
+        self,
+        env: _ModuleEnv,
+        info: FunctionInfo,
+        call: ast.Call,
+        local_types: Dict[str, str],
+        local_funcs: Dict[str, Tuple[str, ...]],
+        nested: Dict[str, str],
+    ) -> Tuple[str, ...]:
+        func = call.func
+        # Registry dispatch: CELL_KINDS[kind](...) or a local bound from it.
+        if isinstance(func, ast.Subscript):
+            targets = self._registry_lookup(env, info, func)
+            if targets is not None:
+                return targets
+            return ()
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in local_funcs:
+                return local_funcs[name]
+            if name in nested:
+                return (nested[name],)
+            if name in env.functions:
+                return (env.functions[name],)
+            if name in env.classes:
+                return self._constructor_targets(env.classes[name])
+            if name in env.from_imports:
+                target, orig = env.from_imports[name]
+                qualname = f"{target}:{orig}"
+                if qualname in self.functions:
+                    return (qualname,)
+                if qualname in self._classes:
+                    return self._constructor_targets(qualname)
+            return ()
+        if not isinstance(func, ast.Attribute):
+            return ()
+        # Walk the attribute chain, folding types as we go.
+        chain: List[str] = []
+        base: ast.AST = func
+        while isinstance(base, ast.Attribute):
+            chain.append(base.attr)
+            base = base.value
+        chain.reverse()  # attrs from receiver outward; last item is the method
+        if isinstance(base, ast.Name):
+            root = base.id
+            method = chain[-1]
+            mids = chain[:-1]
+            current: Optional[str] = None  # class key of the receiver
+            if root == "self" and info.cls is not None:
+                current = f"{info.module.module}:{info.cls}"
+            elif root in local_types:
+                current = local_types[root]
+            elif root in env.module_aliases and not mids:
+                # mod.func(...) / mod.Class(...)
+                target_module = env.module_aliases[root]
+                qualname = f"{target_module}:{method}"
+                if qualname in self.functions:
+                    return (qualname,)
+                if qualname in self._classes:
+                    return self._constructor_targets(qualname)
+                return ()
+            elif root in env.module_aliases and mids:
+                # pkg.sub.func(...): extend the module path through mids.
+                target_module = env.module_aliases[root]
+                full = ".".join([target_module] + mids)
+                qualname = f"{full}:{method}"
+                if qualname in self.functions:
+                    return (qualname,)
+                if qualname in self._classes:
+                    return self._constructor_targets(qualname)
+                return ()
+            if current is None:
+                return ()
+            for attr in mids:
+                cls = self._classes.get(current)
+                if cls is None or attr not in cls.attr_types:
+                    return ()
+                current = cls.attr_types[attr]
+            cls = self._classes.get(current)
+            if cls is not None and method in cls.methods:
+                return (cls.methods[method],)
+        return ()
+
+    def _constructor_targets(self, class_key: str) -> Tuple[str, ...]:
+        cls = self._classes.get(class_key)
+        if cls is not None and "__init__" in cls.methods:
+            return (cls.methods["__init__"],)
+        return ()
+
+    # -- blocking analysis -------------------------------------------------
+
+    def _blocking_reason(self, env: _ModuleEnv, call: ast.Call) -> Optional[str]:
+        """Witness text when ``call`` is a blocking primitive, else None."""
+        func = call.func
+        name = dotted(func)
+        if name is not None:
+            canonical = self._canonical_external(env, name)
+            if canonical in BLOCKING_CALLS:
+                return BLOCKING_CALLS[canonical]
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            pattern = BLOCKING_METHODS.get(method)
+            if pattern is not None:
+                receiver = receiver_name(func.value)
+                if receiver is not None and pattern.search(receiver):
+                    if method == "get" and call.args:
+                        return None  # dict.get(key) style, not queue.get()
+                    return f".{method}() on `{receiver}`"
+        return None
+
+    def _canonical_external(self, env: _ModuleEnv, name: str) -> str:
+        """Expand local aliases so `sleep` / `sp.run` match the tables."""
+        head, _, rest = name.partition(".")
+        if head in env.from_imports:
+            target, orig = env.from_imports[head]
+            base = f"{target}.{orig}"
+            return f"{base}.{rest}" if rest else base
+        if head in env.module_aliases:
+            target = env.module_aliases[head]
+            return f"{target}.{rest}" if rest else target
+        return name
+
+    def _propagate_blocking(self) -> None:
+        """Fixpoint: sync functions that (transitively) hit a primitive."""
+        for info in self.functions.values():
+            if info.is_async:
+                continue
+            for site in info.calls:
+                if site.blocking is not None:
+                    self.blocks.setdefault(info.qualname, (site.blocking,))
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for info in self.functions.values():
+                if info.is_async or info.qualname in self.blocks:
+                    continue
+                for site in info.calls:
+                    for target in site.targets:
+                        chain = self.blocks.get(target)
+                        target_info = self.functions.get(target)
+                        if chain is None or target_info is None or target_info.is_async:
+                            continue
+                        self.blocks[info.qualname] = (target_info.display,) + chain
+                        changed = True
+                        break
+                    if info.qualname in self.blocks:
+                        break
+
+    def blocking_chain(self, qualname: str) -> Optional[Tuple[str, ...]]:
+        """Witness chain for a sync function, e.g. ``("ResultStore.get", "open()")``."""
+        return self.blocks.get(qualname)
+
+    # -- fork / reachability ----------------------------------------------
+
+    def _collect_process_targets(self) -> None:
+        for info in self.functions.values():
+            env = self._envs[info.module.module]
+            for node in scoped_walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted(node.func)
+                if name is None or name.rsplit(".", 1)[-1] != "Process":
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg != "target":
+                        continue
+                    resolved = self._resolve_target_ref(env, info, keyword.value)
+                    if resolved is not None:
+                        self.process_targets.append((resolved, node, info.module))
+
+    def _resolve_target_ref(
+        self, env: _ModuleEnv, info: FunctionInfo, value: ast.AST
+    ) -> Optional[str]:
+        if isinstance(value, ast.Name):
+            if value.id in env.functions:
+                return env.functions[value.id]
+            if value.id in env.from_imports:
+                target, orig = env.from_imports[value.id]
+                qualname = f"{target}:{orig}"
+                if qualname in self.functions:
+                    return qualname
+        elif isinstance(value, ast.Attribute):
+            if (
+                isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and info.cls is not None
+            ):
+                cls = self._classes.get(f"{info.module.module}:{info.cls}")
+                if cls is not None:
+                    return cls.methods.get(value.attr)
+        return None
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Call-graph closure of ``roots`` (qualnames)."""
+        seen: Set[str] = set()
+        frontier: List[str] = [r for r in roots if r in self.functions]
+        while frontier:
+            qualname = frontier.pop()
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            for site in self.functions[qualname].calls:
+                for target in site.targets:
+                    if target not in seen and target in self.functions:
+                        frontier.append(target)
+        return seen
+
+    # -- lookups used by rules --------------------------------------------
+
+    def async_functions(self) -> Iterator[FunctionInfo]:
+        for info in self.functions.values():
+            if info.is_async:
+                yield info
+
+    def env(self, module_name: str) -> Optional[_ModuleEnv]:
+        return self._envs.get(module_name)
+
+    def class_info(self, class_key: str) -> Optional[_ClassInfo]:
+        return self._classes.get(class_key)
+
+    def mutable_globals(self, module_name: str) -> Set[str]:
+        env = self._envs.get(module_name)
+        return env.mutable_globals if env is not None else set()
+
+    def handle_globals(self, module_name: str) -> Set[str]:
+        env = self._envs.get(module_name)
+        return env.handle_globals if env is not None else set()

@@ -1,0 +1,61 @@
+"""The simlint rule catalogue (SL001–SL015).
+
+Every rule defends one facet of the project's bit-identical guarantee,
+the policy contract, or the crash/concurrency invariants of the runner
+and service layers.  docs/LINTING.md explains each rule's rationale and
+how to fix or suppress a finding.
+
+The catalogue is split by the invariant family each rule defends:
+
+``determinism``
+    SL001–SL005, SL007–SL009 — single-module determinism and hot-path
+    rules carried over from the original rule pack.
+``policy``
+    SL006 — the policy hook contract and the ``POLICIES`` registry.
+``async_safety``
+    SL010–SL012 — nothing blocking on the event loop, no locks held
+    across ``await``, no fire-and-forget coroutines.
+``crash_consistency``
+    SL013 — the write → flush → fsync → ``os.replace`` protocol and
+    append-only log discipline.
+``concurrency``
+    SL014 — no shared mutable state across the ``fork`` boundary.
+``layering``
+    SL015 — the core/disk layers never import orchestration layers.
+
+Importing this package imports every family, so ``all_rules()`` always
+returns the full catalogue in SLxxx order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.lint.astutil import call_name as _call_name
+from repro.lint.astutil import dotted as _dotted
+from repro.lint.astutil import unparse as _unparse
+from repro.lint.engine import Rule
+
+__all__ = ["ALL_RULES", "register", "all_rules", "_dotted", "_call_name", "_unparse"]
+
+ALL_RULES: List[Type[Rule]] = []
+
+
+def register(rule: Type[Rule]) -> Type[Rule]:
+    ALL_RULES.append(rule)
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in SLxxx order."""
+    return [rule() for rule in sorted(ALL_RULES, key=lambda r: r.id)]
+
+
+# Rule modules self-register on import; keep these at the bottom so the
+# registry machinery above exists when they run.
+from repro.lint.rules import determinism  # noqa: E402,F401  (registration import)
+from repro.lint.rules import policy  # noqa: E402,F401
+from repro.lint.rules import async_safety  # noqa: E402,F401
+from repro.lint.rules import crash_consistency  # noqa: E402,F401
+from repro.lint.rules import concurrency  # noqa: E402,F401
+from repro.lint.rules import layering  # noqa: E402,F401

@@ -1,0 +1,223 @@
+"""Async-safety rules (SL010–SL012).
+
+The service layer (`repro.svc`, docs/SERVICE.md) runs simulations from
+an asyncio event loop.  Three properties keep it correct under load and
+chaos testing, and all three are invisible to single-file pattern
+matching:
+
+* nothing reachable from an ``async def`` may block the loop thread —
+  a blocking call two hops down a sync helper stalls every in-flight
+  request just as surely as ``time.sleep`` inline (SL010, via the
+  project call summaries);
+* a *sync* lock held across an ``await`` serializes the loop with
+  whatever thread shares the lock and deadlocks under contention
+  (SL011);
+* a coroutine or task created and dropped on the floor is cancelled by
+  the garbage collector mid-flight and its exception is never observed
+  (SL012) — the asyncio docs require holding a strong reference.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Iterator, List, Sequence
+
+from repro.lint.astutil import receiver_name, scoped_walk
+from repro.lint.engine import Finding, LintModule, Rule
+from repro.lint.rules import _dotted, register
+
+if TYPE_CHECKING:
+    from repro.lint.project import ProjectIndex
+
+
+# --------------------------------------------------------------------------------------
+# SL010 — blocking calls reachable from async code
+# --------------------------------------------------------------------------------------
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    """An event-loop thread that blocks stalls *every* in-flight request.
+
+    Roots at every ``async def`` in the project and follows the call
+    summaries through sync helpers, so ``await``-free blocking I/O is
+    found even when it hides behind ``self.store.get(...)`` →
+    ``ResultStore.get`` → ``open(...)``.
+    """
+
+    id = "SL010"
+    severity = "error"
+    summary = "blocking call reachable from async code"
+
+    def check_project(
+        self, modules: Sequence[LintModule], project: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        for info in project.async_functions():
+            if not info.module.module.startswith("repro"):
+                continue
+            for site in info.calls:
+                if site.awaited:
+                    continue
+                if site.blocking is not None:
+                    yield self.finding(
+                        info.module,
+                        site.node,
+                        f"async `{info.display}` calls blocking "
+                        f"{site.blocking} on the event loop; every in-flight "
+                        "request stalls — await an async equivalent or move "
+                        "it off-loop (asyncio.to_thread / run_in_executor)",
+                    )
+                    continue
+                for target in site.targets:
+                    target_info = project.functions.get(target)
+                    chain = project.blocking_chain(target)
+                    if target_info is None or target_info.is_async or chain is None:
+                        continue
+                    witness = " -> ".join((target_info.display,) + chain)
+                    yield self.finding(
+                        info.module,
+                        site.node,
+                        f"async `{info.display}` calls `{site.display}()`, "
+                        f"which blocks the event loop via {witness}; move the "
+                        "blocking step off-loop (asyncio.to_thread / "
+                        "run_in_executor) or make the helper async",
+                    )
+                    break
+
+
+# --------------------------------------------------------------------------------------
+# SL011 — sync lock held across an await point
+# --------------------------------------------------------------------------------------
+
+
+@register
+class LockAcrossAwaitRule(Rule):
+    """``with self._lock:`` around an ``await`` parks the loop thread while
+    holding a lock other threads want — the classic asyncio deadlock."""
+
+    id = "SL011"
+    severity = "error"
+    summary = "sync lock held across an await point"
+
+    _LOCKISH = re.compile(r"lock", re.IGNORECASE)
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.module.startswith("repro")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for stmt in scoped_walk(node):
+                # Sync `with` only: `async with` uses an asyncio lock,
+                # which suspends instead of blocking and is the fix.
+                if not isinstance(stmt, ast.With):
+                    continue
+                if not self._holds_lock(stmt):
+                    continue
+                awaits = [
+                    child
+                    for body_stmt in stmt.body
+                    for child in scoped_walk(body_stmt)
+                    if isinstance(child, (ast.Await, ast.AsyncFor, ast.AsyncWith))
+                ]
+                if awaits:
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"sync lock held across `await` in async "
+                        f"`{node.name}`: the loop thread suspends while "
+                        "holding the lock, deadlocking any thread that wants "
+                        "it — release before awaiting or use asyncio.Lock "
+                        "with `async with`",
+                    )
+
+    def _holds_lock(self, stmt: ast.With) -> bool:
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            name = receiver_name(expr)
+            if name is not None and self._LOCKISH.search(name):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------------------
+# SL012 — fire-and-forget coroutines and tasks
+# --------------------------------------------------------------------------------------
+
+
+@register
+class FireAndForgetRule(Rule):
+    """A task nobody references can be garbage-collected mid-flight, and an
+    exception nobody retrieves is only reported at interpreter exit."""
+
+    id = "SL012"
+    severity = "error"
+    summary = "un-awaited coroutine / unreferenced fire-and-forget task"
+
+    _TASK_MAKERS = frozenset({"ensure_future", "create_task"})
+    #: TaskGroup-style receivers keep their own strong references.
+    _GROUPISH = re.compile(r"group|tg\b", re.IGNORECASE)
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.module.startswith("repro")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        """The task half: a bare ``ensure_future``/``create_task`` statement
+        drops the only reference to the task."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            name = _dotted(call.func)
+            if name is None:
+                continue
+            last = name.rsplit(".", 1)[-1]
+            if last not in self._TASK_MAKERS:
+                continue
+            if isinstance(call.func, ast.Attribute):
+                receiver = receiver_name(call.func.value)
+                if receiver is not None and self._GROUPISH.search(receiver):
+                    continue  # asyncio.TaskGroup holds its own references
+            yield self.finding(
+                module,
+                node,
+                f"`{last}(...)` result is dropped: the event loop keeps only "
+                "a weak reference, so the task can be garbage-collected "
+                "mid-flight and its exception is never consumed — keep it in "
+                "a collection and discard via add_done_callback",
+            )
+
+    def check_project(
+        self, modules: Sequence[LintModule], project: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        """The coroutine half: calling a project ``async def`` as a bare
+        statement creates a coroutine that is never awaited."""
+        for info in project.functions.values():
+            if not info.module.module.startswith("repro"):
+                continue
+            for site in info.calls:
+                if site.awaited:
+                    continue
+                parent = info.module.parent(site.node)
+                if not isinstance(parent, ast.Expr):
+                    continue
+                async_targets: List[str] = [
+                    target
+                    for target in site.targets
+                    if target in project.functions
+                    and project.functions[target].is_async
+                ]
+                if async_targets:
+                    callee = project.functions[async_targets[0]].display
+                    yield self.finding(
+                        info.module,
+                        site.node,
+                        f"`{site.display}()` calls async `{callee}` without "
+                        "awaiting it: the coroutine is created, never runs, "
+                        "and is destroyed with a RuntimeWarning — `await` it "
+                        "or schedule it as a referenced task",
+                    )

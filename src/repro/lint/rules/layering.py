@@ -1,0 +1,102 @@
+"""The import-layering rule (SL015).
+
+ROADMAP item 1 keeps the hot core compilable and benchmarkable on its
+own: ``repro.core`` and ``repro.disk`` must import *nothing* from the
+orchestration layers (``obs``, ``runner``, ``svc``, ``perf``,
+``analysis``, ``lint``, ``cli``).  A single stray module-level import
+drags the whole service stack — and its transitive stdlib surface —
+into every simulation process and into the mypy-strict core closure.
+
+The rule reads the resolved import graph from the project index, so
+relative imports and aliases are handled.  Two escape hatches exist:
+
+* ``if TYPE_CHECKING:`` imports are always allowed (they vanish at
+  runtime);
+* the explicit lazy-import allowlist below — currently only
+  ``repro.core.engine`` → ``repro.perf``, the profiler hook that is
+  imported inside a function and only when profiling is requested.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import Finding, LintModule, Rule
+from repro.lint.rules import register
+
+if TYPE_CHECKING:
+    from repro.lint.project import ProjectIndex
+
+#: Layers the core must never depend on at runtime.
+_FORBIDDEN = (
+    "repro.obs",
+    "repro.runner",
+    "repro.svc",
+    "repro.perf",
+    "repro.analysis",
+    "repro.lint",
+    "repro.cli",
+)
+
+#: (importing module, forbidden layer) pairs allowed as *function-local*
+#: lazy imports.  Keep this list painfully short and document every entry
+#: in docs/LINTING.md.
+_LAZY_ALLOWLIST: Set[Tuple[str, str]] = {
+    # The engine's opt-in profiling wrapper: imported inside
+    # Simulator.run() only when profile=True, so unprofiled simulations
+    # never touch repro.perf.
+    ("repro.core.engine", "repro.perf"),
+}
+
+_CORE_LAYERS = ("repro.core", "repro.disk")
+
+
+@register
+class ImportLayeringRule(Rule):
+    """core/disk must stay importable without any orchestration layer."""
+
+    id = "SL015"
+    severity = "error"
+    summary = "core/disk imports an orchestration layer (obs/runner/svc/perf)"
+
+    def check_project(
+        self, modules: Sequence[LintModule], project: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        by_name = {module.module: module for module in modules}
+        for module_name, records in sorted(project.imports.items()):
+            if not module_name.startswith(_CORE_LAYERS):
+                continue
+            module = by_name.get(module_name)
+            if module is None:
+                continue
+            for record in records:
+                layer = self._forbidden_layer(record.target)
+                if layer is None:
+                    continue
+                if record.scope == "type_checking":
+                    continue  # erased at runtime — the sanctioned idiom
+                if (
+                    record.scope == "function"
+                    and (module_name, layer) in _LAZY_ALLOWLIST
+                ):
+                    continue
+                how = (
+                    "at module scope"
+                    if record.scope == "module"
+                    else "inside a function (not on the lazy-import allowlist)"
+                )
+                yield self.finding(
+                    module,
+                    record.node,
+                    f"`{module_name}` is core-layer code but imports "
+                    f"`{record.target}` ({layer}) {how}; the hot core must "
+                    "stay importable without orchestration layers — use "
+                    "`if TYPE_CHECKING:` for annotations or invert the "
+                    "dependency (see docs/LINTING.md for the allowlist)",
+                )
+
+    def _forbidden_layer(self, target: str) -> Optional[str]:
+        for layer in _FORBIDDEN:
+            if target == layer or target.startswith(layer + "."):
+                return layer
+        return None

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 output for simlint.
+
+SARIF (Static Analysis Results Interchange Format) is the industry
+exchange format GitHub code scanning ingests: uploading a SARIF file
+from CI renders findings as inline pull-request annotations with the
+rule's help text, instead of a wall of job-log text nobody reads.
+
+The renderer emits one ``run`` with the full rule catalogue (so the
+annotation UI can show each rule's summary even for rules with no
+findings this run) and one ``result`` per new finding, including parse
+errors.  The structural fingerprint simlint already uses for baselines
+is exported as a ``partialFingerprint`` so code-scanning alert identity
+survives unrelated edits, matching the baseline's line-number-free
+semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding, LintReport, Rule
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: simlint severity -> SARIF reportingConfiguration level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.summary or rule.id},
+        "help": {"text": f"See docs/LINTING.md, rule {rule.id}."},
+        "defaultConfiguration": {"level": _LEVELS.get(rule.severity, "warning")},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            # The baseline's structural identity: stable across
+            # line-number churn, so alerts don't flap on unrelated edits.
+            "simlintFingerprint/v1": finding.fingerprint,
+        },
+    }
+
+
+def sarif_dict(report: LintReport, rules: Sequence[Rule]) -> Dict[str, object]:
+    """The SARIF log as a plain dict (tests assert on this)."""
+    descriptors: List[Dict[str, object]] = [
+        _rule_descriptor(rule) for rule in rules
+    ]
+    results = [_result(finding) for finding in report.all_new()]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": report.exit_code == 0,
+                        "properties": {
+                            "files": report.files,
+                            "elapsed_s": round(report.elapsed_s, 3),
+                            "suppressed": report.suppressed,
+                            "baselined": len(report.baselined),
+                        },
+                    }
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, rules: Sequence[Rule]) -> str:
+    return json.dumps(sarif_dict(report, rules), indent=2)

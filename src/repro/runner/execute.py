@@ -20,7 +20,16 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core import POLICIES, SimConfig, Simulator, make_policy
 from repro.core.batching import batch_size_for
@@ -29,12 +38,19 @@ from repro.runner.plan import KIND_RUN, KIND_TUNED_REVERSE, Cell
 from repro.trace import WORKLOADS
 from repro.trace import build as build_workload
 from repro.trace import cache_blocks_for
+from repro.trace.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.obs import Observer
+    from repro.perf import PhaseProfiler
+
+#: Keyed by (name, scale, seed) — the complete build_workload signature —
+#: so differently scaled cells never alias.
+TraceCache = Dict[Tuple[str, float, Optional[int]], Trace]
 
 #: Cross-cell trace cache for long-lived processes (pool workers replay
 #: many cells of the same trace; rebuilding it per cell would dominate).
-#: Keyed by (name, scale, seed) — the complete build_workload signature —
-#: so differently scaled cells never alias.
-_TRACE_CACHE: Dict[Tuple[str, float, Optional[int]], Any] = {}
+_TRACE_CACHE: TraceCache = {}
 
 
 def validate_names(trace_name: str, policy: object) -> None:
@@ -61,8 +77,8 @@ def get_trace(
     name: str,
     scale: float = 1.0,
     seed: Optional[int] = None,
-    cache: Optional[Dict[Tuple[str, float, Optional[int]], Any]] = None,
-):
+    cache: Optional[TraceCache] = None,
+) -> Trace:
     """Build (or reuse) a workload; ``cache`` defaults to the module-wide
     per-process cache."""
     store = _TRACE_CACHE if cache is None else cache
@@ -70,11 +86,16 @@ def get_trace(
     trace = store.get(key)
     if trace is None:
         trace = build_workload(name, scale=scale, seed=seed)
-        store[key] = trace
+        # Per-process memo by design: each forked worker rebuilds and
+        # caches its own traces; nothing reads the parent's copy back,
+        # so the copy-on-write divergence SL014 warns about is the point.
+        store[key] = trace  # simlint: disable=SL014
     return trace
 
 
-def scaled_policy_kwargs(policy: str, num_disks: int, scale: float) -> dict:
+def scaled_policy_kwargs(
+    policy: str, num_disks: int, scale: float
+) -> Dict[str, object]:
     """Device-time parameters, shrunk alongside the trace.
 
     The prefetch horizon (62) and Table 6 batch sizes are *device*
@@ -109,7 +130,7 @@ def sim_config_for(cell: Cell) -> SimConfig:
 
 
 def result_digest(result: SimulationResult,
-                  timeline: Optional[list] = None) -> str:
+                  timeline: Optional[List[Any]] = None) -> str:
     """SHA-256 of the complete serialized outcome (golden-test scheme:
     json renders floats via repr, so any ULP drift changes the digest)."""
     payload = dataclasses.asdict(result)
@@ -133,9 +154,13 @@ class CellOutcome:
         return self.cell.config_hash
 
 
-def _run_simulation(cell: Cell, policy_kwargs: Dict[str, Any],
-                    profiler=None, observer=None,
-                    trace_cache=None) -> Tuple[SimulationResult, str]:
+def _run_simulation(
+    cell: Cell,
+    policy_kwargs: Dict[str, Any],
+    profiler: Optional["PhaseProfiler"] = None,
+    observer: Optional["Observer"] = None,
+    trace_cache: Optional[TraceCache] = None,
+) -> Tuple[SimulationResult, str]:
     """One simulation for a cell; returns (result, digest)."""
     validate_names(cell.trace, cell.policy)
     trace = get_trace(cell.trace, cell.scale, cell.seed, cache=trace_cache)
@@ -154,16 +179,24 @@ def _run_simulation(cell: Cell, policy_kwargs: Dict[str, Any],
     return result, result_digest(result, timeline)
 
 
-def _execute_run(cell: Cell, profiler=None, observer=None,
-                 trace_cache=None) -> Tuple[SimulationResult, str]:
+def _execute_run(
+    cell: Cell,
+    profiler: Optional["PhaseProfiler"] = None,
+    observer: Optional["Observer"] = None,
+    trace_cache: Optional[TraceCache] = None,
+) -> Tuple[SimulationResult, str]:
     return _run_simulation(
         cell, dict(cell.policy_kwargs),
         profiler=profiler, observer=observer, trace_cache=trace_cache,
     )
 
 
-def _execute_tuned_reverse(cell: Cell, profiler=None, observer=None,
-                           trace_cache=None) -> Tuple[SimulationResult, str]:
+def _execute_tuned_reverse(
+    cell: Cell,
+    profiler: Optional["PhaseProfiler"] = None,
+    observer: Optional["Observer"] = None,
+    trace_cache: Optional[TraceCache] = None,
+) -> Tuple[SimulationResult, str]:
     """The paper's baseline tuning: grid-search (F, reverse batch) and keep
     the best elapsed time (first winner on ties, like the serial loop)."""
     fetch_times = tuple(cell.params.get("fetch_times", (2, 4, 8, 16, 64)))
@@ -209,8 +242,12 @@ CELL_KINDS: Dict[str, Callable[..., Tuple[SimulationResult, str]]] = {
 }
 
 
-def execute_cell(cell: Cell, profiler=None, observer=None,
-                 trace_cache=None) -> CellOutcome:
+def execute_cell(
+    cell: Cell,
+    profiler: Optional["PhaseProfiler"] = None,
+    observer: Optional["Observer"] = None,
+    trace_cache: Optional[TraceCache] = None,
+) -> CellOutcome:
     """Execute one cell (any kind) and digest its outcome."""
     try:
         executor = CELL_KINDS[cell.kind]
@@ -228,9 +265,9 @@ def execute_cell(cell: Cell, profiler=None, observer=None,
 
 
 def execute_cells(
-    cells: Sequence[Cell], trace_cache=None
+    cells: Sequence[Cell], trace_cache: Optional[TraceCache] = None
 ) -> List[CellOutcome]:
     """Serial in-process plan execution (the reference semantics every
     parallel/resumed run must reproduce bit-identically)."""
-    local_cache = {} if trace_cache is None else trace_cache
+    local_cache: TraceCache = {} if trace_cache is None else trace_cache
     return [execute_cell(cell, trace_cache=local_cache) for cell in cells]

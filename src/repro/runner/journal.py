@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, TextIO
 
 JOURNAL_NAME = "journal.jsonl"
 MANIFEST_NAME = "manifest.json"
@@ -98,7 +98,7 @@ class Journal:
         self.directory = directory
         self.journal_path = os.path.join(directory, JOURNAL_NAME)
         self.manifest_path = os.path.join(directory, MANIFEST_NAME)
-        self._handle = None
+        self._handle: Optional[TextIO] = None
         self._swept = False
         #: Orphaned ``.*.tmp`` files removed when this journal first wrote
         #: to its directory (a crash between tmp-write and rename).
@@ -128,9 +128,10 @@ class Journal:
     def read_manifest(self) -> Optional[Dict[str, Any]]:
         try:
             with open(self.manifest_path) as handle:
-                return json.load(handle)
+                manifest = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
+        return manifest if isinstance(manifest, dict) else None
 
     # -- journal ----------------------------------------------------------
 
@@ -160,7 +161,7 @@ class Journal:
         *mid-file* line.  Each call recounts the skips into
         :attr:`skipped_lines`.
         """
-        records = []
+        records: List[Dict[str, Any]] = []
         skipped = 0
         try:
             with open(self.journal_path) as handle:
@@ -205,7 +206,7 @@ class Journal:
 
 def list_runs(root: str) -> List[Journal]:
     """Journals under ``root``, sorted by directory name."""
-    journals = []
+    journals: List[Journal] = []
     try:
         entries = sorted(os.listdir(root))
     except OSError:

@@ -158,7 +158,7 @@ def sweep_cells(
     Cell order matches the historical ``sweep_policies`` loop (disks
     outer, policies inner) so rendered tables keep their row order.
     """
-    cells = []
+    cells: List[Cell] = []
     for num_disks in disk_counts:
         for policy in policies:
             if policy == "reverse-aggressive" and tuned_reverse:
@@ -181,7 +181,7 @@ def baseline_cells(
     tuned_reverse: bool = True,
 ) -> List[Cell]:
     """An Appendix-A-style table as a plan (policies outer, disks inner)."""
-    cells = []
+    cells: List[Cell] = []
     for policy in policies:
         for num_disks in disk_counts:
             if policy == "reverse-aggressive" and tuned_reverse:

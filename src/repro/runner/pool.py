@@ -41,6 +41,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import multiprocessing.connection
+import multiprocessing.context
 import os
 import signal
 import threading
@@ -83,7 +84,9 @@ def _close_inherited_fds(keep: Set[int]) -> None:
                 pass
 
 
-def _worker_main(conn, worker_id: int) -> None:
+def _worker_main(
+    conn: "multiprocessing.connection.Connection[Any, Any]", worker_id: int
+) -> None:
     """Worker loop: receive (cell, attempt), execute, send the record.
 
     Workers ignore SIGINT so a terminal Ctrl-C (delivered to the whole
@@ -138,7 +141,7 @@ def _worker_main(conn, worker_id: int) -> None:
             return
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """fork where the platform has it (warm imports, test-kind
     inheritance); the default context elsewhere."""
     try:
@@ -150,7 +153,9 @@ def _pool_context():
 class _Worker:
     """One supervised worker process and its dedicated duplex pipe."""
 
-    def __init__(self, context, worker_id: int) -> None:
+    def __init__(
+        self, context: multiprocessing.context.BaseContext, worker_id: int
+    ) -> None:
         self.id = worker_id
         parent_conn, child_conn = context.Pipe(duplex=True)
         self.conn = parent_conn
@@ -376,9 +381,10 @@ class SupervisedPool:
                 return
             cancelled = set(self._cancelled)
         for index, worker in enumerate(self._workers):
-            if not worker.busy:
+            task = worker.task
+            if task is None:
                 continue
-            cell, attempt = worker.task  # type: ignore[misc]
+            cell, attempt = task
             if cell.config_hash not in cancelled:
                 continue
             self.counters["cancelled"] += 1
@@ -422,7 +428,9 @@ class SupervisedPool:
         message: str,
     ) -> None:
         """A worker died or was killed mid-cell: retry or record."""
-        cell, attempt = worker.task  # type: ignore[misc]
+        task = worker.task
+        assert task is not None  # only called for busy workers
+        cell, attempt = task
         worker.task = None
         if failure == "crash" and attempt <= self.max_retries:
             self._schedule_retry(cell, attempt)
@@ -434,22 +442,26 @@ class SupervisedPool:
 
     def _collect(self, emit: Callable[[Dict[str, Any]], None]) -> None:
         """Receive finished records (or EOFs from dead workers)."""
-        busy_conns = {w.conn: w for w in self._workers if w.busy}
-        if not busy_conns:
+        busy = [w for w in self._workers if w.busy]
+        if not busy:
             time.sleep(_POLL_S)
             return
-        ready = multiprocessing.connection.wait(
-            list(busy_conns), timeout=_POLL_S
+        ready = set(
+            multiprocessing.connection.wait(
+                [w.conn for w in busy], timeout=_POLL_S
+            )
         )
-        for conn in ready:
-            worker = busy_conns[conn]
+        for worker in busy:
+            if worker.conn not in ready:
+                continue
             try:
-                record = conn.recv()
+                record = worker.conn.recv()
             except (EOFError, OSError):
                 self.counters["crashes"] += 1
                 self.counters["respawns"] += 1
                 exitcode = worker.process.exitcode
-                cell_id = worker.task[0].cell_id  # type: ignore[index]
+                assert worker.task is not None  # busy_conns filters on busy
+                cell_id = worker.task[0].cell_id
                 worker.process.join(_KILL_GRACE_S)
                 worker.conn.close()
                 replacement = self._spawn()
@@ -469,13 +481,14 @@ class SupervisedPool:
             return
         now = self._clock()
         for index, worker in enumerate(self._workers):
-            if not worker.busy:
+            task = worker.task
+            if task is None:
                 continue
             if now - worker.started_at <= self.timeout_s:
                 continue
             self.counters["timeouts"] += 1
             self.counters["respawns"] += 1
-            cell, attempt = worker.task  # type: ignore[misc]
+            cell, attempt = task
             worker.kill()
             self._workers[index] = self._spawn()
             worker.task = None

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.runner.journal import Journal, list_runs
 
@@ -29,7 +29,7 @@ def format_runs_table(root: str) -> str:
     if not journals:
         return f"no runs under {root}/"
     header = ("run", "status", "done", "failed", "plan", "updated")
-    rows = []
+    rows: List[Tuple[str, ...]] = []
     for journal in journals:
         row = _manifest_row(journal)
         rows.append((

@@ -21,12 +21,15 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.core.results import SimulationResult
 from repro.runner.journal import Journal
 from repro.runner.plan import Cell, plan_hash
 from repro.runner.pool import SupervisedPool
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 EXIT_OK = 0
 EXIT_FAILED_CELLS = 1
@@ -124,7 +127,7 @@ def run_plan(
     retry_backoff_s: float = 0.5,
     resume: bool = False,
     max_minutes: Optional[float] = None,
-    metrics: Any = None,
+    metrics: Optional["MetricsRegistry"] = None,
     progress: Optional[Callable[[Dict[str, Any], int, int], None]] = None,
     argv: Optional[List[str]] = None,
     install_signal_handlers: bool = True,
@@ -192,7 +195,7 @@ def run_plan(
             raise KeyboardInterrupt  # second signal: abort the drain
         pool.request_stop("signal")
 
-    previous_handlers = {}
+    previous_handlers: Dict[int, Any] = {}
     if install_signal_handlers:
         for signum in (signal.SIGINT, signal.SIGTERM):
             previous_handlers[signum] = signal.signal(signum, handle_signal)

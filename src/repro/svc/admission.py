@@ -14,13 +14,18 @@ suffice; the counters mirror into ``repro.obs`` metrics for the
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 
 class AdmissionController:
     """Admit at most ``limit`` cells into the system at once."""
 
-    def __init__(self, limit: int, metrics: Any = None) -> None:
+    def __init__(
+        self, limit: int, metrics: Optional["MetricsRegistry"] = None
+    ) -> None:
         if limit < 1:
             raise ValueError(f"admission limit must be >= 1, got {limit}")
         self.limit = limit
@@ -59,7 +64,7 @@ class AdmissionController:
     def available(self) -> int:
         return max(0, self.limit - self.in_system)
 
-    def status(self) -> dict:
+    def status(self) -> Dict[str, int]:
         return {
             "limit": self.limit,
             "in_system": self.in_system,

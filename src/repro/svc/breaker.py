@@ -26,7 +26,10 @@ exactly like the pool's retry/backoff timing tests.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 CLOSED = "closed"
 OPEN = "open"
@@ -49,7 +52,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
-        metrics: Any = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -150,7 +153,7 @@ class CircuitBreaker:
         self._probe_started_at = None
         self._transition(OPEN)
 
-    def status(self) -> dict:
+    def status(self) -> Dict[str, object]:
         return {
             "state": self.state,
             "consecutive_failures": self.consecutive_failures,

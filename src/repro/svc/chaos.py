@@ -82,7 +82,7 @@ def kill_worker(pid: int) -> bool:
 def worker_pids(pool: object) -> List[int]:
     """The live worker PIDs of a :class:`~repro.runner.pool.SupervisedPool`
     (chaos targets)."""
-    pids = []
+    pids: List[int] = []
     for worker in getattr(pool, "_workers", []):
         process = getattr(worker, "process", None)
         if process is not None and process.pid is not None:

@@ -38,7 +38,7 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.svc.service import (
     Overloaded,
@@ -48,6 +48,9 @@ from repro.svc.service import (
     SpecError,
     cell_from_spec,
 )
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 MAX_BODY_BYTES = 4 * 1024 * 1024
 MAX_HEADER_BYTES = 64 * 1024
@@ -155,7 +158,7 @@ class ServiceServer:
     def bound_port(self) -> int:
         """The actual port (useful when constructed with port 0)."""
         assert self._server is not None and self._server.sockets
-        return self._server.sockets[0].getsockname()[1]
+        return int(self._server.sockets[0].getsockname()[1])
 
     async def start(self) -> None:
         if not self.service.started:
@@ -223,7 +226,10 @@ class ServiceServer:
             return 200, service.store.stats(), None
         if path.startswith("/v1/results/") and method == "GET":
             config_hash = path[len("/v1/results/"):]
-            record = service.store.get(config_hash)
+            # Same deliberate on-loop store read as run_cell: one small
+            # json.load, and on-loop serialization is the store's only
+            # concurrency control (see SimulationService.run_cell).
+            record = service.store.get(config_hash)  # simlint: disable=SL010
             if record is None:
                 return 404, {"error": f"no stored result for {config_hash}"}, None
             return 200, {"served": "store", "record": record}, None
@@ -273,7 +279,7 @@ class ServiceServer:
         except SpecError as exc:
             raise _HttpError(400, str(exc)) from None
         results = await self.service.run_cells(cells)
-        entries = []
+        entries: List[Dict[str, Any]] = []
         counts = {"store": 0, "computed": 0, "coalesced": 0,
                   "failed": 0, "rejected": 0, "timeout": 0}
         for cell, (record, served) in zip(cells, results):
@@ -344,11 +350,14 @@ async def serve_async(
     host: str = "127.0.0.1",
     port: int = 8642,
     deadline_s: Optional[float] = None,
-    metrics: Any = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> int:
     """Run the service until SIGINT/SIGTERM (or ``deadline_s``); returns
     the process exit code (75 interrupted, 76 deadline)."""
-    service = SimulationService(config, metrics=metrics)
+    # Store recovery (log replay + shard scan) runs on the loop, but at
+    # startup, before the listener exists — nothing to stall yet, and
+    # recovering before accepting is what makes restart crash-safe.
+    service = SimulationService(config, metrics=metrics)  # simlint: disable=SL010
     server = ServiceServer(service, host, port)
     await server.start()
     loop = asyncio.get_running_loop()

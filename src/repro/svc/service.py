@@ -32,11 +32,11 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.obs.metrics import MetricsRegistry, REQUEST_BUCKETS_MS
 from repro.runner.plan import Cell
-from repro.runner.pool import SupervisedPool
+from repro.runner.pool import PoolStatus, SupervisedPool
 from repro.runner.runner import EXIT_DEADLINE, EXIT_INTERRUPTED
 from repro.runner.execute import validate_names
 from repro.svc.admission import AdmissionController
@@ -163,7 +163,7 @@ class SimulationService:
         self,
         config: ServiceConfig,
         metrics: Optional[MetricsRegistry] = None,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -191,12 +191,16 @@ class SimulationService:
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pool_thread: Optional[threading.Thread] = None
-        self._pool_status = None
+        self._pool_status: Optional[PoolStatus] = None
         self.draining = False
         self.drain_reason: Optional[str] = None
         self._events: Deque[Dict[str, Any]] = deque(maxlen=config.event_buffer)
         self._event_seq = 0
         self._event_cond: Optional[asyncio.Condition] = None
+        # Strong references to in-flight notify tasks: the event loop only
+        # keeps weak ones, so an unreferenced task can be garbage-collected
+        # before it runs and its exception is never consumed (SL012).
+        self._notify_tasks: Set["asyncio.Task[None]"] = set()
         self.started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -299,7 +303,11 @@ class SimulationService:
         start = self._clock()
         config_hash = cell.config_hash
         self.metrics.inc("svc.requests")
-        cached = self.store.get(config_hash)
+        # Deliberately on-loop: a store hit is one open()+json.load of a
+        # small record — microseconds against a multi-second simulate, and
+        # serializing hits on the loop is what makes the hit path
+        # bit-identical to the journal record without locking the store.
+        cached = self.store.get(config_hash)  # simlint: disable=SL010
         if cached is not None:
             self.metrics.inc("svc.served_store")
             self._observe_latency(start)
@@ -391,8 +399,11 @@ class SimulationService:
         cond = self._event_cond
         if cond is not None:
             # Wake streaming readers; schedule rather than await (callers
-            # of _publish are synchronous).
-            asyncio.ensure_future(_notify(cond))
+            # of _publish are synchronous).  Keep a strong reference until
+            # the task completes — the loop's own reference is weak.
+            task = asyncio.ensure_future(_notify(cond))
+            self._notify_tasks.add(task)
+            task.add_done_callback(self._notify_tasks.discard)
 
     async def events_since(
         self, seq: int, timeout_s: float = 10.0

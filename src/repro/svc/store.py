@@ -33,7 +33,10 @@ from __future__ import annotations
 import json
 import os
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, TextIO
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 from repro.runner.journal import sweep_stale_tmp, write_json_atomic
 from repro.svc.chaos import crash_point
@@ -58,7 +61,7 @@ class ResultStore:
         self,
         root: str,
         max_entries: Optional[int] = None,
-        metrics: Any = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -66,7 +69,7 @@ class ResultStore:
         self.max_entries = max_entries
         self.metrics = metrics
         self.log_path = os.path.join(root, STORE_LOG_NAME)
-        self._log_handle = None
+        self._log_handle: Optional[TextIO] = None
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -170,7 +173,7 @@ class ResultStore:
         """Every fully written log entry; malformed lines (torn tails,
         chaos tears) are skipped and recounted into
         :attr:`skipped_log_lines`."""
-        entries = []
+        entries: List[Dict[str, Any]] = []
         skipped = 0
         try:
             with open(self.log_path) as handle:

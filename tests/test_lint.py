@@ -12,6 +12,7 @@ import pytest
 from repro.lint import Baseline, Finding, lint_paths, lint_source
 from repro.lint.engine import render_json, render_text
 from repro.lint.rules import all_rules
+from repro.lint.sarif import render_sarif, sarif_dict
 
 
 def rules_hit(source, module="repro.core.snippet", select=None):
@@ -802,3 +803,625 @@ class TestRepoIsClean:
         assert result.returncode == 0, result.stdout + result.stderr
         payload = json.loads(result.stdout)
         assert payload["findings"] == []
+
+
+def findings_for(source, module="repro.core.snippet"):
+    """All findings for a snippet (when the message matters, not just the id)."""
+    return lint_source(textwrap.dedent(source), module=module)
+
+
+# -- SL010: blocking call reachable from async code -------------------------------------
+
+
+class TestBlockingInAsync:
+    def test_direct_blocking_call_flagged(self):
+        src = """
+        import time
+
+        async def handler():
+            time.sleep(0.5)
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL010"}
+        assert "time.sleep" in findings[0].message
+
+    def test_catches_seeded_indirect_blocking_two_hops_deep(self):
+        # The seeded-bug shape: an async handler calls a helper that
+        # calls a helper that blocks — no `time.sleep` visible anywhere
+        # in the async function itself.
+        src = """
+        import time
+
+        def low():
+            time.sleep(0.1)
+
+        def mid():
+            low()
+
+        async def handler():
+            mid()
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL010"}
+        # The finding carries the full call-chain witness.
+        assert "mid -> low" in findings[0].message
+        assert "time.sleep" in findings[0].message
+
+    def test_blocking_file_open_in_async_flagged(self):
+        src = """
+        async def load(path):
+            with open(path) as handle:
+                return handle.read()
+        """
+        assert rules_hit(src) == {"SL010"}
+
+    def test_blocking_queue_get_method_flagged(self):
+        src = """
+        class Worker:
+            async def pump(self):
+                return self._queue.get()
+        """
+        assert rules_hit(src) == {"SL010"}
+
+    def test_to_thread_wrapped_call_clean(self):
+        src = """
+        import asyncio
+
+        def work():
+            import time
+
+            time.sleep(1.0)
+
+        async def handler():
+            await asyncio.to_thread(work)
+        """
+        assert rules_hit(src) == set()
+
+    def test_awaited_wait_for_on_condition_clean(self):
+        src = """
+        import asyncio
+
+        class Stream:
+            async def wait_news(self):
+                async with self._event_cond:
+                    await asyncio.wait_for(self._event_cond.wait(), 1.0)
+        """
+        assert rules_hit(src) == set()
+
+    def test_blocking_only_from_sync_code_clean(self):
+        src = """
+        import time
+
+        def pause():
+            time.sleep(0.1)
+
+        def caller():
+            pause()
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL011: sync lock held across an await ----------------------------------------------
+
+
+class TestLockAcrossAwait:
+    def test_await_under_sync_lock_flagged(self):
+        src = """
+        import asyncio
+
+        class Box:
+            async def update(self):
+                with self._lock:
+                    await asyncio.sleep(0)
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL011"}
+        assert "lock" in findings[0].message
+
+    def test_lock_released_before_await_clean(self):
+        src = """
+        import asyncio
+
+        class Box:
+            async def update(self):
+                with self._lock:
+                    self.value = 1
+                await asyncio.sleep(0)
+        """
+        assert rules_hit(src) == set()
+
+    def test_async_lock_clean(self):
+        src = """
+        import asyncio
+
+        class Box:
+            async def update(self):
+                async with self._lock:
+                    await asyncio.sleep(0)
+        """
+        assert rules_hit(src) == set()
+
+    def test_sync_function_with_lock_clean(self):
+        src = """
+        class Box:
+            def update(self):
+                with self._lock:
+                    self.value = 1
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL012: fire-and-forget tasks / un-awaited coroutines -------------------------------
+
+
+class TestFireAndForget:
+    def test_bare_ensure_future_flagged(self):
+        src = """
+        import asyncio
+
+        def kick(coro):
+            asyncio.ensure_future(coro)
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL012"}
+        assert "weak" in findings[0].message
+
+    def test_bare_create_task_flagged(self):
+        src = """
+        import asyncio
+
+        def kick(coro):
+            asyncio.create_task(coro)
+        """
+        assert rules_hit(src) == {"SL012"}
+
+    def test_task_kept_with_strong_reference_clean(self):
+        # The pattern the service's `_publish` fix uses.
+        src = """
+        import asyncio
+
+        def kick(tasks, coro):
+            task = asyncio.create_task(coro)
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        """
+        assert rules_hit(src) == set()
+
+    def test_task_group_create_task_clean(self):
+        src = """
+        async def fan_out(tg, coro):
+            tg.create_task(coro)
+        """
+        assert rules_hit(src) == set()
+
+    def test_unawaited_project_coroutine_flagged(self):
+        src = """
+        async def notify():
+            return None
+
+        def publish():
+            notify()
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL012"}
+        assert "without" in findings[0].message
+
+    def test_awaited_project_coroutine_clean(self):
+        src = """
+        async def notify():
+            return None
+
+        async def publish():
+            await notify()
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL013: crash-consistency protocol --------------------------------------------------
+
+
+class TestCrashConsistency:
+    def test_catches_seeded_rename_without_fsync(self):
+        # The seeded-bug shape: a "tmp file + rename" writer that skips
+        # the fsync — durable rename, possibly lost data.
+        src = """
+        import json
+        import os
+
+        def save(path, payload):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL013"}
+        assert "flushed but never fsynced" in findings[0].message
+
+    def test_rename_of_unflushed_handle_flagged(self):
+        src = """
+        import os
+
+        def save(path, payload):
+            tmp = path + ".tmp"
+            handle = open(tmp, "w")
+            handle.write(payload)
+            os.replace(tmp, path)
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL013"}
+        assert "written but never flushed" in findings[0].message
+
+    def test_fsync_on_wrong_fd_flagged(self):
+        src = """
+        import os
+
+        def save(path, payload, other):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(other.fileno())
+            os.replace(tmp, path)
+        """
+        assert rules_hit(src) == {"SL013"}
+
+    def test_canonical_atomic_write_clean(self):
+        # The write_json_atomic protocol: write, flush, fsync *this*
+        # handle's fd, then rename.
+        src = """
+        import json
+        import os
+
+        def save(path, payload):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        """
+        assert rules_hit(src) == set()
+
+    def test_fsync_via_fd_alias_clean(self):
+        src = """
+        import os
+
+        def save(path, payload):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                fd = handle.fileno()
+                os.fsync(fd)
+            os.replace(tmp, path)
+        """
+        assert rules_hit(src) == set()
+
+    def test_write_after_rename_flagged(self):
+        src = """
+        import os
+
+        def save(path, payload):
+            tmp = path + ".tmp"
+            handle = open(tmp, "w")
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            handle.write(payload)
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL013"}
+        assert "already renamed" in findings[0].message
+
+    def test_truncating_open_of_append_only_log_flagged(self):
+        src = """
+        def reset(journal_path):
+            return open(journal_path, "w")
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL013"}
+        assert "append-only" in findings[0].message
+
+    def test_append_open_of_log_clean(self):
+        src = """
+        def reopen(journal_path):
+            return open(journal_path, "a")
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL014: shared state across the fork boundary ---------------------------------------
+
+
+class TestForkSharedState:
+    def test_catches_worker_mutating_module_global(self):
+        src = """
+        import multiprocessing
+
+        _CACHE = {}
+
+        def worker():
+            _CACHE["x"] = 1
+
+        def spawn():
+            proc = multiprocessing.Process(target=worker)
+            proc.start()
+            return proc
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL014"}
+        assert "_CACHE" in findings[0].message
+
+    def test_mutation_reached_transitively_flagged(self):
+        src = """
+        import multiprocessing
+
+        _RESULTS = []
+
+        def helper(value):
+            _RESULTS.append(value)
+
+        def entry():
+            helper(1)
+
+        def spawn(ctx):
+            return ctx.Process(target=entry)
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL014"}
+        assert "_RESULTS" in findings[0].message
+
+    def test_module_global_handle_read_flagged(self):
+        src = """
+        import multiprocessing
+
+        _LOG = open("events.out", "a")
+
+        def worker():
+            _LOG.write("hi")
+
+        def spawn():
+            return multiprocessing.Process(target=worker)
+        """
+        findings = findings_for(src)
+        assert {f.rule for f in findings} == {"SL014"}
+        assert "handle" in findings[0].message
+
+    def test_worker_with_locals_only_clean(self):
+        src = """
+        import multiprocessing
+
+        def worker(conn):
+            cache = {}
+            cache["x"] = 1
+            conn.send(cache)
+
+        def spawn(conn):
+            return multiprocessing.Process(target=worker, args=(conn,))
+        """
+        assert rules_hit(src) == set()
+
+    def test_reading_immutable_global_clean(self):
+        src = """
+        import multiprocessing
+
+        _LIMIT = 3
+
+        def worker(conn):
+            conn.send(_LIMIT)
+
+        def spawn(conn):
+            return multiprocessing.Process(target=worker, args=(conn,))
+        """
+        assert rules_hit(src) == set()
+
+
+# -- SL015: import layering -------------------------------------------------------------
+
+
+class TestImportLayering:
+    def test_core_importing_runner_at_module_scope_flagged(self):
+        findings = findings_for(
+            "import repro.runner\n", module="repro.core.snippet"
+        )
+        assert {f.rule for f in findings} == {"SL015"}
+        assert "at module scope" in findings[0].message
+
+    def test_disk_from_importing_svc_flagged(self):
+        src = """
+        from repro.svc.store import ResultStore
+        """
+        assert rules_hit(src, module="repro.disk.snippet") == {"SL015"}
+
+    def test_type_checking_import_clean(self):
+        src = """
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from repro.runner.plan import Cell
+        """
+        assert rules_hit(src) == set()
+
+    def test_allowlisted_lazy_import_clean(self):
+        # (repro.core.engine, repro.perf) is on the lazy-import
+        # allowlist: the profiler is optional instrumentation.
+        src = """
+        def run(profile=None):
+            if profile:
+                from repro.perf import PhaseProfiler
+
+                return PhaseProfiler()
+            return None
+        """
+        assert rules_hit(src, module="repro.core.engine") == set()
+
+    def test_non_allowlisted_lazy_import_flagged(self):
+        src = """
+        def run():
+            from repro.svc.service import SimulationService
+
+            return SimulationService
+        """
+        findings = findings_for(src, module="repro.core.engine")
+        assert {f.rule for f in findings} == {"SL015"}
+        assert "allowlist" in findings[0].message
+
+    def test_orchestration_layers_may_import_each_other(self):
+        src = """
+        import repro.runner
+        from repro.svc.store import ResultStore
+        """
+        assert rules_hit(src, module="repro.analysis.snippet") == set()
+
+
+# -- SARIF output -----------------------------------------------------------------------
+
+
+class TestSarifOutput:
+    def _write_package(self, tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        target = package / "bad.py"
+        target.write_text(BAD_SOURCE)
+        return target
+
+    def test_document_structure(self, tmp_path):
+        self._write_package(tmp_path)
+        report = lint_paths([tmp_path], all_rules())
+        doc = sarif_dict(report, all_rules())
+        assert doc["version"] == "2.1.0"
+        assert "sarif" in doc["$schema"]
+        (run,) = doc["runs"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {f"SL{n:03d}" for n in range(1, 16)} <= rule_ids
+        assert {res["ruleId"] for res in run["results"]} == {"SL001", "SL005"}
+
+    def test_results_carry_fingerprints_and_locations(self, tmp_path):
+        self._write_package(tmp_path)
+        report = lint_paths([tmp_path], all_rules())
+        doc = sarif_dict(report, all_rules())
+        (run,) = doc["runs"]
+        fingerprints = {f.fingerprint for f in report.findings}
+        for result in run["results"]:
+            assert (
+                result["partialFingerprints"]["simlintFingerprint/v1"]
+                in fingerprints
+            )
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+            assert location["region"]["startLine"] >= 1
+
+    def test_invocation_reflects_exit_code_and_timing(self, tmp_path):
+        self._write_package(tmp_path)
+        report = lint_paths([tmp_path], all_rules())
+        (run,) = sarif_dict(report, all_rules())["runs"]
+        (invocation,) = run["invocations"]
+        assert invocation["executionSuccessful"] is False
+        assert invocation["properties"]["files"] == report.files
+        assert invocation["properties"]["elapsed_s"] >= 0
+
+    def test_clean_tree_is_execution_successful(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        report = lint_paths([clean], all_rules())
+        (run,) = sarif_dict(report, all_rules())["runs"]
+        assert run["results"] == []
+        assert run["invocations"][0]["executionSuccessful"] is True
+
+    def test_render_round_trips_as_json(self, tmp_path):
+        self._write_package(tmp_path)
+        report = lint_paths([tmp_path], all_rules())
+        assert json.loads(render_sarif(report, all_rules())) == sarif_dict(
+            report, all_rules()
+        )
+
+    def test_cli_sarif_format(self, tmp_path):
+        target = self._write_package(tmp_path)
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(target),
+                "--format",
+                "sarif",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        doc = json.loads(result.stdout)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_cli_output_file(self, tmp_path):
+        target = self._write_package(tmp_path)
+        out = tmp_path / "lint.sarif"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(target),
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert result.stdout.strip() == ""
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+
+
+# -- analysis-time budget ---------------------------------------------------------------
+
+
+class TestAnalysisBudget:
+    def test_elapsed_is_recorded_and_reported(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        report = lint_paths([clean], all_rules())
+        assert report.elapsed_s > 0
+        assert json.loads(render_json(report))["elapsed_s"] == round(
+            report.elapsed_s, 3
+        )
+
+    def test_cli_fails_when_over_budget(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(clean),
+                "--max-seconds",
+                "0",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "budget" in result.stderr
+
+    def test_cli_passes_within_budget(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(clean),
+                "--max-seconds",
+                "60",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

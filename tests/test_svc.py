@@ -533,3 +533,46 @@ class TestSimulationService:
             assert status["requests"]["svc.served_computed"] == 1
 
         run_service(tmp_path, scenario)
+
+
+class TestEventPublishTaskRefs:
+    """Regression: `_publish` used to fire-and-forget its notify task.
+
+    The event loop keeps only weak references to tasks, so an
+    unreferenced `ensure_future(_notify(cond))` could be garbage
+    collected before waking streaming readers (simlint SL012 caught
+    this).  The service must hold a strong reference until the task
+    completes, then drop it.
+    """
+
+    def test_publish_holds_strong_reference_until_notify_runs(self, tmp_path):
+        async def scenario(service):
+            before = len(service._events)
+            service._publish({"type": "probe"})
+            # The notify task is pinned while pending ...
+            assert service._notify_tasks
+            for _ in range(10):
+                if not service._notify_tasks:
+                    break
+                await asyncio.sleep(0)
+            # ... and released once done (no unbounded growth).
+            assert not service._notify_tasks
+            events = await service.events_since(before, timeout_s=0.1)
+            assert any(e["type"] == "probe" for e in events)
+
+        run_service(tmp_path, scenario)
+
+    def test_waiter_is_woken_by_publish(self, tmp_path):
+        async def scenario(service):
+            seq = service._event_seq
+
+            async def waiter():
+                return await service.events_since(seq, timeout_s=5.0)
+
+            task = asyncio.create_task(waiter())
+            await asyncio.sleep(0)  # park the waiter on the condition
+            service._publish({"type": "wake"})
+            events = await asyncio.wait_for(task, 5.0)
+            assert any(e["type"] == "wake" for e in events)
+
+        run_service(tmp_path, scenario)
