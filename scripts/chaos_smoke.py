@@ -16,6 +16,14 @@ during, and after the chaos all agree bit-for-bit with an undisturbed
 serial run — and a third identical sweep is served entirely from the
 store (hit ratio 1.0, zero simulation work).
 
+The servers run with ``--trace``, so the smoke also covers the
+telemetry tier (docs/OBSERVABILITY.md, "Service telemetry"): it scrapes
+``/v1/metrics`` as Prometheus text mid-sweep and fails on any
+``validate_exposition`` error, and before shutting down it downloads
+``GET /v1/trace`` — asserting service spans and re-homed simulation
+rows share a correlation ID — and writes the merged Perfetto document
+next to the store for artifact upload.
+
 Usage::
 
     PYTHONPATH=src python scripts/chaos_smoke.py --store runs/chaos-store
@@ -76,11 +84,20 @@ def api(port: int, method: str, path: str, body=None, timeout_s=300.0):
         return response.status, json.loads(response.read())
 
 
+def api_text(port: int, path: str, accept="text/plain", timeout_s=10.0):
+    """GET a non-JSON body (the Prometheus exposition)."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", headers={"Accept": accept})
+    with urllib.request.urlopen(request, timeout=timeout_s) as response:
+        return (response.status, response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"))
+
+
 def start_server(port: int, store: str) -> subprocess.Popen:
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
          "--host", "127.0.0.1", "--port", str(port),
-         "--store", store, "--jobs", "2",
+         "--store", store, "--jobs", "2", "--trace",
          "--request-timeout-s", "600"],
         cwd=REPO, env=dict(os.environ, PYTHONPATH="src"),
     )
@@ -115,6 +132,55 @@ def child_pids(pid: int):
         except OSError:
             continue
     return pids
+
+
+def prometheus_scrape_errors(port: int):
+    """Scrape ``/v1/metrics`` as Prometheus text and structurally
+    validate it (line grammar, ``+Inf`` buckets, monotonicity)."""
+    from repro.obs.prom import validate_exposition
+
+    status, content_type, text = api_text(port, "/v1/metrics")
+    errors = []
+    if status != 200:
+        errors.append(f"scrape status {status}")
+    if not content_type.startswith("text/plain; version=0.0.4"):
+        errors.append(f"unexpected content type {content_type!r}")
+    errors.extend(validate_exposition(text))
+    if "repro_svc_requests_total" not in text:
+        errors.append("repro_svc_requests_total missing from exposition")
+    return errors
+
+
+def check_trace_document(port: int, store: str, expect_sim_rows: bool):
+    """Download ``GET /v1/trace``, verify service spans and (when any
+    cell was actually computed this incarnation) simulation rows linked
+    by correlation ID, and write the document next to the store for
+    artifact upload.  Returns a list of error strings."""
+    status, document = api(port, "GET", "/v1/trace", timeout_s=30.0)
+    if status != 200:
+        return [f"/v1/trace returned {status}"]
+    rows = [event for event in document.get("traceEvents", [])
+            if event.get("ph") == "X"]
+    svc_rows = [row for row in rows if row.get("pid") == 1]
+    sim_rows = [row for row in rows if row.get("pid", 0) >= 100]
+    errors = []
+    if not svc_rows:
+        errors.append("trace document has no service spans")
+    if expect_sim_rows and not sim_rows:
+        errors.append("trace document has no simulation rows despite "
+                      "computed cells")
+    if sim_rows and svc_rows:
+        sim_ids = {row.get("args", {}).get("corr_id") for row in sim_rows}
+        svc_ids = {row.get("args", {}).get("corr_id") for row in svc_rows}
+        if not (sim_ids & svc_ids):
+            errors.append("no correlation ID shared between service "
+                          "spans and simulation rows")
+    path = os.path.join(os.path.dirname(store), "chaos-service-trace.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    print(f"chaos: wrote merged Perfetto trace ({len(svc_rows)} service "
+          f"spans, {len(sim_rows)} simulation rows) to {path}")
+    return errors
 
 
 def resident(port: int) -> int:
@@ -162,6 +228,18 @@ def main() -> int:
                 continue
             break
         time.sleep(0.01)
+
+    # Scrape the Prometheus exposition mid-sweep — the text endpoint
+    # must stay structurally valid while the pool is computing and the
+    # supervisor is replacing the worker we just killed.
+    scrape_errors = prometheus_scrape_errors(port)
+    if scrape_errors:
+        for error in scrape_errors:
+            print(f"chaos: FAIL — prometheus scrape: {error}")
+        server.send_signal(signal.SIGKILL)
+        return 1
+    print("chaos: mid-sweep /v1/metrics scrape is valid Prometheus "
+          "exposition")
 
     # SIGKILL the server itself once a few results are resident — no
     # drain, no atexit, nothing: the store log is all that survives.
@@ -214,6 +292,14 @@ def main() -> int:
             if before["digest"] != after["digest"]:
                 print("chaos: FAIL — store hit differs from computed record")
                 return 1
+        # -- telemetry: merged Perfetto trace from the live server ------
+        trace_errors = check_trace_document(
+            port, store, expect_sim_rows=first["counts"]["computed"] > 0)
+        if trace_errors:
+            for error in trace_errors:
+                print(f"chaos: FAIL — trace: {error}")
+            return 1
+
         print(f"chaos: OK — all {len(CELLS)} digests bit-identical to the "
               "pinned golden values; repeat sweep hit ratio 1.0 with zero "
               "simulation work")

@@ -432,6 +432,11 @@ def cmd_serve(args) -> int:
     """Run the crash-safe simulation service (docs/SERVICE.md)."""
     from repro.svc import ServiceConfig, serve_forever
 
+    if args.log_json:
+        from repro.obs import configure_logging
+
+        configure_logging(level=args.log_level)
+    trace = bool(args.trace or args.trace_out)
     config = ServiceConfig(
         store_dir=args.store,
         jobs=args.jobs,
@@ -443,14 +448,27 @@ def cmd_serve(args) -> int:
         breaker_failures=args.breaker_failures,
         breaker_reset_s=args.breaker_reset_s,
         store_max_entries=args.store_max_entries,
+        trace=trace,
+        trace_out=args.trace_out,
     )
     deadline_s = args.max_minutes * 60.0 if args.max_minutes else None
     print(
         f"repro-sim service on http://{args.host}:{args.port} "
-        f"(store: {args.store}, {args.jobs} workers) — "
+        f"(store: {args.store}, {args.jobs} workers"
+        f"{', tracing' if trace else ''}) — "
         "POST /v1/cells, GET /v1/status; Ctrl-C drains gracefully"
     )
     return serve_forever(config, args.host, args.port, deadline_s)
+
+
+def cmd_top(args) -> int:
+    """Live ops console over a running service (docs/OBSERVABILITY.md)."""
+    from repro.svc import run_top
+
+    return run_top(
+        host=args.host, port=args.port, interval_s=args.interval_s,
+        iterations=1 if args.once else None, width=args.width,
+    )
 
 
 def cmd_figure(args) -> int:
@@ -717,6 +735,51 @@ def main(argv=None) -> int:
         "--max-minutes", type=float, default=None, metavar="M",
         help="drain and exit 76 after M minutes (smoke tests, cron)",
     )
+    serve_parser.add_argument(
+        "--trace", action="store_true",
+        help="record request-scoped service spans (http.parse, "
+        "admission.wait, worker.execute, ...) merged with each computed "
+        "cell's simulation timeline; export via GET /v1/trace "
+        "(docs/OBSERVABILITY.md). Off by default: zero overhead when off.",
+    )
+    serve_parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the merged Perfetto timeline to FILE on drain "
+        "(implies --trace)",
+    )
+    serve_parser.add_argument(
+        "--log-json", action="store_true",
+        help="structured JSON logs on stderr, one object per line, every "
+        "record carrying the request correlation ID",
+    )
+    serve_parser.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="minimum level for --log-json (default info)",
+    )
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live ops console for a running service",
+        description="Poll GET /v1/status and /v1/metrics on an interval "
+        "and redraw one terminal frame: breaker state, admission "
+        "occupancy, worker utilization, store hit ratio, and request "
+        "latency quantiles. Read-only.",
+    )
+    top_parser.add_argument("--host", default="127.0.0.1")
+    top_parser.add_argument("--port", type=int, default=8642)
+    top_parser.add_argument(
+        "--interval-s", type=float, default=2.0, metavar="S",
+        help="refresh interval (default 2)",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (scripts, tests)",
+    )
+    top_parser.add_argument(
+        "--width", type=int, default=80, metavar="COLS",
+        help="frame width (default 80)",
+    )
 
     runs_parser = sub.add_parser(
         "runs", help="list, inspect, and resume sweep run journals"
@@ -817,6 +880,7 @@ def main(argv=None) -> int:
         "lint": run_lint,
         "runs": cmd_runs,
         "serve": cmd_serve,
+        "top": cmd_top,
     }
     return handler[args.command](args)
 

@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001–SL015).
+"""The simlint rule catalogue (SL001–SL016).
 
 Every rule defends one facet of the project's bit-identical guarantee,
 the policy contract, or the crash/concurrency invariants of the runner
@@ -21,7 +21,8 @@ The catalogue is split by the invariant family each rule defends:
 ``concurrency``
     SL014 — no shared mutable state across the ``fork`` boundary.
 ``layering``
-    SL015 — the core/disk layers never import orchestration layers.
+    SL015, SL016 — the core/disk layers never import orchestration
+    layers, and never log or print.
 
 Importing this package imports every family, so ``all_rules()`` always
 returns the full catalogue in SLxxx order.

@@ -1,4 +1,4 @@
-"""The import-layering rule (SL015).
+"""The core-purity layering rules (SL015, SL016).
 
 ROADMAP item 1 keeps the hot core compilable and benchmarkable on its
 own: ``repro.core`` and ``repro.disk`` must import *nothing* from the
@@ -15,10 +15,19 @@ relative imports and aliases are handled.  Two escape hatches exist:
 * the explicit lazy-import allowlist below — currently only
   ``repro.core.engine`` → ``repro.perf``, the profiler hook that is
   imported inside a function and only when profiling is requested.
+
+SL016 extends the same purity line to *output*: the hot core must not
+log or print.  Structured logging lives in ``repro.obs.logging`` and is
+attached by the orchestration layers; a ``logging`` import or a
+``print()`` inside ``repro.core``/``repro.disk`` would run once per
+simulated event in the worst case, and — because logging reads the wall
+clock for every record — would also hand the core a covert host-clock
+dependency that SL002 exists to forbid.
 """
 
 from __future__ import annotations
 
+import ast
 from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.lint.engine import Finding, LintModule, Rule
@@ -100,3 +109,60 @@ class ImportLayeringRule(Rule):
             if target == layer or target.startswith(layer + "."):
                 return layer
         return None
+
+
+@register
+class CoreOutputRule(Rule):
+    """The hot core neither logs nor prints — observability is attached
+    from the outside (``repro.obs``), never baked into simulation code."""
+
+    id = "SL016"
+    severity = "error"
+    summary = "logging or print() in core/disk simulation code"
+
+    def applies_to(self, module: LintModule) -> bool:
+        name = module.module
+        # Package-boundary match, like SL002: "repro.core.engine" is
+        # covered, "repro.corelib" is not.
+        return any(
+            name == layer or name.startswith(layer + ".")
+            for layer in _CORE_LAYERS
+        )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "logging" or alias.name.startswith(
+                        "logging."
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "`import logging` in core-layer code: the hot "
+                            "core must not log (every record reads the wall "
+                            "clock and formats strings on the simulation "
+                            "path); attach a repro.obs Observer from the "
+                            "orchestration layer instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "logging" or (
+                    node.module or ""
+                ).startswith("logging."):
+                    yield self.finding(
+                        module,
+                        node,
+                        "`from logging import ...` in core-layer code: the "
+                        "hot core must not log; attach a repro.obs Observer "
+                        "from the orchestration layer instead",
+                    )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "print":
+                    yield self.finding(
+                        module,
+                        node,
+                        "`print()` in core-layer code: stdout writes on the "
+                        "simulation path are both slow and invisible to the "
+                        "service's structured logs; return data and let the "
+                        "caller report it",
+                    )

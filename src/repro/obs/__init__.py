@@ -27,22 +27,50 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.logging import (
+    JsonFormatter,
+    configure_logging,
+    get_correlation_id,
+    get_logger,
+    set_correlation_id,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observer import Observer, StallRecord
+from repro.obs.prom import labeled, render_prometheus, validate_exposition
 from repro.obs.report import render_report
+from repro.obs.svc import (
+    ServiceSpan,
+    ServiceTracer,
+    maybe_span,
+    new_correlation_id,
+    reconstruct_durations,
+)
 
 __all__ = [
     "Counter",
     "Event",
     "Gauge",
     "Histogram",
+    "JsonFormatter",
     "MetricsRegistry",
     "Observer",
     "STALL_CAUSES",
+    "ServiceSpan",
+    "ServiceTracer",
     "StallRecord",
     "chrome_trace",
+    "configure_logging",
+    "get_correlation_id",
+    "get_logger",
     "iter_jsonl_rows",
+    "labeled",
+    "maybe_span",
+    "new_correlation_id",
+    "reconstruct_durations",
+    "render_prometheus",
     "render_report",
+    "set_correlation_id",
+    "validate_exposition",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,122 @@
+"""Structured JSON logging with request correlation for the service tier.
+
+Strictly opt-in, like every layer of ``repro.obs``: the service modules
+log through :func:`get_logger`, which parks a ``NullHandler`` on the
+``repro`` root logger so an unconfigured process emits **nothing** — no
+``lastResort`` stderr surprises, no formatting cost beyond the level
+check.  ``repro-sim serve --log-json`` calls :func:`configure_logging`
+to attach the real handler.
+
+Correlation: the active request's correlation ID lives in a
+:class:`contextvars.ContextVar`.  The HTTP layer sets it per connection;
+the forked pool worker cannot inherit it (the context is copied at fork
+time, not at dispatch time), so the ID crosses the worker's duplex pipe
+inside the task metadata and the worker re-seeds the contextvar itself
+(:mod:`repro.runner.pool`).  Every JSON record carries the ID under
+``corr_id`` when one is set.
+
+``repro.core`` and ``repro.disk`` must never log (or print): logging
+reads wall-clock timestamps and allocates per call, which would both
+perturb the hot loop and break the zero-cost guarantee — simlint SL016
+enforces the ban statically.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+from typing import IO, Any, Dict, Optional
+
+#: The active request's correlation ID (contextvar: async-task local on
+#: the event loop, thread-local elsewhere).
+_correlation_id: "contextvars.ContextVar[Optional[str]]" = (
+    contextvars.ContextVar("repro_correlation_id", default=None)
+)
+
+#: logging.LogRecord attributes that are not user-supplied extras.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord(
+        "x", logging.INFO, "x", 0, "", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def set_correlation_id(
+    corr_id: Optional[str],
+) -> "contextvars.Token[Optional[str]]":
+    """Bind ``corr_id`` to the current context; returns the reset token."""
+    return _correlation_id.set(corr_id)
+
+
+def get_correlation_id() -> Optional[str]:
+    """The correlation ID bound to the current context, if any."""
+    return _correlation_id.get()
+
+
+def reset_correlation_id(token: "contextvars.Token[Optional[str]]") -> None:
+    """Undo a :func:`set_correlation_id` (scoped binding)."""
+    _correlation_id.reset(token)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ``ts`` (unix seconds, captured by the
+    logging machinery itself — this module never reads a clock), level,
+    logger, message, ``corr_id`` when bound, any ``extra=`` fields, and
+    the formatted traceback under ``exc`` for exception records."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        corr_id = getattr(record, "corr_id", None) or _correlation_id.get()
+        if corr_id is not None:
+            payload["corr_id"] = corr_id
+        for name, value in record.__dict__.items():
+            if name in _RECORD_FIELDS or name == "corr_id":
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[name] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy that is silent until
+    :func:`configure_logging` opts in (NullHandler on the root of the
+    hierarchy keeps ``logging.lastResort`` out of stderr)."""
+    root = logging.getLogger("repro")
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    stream: Optional[IO[str]] = None, level: str = "info"
+) -> logging.Handler:
+    """Attach the JSON handler to the ``repro`` logger hierarchy.
+
+    Idempotent: a second call replaces the previous JSON handler rather
+    than duplicating records.  Returns the handler (tests detach it via
+    ``logging.getLogger("repro").removeHandler(...)``)."""
+    root = get_logger("repro")
+    for handler in list(root.handlers):
+        if isinstance(handler, _JsonHandler):
+            root.removeHandler(handler)
+    handler = _JsonHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper(), logging.INFO))
+    return handler
+
+
+class _JsonHandler(logging.StreamHandler):
+    """Marker subclass so :func:`configure_logging` can stay idempotent."""

@@ -8,7 +8,7 @@ registry keeps insertion order so exports are deterministic.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default bucket upper bounds (ms) for latency-like histograms.
 LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
@@ -23,6 +23,12 @@ DISTANCE_BUCKETS = (4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
 #: (``repro.svc`` reads a real clock for these — allowlisted by SL002).
 REQUEST_BUCKETS_MS = (
     1.0, 5.0, 25.0, 100.0, 500.0, 2000.0, 10000.0, 60000.0, 300000.0,
+)
+#: Default bucket upper bounds (ms) for journal/store fsync latencies —
+#: sub-millisecond on a healthy local disk, tens of milliseconds when the
+#: device (or a CI runner's overlay filesystem) is struggling.
+FSYNC_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 100.0, 1000.0,
 )
 
 
@@ -126,17 +132,41 @@ class Histogram:
         """Observations above the last bound."""
         return self.counts[-1]
 
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """Prometheus-shaped cumulative buckets: ``(le_label, count)``
+        pairs where each count includes every smaller bucket, ending with
+        the mandatory ``("+Inf", total observations)`` entry."""
+        pairs: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            if bound == float("inf"):
+                label = "+Inf"
+            elif bound == int(bound):
+                label = str(int(bound))
+            else:
+                label = repr(bound)
+            pairs.append((label, running))
+        pairs.append(("+Inf", self.count))
+        return pairs
+
     def as_dict(self) -> Dict[str, object]:
+        # ``sum`` and the trailing ``+Inf`` bucket make the exposition
+        # well-formed Prometheus; ``overflow`` stays for older readers
+        # (it equals the +Inf bucket's own, non-cumulative count).
+        buckets: List[Dict[str, object]] = [
+            {"le": bound, "count": count}
+            for bound, count in zip(self.bounds, self.counts)
+        ]
+        buckets.append({"le": "+Inf", "count": self.overflow})
         return {
             "name": self.name,
             "count": self.count,
+            "sum": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
-            "buckets": [
-                {"le": bound, "count": count}
-                for bound, count in zip(self.bounds, self.counts)
-            ],
+            "buckets": buckets,
             "overflow": self.overflow,
         }
 

@@ -1,0 +1,201 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+The registry's instrument names are dotted (``svc.request_ms``) and may
+carry an inline label set appended by :func:`labeled`
+(``svc.http.request_ms{route="cells",code="200"}``).  The renderer maps
+them onto the Prometheus data model:
+
+* dots become underscores and every family is prefixed ``repro_``;
+* counters gain the conventional ``_total`` suffix;
+* histograms emit cumulative ``_bucket{le="..."}`` series ending with the
+  mandatory ``+Inf`` bucket, plus ``_sum`` and ``_count``
+  (:meth:`repro.obs.metrics.Histogram.cumulative`);
+* instruments sharing a base name but differing in labels are one family:
+  a single ``# HELP``/``# TYPE`` header followed by every labelled series.
+
+This module never reads a clock and performs no I/O — it is a pure
+function of the registry, so the HTTP layer can render a scrape on the
+event loop.  :func:`validate_exposition` is the self-check used by tests
+and the chaos-smoke harness: it re-parses an exposition and reports
+structural violations (bad names, broken escaping, non-cumulative
+buckets, missing ``+Inf``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One exposition line: name, optional label set, one value (Prometheus
+#: accepts an optional trailing timestamp; we never emit one).
+_LINE_OK = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\})?"
+    r" [-+]?(?:[0-9.eE+-]+|Inf|NaN)$"
+)
+
+
+def labeled(base: str, **labels: str) -> str:
+    """An instrument name carrying an inline Prometheus label set.
+
+    ``labeled("svc.http.request_ms", route="cells", code="200")`` →
+    ``svc.http.request_ms{code="200",route="cells"}``.  Labels are sorted
+    so the same logical series always maps to the same instrument.
+    """
+    if not labels:
+        return base
+    inner = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return f"{base}{{{inner}}}"
+
+
+def split_labels(name: str) -> Tuple[str, str]:
+    """Split an instrument name into ``(base, label_block)`` where the
+    label block is either empty or ``{k="v",...}`` verbatim."""
+    brace = name.find("{")
+    if brace < 0 or not name.endswith("}"):
+        return name, ""
+    return name[:brace], name[brace:]
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def metric_name(base: str) -> str:
+    """The Prometheus family name for a dotted instrument base name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", base)
+    if not cleaned.startswith("repro_"):
+        cleaned = f"repro_{cleaned}"
+    return cleaned
+
+
+def _merge_label_block(block: str, extra: str) -> str:
+    """Combine an instrument's label block with one extra ``k="v"`` pair
+    (used to add ``le`` to histogram bucket series)."""
+    if not block:
+        return f"{{{extra}}}"
+    return f"{block[:-1]},{extra}}}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format (version 0.0.4).
+
+    All series of one family (label variants of the same base name) are
+    grouped under a single ``# HELP``/``# TYPE`` header, as the format
+    requires; families keep first-registration order.
+    """
+    # family -> (kind, base, sample lines); insertion-ordered.
+    families: Dict[str, Tuple[str, str, List[str]]] = {}
+
+    def family_lines(family: str, kind: str, base: str) -> List[str]:
+        entry = families.get(family)
+        if entry is None:
+            entry = families[family] = (kind, base, [])
+        return entry[2]
+
+    for name, counter in registry.counters.items():
+        base, labels = split_labels(name)
+        family = f"{metric_name(base)}_total"
+        family_lines(family, "counter", base).append(
+            f"{family}{labels} {_format_value(float(counter.value))}"
+        )
+    for name, gauge in registry.gauges.items():
+        base, labels = split_labels(name)
+        family = metric_name(base)
+        family_lines(family, "gauge", base).append(
+            f"{family}{labels} {_format_value(gauge.value)}"
+        )
+    for name, histogram in registry.histograms.items():
+        base, labels = split_labels(name)
+        family = metric_name(base)
+        samples = family_lines(family, "histogram", base)
+        for le_label, cumulative_count in histogram.cumulative():
+            block = _merge_label_block(labels, f'le="{le_label}"')
+            samples.append(
+                f"{family}_bucket{block} {_format_value(float(cumulative_count))}"
+            )
+        samples.append(f"{family}_sum{labels} {_format_value(histogram.total)}")
+        samples.append(
+            f"{family}_count{labels} {_format_value(float(histogram.count))}"
+        )
+    lines: List[str] = []
+    for family, (kind, base, samples) in families.items():
+        lines.append(f"# HELP {family} repro {kind} {base}")
+        lines.append(f"# TYPE {family} {kind}")
+        lines.extend(samples)
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Structural errors in a Prometheus text exposition; empty when valid.
+
+    Checks line syntax, HELP/TYPE pairing, histogram bucket monotonicity,
+    and the mandatory ``+Inf`` bucket per histogram series.  Used by
+    tests and ``scripts/chaos_smoke.py`` to validate live scrapes.
+    """
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    # (family, labels-without-le) -> list of (le, value) in order seen.
+    buckets: Dict[Tuple[str, str], List[Tuple[str, float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {lineno}: malformed comment {line!r}")
+            elif parts[1] == "TYPE":
+                if parts[2] in typed:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {parts[2]}"
+                    )
+                typed[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if not _LINE_OK.match(line):
+            errors.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        base, labels = split_labels(name_part)
+        if not _NAME_OK.match(base):
+            errors.append(f"line {lineno}: bad metric name {base!r}")
+        if base.endswith("_bucket"):
+            le = ""
+            kept: List[str] = []
+            for pair in labels[1:-1].split(",") if labels else []:
+                key, _, raw = pair.partition("=")
+                if key == "le":
+                    le = raw.strip('"')
+                else:
+                    kept.append(pair)
+            if not le:
+                errors.append(f"line {lineno}: bucket sample without le label")
+                continue
+            series = (base[: -len("_bucket")], ",".join(kept))
+            buckets.setdefault(series, []).append((le, float(value_part)))
+    for (family, labels), series in buckets.items():
+        where = f"{family}{{{labels}}}" if labels else family
+        if series[-1][0] != "+Inf":
+            errors.append(f"{where}: last bucket is {series[-1][0]}, not +Inf")
+        values = [value for _, value in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(f"{where}: bucket counts are not cumulative")
+    return errors

@@ -22,7 +22,11 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional, TextIO
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, TextIO
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 JOURNAL_NAME = "journal.jsonl"
 MANIFEST_NAME = "manifest.json"
@@ -94,11 +98,20 @@ def _fsync_dir(directory: str) -> None:
 class Journal:
     """One run directory: append-only cell records plus a manifest."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(
+        self,
+        directory: str,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.directory = directory
         self.journal_path = os.path.join(directory, JOURNAL_NAME)
         self.manifest_path = os.path.join(directory, MANIFEST_NAME)
         self._handle: Optional[TextIO] = None
+        #: Optional registry: each append observes its fsync latency into
+        #: ``runner.journal_fsync_ms`` (a durability SLI — the fsync is
+        #: the journal's whole crash-safety story, so a slow device shows
+        #: up here first).
+        self._metrics = metrics
         self._swept = False
         #: Orphaned ``.*.tmp`` files removed when this journal first wrote
         #: to its directory (a crash between tmp-write and rename).
@@ -145,7 +158,16 @@ class Journal:
             self._handle = open(self.journal_path, "a")
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self._metrics is None:
+            os.fsync(self._handle.fileno())
+        else:
+            fsync_start = time.perf_counter()
+            os.fsync(self._handle.fileno())
+            from repro.obs.metrics import FSYNC_BUCKETS_MS
+
+            self._metrics.histogram(
+                "runner.journal_fsync_ms", FSYNC_BUCKETS_MS
+            ).observe((time.perf_counter() - fsync_start) * 1000.0)
 
     def close(self) -> None:
         if self._handle is not None:

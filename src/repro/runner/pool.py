@@ -49,10 +49,29 @@ import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.runner.execute import execute_cell
-from repro.runner.plan import Cell
+from repro.runner.plan import KIND_RUN, Cell
+
+if TYPE_CHECKING:
+    from repro.obs.svc import ServiceTracer
+
+#: Per-task metadata riding the duplex pipe next to the cell: the
+#: service's correlation ID and trace flag (``repro.svc`` requests), or
+#: None for batch sweeps — whose task tuples, records, and journal
+#: schema stay byte-identical to the untelemetered pool.
+TaskMeta = Optional[Dict[str, Any]]
 
 #: How long a killed worker gets to die before escalating to SIGKILL.
 _KILL_GRACE_S = 2.0
@@ -103,10 +122,27 @@ def _worker_main(
             return
         if task is None:
             return
-        cell, attempt = task
+        cell, attempt, meta = task
+        observer = None
+        traced = meta is not None and bool(meta.get("trace"))
+        if meta is not None and meta.get("corr_id") is not None:
+            # Correlation crosses the fork boundary here, on the pipe:
+            # contextvars were copied at fork time (long before this
+            # request existed), so the worker re-seeds its own context
+            # per task and log records inside the worker carry the ID.
+            from repro.obs.logging import set_correlation_id
+
+            set_correlation_id(meta["corr_id"])
+        if traced and cell.kind == KIND_RUN:
+            # Only plain runs take an Observer: an Observer watches
+            # exactly one simulator, and grid-search kinds run several.
+            from repro.obs import Observer
+
+            observer = Observer()
+        started_ms = time.monotonic() * 1000.0 if traced else 0.0
         record: Dict[str, Any]
         try:
-            outcome = execute_cell(cell)
+            outcome = execute_cell(cell, observer=observer)
             record = {
                 "status": "ok",
                 "digest": outcome.digest,
@@ -135,6 +171,26 @@ def _worker_main(
             attempt=attempt,
             worker=worker_id,
         )
+        if meta is not None and meta.get("corr_id") is not None:
+            record["corr_id"] = meta["corr_id"]
+        if traced:
+            # The execute span is measured *here*, in the worker, on the
+            # same monotonic clock as the parent's tracer (system-wide
+            # across fork on Linux), and shipped back over the pipe; the
+            # parent adopts it plus the simulation timeline.  The service
+            # strips this block before records reach waiters or the store.
+            telemetry: Dict[str, Any] = {
+                "corr_id": meta.get("corr_id") if meta else None,
+                "execute": {
+                    "start_ms": started_ms,
+                    "dur_ms": time.monotonic() * 1000.0 - started_ms,
+                },
+            }
+            if observer is not None and record["status"] == "ok":
+                from repro.obs.export import chrome_trace
+
+                telemetry["sim"] = chrome_trace(observer)
+            record["telemetry"] = telemetry
         try:
             conn.send(record)
         except (BrokenPipeError, OSError):
@@ -164,17 +220,19 @@ class _Worker:
         )
         self.process.start()
         child_conn.close()  # parent copy; EOF must reach us when it dies
-        self.task: Optional[Tuple[Cell, int]] = None
+        self.task: Optional[Tuple[Cell, int, TaskMeta]] = None
         self.started_at: float = 0.0
 
     @property
     def busy(self) -> bool:
         return self.task is not None
 
-    def dispatch(self, cell: Cell, attempt: int, now: float) -> None:
-        self.task = (cell, attempt)
+    def dispatch(
+        self, cell: Cell, attempt: int, now: float, meta: TaskMeta = None
+    ) -> None:
+        self.task = (cell, attempt, meta)
         self.started_at = now
-        self.conn.send((cell, attempt))
+        self.conn.send((cell, attempt, meta))
 
     def kill(self) -> None:
         """Terminate, escalating to SIGKILL after a short grace."""
@@ -233,11 +291,19 @@ class SupervisedPool:
         # Pending work and cancellations may be touched from other threads
         # (``repro.svc`` submits and cancels from its event loop while the
         # supervision loop runs in a pool thread), so both live behind one
-        # lock.  (cell, attempt, not_before): retries wait out backoff.
+        # lock.  (cell, attempt, not_before, meta): retries wait out
+        # backoff; meta carries the service's correlation/trace metadata.
         self._lock = threading.Lock()
-        self._pending: Deque[Tuple[Cell, int, float]] = deque()
+        self._pending: Deque[Tuple[Cell, int, float, TaskMeta]] = deque()
         self._cancelled: Set[str] = set()
         self._workers: List[_Worker] = []
+        #: Optional :class:`repro.obs.svc.ServiceTracer` installed by the
+        #: service when request tracing is on; None costs nothing.
+        self.tracer: Optional["ServiceTracer"] = None
+        #: Accumulated busy seconds per worker id (terminal tasks only;
+        #: :meth:`utilization` adds the in-flight remainder).
+        self._busy_s: Dict[int, float] = {}
+        self._supervise_started_at: Optional[float] = None
         self.counters: Dict[str, int] = {
             "dispatched": 0, "ok": 0, "failed": 0, "timeouts": 0,
             "crashes": 0, "retries": 0, "respawns": 0, "cancelled": 0,
@@ -250,10 +316,16 @@ class SupervisedPool:
         if self._stop_reason is None:
             self._stop_reason = reason
 
-    def submit(self, cell: Cell, attempt: int = 1) -> None:
-        """Queue one cell (thread-safe; the serve loop picks it up)."""
+    def submit(
+        self, cell: Cell, attempt: int = 1, meta: TaskMeta = None
+    ) -> None:
+        """Queue one cell (thread-safe; the serve loop picks it up).
+
+        ``meta`` is the service's per-request metadata (correlation ID,
+        trace flag, submission timestamp); batch callers omit it and the
+        pool behaves exactly as before."""
         with self._lock:
-            self._pending.append((cell, attempt, 0.0))
+            self._pending.append((cell, attempt, 0.0, meta))
 
     def cancel(self, config_hash: str) -> bool:
         """Cooperatively cancel the cell with ``config_hash``.
@@ -269,7 +341,7 @@ class SupervisedPool:
         with self._lock:
             queued = any(
                 cell.config_hash == config_hash
-                for cell, _, _ in self._pending
+                for cell, _, _, _ in self._pending
             )
             running = any(
                 worker.task is not None
@@ -286,6 +358,31 @@ class SupervisedPool:
         with self._lock:
             return len(self._pending)
 
+    def utilization(self) -> Dict[int, float]:
+        """Busy-time fraction per worker id since supervision started,
+        including each busy worker's in-flight time up to now (thread-safe
+        snapshot; empty before the pool runs)."""
+        now = self._clock()
+        with self._lock:
+            started = self._supervise_started_at
+            busy = dict(self._busy_s)
+            in_flight = [
+                (worker.id, worker.started_at)
+                for worker in self._workers
+                if worker.task is not None
+            ]
+        if started is None:
+            return {}
+        uptime = max(now - started, 1e-9)
+        for worker_id, started_at in in_flight:
+            busy[worker_id] = busy.get(worker_id, 0.0) + max(
+                0.0, now - started_at
+            )
+        return {
+            worker_id: min(1.0, seconds / uptime)
+            for worker_id, seconds in sorted(busy.items())
+        }
+
     # -- scheduling arithmetic (fake-clock testable) -----------------------
 
     def backoff_s(self, attempt: int) -> float:
@@ -293,12 +390,14 @@ class SupervisedPool:
         (exponential: base, 2x base, 4x base, ...)."""
         return self.retry_backoff_s * (2.0 ** (attempt - 1))
 
-    def _schedule_retry(self, cell: Cell, attempt: int) -> None:
+    def _schedule_retry(
+        self, cell: Cell, attempt: int, meta: TaskMeta = None
+    ) -> None:
         """Re-queue a crashed cell at the head, gated by its backoff."""
         self.counters["retries"] += 1
         not_before = self._clock() + self.backoff_s(attempt)
         with self._lock:
-            self._pending.appendleft((cell, attempt + 1, not_before))
+            self._pending.appendleft((cell, attempt + 1, not_before, meta))
 
     # -- records -----------------------------------------------------------
 
@@ -308,8 +407,9 @@ class SupervisedPool:
         return worker
 
     def _failure_record(self, cell: Cell, attempt: int, failure: str,
-                        error: Dict[str, str]) -> Dict[str, Any]:
-        return {
+                        error: Dict[str, str],
+                        meta: TaskMeta = None) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
             "kind": "cell",
             "hash": cell.config_hash,
             "cell_id": cell.cell_id,
@@ -319,8 +419,12 @@ class SupervisedPool:
             "attempt": attempt,
             "error": error,
         }
+        if meta is not None and meta.get("corr_id") is not None:
+            record["corr_id"] = meta["corr_id"]
+        return record
 
-    def _cancel_record(self, cell: Cell, attempt: int) -> Dict[str, Any]:
+    def _cancel_record(self, cell: Cell, attempt: int,
+                       meta: TaskMeta = None) -> Dict[str, Any]:
         return self._failure_record(
             cell, attempt, FAILURE_CANCELLED,
             {
@@ -329,6 +433,7 @@ class SupervisedPool:
                            f"(attempt {attempt})",
                 "traceback": "",
             },
+            meta=meta,
         )
 
     def _emit_terminal(self, emit: Callable[[Dict[str, Any]], None],
@@ -336,43 +441,76 @@ class SupervisedPool:
         self.counters["ok" if record["status"] == "ok" else "failed"] += 1
         with self._lock:
             self._cancelled.discard(record["hash"])
+        if self.tracer is not None:
+            self._adopt_telemetry(record)
         emit(record)
+
+    def _adopt_telemetry(self, record: Dict[str, Any]) -> None:
+        """Fold a traced worker's shipped telemetry into the tracer: the
+        worker-measured execute span plus the simulation timeline."""
+        from repro.obs.svc import SPAN_WORKER_EXECUTE
+
+        tracer = self.tracer
+        telemetry = record.get("telemetry")
+        if tracer is None or not isinstance(telemetry, dict):
+            return
+        corr_id = telemetry.get("corr_id")
+        if not isinstance(corr_id, str):
+            return
+        execute = telemetry.get("execute")
+        if isinstance(execute, dict):
+            tracer.add_span(
+                SPAN_WORKER_EXECUTE,
+                corr_id,
+                float(execute.get("start_ms", 0.0)),
+                float(execute.get("dur_ms", 0.0)),
+                cell_id=record.get("cell_id"),
+                worker=record.get("worker"),
+                attempt=record.get("attempt"),
+            )
+        sim = telemetry.get("sim")
+        if isinstance(sim, dict):
+            tracer.attach_simulation(corr_id, sim)
 
     # -- supervision loop steps --------------------------------------------
 
-    def _next_ready(self, now: float) -> Optional[Tuple[Cell, int]]:
+    def _next_ready(
+        self, now: float
+    ) -> Optional[Tuple[Cell, int, TaskMeta]]:
         """Pop the first pending cell whose backoff has elapsed."""
         with self._lock:
             ready_idx = next(
-                (i for i, (_, _, nb) in enumerate(self._pending)
+                (i for i, (_, _, nb, _) in enumerate(self._pending)
                  if nb <= now),
                 None,
             )
             if ready_idx is None:
                 return None
             self._pending.rotate(-ready_idx)
-            cell, attempt, _ = self._pending.popleft()
+            cell, attempt, _, meta = self._pending.popleft()
             self._pending.rotate(ready_idx)
-            return cell, attempt
+            return cell, attempt, meta
 
     def _reap_cancelled_pending(
         self, emit: Callable[[Dict[str, Any]], None]
     ) -> None:
         """Drop cancelled cells that are still queued."""
-        dropped: List[Tuple[Cell, int, float]] = []
+        dropped: List[Tuple[Cell, int, float, TaskMeta]] = []
         with self._lock:
             if not self._cancelled:
                 return
-            kept: Deque[Tuple[Cell, int, float]] = deque()
+            kept: Deque[Tuple[Cell, int, float, TaskMeta]] = deque()
             for item in self._pending:
                 if item[0].config_hash in self._cancelled:
                     dropped.append(item)
                 else:
                     kept.append(item)
             self._pending = kept
-        for cell, attempt, _ in dropped:
+        for cell, attempt, _, meta in dropped:
             self.counters["cancelled"] += 1
-            self._emit_terminal(emit, self._cancel_record(cell, attempt))
+            self._emit_terminal(
+                emit, self._cancel_record(cell, attempt, meta)
+            )
 
     def _kill_cancelled(self, emit: Callable[[Dict[str, Any]], None]) -> None:
         """Kill workers running cancelled cells; respawn and record."""
@@ -384,15 +522,29 @@ class SupervisedPool:
             task = worker.task
             if task is None:
                 continue
-            cell, attempt = task
+            cell, attempt, meta = task
             if cell.config_hash not in cancelled:
                 continue
             self.counters["cancelled"] += 1
             self.counters["respawns"] += 1
+            self._note_idle(worker)
             worker.kill()
             self._workers[index] = self._spawn()
             worker.task = None
-            self._emit_terminal(emit, self._cancel_record(cell, attempt))
+            self._emit_terminal(
+                emit, self._cancel_record(cell, attempt, meta)
+            )
+
+    def _note_idle(self, worker: _Worker) -> None:
+        """Charge a busy worker's elapsed task time to its utilization
+        account; call just before its task is cleared."""
+        if worker.task is None:
+            return
+        elapsed = max(0.0, self._clock() - worker.started_at)
+        with self._lock:
+            self._busy_s[worker.id] = (
+                self._busy_s.get(worker.id, 0.0) + elapsed
+            )
 
     def _dispatch(self, now: float) -> None:
         """Hand ready pending cells to idle workers."""
@@ -402,9 +554,9 @@ class SupervisedPool:
             task = self._next_ready(now)
             if task is None:
                 break
-            cell, attempt = task
+            cell, attempt, meta = task
             try:
-                worker.dispatch(cell, attempt, now)
+                worker.dispatch(cell, attempt, now, meta)
             except OSError:
                 # The worker died (e.g. SIGKILLed) between _collect's
                 # liveness check and this send.  The cell never started:
@@ -412,12 +564,32 @@ class SupervisedPool:
                 # failure — and replace the corpse.
                 worker.task = None
                 with self._lock:
-                    self._pending.appendleft((cell, attempt, 0.0))
+                    self._pending.appendleft((cell, attempt, 0.0, meta))
                 self.counters["respawns"] += 1
                 worker.kill()
                 self._workers[index] = self._spawn()
                 continue
             self.counters["dispatched"] += 1
+            tracer = self.tracer
+            if (tracer is not None and meta is not None
+                    and meta.get("trace")):
+                submitted_ms = meta.get("submitted_ms")
+                corr_id = meta.get("corr_id")
+                if isinstance(submitted_ms, (int, float)) and isinstance(
+                    corr_id, str
+                ):
+                    from repro.obs.svc import SPAN_POOL_QUEUE
+
+                    end_ms = tracer.now_ms()
+                    tracer.add_span(
+                        SPAN_POOL_QUEUE,
+                        corr_id,
+                        float(submitted_ms),
+                        max(0.0, end_ms - float(submitted_ms)),
+                        cell_id=cell.cell_id,
+                        worker=worker.id,
+                        attempt=attempt,
+                    )
 
     def _handle_worker_failure(
         self,
@@ -430,14 +602,16 @@ class SupervisedPool:
         """A worker died or was killed mid-cell: retry or record."""
         task = worker.task
         assert task is not None  # only called for busy workers
-        cell, attempt = task
+        cell, attempt, meta = task
+        self._note_idle(worker)
         worker.task = None
         if failure == "crash" and attempt <= self.max_retries:
-            self._schedule_retry(cell, attempt)
+            self._schedule_retry(cell, attempt, meta)
         else:
             self._emit_terminal(emit, self._failure_record(
                 cell, attempt, failure,
                 {"type": error_type, "message": message, "traceback": ""},
+                meta=meta,
             ))
 
     def _collect(self, emit: Callable[[Dict[str, Any]], None]) -> None:
@@ -472,6 +646,7 @@ class SupervisedPool:
                 )
                 self._workers[self._workers.index(worker)] = replacement
                 continue
+            self._note_idle(worker)
             worker.task = None
             self._emit_terminal(emit, record)
 
@@ -488,7 +663,8 @@ class SupervisedPool:
                 continue
             self.counters["timeouts"] += 1
             self.counters["respawns"] += 1
-            cell, attempt = task
+            cell, attempt, meta = task
+            self._note_idle(worker)
             worker.kill()
             self._workers[index] = self._spawn()
             worker.task = None
@@ -503,6 +679,7 @@ class SupervisedPool:
                     ),
                     "traceback": "",
                 },
+                meta=meta,
             ))
 
     # -- driving modes -----------------------------------------------------
@@ -515,7 +692,7 @@ class SupervisedPool:
     ) -> PoolStatus:
         """Execute ``cells``; call ``emit`` once per terminal record."""
         with self._lock:
-            self._pending.extend((cell, 1, 0.0) for cell in cells)
+            self._pending.extend((cell, 1, 0.0, None) for cell in cells)
         return self._supervise(
             emit,
             deadline_monotonic=deadline_monotonic,
@@ -549,6 +726,8 @@ class SupervisedPool:
         persistent: bool,
     ) -> PoolStatus:
         self._workers = [self._spawn() for _ in range(workers_n)]
+        with self._lock:
+            self._supervise_started_at = self._clock()
         try:
             while True:
                 now = self._clock()
@@ -578,7 +757,7 @@ class SupervisedPool:
             self._workers = []
 
         with self._lock:
-            not_run = [cell for cell, _, _ in self._pending]
+            not_run = [cell for cell, _, _, _ in self._pending]
             if not persistent:
                 self._pending.clear()
         return PoolStatus(

@@ -150,7 +150,7 @@ def run_plan(
     for cell in plan:
         unique.setdefault(cell.config_hash, cell)
 
-    journal = Journal(journal_dir)
+    journal = Journal(journal_dir, metrics=metrics)
     if resume:
         for config_hash, record in journal.completed().items():
             if config_hash in unique:

@@ -37,6 +37,7 @@ from repro.svc.service import (
 )
 from repro.svc.singleflight import SingleFlight
 from repro.svc.store import STORE_LOG_NAME, ResultStore
+from repro.svc.top import render_top, run_top
 
 __all__ = [
     "AdmissionController",
@@ -66,4 +67,6 @@ __all__ = [
     "SingleFlight",
     "STORE_LOG_NAME",
     "ResultStore",
+    "render_top",
+    "run_top",
 ]

@@ -13,7 +13,14 @@ Routes (all JSON):
 ``GET /v1/status``
     Breaker, admission, pool, and store status.
 ``GET /v1/metrics``
-    The full :class:`repro.obs.MetricsRegistry` export.
+    Content-negotiated: the full :class:`repro.obs.MetricsRegistry`
+    JSON export by default (unchanged), or Prometheus text exposition
+    when the request carries ``Accept: text/plain`` (or ``openmetrics``)
+    or ``?format=prometheus``.
+``GET /v1/trace``
+    The merged service+simulation Perfetto timeline
+    (:meth:`repro.obs.svc.ServiceTracer.chrome_trace`); ``404`` unless
+    the service was started with tracing on.
 ``GET /v1/store``
     Store stats alone (hit ratio, residency, evictions).
 ``GET /v1/results/<config-hash>``
@@ -27,10 +34,17 @@ Routes (all JSON):
     Body: ``{"cells": [spec, ...]}``.  One entry per cell plus bundle
     stats (hits/computed/coalesced and the store hit ratio).
 ``GET /v1/events?since=N``
-    Chunked JSONL stream of service progress events.
+    Chunked JSONL stream of service progress events.  ``since`` is
+    **exclusive**: events with ``seq`` strictly greater than N are
+    returned, so resuming with the last ``seq`` you saw never repeats
+    an event; ``since=0`` (the default) streams everything buffered.
+    Every event names its originating request under ``corr_id``.
 
-``serve_forever`` wires SIGINT/SIGTERM to a graceful drain and returns
-the runner's resumable exit codes (75 interrupted / 76 deadline).
+Every response carries ``X-Correlation-Id``: the request ID minted at
+accept, threaded through the service layers and (for computed cells)
+into the forked worker.  ``serve_forever`` wires SIGINT/SIGTERM to a
+graceful drain and returns the runner's resumable exit codes (75
+interrupted / 76 deadline).
 """
 
 from __future__ import annotations
@@ -38,8 +52,13 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import time
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REQUEST_BUCKETS_MS
+from repro.obs.prom import labeled, render_prometheus
+from repro.obs.svc import SPAN_HTTP_PARSE, new_correlation_id
 from repro.svc.service import (
     Overloaded,
     RequestTimedOut,
@@ -51,9 +70,59 @@ from repro.svc.service import (
 
 if TYPE_CHECKING:
     from repro.obs import MetricsRegistry
+    from repro.obs.svc import ServiceTracer
 
 MAX_BODY_BYTES = 4 * 1024 * 1024
 MAX_HEADER_BYTES = 64 * 1024
+
+#: Prometheus text exposition format 0.0.4 (what ``promtool`` expects).
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_log = get_logger("repro.svc.http")
+
+#: Exact paths → route labels for the per-route latency histograms.
+_ROUTE_LABELS = {
+    "/v1/healthz": "healthz",
+    "/v1/status": "status",
+    "/v1/metrics": "metrics",
+    "/v1/store": "store",
+    "/v1/cells": "cells",
+    "/v1/sweeps": "sweeps",
+    "/v1/trace": "trace",
+}
+
+
+def _route_label(path: str) -> str:
+    """A bounded route label (never the raw path: config hashes and
+    unknown paths would explode the metric's cardinality)."""
+    path = path.partition("?")[0]
+    if path.startswith("/v1/results/"):
+        return "results"
+    if path.startswith("/v1/events"):
+        return "events"
+    return _ROUTE_LABELS.get(path, "other")
+
+
+def _parse_query(path: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    if "?" in path:
+        for pair in path.split("?", 1)[1].split("&"):
+            name, _, value = pair.partition("=")
+            params[name] = value
+    return params
+
+
+def _wants_prometheus(query: Dict[str, str], accept: str) -> bool:
+    """Content negotiation for ``/v1/metrics``: an explicit ``format``
+    query parameter wins; otherwise the Accept header decides.  JSON
+    stays the default so existing clients are untouched."""
+    fmt = query.get("format")
+    if fmt in ("prometheus", "prom", "text"):
+        return True
+    if fmt == "json":
+        return False
+    accept = accept.lower()
+    return "text/plain" in accept or "openmetrics" in accept
 
 _REASONS = {
     200: "OK",
@@ -78,21 +147,42 @@ class _HttpError(Exception):
         self.headers = headers or {}
 
 
+class _TextBody:
+    """Marker for a non-JSON response body (Prometheus exposition)."""
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
 def _response_bytes(
     status: int,
     payload: Any,
     extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
-    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    if isinstance(payload, _TextBody):
+        body = payload.text.encode()
+        content_type = payload.content_type
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        content_type = "application/json"
     headers = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]
     for name, value in (extra_headers or {}).items():
         headers.append(f"{name}: {value}")
     return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+def _with_corr(
+    extra: Optional[Dict[str, str]], corr_id: str
+) -> Dict[str, str]:
+    headers = dict(extra or {})
+    headers.setdefault("X-Correlation-Id", corr_id)
+    return headers
 
 
 async def _read_request(
@@ -176,31 +266,62 @@ class ServiceServer:
 
     # -- connection handling -----------------------------------------------
 
+    def _observe_http(self, path: str, status: int, started: float) -> None:
+        self.service.metrics.histogram(
+            labeled(
+                "svc.http.request_ms",
+                route=_route_label(path), code=str(status),
+            ),
+            REQUEST_BUCKETS_MS,
+        ).observe((time.monotonic() - started) * 1000.0)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        tracer = self.service.tracer
+        corr_id = new_correlation_id()
+        started = time.monotonic()
         try:
+            parse_start = tracer.now_ms() if tracer is not None else 0.0
             try:
                 method, path, headers, body = await _read_request(reader)
             except _HttpError as exc:
                 writer.write(_response_bytes(
-                    exc.status, {"error": exc.message}, exc.headers
+                    exc.status, {"error": exc.message},
+                    _with_corr(exc.headers, corr_id),
                 ))
                 await writer.drain()
+                self._observe_http("", exc.status, started)
                 return
+            if tracer is not None:
+                tracer.add_span(
+                    SPAN_HTTP_PARSE, corr_id, parse_start,
+                    tracer.now_ms() - parse_start,
+                    method=method, path=path,
+                )
             if path.startswith("/v1/events"):
                 await self._stream_events(writer, path)
                 return
             try:
                 status, payload, extra = await self._dispatch(
-                    method, path, body
+                    method, path, headers, body, corr_id
                 )
             except _HttpError as exc:
                 status, payload, extra = (
                     exc.status, {"error": exc.message}, exc.headers
                 )
-            writer.write(_response_bytes(status, payload, extra))
+            writer.write(_response_bytes(
+                status, payload, _with_corr(extra, corr_id)
+            ))
             await writer.drain()
+            self._observe_http(path, status, started)
+            _log.info(
+                "request", extra={
+                    "method": method, "path": path, "status": status,
+                    "corr_id": corr_id,
+                    "dur_ms": round((time.monotonic() - started) * 1000.0, 3),
+                },
+            )
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -211,21 +332,34 @@ class ServiceServer:
                 pass
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Dict[str, str], body: bytes,
+        corr_id: str,
     ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         service = self.service
-        if path == "/v1/healthz" and method == "GET":
+        route = path.partition("?")[0]
+        if route == "/v1/healthz" and method == "GET":
             if service.draining:
                 return 503, {"ok": False, "draining": True}, None
             return 200, {"ok": True, "resident": len(service.store)}, None
-        if path == "/v1/status" and method == "GET":
+        if route == "/v1/status" and method == "GET":
             return 200, service.status(), None
-        if path == "/v1/metrics" and method == "GET":
+        if route == "/v1/metrics" and method == "GET":
+            service.sample_gauges()
+            if _wants_prometheus(_parse_query(path), headers.get("accept", "")):
+                return 200, _TextBody(
+                    render_prometheus(service.metrics), PROM_CONTENT_TYPE
+                ), None
             return 200, service.metrics.to_dict(), None
-        if path == "/v1/store" and method == "GET":
+        if route == "/v1/trace" and method == "GET":
+            if service.tracer is None:
+                return 404, {
+                    "error": "tracing is off; start the service with --trace",
+                }, None
+            return 200, service.tracer.chrome_trace(stamp=True), None
+        if route == "/v1/store" and method == "GET":
             return 200, service.store.stats(), None
-        if path.startswith("/v1/results/") and method == "GET":
-            config_hash = path[len("/v1/results/"):]
+        if route.startswith("/v1/results/") and method == "GET":
+            config_hash = route[len("/v1/results/"):]
             # Same deliberate on-loop store read as run_cell: one small
             # json.load, and on-loop serialization is the store's only
             # concurrency control (see SimulationService.run_cell).
@@ -233,24 +367,26 @@ class ServiceServer:
             if record is None:
                 return 404, {"error": f"no stored result for {config_hash}"}, None
             return 200, {"served": "store", "record": record}, None
-        if path == "/v1/cells" and method == "POST":
-            return await self._post_cell(_parse_json_body(body))
-        if path == "/v1/sweeps" and method == "POST":
-            return await self._post_sweep(_parse_json_body(body))
-        if path in ("/v1/healthz", "/v1/status", "/v1/metrics", "/v1/store",
-                    "/v1/cells", "/v1/sweeps"):
-            raise _HttpError(405, f"{method} not allowed on {path}")
-        raise _HttpError(404, f"unknown path {path}")
+        if route == "/v1/cells" and method == "POST":
+            return await self._post_cell(_parse_json_body(body), corr_id)
+        if route == "/v1/sweeps" and method == "POST":
+            return await self._post_sweep(_parse_json_body(body), corr_id)
+        if route in ("/v1/healthz", "/v1/status", "/v1/metrics", "/v1/store",
+                     "/v1/cells", "/v1/sweeps", "/v1/trace"):
+            raise _HttpError(405, f"{method} not allowed on {route}")
+        raise _HttpError(404, f"unknown path {route}")
 
     async def _post_cell(
-        self, spec: Any
+        self, spec: Any, corr_id: str
     ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         try:
             cell = cell_from_spec(spec)
         except SpecError as exc:
             raise _HttpError(400, str(exc)) from None
         try:
-            record, served = await self.service.run_cell(cell)
+            record, served = await self.service.run_cell(
+                cell, corr_id=corr_id
+            )
         except Overloaded as exc:
             raise _HttpError(
                 exc.status, exc.reason,
@@ -264,7 +400,7 @@ class ServiceServer:
         return 200, payload, None
 
     async def _post_sweep(
-        self, body: Any
+        self, body: Any, corr_id: str
     ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         if not isinstance(body, dict) or not isinstance(
             body.get("cells"), list
@@ -278,7 +414,7 @@ class ServiceServer:
             cells = [cell_from_spec(spec) for spec in body["cells"]]
         except SpecError as exc:
             raise _HttpError(400, str(exc)) from None
-        results = await self.service.run_cells(cells)
+        results = await self.service.run_cells(cells, corr_id=corr_id)
         entries: List[Dict[str, Any]] = []
         counts = {"store": 0, "computed": 0, "coalesced": 0,
                   "failed": 0, "rejected": 0, "timeout": 0}
@@ -313,7 +449,13 @@ class ServiceServer:
         self, writer: asyncio.StreamWriter, path: str
     ) -> None:
         """Chunked JSONL event stream; ends when the client goes away or
-        the service finishes draining."""
+        the service finishes draining.
+
+        ``since`` is exclusive: only events with ``seq`` strictly greater
+        than it are sent, so a client that reconnects with the last seq it
+        saw never receives a duplicate (pinned by
+        ``tests/test_obs_svc.py::TestEventsSince``).
+        """
         since = 0
         if "?" in path:
             for pair in path.split("?", 1)[1].split("&"):
@@ -388,7 +530,24 @@ async def serve_async(
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
         await server.stop()
-    return await service.drain(reason["value"])
+    exit_code = await service.drain(reason["value"])
+    if service.tracer is not None and config.trace_out:
+        # Post-drain: the listener is closed and every request finished,
+        # so this one blocking write has nothing left to stall.
+        _write_trace_artifact(service.tracer, config.trace_out)  # simlint: disable=SL010
+    return exit_code
+
+
+def _write_trace_artifact(tracer: "ServiceTracer", path: str) -> None:
+    """Persist the merged service+simulation timeline on shutdown (the
+    ``--trace-out`` artifact CI uploads)."""
+    import os
+
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(tracer.chrome_trace(stamp=True), handle, sort_keys=True)
+        handle.write("\n")
 
 
 def serve_forever(

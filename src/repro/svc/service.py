@@ -34,7 +34,18 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, REQUEST_BUCKETS_MS
+from repro.obs.prom import labeled
+from repro.obs.svc import (
+    SPAN_ADMISSION_WAIT,
+    SPAN_SINGLEFLIGHT_JOIN,
+    SPAN_STORE_GET,
+    SPAN_STORE_PUT,
+    ServiceTracer,
+    maybe_span,
+    new_correlation_id,
+)
 from repro.runner.plan import Cell
 from repro.runner.pool import PoolStatus, SupervisedPool
 from repro.runner.runner import EXIT_DEADLINE, EXIT_INTERRUPTED
@@ -48,6 +59,9 @@ from repro.svc.store import ResultStore
 SERVED_STORE = "store"
 SERVED_COMPUTED = "computed"
 SERVED_COALESCED = "coalesced"
+
+#: Silent until ``configure_logging`` opts in (docs/OBSERVABILITY.md).
+_log = get_logger("repro.svc.service")
 
 
 class SpecError(ValueError):
@@ -154,6 +168,12 @@ class ServiceConfig:
     store_max_entries: Optional[int] = None
     #: Ring-buffer capacity of the progress event stream.
     event_buffer: int = 1024
+    #: Request tracing (``repro.obs.svc`` spans + per-request simulation
+    #: timelines).  Strictly opt-in: False means no tracer exists at all.
+    trace: bool = False
+    #: Where ``serve_forever`` writes the merged Perfetto timeline on
+    #: drain (implies nothing unless ``trace`` is on).
+    trace_out: Optional[str] = None
 
 
 class SimulationService:
@@ -189,6 +209,13 @@ class SimulationService:
             max_retries=config.max_retries,
             retry_backoff_s=config.retry_backoff_s,
         )
+        #: None unless ``config.trace``: the zero-shadowing guarantee is
+        #: structural — no tracer object, no span calls, no telemetry
+        #: blocks on the worker pipe (tests/test_obs_svc.py pins it).
+        self.tracer: Optional[ServiceTracer] = (
+            ServiceTracer() if config.trace else None
+        )
+        self.pool.tracer = self.tracer
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pool_thread: Optional[threading.Thread] = None
         self._pool_status: Optional[PoolStatus] = None
@@ -216,6 +243,14 @@ class SimulationService:
         self.started = True
         self._publish({"type": "service", "state": "started",
                        "resident": len(self.store)})
+        _log.info(
+            "service started",
+            extra={
+                "resident": len(self.store),
+                "jobs": self.config.jobs,
+                "tracing": self.tracer is not None,
+            },
+        )
 
     def _pool_main(self) -> None:
         self._pool_status = self.pool.serve(self._emit_from_pool_thread)
@@ -240,6 +275,7 @@ class SimulationService:
         self.store.close()
         self._publish({"type": "service", "state": "drained",
                        "reason": reason})
+        _log.info("service drained", extra={"reason": reason})
         return EXIT_DEADLINE if reason == "deadline" else EXIT_INTERRUPTED
 
     # -- pool completion path ----------------------------------------------
@@ -255,95 +291,153 @@ class SimulationService:
         """A cell reached a terminal state (event loop thread)."""
         self.admission.release()
         failure = record.get("failure")
+        corr_id = record.get("corr_id")
         state_before = self.breaker.state
         # Waiters receive the journal-shaped record (no live result
-        # object) so computed responses serialize — and match what a
-        # later store hit returns, byte for byte.
+        # object, no correlation/telemetry transport fields) so computed
+        # responses serialize — and match what a later store hit returns,
+        # byte for byte.
         record = _storable(record)
         if record["status"] == "ok":
             self.breaker.record_success()
             try:
-                self.store.put(record["hash"], record)
+                with maybe_span(
+                    self.tracer, SPAN_STORE_PUT, corr_id or "",
+                    hash=record["hash"],
+                ):
+                    self.store.put(record["hash"], record)
             except OSError as exc:
                 # A full/failing store must not fail the request: the
                 # result is still returned, it is just not cached.
                 self.metrics.inc("svc.store.put_errors")
                 self._publish({
                     "type": "store-error", "hash": record["hash"],
-                    "error": str(exc),
+                    "error": str(exc), "corr_id": corr_id,
                 })
+                _log.error(
+                    "store put failed",
+                    extra={"hash": record["hash"], "error": str(exc),
+                           "corr_id": corr_id},
+                )
         elif failure in ("crash", "timeout"):
             self.breaker.record_failure()
         elif failure == "exception":
             # Deterministic in-cell failure: the worker itself is healthy.
             self.breaker.record_success()
+        if record["status"] != "ok":
+            _log.warning(
+                "cell failed",
+                extra={"hash": record["hash"],
+                       "cell_id": record.get("cell_id"),
+                       "failure": failure, "corr_id": corr_id},
+            )
         if self.breaker.state != state_before:
             self._publish({"type": "breaker", "from": state_before,
                            "to": self.breaker.state})
+            _log.warning(
+                "breaker transition",
+                extra={"from_state": state_before,
+                       "to_state": self.breaker.state},
+            )
         self.flights.resolve(record["hash"], record)
-        self._publish(_event_for(record))
+        self._publish(_event_for(record, corr_id))
 
     # -- request path ------------------------------------------------------
 
-    async def run_spec(self, spec: Any) -> Tuple[Dict[str, Any], str]:
+    async def run_spec(
+        self, spec: Any, corr_id: Optional[str] = None
+    ) -> Tuple[Dict[str, Any], str]:
         """Serve one JSON cell spec; see :meth:`run_cell`."""
-        return await self.run_cell(cell_from_spec(spec))
+        return await self.run_cell(cell_from_spec(spec), corr_id=corr_id)
 
     async def run_cell(
-        self, cell: Cell, timeout_s: Optional[float] = None
+        self,
+        cell: Cell,
+        timeout_s: Optional[float] = None,
+        corr_id: Optional[str] = None,
     ) -> Tuple[Dict[str, Any], str]:
         """Serve one cell: ``(terminal record, how it was served)``.
 
         ``timeout_s`` overrides the configured per-request timeout for
-        this call only.  Raises :class:`Overloaded` on backpressure and
-        :class:`RequestTimedOut` when the timeout elapses.
+        this call only.  ``corr_id`` is the request's correlation ID
+        (the HTTP layer mints one at accept; direct callers may pass
+        their own or let one be minted here) — it stamps every published
+        event and, when tracing is on, every span.  Raises
+        :class:`Overloaded` on backpressure and :class:`RequestTimedOut`
+        when the timeout elapses.
         """
         if timeout_s is None:
             timeout_s = self.config.request_timeout_s
+        if corr_id is None:
+            corr_id = new_correlation_id()
         start = self._clock()
         config_hash = cell.config_hash
         self.metrics.inc("svc.requests")
-        # Deliberately on-loop: a store hit is one open()+json.load of a
-        # small record — microseconds against a multi-second simulate, and
-        # serializing hits on the loop is what makes the hit path
-        # bit-identical to the journal record without locking the store.
-        cached = self.store.get(config_hash)  # simlint: disable=SL010
+        with maybe_span(
+            self.tracer, SPAN_STORE_GET, corr_id, hash=config_hash
+        ):
+            # Deliberately on-loop: a store hit is one open()+json.load
+            # of a small record — microseconds against a multi-second
+            # simulate, and serializing hits on the loop is what makes
+            # the hit path bit-identical to the journal record without
+            # locking the store.
+            cached = self.store.get(config_hash)  # simlint: disable=SL010
         if cached is not None:
             self.metrics.inc("svc.served_store")
-            self._observe_latency(start)
+            self._observe_latency(start, SERVED_STORE)
             self._publish({"type": "request", "hash": config_hash,
-                           "cell_id": cell.cell_id, "served": SERVED_STORE})
+                           "cell_id": cell.cell_id, "served": SERVED_STORE,
+                           "corr_id": corr_id})
             return cached, SERVED_STORE
         future, leader = self.flights.join(config_hash)
         if leader:
             # No awaits between join and submit: the leader's admission
-            # decisions are atomic on the event loop.
+            # decisions are atomic on the event loop.  The span measures
+            # miss detection through breaker/admission checks to pool
+            # submission (rejections end it early, exception included).
             try:
-                self._admit(cell)
+                with maybe_span(
+                    self.tracer, SPAN_ADMISSION_WAIT, corr_id,
+                    hash=config_hash, cell_id=cell.cell_id,
+                ):
+                    self._admit(cell, corr_id)
             except Overloaded:
                 self.flights.leave(config_hash)
                 raise
+        # Followers record their coalesced wait; the leader's wait is
+        # already decomposed into pool.queue + worker.execute.
+        join_tracer = None if leader else self.tracer
         try:
-            if timeout_s is not None:
-                record = await asyncio.wait_for(
-                    asyncio.shield(future), timeout_s
-                )
-            else:
-                record = await future
+            with maybe_span(
+                join_tracer, SPAN_SINGLEFLIGHT_JOIN, corr_id,
+                hash=config_hash,
+            ):
+                if timeout_s is not None:
+                    record = await asyncio.wait_for(
+                        asyncio.shield(future), timeout_s
+                    )
+                else:
+                    record = await future
         except asyncio.TimeoutError:
             remaining = self.flights.leave(config_hash)
             if remaining == 0:
                 self.pool.cancel(config_hash)
             self.metrics.inc("svc.request_timeouts")
+            _log.warning(
+                "request timed out",
+                extra={"hash": config_hash, "timeout_s": timeout_s,
+                       "corr_id": corr_id},
+            )
             raise RequestTimedOut(config_hash, timeout_s or 0.0) from None
         served = SERVED_COMPUTED if leader else SERVED_COALESCED
         self.metrics.inc(f"svc.served_{served}")
-        self._observe_latency(start)
+        self._observe_latency(start, served)
         self._publish({"type": "request", "hash": config_hash,
-                       "cell_id": cell.cell_id, "served": served})
+                       "cell_id": cell.cell_id, "served": served,
+                       "corr_id": corr_id})
         return record, served
 
-    def _admit(self, cell: Cell) -> None:
+    def _admit(self, cell: Cell, corr_id: str) -> None:
         """Leader-side backpressure checks, then submit to the pool."""
         if self.draining:
             raise Overloaded(503, "service is draining", 5.0)
@@ -362,35 +456,64 @@ class SimulationService:
                 "the system)",
                 1.0,
             )
-        self.pool.submit(cell)
+        self.pool.submit(cell, meta=self._task_meta(corr_id))
         self._publish({"type": "queued", "hash": cell.config_hash,
-                       "cell_id": cell.cell_id})
+                       "cell_id": cell.cell_id, "corr_id": corr_id})
+
+    def _task_meta(self, corr_id: str) -> Dict[str, Any]:
+        """Per-request metadata crossing the pool's duplex pipe: the
+        correlation ID always (event stamping and worker log records
+        work untraced); the trace flag and submission timestamp only
+        matter when the tracer exists."""
+        meta: Dict[str, Any] = {"corr_id": corr_id, "trace": False}
+        if self.tracer is not None:
+            meta["trace"] = True
+            meta["submitted_ms"] = self.tracer.now_ms()
+        return meta
 
     async def run_cells(
-        self, cells: List[Cell]
+        self, cells: List[Cell], corr_id: Optional[str] = None
     ) -> List[Tuple[Optional[Dict[str, Any]], str]]:
         """Serve a bundle of cells concurrently (a sweep request).
 
         Returns one ``(record, served)`` pair per cell, in order; a cell
         rejected by backpressure or timed out yields ``(None, reason)``
-        so one hot bundle member cannot sink its siblings.
+        so one hot bundle member cannot sink its siblings.  Each cell
+        gets a derived correlation ID (``<corr_id>.<index>``) so a
+        sweep's members stay attributable to the one HTTP request.
         """
-        async def one(cell: Cell) -> Tuple[Optional[Dict[str, Any]], str]:
+        if corr_id is None:
+            corr_id = new_correlation_id()
+
+        async def one(
+            cell: Cell, member_id: str
+        ) -> Tuple[Optional[Dict[str, Any]], str]:
             try:
-                return await self.run_cell(cell)
+                return await self.run_cell(cell, corr_id=member_id)
             except Overloaded as exc:
                 return None, f"rejected:{exc.status}"
             except RequestTimedOut:
                 return None, "timeout"
 
-        return list(await asyncio.gather(*(one(cell) for cell in cells)))
+        return list(await asyncio.gather(*(
+            one(cell, f"{corr_id}.{index}")
+            for index, cell in enumerate(cells)
+        )))
 
     # -- events & status ---------------------------------------------------
 
-    def _observe_latency(self, start: float) -> None:
+    def _observe_latency(self, start: float, served: str) -> None:
+        elapsed_ms = (self._clock() - start) * 1000.0
         self.metrics.histogram(
             "svc.request_ms", REQUEST_BUCKETS_MS
-        ).observe((self._clock() - start) * 1000.0)
+        ).observe(elapsed_ms)
+        # Per-outcome latency: store hits, computed cells, and coalesced
+        # waits have wildly different distributions — one histogram per
+        # ``served`` label keeps them distinguishable in Prometheus.
+        self.metrics.histogram(
+            labeled("svc.request_outcome_ms", served=served),
+            REQUEST_BUCKETS_MS,
+        ).observe(elapsed_ms)
 
     def _publish(self, event: Dict[str, Any]) -> None:
         self._event_seq += 1
@@ -408,9 +531,12 @@ class SimulationService:
     async def events_since(
         self, seq: int, timeout_s: float = 10.0
     ) -> List[Dict[str, Any]]:
-        """Events with ``seq`` greater than the given one, waiting up to
-        ``timeout_s`` for news; empty list on timeout (long-poll/stream
-        heartbeat)."""
+        """Events with ``seq`` **strictly greater** than the given one
+        (``seq`` itself is excluded — pass the last sequence number you
+        have seen and you will never receive it twice; ``seq=0`` returns
+        everything still buffered).  Waits up to ``timeout_s`` for news;
+        empty list on timeout (long-poll/stream heartbeat).  Pinned by
+        ``tests/test_obs_svc.py::TestEventsSince``."""
         fresh = [e for e in self._events if e["seq"] > seq]
         if fresh or self._event_cond is None:
             return fresh
@@ -423,7 +549,23 @@ class SimulationService:
             return []
         return [e for e in self._events if e["seq"] > seq]
 
+    def sample_gauges(self) -> None:
+        """Refresh scrape-time gauges (queue depth, per-worker
+        utilization, store hit ratio).  Called by :meth:`status` and by
+        the HTTP layer before every ``/v1/metrics`` export, so gauges
+        reflect *now* rather than the last state-changing request."""
+        self.metrics.gauge("svc.pool.queue_depth").set(
+            float(self.pool.queue_depth())
+        )
+        for worker_id, fraction in self.pool.utilization().items():
+            self.metrics.gauge(
+                labeled("svc.pool.worker_utilization",
+                        worker=str(worker_id))
+            ).set(fraction)
+        self.metrics.gauge("svc.store.hit_ratio").set(self.store.hit_ratio)
+
     def status(self) -> Dict[str, Any]:
+        self.sample_gauges()
         return {
             "draining": self.draining,
             "drain_reason": self.drain_reason,
@@ -432,9 +574,19 @@ class SimulationService:
             "pool": {
                 "jobs": self.pool.jobs,
                 "queue_depth": self.pool.queue_depth(),
+                "utilization": {
+                    str(worker_id): round(fraction, 6)
+                    for worker_id, fraction
+                    in self.pool.utilization().items()
+                },
                 "counters": dict(self.pool.counters),
             },
             "store": self.store.stats(),
+            "telemetry": {
+                "tracing": self.tracer is not None,
+                "spans": len(self.tracer.spans)
+                if self.tracer is not None else 0,
+            },
             "requests": {
                 name: counter.value
                 for name, counter in self.metrics.counters.items()
@@ -448,18 +600,33 @@ async def _notify(cond: asyncio.Condition) -> None:
         cond.notify_all()
 
 
+#: Transport-only record fields that must never reach waiters or the
+#: store: the live result object (not serializable) and the telemetry /
+#: correlation block (request-specific — keeping it would make a
+#: computed response differ from the store hit a byte-identity test
+#: compares it against).
+_TRANSPORT_FIELDS = frozenset({"result_obj", "telemetry", "corr_id"})
+
+
 def _storable(record: Dict[str, Any]) -> Dict[str, Any]:
     """The journal-shaped subset of a record that belongs in the store
-    (drop the live result object; the serialized form is lossless)."""
-    return {k: v for k, v in record.items() if k != "result_obj"}
+    (drop the live result object and per-request transport fields; the
+    serialized form is lossless)."""
+    return {k: v for k, v in record.items() if k not in _TRANSPORT_FIELDS}
 
 
-def _event_for(record: Dict[str, Any]) -> Dict[str, Any]:
+def _event_for(
+    record: Dict[str, Any], corr_id: Optional[str] = None
+) -> Dict[str, Any]:
     event = {
         "type": "record",
         "hash": record["hash"],
         "cell_id": record.get("cell_id"),
         "status": record["status"],
+        # The *originating* request: the flight leader that submitted
+        # the cell (coalesced followers see it in their own request
+        # events).
+        "corr_id": corr_id,
     }
     if record["status"] == "ok":
         event["digest"] = record["digest"]

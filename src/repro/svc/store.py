@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, TextIO
 
@@ -167,7 +168,16 @@ class ResultStore:
         self._log_handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._log_handle.flush()
         if fsync:
-            os.fsync(self._log_handle.fileno())
+            if self.metrics is None:
+                os.fsync(self._log_handle.fileno())
+            else:
+                fsync_start = time.perf_counter()
+                os.fsync(self._log_handle.fileno())
+                from repro.obs.metrics import FSYNC_BUCKETS_MS
+
+                self.metrics.histogram(
+                    "svc.store.fsync_ms", FSYNC_BUCKETS_MS
+                ).observe((time.perf_counter() - fsync_start) * 1000.0)
 
     def read_log(self) -> List[Dict[str, Any]]:
         """Every fully written log entry; malformed lines (torn tails,

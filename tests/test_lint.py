@@ -265,8 +265,10 @@ class TestUnorderedIteration:
     def test_sorted_iteration_clean(self):
         src = """
         def scan(items):
+            out = []
             for item in sorted(set(items)):
-                print(item)
+                out.append(item)
+            return out
         """
         assert rules_hit(src) == set()
 
@@ -1274,6 +1276,57 @@ class TestImportLayering:
         from repro.svc.store import ResultStore
         """
         assert rules_hit(src, module="repro.analysis.snippet") == set()
+
+
+# -- SL016: no logging/print in the hot core --------------------------------------------
+
+
+class TestCoreOutput:
+    def test_import_logging_in_core_flagged(self):
+        findings = findings_for(
+            "import logging\n", module="repro.core.snippet"
+        )
+        assert {f.rule for f in findings} == {"SL016"}
+        assert "must not log" in findings[0].message
+
+    def test_from_logging_import_in_disk_flagged(self):
+        src = """
+        from logging import getLogger
+        """
+        assert rules_hit(src, module="repro.disk.snippet") == {"SL016"}
+
+    def test_print_in_core_flagged(self):
+        src = """
+        def step(self):
+            print("debugging the hot loop")
+        """
+        findings = findings_for(src, module="repro.core.engine")
+        assert {f.rule for f in findings} == {"SL016"}
+        assert "print()" in findings[0].message
+
+    def test_service_layer_may_log_and_print(self):
+        src = """
+        import logging
+
+        def report():
+            print("fine here")
+        """
+        assert rules_hit(src, module="repro.svc.service", select="SL016") == set()
+        assert rules_hit(src, module="repro.obs.logging", select="SL016") == set()
+
+    def test_package_boundary_matching(self):
+        # "repro.corelib" is not "repro.core": same boundary rule as SL002.
+        src = """
+        import logging
+        print("not core-layer code")
+        """
+        assert rules_hit(src, module="repro.corelib.tools", select="SL016") == set()
+
+    def test_line_suppression_honoured(self):
+        src = """
+        import logging  # simlint: disable=SL016
+        """
+        assert rules_hit(src, module="repro.core.snippet") == set()
 
 
 # -- SARIF output -----------------------------------------------------------------------

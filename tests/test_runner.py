@@ -438,8 +438,8 @@ class StubWorker:
     def busy(self):
         return self.task is not None
 
-    def dispatch(self, cell, attempt, now):
-        self.task = (cell, attempt)
+    def dispatch(self, cell, attempt, now, meta=None):
+        self.task = (cell, attempt, meta)
         self.started_at = now
         self.dispatched.append((cell.config_hash, attempt, now))
 
@@ -476,7 +476,7 @@ class TestPoolScheduling:
         clock.advance(0.01)
         ready = pool._next_ready(clock())
         assert ready is not None
-        ready_cell, attempt = ready
+        ready_cell, attempt, _meta = ready
         assert ready_cell.config_hash == cell.config_hash
         assert attempt == 2
 
@@ -536,7 +536,7 @@ class TestPoolScheduling:
         # next dispatch puts the next cell on it with a fresh start time.
         assert pool._workers == [replacement]
         pool._dispatch(clock())
-        assert replacement.task == (nxt, 1)
+        assert replacement.task == (nxt, 1, None)
         assert replacement.started_at == clock.now
 
     def test_dispatch_to_freshly_dead_worker_requeues_and_respawns(
@@ -551,7 +551,7 @@ class TestPoolScheduling:
         pool._spawn = lambda: replacement
 
         class DeadWorker(StubWorker):
-            def dispatch(self, cell, attempt, now):
+            def dispatch(self, cell, attempt, now, meta=None):
                 raise BrokenPipeError(32, "Broken pipe")
 
         corpse = DeadWorker(worker_id=0)
@@ -569,7 +569,7 @@ class TestPoolScheduling:
         # and the next dispatch lands it on the replacement at attempt 1.
         assert pool.queue_depth() == 1
         pool._dispatch(clock())
-        assert replacement.task == (cell, 1)
+        assert replacement.task == (cell, 1, None)
         assert pool.counters["dispatched"] == 1
 
 

@@ -15,13 +15,22 @@ from repro.svc import ServiceConfig, ServiceServer, SimulationService
 from tests.test_runner import kind_cell, test_kinds  # noqa: F401
 
 
-async def fetch(port, method, path, body=None, timeout_s=30.0):
-    """One HTTP exchange: ``(status, headers, parsed-json-or-None)``."""
+async def fetch(port, method, path, body=None, timeout_s=30.0,
+                extra_headers=None):
+    """One HTTP exchange: ``(status, headers, body)``.
+
+    The body is parsed JSON for ``application/json`` responses (the
+    default everywhere) and the decoded text otherwise (the Prometheus
+    exposition of ``/v1/metrics``).
+    """
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     payload = b"" if body is None else json.dumps(body).encode()
+    request_headers = f"Content-Length: {len(payload)}\r\n"
+    for name, value in (extra_headers or {}).items():
+        request_headers += f"{name}: {value}\r\n"
     request = (
         f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
-        f"Content-Length: {len(payload)}\r\n\r\n"
+        f"{request_headers}\r\n"
     ).encode() + payload
     writer.write(request)
     await writer.drain()
@@ -34,7 +43,12 @@ async def fetch(port, method, path, body=None, timeout_s=30.0):
     for line in lines[1:]:
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
-    parsed = json.loads(body_bytes) if body_bytes.strip() else None
+    if not body_bytes.strip():
+        parsed = None
+    elif headers.get("content-type", "").startswith("application/json"):
+        parsed = json.loads(body_bytes)
+    else:
+        parsed = body_bytes.decode()
     return status, headers, parsed
 
 
@@ -263,3 +277,153 @@ class TestServeForever:
             )
 
         assert asyncio.run(main()) == 76
+
+
+class TestTelemetryHttp:
+    """ISSUE 9's HTTP surface: content-negotiated metrics, correlation
+    headers, the merged trace endpoint, and exclusive event resumption."""
+
+    def test_metrics_json_default_preserved(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, headers, payload = await fetch(port, "GET", "/v1/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("application/json")
+            assert isinstance(payload, dict) and "counters" in payload
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_metrics_negotiates_prometheus_text(self, test_kinds, tmp_path):
+        from repro.obs import validate_exposition
+
+        async def scenario(service, port):
+            spec = {"trace": "ld", "policy": "demand", "disks": 1,
+                    "kind": "instant", "params": {"n": 8}}
+            status, _, _ = await fetch(port, "POST", "/v1/cells", spec)
+            assert status == 200
+            for how in (
+                {"extra_headers": {"Accept": "text/plain"}},
+                {"extra_headers": {
+                    "Accept": "application/openmetrics-text"}},
+            ):
+                status, headers, text = await fetch(
+                    port, "GET", "/v1/metrics", **how
+                )
+                assert status == 200
+                assert headers["content-type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                assert isinstance(text, str)
+                assert validate_exposition(text) == []
+                assert "repro_svc_requests_total 1" in text
+            # The query parameter wins regardless of Accept.
+            status, headers, text = await fetch(
+                port, "GET", "/v1/metrics?format=prometheus"
+            )
+            assert status == 200 and isinstance(text, str)
+            assert validate_exposition(text) == []
+            # Scrape-time gauges are refreshed on every export.
+            assert "repro_svc_store_hit_ratio 0" in text
+            status, _, payload = await fetch(
+                port, "GET", "/v1/metrics?format=json",
+                extra_headers={"Accept": "text/plain"},
+            )
+            assert status == 200 and isinstance(payload, dict)
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_every_response_carries_a_correlation_id(
+            self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            _, first_headers, _ = await fetch(port, "GET", "/v1/healthz")
+            _, second_headers, _ = await fetch(port, "GET", "/v1/status")
+            first = first_headers["x-correlation-id"]
+            second = second_headers["x-correlation-id"]
+            assert first and second and first != second
+            # Errors carry one too.
+            status, headers, _ = await fetch(port, "GET", "/v1/nope")
+            assert status == 404 and headers["x-correlation-id"]
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_trace_endpoint_404_when_tracing_off(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            status, _, payload = await fetch(port, "GET", "/v1/trace")
+            assert status == 404 and "--trace" in payload["error"]
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
+
+    def test_trace_endpoint_serves_the_merged_document(
+            self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            spec = {"trace": "ld", "policy": "demand", "disks": 1,
+                    "kind": "instant", "params": {"n": 6}}
+            status, headers, payload = await fetch(
+                port, "POST", "/v1/cells", spec
+            )
+            assert status == 200
+            corr_id = headers["x-correlation-id"]
+            status, _, doc = await fetch(port, "GET", "/v1/trace")
+            assert status == 200
+            events = doc["traceEvents"]
+            svc_names = {
+                row["name"] for row in events if row.get("cat") == "svc"
+            }
+            assert "http.parse" in svc_names
+            assert "worker.execute" in svc_names
+            # The computed request's spans are linked by the same ID the
+            # response header reported.
+            assert any(
+                row.get("args", {}).get("corr_id") == corr_id
+                for row in events if row.get("cat") == "svc"
+            )
+            assert doc["otherData"]["source"] == "repro.obs.svc"
+            assert "captured_unix_s" in doc["otherData"]
+
+        http_test(
+            scenario, store_dir=str(tmp_path / "store"), jobs=1, trace=True
+        )
+
+    def test_events_since_is_exclusive_over_http(self, test_kinds, tmp_path):
+        async def scenario(service, port):
+            spec = {"trace": "ld", "policy": "demand", "disks": 1,
+                    "kind": "instant", "params": {"n": 4}}
+            status, _, _ = await fetch(port, "POST", "/v1/cells", spec)
+            assert status == 200
+            last_seq = (await service.events_since(0))[-1]["seq"]
+            # Draining ends the stream once the buffer is exhausted, so
+            # the whole chunked body can be read to EOF.
+            service.draining = True
+
+            async def read_stream(since):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    f"GET /v1/events?since={since} HTTP/1.1\r\n"
+                    "Host: t\r\n\r\n".encode()
+                )
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), 10)
+                writer.close()
+                body = raw.partition(b"\r\n\r\n")[2]
+                events = []
+                for line in body.split(b"\r\n"):
+                    if line.startswith(b"{"):
+                        events.append(json.loads(line))
+                return events
+
+            # Resuming from the last seq seen replays nothing ...
+            assert await read_stream(last_seq) == []
+            # ... and from one before it replays exactly the last event.
+            tail = await read_stream(last_seq - 1)
+            assert [event["seq"] for event in tail] == [last_seq]
+            # Every replayed event names its originating request.
+            full = await read_stream(0)
+            assert [e["seq"] for e in full] == list(
+                range(1, last_seq + 1)
+            )
+            typed = [e for e in full
+                     if e["type"] in ("queued", "record", "request")]
+            assert typed and all("corr_id" in event for event in typed)
+
+        http_test(scenario, store_dir=str(tmp_path / "store"), jobs=1)
