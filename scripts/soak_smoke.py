@@ -1,0 +1,348 @@
+#!/usr/bin/env python
+"""CI soak smoke for the hardened service tier (docs/SERVICE.md,
+"Overload and hostile networks").
+
+Starts ``repro.cli serve`` in a subprocess, puts a seeded
+:class:`repro.svc.netchaos.ChaosProxy` in front of it (connection
+resets + slowloris drip-feeds + throttled writes), and drives the
+open-loop load generator through the proxy with a mix of compute and
+read traffic drawn from the 14 golden cells.
+
+The run passes only if every soak invariant holds:
+
+1. **Correctness** — no config hash ever shows two digests, and every
+   digest observed equals the pinned golden value
+   (tests/test_golden_results.py): chaos may slow or sever requests but
+   never corrupt a result.
+2. **Reproducibility** — the loadgen plan fingerprint and the chaos
+   fault fingerprint (plan counts) replay identically from their seeds.
+3. **Connection hygiene** — every connection the proxy opened is closed
+   again; the proxy drains to zero open connections.
+4. **Bounded memory** — server RSS after the soak stays within a fixed
+   budget of its pre-soak baseline (protocol limits mean no request can
+   buffer unboundedly).
+5. **Live telemetry** — the Prometheus exposition stays structurally
+   valid before, during, and after the soak, and the request counter is
+   monotone across scrapes.
+6. **Shaped overload** — no 5xx from resource exhaustion; refusals (if
+   any) are 4xx with Retry-After.
+
+Artifacts (uploaded by the ``soak-smoke`` CI job): the loadgen JSON
+report and the final Prometheus scrape, written next to the store.
+
+Usage::
+
+    PYTHONPATH=src python scripts/soak_smoke.py --store runs/soak-store
+
+Exit status: 0 on success, 1 on any violated invariant.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (REPO, os.path.join(REPO, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.loadgen import LoadgenConfig, build_plan, run_loadgen  # noqa: E402
+from repro.obs.prom import validate_exposition  # noqa: E402
+from repro.svc.netchaos import ChaosProxy, NetChaosSchedule  # noqa: E402
+from repro.svc.service import cell_from_spec  # noqa: E402
+
+from tests.test_golden_results import CELLS, EXPECTED, SCALE, cell_id  # noqa: E402
+
+#: The seeded hostile network: ~15% mid-body resets, ~10% slowloris
+#: drip-feeds, ~15% throttled connections, plus jittered latency.
+CHAOS = NetChaosSchedule(
+    seed=1996, reset_fraction=0.15, slowloris_fraction=0.10,
+    throttle_fraction=0.15, latency_ms=1.0, jitter_ms=4.0,
+    reset_after_bytes=200, throttle_bytes_per_s=131072.0,
+    chunk_bytes=1024, drip_chunk_bytes=48, drip_delay_ms=2.0,
+)
+
+LOADGEN_SEED = 1996
+RATE_PER_S = 25.0
+DURATION_S = 8.0
+#: RSS growth budget across the soak (generous: the point is to catch
+#: unbounded buffering, not allocator noise).
+RSS_BUDGET_BYTES = 200 * 1024 * 1024
+
+
+def golden_specs():
+    specs = []
+    for trace, policy, disks, discipline, timeline in CELLS:
+        spec = {
+            "trace": trace, "policy": policy, "disks": disks,
+            "scale": SCALE, "discipline": discipline,
+            "scaled_defaults": False,
+        }
+        if timeline:
+            spec["config_overrides"] = {"record_timeline": True}
+        specs.append(spec)
+    return specs
+
+
+def expected_by_hash(specs):
+    """config hash → pinned golden digest, for the soak's digest ledger."""
+    mapping = {}
+    for golden_cell, spec in zip(CELLS, specs):
+        mapping[cell_from_spec(spec).config_hash] = EXPECTED[cell_id(golden_cell)]
+    return mapping
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def api(port: int, method: str, path: str, body=None, timeout_s=300.0):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=None if body is None else json.dumps(body).encode(),
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout_s) as response:
+        return response.status, json.loads(response.read())
+
+
+def api_text(port: int, path: str, timeout_s=10.0):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", headers={"Accept": "text/plain"})
+    with urllib.request.urlopen(request, timeout=timeout_s) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def start_server(port: int, store: str) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--host", "127.0.0.1", "--port", str(port),
+         "--store", store, "--jobs", "2", "--trace",
+         "--request-timeout-s", "600",
+         "--header-timeout-s", "5", "--body-timeout-s", "15"],
+        cwd=REPO, env=dict(os.environ, PYTHONPATH="src"),
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server died at startup: {proc.returncode}")
+        try:
+            status, _ = api(port, "GET", "/v1/healthz", timeout_s=2.0)
+            if status == 200:
+                return proc
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.1)
+    raise RuntimeError("server never became healthy")
+
+
+def rss_bytes(pid: int) -> int:
+    with open(f"/proc/{pid}/status") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) * 1024
+    return -1
+
+
+def prometheus_counter(text: str, name: str) -> float:
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+async def run_soak(server_port: int):
+    """The chaos-proxied loadgen run; returns (report, proxy counters)."""
+    proxy = ChaosProxy("127.0.0.1", server_port, CHAOS)
+    await proxy.start()
+    try:
+        config = LoadgenConfig(
+            port=proxy.bound_port, rate_per_s=RATE_PER_S,
+            duration_s=DURATION_S, seed=LOADGEN_SEED,
+            mix={"cells": 0.4, "results": 0.35, "status": 0.15,
+                 "metrics": 0.1},
+            specs=golden_specs(), timeout_s=120.0,
+        )
+        report = await run_loadgen(config)
+        # Connection hygiene: the proxy must drain to zero.
+        for _ in range(200):
+            if proxy.open_connections == 0:
+                break
+            await asyncio.sleep(0.05)
+        return report, dict(proxy.counters), proxy.open_connections
+    finally:
+        await proxy.stop()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default="runs/soak-store")
+    args = parser.parse_args()
+    store = os.path.abspath(args.store)
+    artifact_dir = os.path.dirname(store) or "."
+    os.makedirs(artifact_dir, exist_ok=True)
+    port = free_port()
+    specs = golden_specs()
+    golden_by_hash = expected_by_hash(specs)
+
+    server = start_server(port, store)
+    failures = []
+    try:
+        # -- warm the store: the golden sweep, chaos-free ---------------
+        status, sweep = api(port, "POST", "/v1/sweeps", {"cells": specs})
+        if status != 200:
+            print(f"soak: FAIL — golden sweep returned {status}")
+            return 1
+        for golden_cell, entry in zip(CELLS, sweep["cells"]):
+            key = cell_id(golden_cell)
+            if entry.get("digest") != EXPECTED[key]:
+                failures.append(
+                    f"pre-soak digest mismatch {key}: "
+                    f"{entry.get('digest')} != {EXPECTED[key]}"
+                )
+        print(f"soak: golden sweep computed "
+              f"{sweep['counts']['computed']} cells, "
+              f"{sweep['counts']['store']} from store")
+
+        # -- baseline telemetry and memory ------------------------------
+        scrape_status, scrape_before = api_text(port, "/v1/metrics")
+        if scrape_status != 200 or validate_exposition(scrape_before):
+            failures.append("pre-soak Prometheus scrape invalid")
+        requests_before = prometheus_counter(
+            scrape_before, "repro_svc_requests_total")
+        rss_before = rss_bytes(server.pid)
+        print(f"soak: pre-soak RSS {rss_before // (1024 * 1024)} MiB")
+
+        # -- the seeded hostile-network soak ----------------------------
+        print(f"soak: driving {RATE_PER_S:g} req/s for {DURATION_S:g}s "
+              f"through chaos seed {CHAOS.seed} "
+              f"(plan {CHAOS.plan_counts(200)})")
+        report, proxy_counters, still_open = asyncio.run(run_soak(port))
+
+        # 1. Correctness: digest ledger against the pinned goldens.
+        if report["digest_conflicts"]:
+            failures.append(
+                f"digest conflicts: {report['digest_conflicts']}")
+        for config_hash, digests in report["digests"].items():
+            expected = golden_by_hash.get(config_hash)
+            if expected is None:
+                failures.append(f"unexpected config hash {config_hash}")
+            elif digests != [expected]:
+                failures.append(
+                    f"digest mismatch for {config_hash}: "
+                    f"{digests} != [{expected}]"
+                )
+
+        # 2. Reproducibility: both seeds replay byte-identically.
+        _, fingerprint = build_plan(LoadgenConfig(
+            port=1, rate_per_s=RATE_PER_S, duration_s=DURATION_S,
+            seed=LOADGEN_SEED,
+            mix={"cells": 0.4, "results": 0.35, "status": 0.15,
+                 "metrics": 0.1},
+            specs=golden_specs(), timeout_s=120.0,
+        ))
+        if report["plan"]["fingerprint"] != fingerprint:
+            failures.append("loadgen plan fingerprint not reproducible")
+        connections = proxy_counters["connections"]
+        replayed = NetChaosSchedule(**CHAOS.to_dict()).plan_counts(connections)
+        live = {
+            "drop": proxy_counters["dropped"],
+            "reset": proxy_counters["reset"],
+            "slowloris": proxy_counters["slowloris"],
+            "throttle": proxy_counters["throttled"],
+            "latency": proxy_counters["latency"],
+            "clean": proxy_counters["clean"],
+        }
+        live = {kind: count for kind, count in live.items() if count}
+        if live != replayed:
+            failures.append(
+                f"chaos fingerprint diverged: injected {live}, "
+                f"replayed {replayed}"
+            )
+
+        # 3. Connection hygiene.
+        if still_open != 0:
+            failures.append(f"{still_open} proxied connections never closed")
+        if proxy_counters["closed"] != proxy_counters["connections"]:
+            failures.append(
+                f"closed {proxy_counters['closed']} != "
+                f"opened {proxy_counters['connections']}"
+            )
+
+        # 4. Bounded memory.
+        rss_after = rss_bytes(server.pid)
+        print(f"soak: post-soak RSS {rss_after // (1024 * 1024)} MiB")
+        if rss_after - rss_before > RSS_BUDGET_BYTES:
+            failures.append(
+                f"RSS grew {(rss_after - rss_before) // (1024 * 1024)} MiB "
+                f"over the soak (budget "
+                f"{RSS_BUDGET_BYTES // (1024 * 1024)} MiB)"
+            )
+
+        # 5. Telemetry: valid exposition, monotone counters.
+        scrape_status, scrape_after = api_text(port, "/v1/metrics")
+        errors = validate_exposition(scrape_after)
+        if scrape_status != 200 or errors:
+            failures.append(f"post-soak Prometheus scrape invalid: {errors}")
+        requests_after = prometheus_counter(
+            scrape_after, "repro_svc_requests_total")
+        if requests_after < requests_before:
+            failures.append(
+                f"request counter not monotone: "
+                f"{requests_after} < {requests_before}"
+            )
+
+        # 6. Shaped overload: no 5xx, refusals carry Retry-After.
+        fives = {status: count
+                 for status, count in report["status_counts"].items()
+                 if status.startswith("5")}
+        if fives:
+            failures.append(f"5xx under soak: {fives}")
+        shed_total = sum(report["shed"].values())
+        if shed_total and not report["retry_after_present"]:
+            failures.append("shed responses carried no Retry-After")
+
+        # -- artifacts ---------------------------------------------------
+        report_path = os.path.join(artifact_dir, "soak-loadgen-report.json")
+        with open(report_path, "w") as handle:
+            json.dump({"report": report, "proxy": proxy_counters},
+                      handle, indent=2, sort_keys=True)
+        scrape_path = os.path.join(artifact_dir, "soak-prometheus.txt")
+        with open(scrape_path, "w") as handle:
+            handle.write(scrape_after)
+        print(f"soak: wrote {report_path} and {scrape_path}")
+
+        answered = sum(report["status_counts"].values())
+        errored = sum(report["errors"].values())
+        print(f"soak: {report['plan']['arrivals']} arrivals, "
+              f"{answered} answered, {errored} severed by chaos, "
+              f"shed {report['shed']}, proxy {proxy_counters}")
+
+        if failures:
+            for failure in failures:
+                print(f"soak: FAIL — {failure}")
+            return 1
+        print("soak: OK — digests golden, fingerprints reproduced, "
+              "connections drained, RSS bounded, telemetry monotone")
+        return 0
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

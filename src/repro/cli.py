@@ -430,13 +430,22 @@ def cmd_runs(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the crash-safe simulation service (docs/SERVICE.md)."""
-    from repro.svc import ServiceConfig, serve_forever
+    from repro.svc import ProtocolLimits, ServiceConfig, serve_forever
 
     if args.log_json:
         from repro.obs import configure_logging
 
         configure_logging(level=args.log_level)
     trace = bool(args.trace or args.trace_out)
+    limits = ProtocolLimits(
+        max_header_bytes=args.max_header_bytes,
+        max_body_bytes=args.max_body_bytes,
+        header_timeout_s=args.header_timeout_s,
+        body_timeout_s=args.body_timeout_s,
+        max_connections=args.max_connections,
+        reserved_read_connections=args.reserved_read_connections,
+        max_requests_per_connection=args.max_requests_per_connection,
+    )
     config = ServiceConfig(
         store_dir=args.store,
         jobs=args.jobs,
@@ -450,6 +459,9 @@ def cmd_serve(args) -> int:
         store_max_entries=args.store_max_entries,
         trace=trace,
         trace_out=args.trace_out,
+        limits=limits,
+        rate_limit_per_s=args.rate_limit_per_s,
+        rate_limit_burst=args.rate_limit_burst,
     )
     deadline_s = args.max_minutes * 60.0 if args.max_minutes else None
     print(
@@ -469,6 +481,60 @@ def cmd_top(args) -> int:
         host=args.host, port=args.port, interval_s=args.interval_s,
         iterations=1 if args.once else None, width=args.width,
     )
+
+
+def cmd_loadgen(args) -> int:
+    """Open-loop load generation against a running service, optionally
+    through a client-side netchaos schedule (docs/SERVICE.md)."""
+    import json as _json
+
+    from repro.loadgen import DEFAULT_MIX, LoadgenConfig, run_loadgen_blocking
+    from repro.svc import load_schedule
+
+    mix = dict(DEFAULT_MIX)
+    if args.mix:
+        mix = {}
+        for token in _split_list(args.mix, "mix"):
+            kind, sep, weight = token.partition("=")
+            if not sep:
+                raise SystemExit(
+                    f"--mix entries are kind=weight, got {token!r}"
+                )
+            try:
+                mix[kind] = float(weight)
+            except ValueError:
+                raise SystemExit(f"bad --mix weight in {token!r}") from None
+    specs = None
+    if args.cells_file:
+        with open(args.cells_file) as handle:
+            specs = _json.load(handle)
+        if not isinstance(specs, list) or not specs:
+            raise SystemExit("--cells-file must hold a JSON list of specs")
+    chaos = load_schedule(args.chaos) if args.chaos else None
+    kwargs = {}
+    if specs is not None:
+        kwargs["specs"] = specs
+    try:
+        config = LoadgenConfig(
+            host=args.host, port=args.port, rate_per_s=args.rate,
+            duration_s=args.duration, seed=args.seed, mix=mix,
+            timeout_s=args.timeout_s, chaos=chaos, **kwargs,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    report = run_loadgen_blocking(config)
+    rendered = _json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote loadgen report ({report['completed']} requests, "
+              f"plan {report['plan']['fingerprint'][:12]}) to {args.report}")
+    else:
+        print(rendered)
+    if report["digest_conflicts"]:
+        print("DIGEST CONFLICTS: " + ", ".join(report["digest_conflicts"]))
+        return 1
+    return 0
 
 
 def cmd_figure(args) -> int:
@@ -757,6 +823,103 @@ def main(argv=None) -> int:
         choices=["debug", "info", "warning", "error"],
         help="minimum level for --log-json (default info)",
     )
+    serve_parser.add_argument(
+        "--max-header-bytes", type=int, default=16 * 1024, metavar="N",
+        help="request line + header budget before 431 (default 16384; "
+        "hard ceiling 65536 — no configuration is memory-unbounded)",
+    )
+    serve_parser.add_argument(
+        "--max-body-bytes", type=int, default=4 * 1024 * 1024, metavar="N",
+        help="request body budget before 413 (default 4 MiB; hard "
+        "ceiling 8 MiB)",
+    )
+    serve_parser.add_argument(
+        "--header-timeout-s", type=float, default=10.0, metavar="S",
+        help="deadline to receive the full header block before 408 — "
+        "slowloris protection (default 10)",
+    )
+    serve_parser.add_argument(
+        "--body-timeout-s", type=float, default=30.0, metavar="S",
+        help="deadline to receive the full body before 408 (default 30)",
+    )
+    serve_parser.add_argument(
+        "--max-connections", type=int, default=256, metavar="N",
+        help="open connections beyond this are refused 503 + Retry-After "
+        "at accept (default 256)",
+    )
+    serve_parser.add_argument(
+        "--reserved-read-connections", type=int, default=32, metavar="N",
+        help="connection headroom reserved for read-only routes: compute "
+        "POSTs beyond max-connections minus this answer 429 while cached "
+        "reads keep flowing (default 32)",
+    )
+    serve_parser.add_argument(
+        "--max-requests-per-connection", type=int, default=100, metavar="N",
+        help="keep-alive requests served per connection before close "
+        "(default 100)",
+    )
+    serve_parser.add_argument(
+        "--rate-limit-per-s", type=float, default=0.0, metavar="R",
+        help="per-client token-bucket refill rate for compute requests; "
+        "0 disables rate limiting (default 0)",
+    )
+    serve_parser.add_argument(
+        "--rate-limit-burst", type=int, default=10, metavar="N",
+        help="token-bucket depth per client when rate limiting is on "
+        "(default 10)",
+    )
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator for a running service",
+        description="Fire a seeded open-loop request plan at a running "
+        "repro-sim serve instance: arrivals keep their timetable however "
+        "the server copes, so overload shaping (429 sheds, rate limits, "
+        "priority lanes) is measured instead of masked. The report "
+        "carries a plan fingerprint — the same seed replays the same "
+        "plan — plus per-kind status counts, latency percentiles, and a "
+        "digest ledger that fails the run on any lost/duplicated result "
+        "(docs/SERVICE.md, 'Overload and hostile networks').",
+    )
+    loadgen_parser.add_argument("--host", default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, default=8642)
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=20.0, metavar="R",
+        help="mean arrival rate, requests/second (default 20)",
+    )
+    loadgen_parser.add_argument(
+        "--duration", type=float, default=10.0, metavar="S",
+        help="plan length in seconds (default 10)",
+    )
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="plan seed: arrivals, mix draws, and spec choices replay "
+        "exactly (default 0)",
+    )
+    loadgen_parser.add_argument(
+        "--mix", default=None, metavar="K=W,...",
+        help="request mix as kind=weight pairs over cells, results, "
+        "status, metrics, healthz (default cells=0.5,results=0.4,"
+        "status=0.1)",
+    )
+    loadgen_parser.add_argument(
+        "--cells-file", default=None, metavar="FILE",
+        help="JSON list of cell specs to draw from (default: a built-in "
+        "reduced-scale pool)",
+    )
+    loadgen_parser.add_argument(
+        "--chaos", default=None, metavar="FILE",
+        help="netchaos schedule JSON applied client-side per request "
+        "(drips, drops, latency) — see docs/SERVICE.md for the format",
+    )
+    loadgen_parser.add_argument(
+        "--timeout-s", type=float, default=30.0, metavar="S",
+        help="per-request client timeout (default 30)",
+    )
+    loadgen_parser.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the JSON report to FILE instead of stdout",
+    )
 
     top_parser = sub.add_parser(
         "top",
@@ -881,6 +1044,7 @@ def main(argv=None) -> int:
         "runs": cmd_runs,
         "serve": cmd_serve,
         "top": cmd_top,
+        "loadgen": cmd_loadgen,
     }
     return handler[args.command](args)
 

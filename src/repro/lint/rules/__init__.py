@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001–SL016).
+"""The simlint rule catalogue (SL001–SL017).
 
 Every rule defends one facet of the project's bit-identical guarantee,
 the policy contract, or the crash/concurrency invariants of the runner
@@ -13,8 +13,10 @@ The catalogue is split by the invariant family each rule defends:
 ``policy``
     SL006 — the policy hook contract and the ``POLICIES`` registry.
 ``async_safety``
-    SL010–SL012 — nothing blocking on the event loop, no locks held
-    across ``await``, no fire-and-forget coroutines.
+    SL010–SL012, SL017 — nothing blocking on the event loop, no locks
+    held across ``await``, no fire-and-forget coroutines, and (in
+    ``repro.svc``) no stream read without a deadline or ``drain()``
+    without an ``await``.
 ``crash_consistency``
     SL013 — the write → flush → fsync → ``os.replace`` protocol and
     append-only log discipline.

@@ -1,4 +1,4 @@
-"""Async-safety rules (SL010–SL012).
+"""Async-safety rules (SL010–SL012, SL017).
 
 The service layer (`repro.svc`, docs/SERVICE.md) runs simulations from
 an asyncio event loop.  Three properties keep it correct under load and
@@ -15,13 +15,19 @@ matching:
 * a coroutine or task created and dropped on the floor is cancelled by
   the garbage collector mid-flight and its exception is never observed
   (SL012) — the asyncio docs require holding a strong reference.
+
+PR 10 adds the hostile-network variant: in ``repro.svc`` every stream
+read must carry a deadline and every ``writer.drain()`` must actually be
+awaited (SL017) — an undeadlined ``await reader.readuntil(...)`` is a
+slowloris parking spot, and an un-awaited ``drain()`` silently discards
+the one backpressure signal asyncio gives a writer.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import TYPE_CHECKING, Iterator, List, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 from repro.lint.astutil import receiver_name, scoped_walk
 from repro.lint.engine import Finding, LintModule, Rule
@@ -221,3 +227,154 @@ class FireAndForgetRule(Rule):
                         "and is destroyed with a RuntimeWarning — `await` it "
                         "or schedule it as a referenced task",
                     )
+
+
+# --------------------------------------------------------------------------------------
+# SL017 — undeadlined stream reads and unawaited drains in repro.svc
+# --------------------------------------------------------------------------------------
+
+
+@register
+class UnboundedStreamIoRule(Rule):
+    """The service's wire protocol must assume a hostile peer.
+
+    ``await reader.readuntil(...)`` with no deadline lets a slowloris
+    client park the handler coroutine (and whatever admission slot it
+    holds) forever; ``writer.drain()`` without ``await`` throws away the
+    flow-control signal, so a stalled consumer grows the transport
+    buffer without bound.  Scoped to ``repro.svc`` — the layer whose
+    job is talking to untrusted sockets (docs/SERVICE.md, "Overload and
+    hostile networks").
+    """
+
+    id = "SL017"
+    severity = "error"
+    summary = "undeadlined stream read / unawaited drain in repro.svc"
+
+    _READ_METHODS = frozenset(
+        {"read", "readline", "readuntil", "readexactly"}
+    )
+    #: Receivers that look like asyncio stream readers; a plain file
+    #: handle's ``read()`` is SL010's department, not ours.
+    _READERISH = re.compile(r"reader|stream", re.IGNORECASE)
+    #: Deadline wrappers that make a read bounded.
+    _DEADLINE_CALLS = frozenset({"wait_for", "timeout", "timeout_at"})
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.module.startswith("repro.svc")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for child in scoped_walk(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                if not isinstance(child.func, ast.Attribute):
+                    continue
+                attr = child.func.attr
+                if attr in self._READ_METHODS:
+                    yield from self._check_read(module, node, child, attr)
+                elif attr == "drain":
+                    yield from self._check_drain(module, node, child)
+
+    def _check_read(
+        self, module: LintModule, func: ast.AsyncFunctionDef,
+        call: ast.Call, attr: str,
+    ) -> Iterator[Finding]:
+        assert isinstance(call.func, ast.Attribute)
+        receiver = receiver_name(call.func.value)
+        if receiver is None or not self._READERISH.search(receiver):
+            return
+        parent = module.parent(call)
+        if isinstance(parent, ast.Await):
+            # `await reader.read(...)` directly: bounded only if an
+            # enclosing `async with asyncio.timeout(...)` covers it.
+            if not self._inside_timeout_block(module, parent):
+                yield self.finding(
+                    module,
+                    call,
+                    f"`await {receiver}.{attr}(...)` has no deadline: a "
+                    "peer that stops sending parks this coroutine forever "
+                    "— wrap it in `asyncio.wait_for(...)` (or an "
+                    "`asyncio.timeout()` block) with a protocol-limit "
+                    "timeout",
+                )
+            return
+        # Not directly awaited: fine when it is the argument of a
+        # deadline wrapper (`wait_for(reader.read(...), t)`), a bug when
+        # the coroutine is simply dropped.
+        if self._deadline_ancestor(module, call) is None:
+            if not self._eventually_awaited(module, call):
+                yield self.finding(
+                    module,
+                    call,
+                    f"`{receiver}.{attr}(...)` creates a coroutine that "
+                    "is never awaited — the read never happens",
+                )
+
+    def _check_drain(
+        self, module: LintModule, func: ast.AsyncFunctionDef, call: ast.Call
+    ) -> Iterator[Finding]:
+        assert isinstance(call.func, ast.Attribute)
+        receiver = receiver_name(call.func.value)
+        if not self._eventually_awaited(module, call):
+            target = f"{receiver}.drain" if receiver else "drain"
+            yield self.finding(
+                module,
+                call,
+                f"`{target}()` is not awaited: the backpressure signal is "
+                "discarded and the transport buffer grows without bound "
+                "for a stalled peer — `await` it (ideally under "
+                "`asyncio.wait_for`)",
+            )
+
+    # -- ancestry helpers ---------------------------------------------------
+
+    def _eventually_awaited(
+        self, module: LintModule, node: ast.AST
+    ) -> bool:
+        """True when an ``Await`` sits between the node and its statement
+        (covers ``await x.drain()`` and ``await wait_for(x.drain(), t)``)."""
+        current: Optional[ast.AST] = module.parent(node)
+        while current is not None and not isinstance(current, ast.stmt):
+            if isinstance(current, ast.Await):
+                return True
+            current = module.parent(current)
+        return False
+
+    def _deadline_ancestor(
+        self, module: LintModule, node: ast.AST
+    ) -> Optional[ast.Call]:
+        """The enclosing ``asyncio.wait_for(...)``-style call, if any."""
+        current: Optional[ast.AST] = module.parent(node)
+        while current is not None and not isinstance(current, ast.stmt):
+            if isinstance(current, ast.Call):
+                name = _dotted(current.func)
+                if name is not None and (
+                    name.rsplit(".", 1)[-1] in self._DEADLINE_CALLS
+                ):
+                    return current
+            current = module.parent(current)
+        return None
+
+    def _inside_timeout_block(
+        self, module: LintModule, node: ast.AST
+    ) -> bool:
+        """True inside ``async with asyncio.timeout(...):`` (3.11+) — the
+        block form of a deadline."""
+        current: Optional[ast.AST] = module.parent(node)
+        while current is not None and not isinstance(
+            current, (ast.AsyncFunctionDef, ast.FunctionDef)
+        ):
+            if isinstance(current, ast.AsyncWith):
+                for item in current.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        name = _dotted(expr.func)
+                        if name is not None and (
+                            name.rsplit(".", 1)[-1] in self._DEADLINE_CALLS
+                        ):
+                            return True
+            current = module.parent(current)
+        return False

@@ -133,9 +133,13 @@ class WallClockRule(Rule):
     #: ``repro.obs.svc`` is the service-tier tracer: its spans measure the
     #: *host* request path (admission waits, worker execute) on the
     #: monotonic clock by design, and the golden-digest tests prove the
-    #: tracer never reaches simulated results.
+    #: tracer never reaches simulated results.  ``repro.loadgen`` drives
+    #: the service from outside over real sockets — request latencies
+    #: and open-loop pacing are host-clock by definition, and its seeded
+    #: plan (not its timings) is the reproducible artifact.
     _ALLOWED = ("repro.perf", "repro.obs.export", "repro.obs.svc",
-                "repro.runner", "repro.svc", "repro.lint")
+                "repro.runner", "repro.svc", "repro.lint",
+                "repro.loadgen")
 
     def applies_to(self, module: LintModule) -> bool:
         name = module.module

@@ -21,6 +21,10 @@ layers it crosses emit typed spans against that ID:
     pipe in the record's telemetry block.
 ``store.get`` / ``store.put``
     Result-store lookups and durable writes.
+``overload.shed``
+    A request refused before any work happened — deadline-aware shed,
+    queue full, breaker, or draining — with the reason, projected wait,
+    and retry hint in its args (PR 10's overload control).
 
 Spans export into the same Chrome ``trace_event`` document as the
 simulator's events: :meth:`ServiceTracer.chrome_trace` merges the
@@ -66,6 +70,7 @@ SPAN_POOL_QUEUE = "pool.queue"
 SPAN_WORKER_EXECUTE = "worker.execute"
 SPAN_STORE_GET = "store.get"
 SPAN_STORE_PUT = "store.put"
+SPAN_OVERLOAD_SHED = "overload.shed"
 
 #: Service spans share pid 1 with nothing (simulations are re-homed onto
 #: their own pids); each span kind gets its own track for readability.
@@ -78,6 +83,7 @@ _SPAN_TIDS: Dict[str, int] = {
     SPAN_WORKER_EXECUTE: 4,
     SPAN_STORE_GET: 5,
     SPAN_STORE_PUT: 6,
+    SPAN_OVERLOAD_SHED: 7,
 }
 #: Embedded simulation timelines start at this pid, one per request.
 SIM_PID_BASE = 100

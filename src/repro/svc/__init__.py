@@ -24,6 +24,19 @@ from repro.svc.chaos import (
     worker_pids,
 )
 from repro.svc.http import ServiceServer, serve_async, serve_forever
+from repro.svc.limits import (
+    HARD_MAX_BODY_BYTES,
+    HARD_MAX_HEADER_BYTES,
+    ProtocolLimits,
+)
+from repro.svc.netchaos import (
+    ChaosProxy,
+    ConnPlan,
+    NetChaosSchedule,
+    load_schedule,
+    paced_write,
+)
+from repro.svc.ratelimit import PeerRateLimiter
 from repro.svc.service import (
     SERVED_COALESCED,
     SERVED_COMPUTED,
@@ -55,6 +68,15 @@ __all__ = [
     "ServiceServer",
     "serve_async",
     "serve_forever",
+    "HARD_MAX_BODY_BYTES",
+    "HARD_MAX_HEADER_BYTES",
+    "ProtocolLimits",
+    "ChaosProxy",
+    "ConnPlan",
+    "NetChaosSchedule",
+    "load_schedule",
+    "paced_write",
+    "PeerRateLimiter",
     "SERVED_STORE",
     "SERVED_COMPUTED",
     "SERVED_COALESCED",

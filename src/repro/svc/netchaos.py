@@ -1,0 +1,444 @@
+"""Deterministic network chaos: seeded faults between client and server.
+
+``repro.faults`` attacks the simulated hardware and ``repro.svc.chaos``
+attacks the process and its filesystem; this module attacks the
+*network*.  A :class:`NetChaosSchedule` is a seeded description of how
+hostile the wire is — added latency, throttled partial writes, mid-body
+connection resets, slowloris drip-feeds, and outright connection drops —
+and every decision is a pure function of ``(seed, connection index)``,
+so a failing soak run replays exactly from its seed (the same pattern as
+``FaultSchedule``).
+
+Two consumption modes:
+
+* **TCP proxy** — :class:`ChaosProxy` listens on its own port and
+  forwards each accepted connection to the upstream server through the
+  connection's :class:`ConnPlan`.  The soak harness
+  (``scripts/soak_smoke.py``, ``tests/test_soak.py``) puts it between
+  ``repro-sim loadgen`` and ``repro-sim serve``.
+* **In-process** — :func:`paced_write` applies a plan's drip/throttle
+  behaviour to any ``asyncio.StreamWriter``; ``repro.loadgen`` uses it
+  for client-side slowloris without a proxy hop.
+
+Determinism contract: ``plan_for(i)`` depends only on the schedule's
+fields, never on wall time or accept order, so for a run that opens N
+connections the *set* of injected faults is identical across reruns even
+when the accept interleaving differs (``tests/test_netchaos.py`` pins
+this).  The module is allowlisted for wall-clock reads like the rest of
+``repro.svc`` — pacing sleeps are orchestration time, a layer above the
+simulator, and never touch simulation results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "ConnPlan",
+    "NetChaosSchedule",
+    "ChaosProxy",
+    "paced_write",
+    "load_schedule",
+]
+
+
+@dataclass(frozen=True)
+class ConnPlan:
+    """The concrete fault plan for one connection (derived, not chosen)."""
+
+    #: Accept-order index the plan was derived for.
+    index: int
+    #: Close the connection immediately on accept, before any bytes.
+    drop: bool = False
+    #: Added one-way latency before the first forwarded byte, each way.
+    latency_ms: float = 0.0
+    #: Abort the connection after forwarding this many server→client
+    #: bytes (a mid-body reset).  None: never.
+    reset_after_bytes: Optional[int] = None
+    #: Pace server→client forwarding at this rate.  None: unthrottled.
+    throttle_bytes_per_s: Optional[float] = None
+    #: Forwarding chunk size while throttled.
+    chunk_bytes: int = 65536
+    #: Slowloris drip: forward client→server this many bytes at a time...
+    drip_chunk_bytes: int = 0
+    #: ...sleeping this long between chunks (0 disables the drip).
+    drip_delay_ms: float = 0.0
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            not self.drop
+            and self.latency_ms == 0.0
+            and self.reset_after_bytes is None
+            and self.throttle_bytes_per_s is None
+            and self.drip_chunk_bytes == 0
+        )
+
+    @property
+    def kind(self) -> str:
+        """The plan's dominant fault class (one label per connection)."""
+        if self.drop:
+            return "drop"
+        if self.reset_after_bytes is not None:
+            return "reset"
+        if self.drip_chunk_bytes > 0:
+            return "slowloris"
+        if self.throttle_bytes_per_s is not None:
+            return "throttle"
+        if self.latency_ms > 0.0:
+            return "latency"
+        return "clean"
+
+
+@dataclass(frozen=True)
+class NetChaosSchedule:
+    """A seeded recipe turning connection indexes into :class:`ConnPlan`\\ s.
+
+    Fault classes are drawn exclusively, in priority order drop > reset >
+    slowloris > throttle, from one seeded stream per connection; latency
+    (base + jitter) applies to every non-dropped connection.  Fractions
+    are probabilities in ``[0, 1]``.
+    """
+
+    seed: int = 0
+    drop_fraction: float = 0.0
+    reset_fraction: float = 0.0
+    slowloris_fraction: float = 0.0
+    throttle_fraction: float = 0.0
+    latency_ms: float = 0.0
+    jitter_ms: float = 0.0
+    reset_after_bytes: int = 256
+    throttle_bytes_per_s: float = 8192.0
+    chunk_bytes: int = 1024
+    drip_chunk_bytes: int = 16
+    drip_delay_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_fraction", "reset_fraction",
+                     "slowloris_fraction", "throttle_fraction"):
+            value = float(getattr(self, name))
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        total = (self.drop_fraction + self.reset_fraction
+                 + self.slowloris_fraction + self.throttle_fraction)
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"fault fractions sum to {total:.3f} > 1; they are "
+                "exclusive classes of one draw"
+            )
+        for name in ("latency_ms", "jitter_ms", "drip_delay_ms"):
+            if float(getattr(self, name)) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("reset_after_bytes", "chunk_bytes", "drip_chunk_bytes"):
+            if int(getattr(self, name)) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.throttle_bytes_per_s <= 0.0:
+            raise ValueError("throttle_bytes_per_s must be > 0")
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.drop_fraction == 0.0
+            and self.reset_fraction == 0.0
+            and self.slowloris_fraction == 0.0
+            and self.throttle_fraction == 0.0
+            and self.latency_ms == 0.0
+            and self.jitter_ms == 0.0
+        )
+
+    def plan_for(self, index: int) -> ConnPlan:
+        """The deterministic plan for connection ``index`` (accept order).
+
+        Pure in ``(schedule fields, index)``: string seeding keeps the
+        derivation stable across processes and platforms (CPython hashes
+        str seeds with sha512, not the randomized ``hash()``).
+        """
+        rng = random.Random(f"netchaos:{self.seed}:{index}")
+        draw = rng.random()
+        jitter = rng.random() * self.jitter_ms
+        latency_ms = self.latency_ms + jitter
+        edge = self.drop_fraction
+        if draw < edge:
+            return ConnPlan(index=index, drop=True)
+        edge += self.reset_fraction
+        if draw < edge:
+            return ConnPlan(
+                index=index, latency_ms=latency_ms,
+                reset_after_bytes=self.reset_after_bytes,
+                chunk_bytes=self.chunk_bytes,
+            )
+        edge += self.slowloris_fraction
+        if draw < edge:
+            return ConnPlan(
+                index=index, latency_ms=latency_ms,
+                drip_chunk_bytes=self.drip_chunk_bytes,
+                drip_delay_ms=self.drip_delay_ms,
+            )
+        edge += self.throttle_fraction
+        if draw < edge:
+            return ConnPlan(
+                index=index, latency_ms=latency_ms,
+                throttle_bytes_per_s=self.throttle_bytes_per_s,
+                chunk_bytes=self.chunk_bytes,
+            )
+        return ConnPlan(index=index, latency_ms=latency_ms)
+
+    def plan_counts(self, connections: int) -> Dict[str, int]:
+        """Fault-class counts over the first ``connections`` plans — the
+        reproducibility fingerprint soak runs compare across reruns."""
+        counts: Dict[str, int] = {}
+        for index in range(connections):
+            kind = self.plan_for(index).kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "NetChaosSchedule":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"netchaos schedule must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown netchaos field(s) {', '.join(unknown)}; valid: "
+                f"{', '.join(sorted(known))}"
+            )
+        return cls(**data)
+
+
+def load_schedule(path: str) -> NetChaosSchedule:
+    """A :class:`NetChaosSchedule` from a JSON file (the ``--chaos``
+    flag of ``repro-sim loadgen`` and the soak harness)."""
+    with open(path) as handle:
+        return NetChaosSchedule.from_dict(json.load(handle))
+
+
+async def paced_write(
+    writer: asyncio.StreamWriter,
+    data: bytes,
+    chunk_bytes: int,
+    delay_s: float,
+    timeout_s: float = 30.0,
+) -> None:
+    """Write ``data`` in ``chunk_bytes`` pieces with ``delay_s`` between
+    them — the drip/throttle primitive shared by the proxy and the
+    in-process (loadgen slowloris) path.  Each drain carries a deadline
+    so a peer that stops reading cannot park the writer forever."""
+    if chunk_bytes < 1:
+        raise ValueError("chunk_bytes must be >= 1")
+    for offset in range(0, len(data), chunk_bytes):
+        writer.write(data[offset:offset + chunk_bytes])
+        await asyncio.wait_for(writer.drain(), timeout_s)
+        if delay_s > 0.0 and offset + chunk_bytes < len(data):
+            await asyncio.sleep(delay_s)
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of one upstream server.
+
+    Accepted connections are numbered in accept order; connection ``i``
+    behaves per ``schedule.plan_for(i)``.  ``counters`` tallies what was
+    actually injected, and ``open_connections`` must return to zero once
+    traffic ends — the soak harness asserts both.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        schedule: NetChaosSchedule,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.schedule = schedule
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._next_index = 0
+        self._conn_tasks: Set["asyncio.Task[Any]"] = set()
+        self.open_connections = 0
+        self.counters: Dict[str, int] = {
+            "connections": 0, "dropped": 0, "reset": 0, "slowloris": 0,
+            "throttled": 0, "clean": 0, "latency": 0, "upstream_failed": 0,
+            "closed": 0, "client_bytes": 0, "server_bytes": 0,
+        }
+
+    @property
+    def bound_port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        index = self._next_index
+        self._next_index += 1
+        plan = self.schedule.plan_for(index)
+        self.counters["connections"] += 1
+        kind_counter = {
+            "drop": "dropped", "reset": "reset", "slowloris": "slowloris",
+            "throttle": "throttled", "latency": "latency", "clean": "clean",
+        }[plan.kind]
+        self.counters[kind_counter] += 1
+        self.open_connections += 1
+        # The connection body runs in the same task start_server spawned;
+        # track it so stop() can cancel in-flight pumps.
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        upstream_writer: Optional[asyncio.StreamWriter] = None
+        try:
+            if plan.drop:
+                _abort(client_writer)
+                return
+            if plan.latency_ms > 0.0:
+                await asyncio.sleep(plan.latency_ms / 1000.0)
+            try:
+                upstream_reader, upstream_writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        self.upstream_host, self.upstream_port
+                    ),
+                    timeout=10.0,
+                )
+            except (OSError, asyncio.TimeoutError):
+                self.counters["upstream_failed"] += 1
+                _abort(client_writer)
+                return
+            up = asyncio.ensure_future(self._pump_up(
+                client_reader, upstream_writer, plan
+            ))
+            down = asyncio.ensure_future(self._pump_down(
+                upstream_reader, client_writer, plan
+            ))
+            done, pending = await asyncio.wait(
+                {up, down}, return_when=asyncio.FIRST_COMPLETED
+            )
+            reset = any(
+                not t.cancelled() and t.exception() is None
+                and t.result() == "reset" for t in done
+            )
+            for t in pending:
+                # A finished direction ends the whole connection: HTTP/1.1
+                # with Connection: close has no half-open use, and a reset
+                # must kill the opposite pump immediately.
+                t.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            for t in done:
+                # Consume exceptions (broken pipes etc.) so nothing leaks
+                # to the loop's exception handler.
+                if not t.cancelled():
+                    t.exception()
+            if reset:
+                _abort(client_writer)
+        except asyncio.CancelledError:
+            raise
+        finally:
+            if upstream_writer is not None:
+                _abort(upstream_writer)
+            await _close(client_writer)
+            self.open_connections -= 1
+            self.counters["closed"] += 1
+
+    async def _pump_up(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        plan: ConnPlan,
+    ) -> str:
+        """client → server, optionally slowloris-dripped."""
+        while True:
+            chunk = await asyncio.wait_for(reader.read(65536), 600.0)
+            if not chunk:
+                return "eof"
+            self.counters["client_bytes"] += len(chunk)
+            if plan.drip_chunk_bytes > 0:
+                await paced_write(
+                    writer, chunk, plan.drip_chunk_bytes,
+                    plan.drip_delay_ms / 1000.0,
+                )
+            else:
+                writer.write(chunk)
+                await asyncio.wait_for(writer.drain(), 600.0)
+
+    async def _pump_down(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        plan: ConnPlan,
+    ) -> str:
+        """server → client: throttling and mid-body resets live here."""
+        forwarded = 0
+        while True:
+            budget = 65536
+            if plan.reset_after_bytes is not None:
+                budget = min(budget, plan.reset_after_bytes - forwarded)
+                if budget <= 0:
+                    return "reset"
+            chunk = await asyncio.wait_for(reader.read(budget), 600.0)
+            if not chunk:
+                return "eof"
+            forwarded += len(chunk)
+            self.counters["server_bytes"] += len(chunk)
+            if plan.throttle_bytes_per_s is not None:
+                delay_s = plan.chunk_bytes / plan.throttle_bytes_per_s
+                await paced_write(
+                    writer, chunk, plan.chunk_bytes, delay_s
+                )
+            else:
+                writer.write(chunk)
+                await asyncio.wait_for(writer.drain(), 600.0)
+            if (plan.reset_after_bytes is not None
+                    and forwarded >= plan.reset_after_bytes):
+                return "reset"
+
+
+def _abort(writer: asyncio.StreamWriter) -> None:
+    """RST-style teardown: no FIN handshake, no lingering buffers."""
+    transport = writer.transport
+    if isinstance(transport, asyncio.WriteTransport):
+        transport.abort()
+
+
+async def _close(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+def describe(schedule: NetChaosSchedule, connections: int) -> List[Tuple[int, str]]:
+    """``(index, kind)`` for the first ``connections`` plans — a compact,
+    human-auditable view of what a seed will do."""
+    return [
+        (index, schedule.plan_for(index).kind)
+        for index in range(connections)
+    ]

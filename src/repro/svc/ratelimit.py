@@ -1,0 +1,94 @@
+"""Per-client token-bucket rate limiting keyed by peer address.
+
+One misbehaving client must not be able to consume the whole admission
+queue: before a compute request reaches admission, the server charges a
+token from the peer's bucket and refuses with 429 + ``Retry-After`` when
+the bucket is dry.  Buckets refill continuously at ``rate_per_s`` up to
+``burst``, so well-paced clients never notice and bursty ones are shaped
+rather than banned.
+
+The bucket map is LRU-bounded (``max_peers``): a spoofing client cycling
+through source addresses cannot grow server memory — the oldest idle
+bucket is evicted, which at worst *refreshes* an attacker's allowance to
+one burst, never blocks a legitimate peer longer than its own bucket
+would.  Time comes from an injectable monotonic clock so tests run
+instantly (and the SL002 wall-clock rule stays satisfied via the
+``repro.svc`` orchestration allowlist).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["PeerRateLimiter"]
+
+
+class PeerRateLimiter:
+    """Token buckets per peer key (usually the client IP).
+
+    ``rate_per_s <= 0`` disables limiting entirely — ``check`` always
+    admits — so the feature is strictly opt-in from the CLI.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        max_peers: int = 4096,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        if max_peers < 1:
+            raise ValueError("max_peers must be >= 1")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self.max_peers = int(max_peers)
+        self._clock: Callable[[], float] = clock or time.monotonic
+        # peer -> (tokens, last_refill_ts); OrderedDict gives LRU eviction.
+        self._buckets: "OrderedDict[str, Tuple[float, float]]" = OrderedDict()
+        self.rejected_total = 0
+        self.evicted_total = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_s > 0.0
+
+    def check(self, peer: str) -> Tuple[bool, float]:
+        """Charge one token for ``peer``.
+
+        Returns ``(admitted, retry_after_s)``; ``retry_after_s`` is how
+        long until one token will be available when refused, 0 when
+        admitted.
+        """
+        if not self.enabled:
+            return True, 0.0
+        now = self._clock()
+        tokens, last = self._buckets.pop(peer, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - last) * self.rate_per_s)
+        if tokens >= 1.0:
+            self._buckets[peer] = (tokens - 1.0, now)
+            self._evict()
+            return True, 0.0
+        self._buckets[peer] = (tokens, now)
+        self._evict()
+        self.rejected_total += 1
+        retry_after_s = (1.0 - tokens) / self.rate_per_s
+        return False, retry_after_s
+
+    def _evict(self) -> None:
+        while len(self._buckets) > self.max_peers:
+            self._buckets.popitem(last=False)
+            self.evicted_total += 1
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+            "peers": len(self._buckets),
+            "rejected_total": self.rejected_total,
+            "evicted_total": self.evicted_total,
+        }

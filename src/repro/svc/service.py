@@ -31,7 +31,7 @@ import asyncio
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.obs.logging import get_logger
@@ -39,6 +39,7 @@ from repro.obs.metrics import MetricsRegistry, REQUEST_BUCKETS_MS
 from repro.obs.prom import labeled
 from repro.obs.svc import (
     SPAN_ADMISSION_WAIT,
+    SPAN_OVERLOAD_SHED,
     SPAN_SINGLEFLIGHT_JOIN,
     SPAN_STORE_GET,
     SPAN_STORE_PUT,
@@ -52,6 +53,8 @@ from repro.runner.runner import EXIT_DEADLINE, EXIT_INTERRUPTED
 from repro.runner.execute import validate_names
 from repro.svc.admission import AdmissionController
 from repro.svc.breaker import CircuitBreaker
+from repro.svc.limits import ProtocolLimits
+from repro.svc.ratelimit import PeerRateLimiter
 from repro.svc.singleflight import SingleFlight
 from repro.svc.store import ResultStore
 
@@ -174,6 +177,14 @@ class ServiceConfig:
     #: Where ``serve_forever`` writes the merged Perfetto timeline on
     #: drain (implies nothing unless ``trace`` is on).
     trace_out: Optional[str] = None
+    #: Wire-protocol bounds the HTTP layer enforces (sizes, deadlines,
+    #: connection caps, priority-lane reservation) — see
+    #: :mod:`repro.svc.limits` and docs/SERVICE.md.
+    limits: ProtocolLimits = field(default_factory=ProtocolLimits)
+    #: Per-peer token-bucket rate for compute requests; 0 disables.
+    rate_limit_per_s: float = 0.0
+    #: Bucket depth per peer when rate limiting is on.
+    rate_limit_burst: int = 10
 
 
 class SimulationService:
@@ -201,6 +212,9 @@ class SimulationService:
         )
         self.admission = AdmissionController(
             config.queue_limit, metrics=self.metrics
+        )
+        self.rate_limiter = PeerRateLimiter(
+            config.rate_limit_per_s, config.rate_limit_burst, clock=clock
         )
         self.flights = SingleFlight()
         self.pool = SupervisedPool(
@@ -290,6 +304,11 @@ class SimulationService:
     def _on_record(self, record: Dict[str, Any]) -> None:
         """A cell reached a terminal state (event loop thread)."""
         self.admission.release()
+        wall_s = record.get("wall_s")
+        if isinstance(wall_s, (int, float)) and not isinstance(wall_s, bool):
+            # Feed the deadline-aware admission estimator: projected
+            # queue waits are only as honest as this EWMA.
+            self.admission.note_service_time(float(wall_s))
         failure = record.get("failure")
         corr_id = record.get("corr_id")
         state_before = self.breaker.state
@@ -400,7 +419,7 @@ class SimulationService:
                     self.tracer, SPAN_ADMISSION_WAIT, corr_id,
                     hash=config_hash, cell_id=cell.cell_id,
                 ):
-                    self._admit(cell, corr_id)
+                    self._admit(cell, corr_id, timeout_s)
             except Overloaded:
                 self.flights.leave(config_hash)
                 raise
@@ -437,28 +456,74 @@ class SimulationService:
                        "corr_id": corr_id})
         return record, served
 
-    def _admit(self, cell: Cell, corr_id: str) -> None:
-        """Leader-side backpressure checks, then submit to the pool."""
+    def _admit(
+        self, cell: Cell, corr_id: str,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        """Leader-side backpressure checks, then submit to the pool.
+
+        ``deadline_s`` is the request's remaining budget: when the
+        admission controller projects a queue wait beyond it, the
+        request is shed *now* with 429 (CoDel-style) instead of burning
+        a slot for ``deadline_s`` seconds and answering 504 anyway.
+        """
         if self.draining:
+            self._note_shed(cell, corr_id, "draining", 5.0)
             raise Overloaded(503, "service is draining", 5.0)
         if not self.breaker.allow():
+            retry = self.breaker.retry_after_s or 1.0
+            self._note_shed(cell, corr_id, "breaker", retry)
             raise Overloaded(
                 503,
                 f"circuit breaker {self.breaker.state} after "
                 f"{self.breaker.consecutive_failures} consecutive pool "
                 "failures",
-                self.breaker.retry_after_s or 1.0,
+                retry,
             )
-        if not self.admission.try_acquire():
+        admitted, reason, retry_after_s = self.admission.admit(
+            deadline_s or 0.0, self.config.jobs
+        )
+        if not admitted:
+            self._note_shed(cell, corr_id, reason, retry_after_s)
+            if reason == "deadline":
+                projected = self.admission.projected_wait_s(self.config.jobs)
+                raise Overloaded(
+                    429,
+                    f"shed early: projected queue wait {projected:.1f}s "
+                    f"exceeds the {deadline_s or 0.0:.0f}s request deadline",
+                    retry_after_s,
+                )
             raise Overloaded(
                 429,
                 f"admission queue full ({self.admission.limit} cells in "
                 "the system)",
-                1.0,
+                retry_after_s,
             )
         self.pool.submit(cell, meta=self._task_meta(corr_id))
         self._publish({"type": "queued", "hash": cell.config_hash,
                        "cell_id": cell.cell_id, "corr_id": corr_id})
+
+    def _note_shed(
+        self, cell: Cell, corr_id: str, reason: str, retry_after_s: float
+    ) -> None:
+        """Count, trace, and publish a pre-admission refusal — shed
+        decisions must be as observable as served requests (a flat
+        goodput curve you cannot see is indistinguishable from an
+        outage)."""
+        self.metrics.inc(labeled("svc.overload.shed", reason=reason))
+        if self.tracer is not None:
+            now_ms = self.tracer.now_ms()
+            self.tracer.add_span(
+                SPAN_OVERLOAD_SHED, corr_id, now_ms, 0.0,
+                reason=reason, hash=cell.config_hash,
+                retry_after_s=round(retry_after_s, 3),
+                projected_wait_s=round(
+                    self.admission.projected_wait_s(self.config.jobs), 3
+                ),
+            )
+        self._publish({"type": "shed", "reason": reason,
+                       "hash": cell.config_hash, "cell_id": cell.cell_id,
+                       "corr_id": corr_id})
 
     def _task_meta(self, corr_id: str) -> Dict[str, Any]:
         """Per-request metadata crossing the pool's duplex pipe: the
@@ -571,6 +636,7 @@ class SimulationService:
             "drain_reason": self.drain_reason,
             "breaker": self.breaker.status(),
             "admission": self.admission.status(),
+            "rate_limiter": self.rate_limiter.status(),
             "pool": {
                 "jobs": self.pool.jobs,
                 "queue_depth": self.pool.queue_depth(),

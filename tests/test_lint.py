@@ -1329,6 +1329,111 @@ class TestCoreOutput:
         assert rules_hit(src, module="repro.core.snippet") == set()
 
 
+# -- SL017: undeadlined stream reads / unawaited drains in repro.svc --------------------
+
+
+class TestUnboundedStreamIo:
+    def test_undeadlined_await_read_flagged(self):
+        src = """
+        async def handler(reader, writer):
+            head = await reader.readuntil(b"\\r\\n\\r\\n")
+            return head
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == \
+            {"SL017"}
+
+    def test_undeadlined_readexactly_flagged(self):
+        src = """
+        async def body_of(stream_reader, length):
+            return await stream_reader.readexactly(length)
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == \
+            {"SL017"}
+
+    def test_dropped_read_coroutine_flagged(self):
+        src = """
+        async def handler(reader):
+            reader.read(4096)  # never awaited: the read never happens
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == \
+            {"SL017"}
+
+    def test_unawaited_drain_flagged(self):
+        src = """
+        async def send(writer, data):
+            writer.write(data)
+            writer.drain()
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == \
+            {"SL017"}
+
+    def test_wait_for_wrapped_read_clean(self):
+        src = """
+        import asyncio
+
+        async def handler(reader):
+            return await asyncio.wait_for(reader.readuntil(b"x"), 10.0)
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == set()
+
+    def test_timeout_block_read_clean(self):
+        src = """
+        import asyncio
+
+        async def handler(reader):
+            async with asyncio.timeout(10.0):
+                return await reader.read(4096)
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == set()
+
+    def test_awaited_drain_clean(self):
+        src = """
+        import asyncio
+
+        async def send(writer, data):
+            writer.write(data)
+            await asyncio.wait_for(writer.drain(), 5.0)
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == set()
+
+    def test_non_readerish_receiver_ignored(self):
+        src = """
+        async def load(handle):
+            return handle.read()  # a file handle is SL010's department
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == set()
+
+    def test_sync_functions_ignored(self):
+        src = """
+        def load(reader):
+            return reader.read()
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == set()
+
+    def test_outside_repro_svc_ignored(self):
+        src = """
+        async def handler(reader):
+            return await reader.readuntil(b"x")
+        """
+        assert rules_hit(src, module="repro.runner.pool",
+                         select="SL017") == set()
+        assert rules_hit(src, module="repro.core.snippet",
+                         select="SL017") == set()
+
+    def test_line_suppression_honoured(self):
+        src = """
+        async def handler(reader):
+            return await reader.readuntil(b"x")  # simlint: disable=SL017
+        """
+        assert rules_hit(src, module="repro.svc.http", select="SL017") == set()
+
+    def test_hardened_http_frontend_is_clean(self):
+        root = Path(__file__).resolve().parent.parent
+        report = lint_paths([root / "src" / "repro" / "svc"], all_rules(),
+                            select={"SL017"})
+        assert report.findings == []
+
+
 # -- SARIF output -----------------------------------------------------------------------
 
 

@@ -1,0 +1,352 @@
+"""Deterministic network chaos: seeded plans, the fault-injecting TCP
+proxy, and the shared pacing primitive (src/repro/svc/netchaos.py).
+
+The determinism contract is the load-bearing part: a soak run that
+fails must replay exactly from its seed, so ``plan_for`` has to be a
+pure function of ``(schedule fields, index)`` — across instances,
+regardless of call order, with the documented exclusive fault classes.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.svc.netchaos import (
+    ChaosProxy,
+    ConnPlan,
+    NetChaosSchedule,
+    load_schedule,
+    paced_write,
+)
+from repro.svc.netchaos import describe
+
+
+# -- schedule determinism ---------------------------------------------------------------
+
+
+class TestScheduleDeterminism:
+    def test_plans_identical_across_instances(self):
+        a = NetChaosSchedule(seed=7, drop_fraction=0.2, reset_fraction=0.2,
+                             slowloris_fraction=0.2, throttle_fraction=0.2,
+                             latency_ms=5.0, jitter_ms=3.0)
+        b = NetChaosSchedule(seed=7, drop_fraction=0.2, reset_fraction=0.2,
+                             slowloris_fraction=0.2, throttle_fraction=0.2,
+                             latency_ms=5.0, jitter_ms=3.0)
+        assert [a.plan_for(i) for i in range(200)] == \
+               [b.plan_for(i) for i in range(200)]
+
+    def test_plan_is_pure_in_index_not_call_order(self):
+        schedule = NetChaosSchedule(seed=3, drop_fraction=0.3,
+                                    reset_fraction=0.3)
+        forward = [schedule.plan_for(i) for i in range(50)]
+        backward = [schedule.plan_for(i) for i in reversed(range(50))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        kinds = lambda seed: [  # noqa: E731
+            NetChaosSchedule(seed=seed, drop_fraction=0.5).plan_for(i).kind
+            for i in range(64)
+        ]
+        assert kinds(1) != kinds(2)
+
+    def test_plan_counts_is_the_reproducibility_fingerprint(self):
+        schedule = NetChaosSchedule(seed=11, drop_fraction=0.1,
+                                    reset_fraction=0.2,
+                                    slowloris_fraction=0.2,
+                                    throttle_fraction=0.2)
+        counts = schedule.plan_counts(500)
+        assert sum(counts.values()) == 500
+        again = NetChaosSchedule(seed=11, drop_fraction=0.1,
+                                 reset_fraction=0.2,
+                                 slowloris_fraction=0.2,
+                                 throttle_fraction=0.2).plan_counts(500)
+        assert counts == again
+        # All four fault classes plus clean must appear at these rates.
+        assert set(counts) >= {"drop", "reset", "slowloris", "throttle"}
+
+    def test_fault_classes_are_exclusive(self):
+        schedule = NetChaosSchedule(seed=0, drop_fraction=0.25,
+                                    reset_fraction=0.25,
+                                    slowloris_fraction=0.25,
+                                    throttle_fraction=0.25)
+        for index in range(200):
+            plan = schedule.plan_for(index)
+            active = [plan.drop, plan.reset_after_bytes is not None,
+                      plan.drip_chunk_bytes > 0,
+                      plan.throttle_bytes_per_s is not None]
+            assert sum(active) <= 1
+
+    def test_all_drop_when_fraction_is_one(self):
+        schedule = NetChaosSchedule(seed=5, drop_fraction=1.0)
+        assert all(schedule.plan_for(i).drop for i in range(50))
+        assert schedule.plan_counts(50) == {"drop": 50}
+
+    def test_latency_applies_to_non_dropped_plans(self):
+        schedule = NetChaosSchedule(seed=9, latency_ms=10.0, jitter_ms=5.0)
+        for index in range(32):
+            plan = schedule.plan_for(index)
+            assert 10.0 <= plan.latency_ms <= 15.0
+            assert plan.kind == "latency"
+
+    def test_describe_lists_index_and_kind(self):
+        schedule = NetChaosSchedule(seed=0, drop_fraction=1.0)
+        assert describe(schedule, 3) == [(0, "drop"), (1, "drop"),
+                                         (2, "drop")]
+
+
+class TestConnPlan:
+    def test_null_plan(self):
+        plan = ConnPlan(index=0)
+        assert plan.is_null and plan.kind == "clean"
+
+    def test_kind_priority(self):
+        assert ConnPlan(index=0, drop=True, reset_after_bytes=1).kind == "drop"
+        assert ConnPlan(index=0, reset_after_bytes=1,
+                        drip_chunk_bytes=4).kind == "reset"
+        assert ConnPlan(index=0, drip_chunk_bytes=4,
+                        throttle_bytes_per_s=1.0).kind == "slowloris"
+        assert ConnPlan(index=0, throttle_bytes_per_s=1.0).kind == "throttle"
+
+
+# -- validation and (de)serialization ---------------------------------------------------
+
+
+class TestScheduleValidation:
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="drop_fraction"):
+            NetChaosSchedule(drop_fraction=1.5)
+        with pytest.raises(ValueError, match="reset_fraction"):
+            NetChaosSchedule(reset_fraction=-0.1)
+
+    def test_fractions_summing_past_one_rejected(self):
+        with pytest.raises(ValueError, match="exclusive"):
+            NetChaosSchedule(drop_fraction=0.5, reset_fraction=0.6)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency_ms"):
+            NetChaosSchedule(latency_ms=-1.0)
+
+    def test_nonpositive_throttle_rejected(self):
+        with pytest.raises(ValueError, match="throttle_bytes_per_s"):
+            NetChaosSchedule(throttle_bytes_per_s=0.0)
+
+    def test_round_trip_dict(self):
+        schedule = NetChaosSchedule(seed=42, reset_fraction=0.25,
+                                    latency_ms=2.0)
+        assert NetChaosSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown netchaos field"):
+            NetChaosSchedule.from_dict({"seed": 1, "drop_rate": 0.5})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            NetChaosSchedule.from_dict([1, 2, 3])
+
+    def test_load_schedule_from_file(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps({"seed": 9, "slowloris_fraction": 0.5,
+                                    "drip_chunk_bytes": 8}))
+        schedule = load_schedule(str(path))
+        assert schedule.seed == 9
+        assert schedule.slowloris_fraction == 0.5
+        assert schedule.drip_chunk_bytes == 8
+
+    def test_is_null(self):
+        assert NetChaosSchedule().is_null
+        assert not NetChaosSchedule(drop_fraction=0.1).is_null
+
+
+# -- paced_write ------------------------------------------------------------------------
+
+
+class TestPacedWrite:
+    def test_delivers_all_bytes_in_chunks(self):
+        async def main():
+            received = bytearray()
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                while True:
+                    chunk = await reader.read(4096)
+                    if not chunk:
+                        break
+                    received.extend(chunk)
+                writer.close()
+                done.set()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            payload = bytes(range(256)) * 8
+            await paced_write(writer, payload, chunk_bytes=64, delay_s=0.0)
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.wait_for(done.wait(), 5.0)
+            server.close()
+            await server.wait_closed()
+            return bytes(received), payload
+
+        received, payload = asyncio.run(main())
+        assert received == payload
+
+    def test_rejects_bad_chunk_size(self):
+        async def main():
+            # Validation fires before the writer is touched.
+            with pytest.raises(ValueError):
+                await paced_write(None, b"x", chunk_bytes=0, delay_s=0.0)
+
+        asyncio.run(main())
+
+
+# -- the proxy --------------------------------------------------------------------------
+
+
+async def start_upstream(response: bytes):
+    """A one-shot upstream: read until blank line, write ``response``."""
+
+    async def handler(reader, writer):
+        try:
+            await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), 10.0)
+            writer.write(response)
+            await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.TimeoutError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+def proxy_test(schedule, scenario, response=b"HTTP/1.0 200 OK\r\n\r\nhello"):
+    """Run ``scenario(proxy)`` with a live upstream+proxy pair."""
+
+    async def main():
+        upstream, upstream_port = await start_upstream(response)
+        proxy = ChaosProxy("127.0.0.1", upstream_port, schedule)
+        await proxy.start()
+        try:
+            return await scenario(proxy)
+        finally:
+            await proxy.stop()
+            upstream.close()
+            await upstream.wait_closed()
+
+    return asyncio.run(main())
+
+
+class TestChaosProxy:
+    REQUEST = b"GET / HTTP/1.0\r\nHost: t\r\n\r\n"
+
+    def test_clean_connection_passes_through(self):
+        async def scenario(proxy):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", proxy.bound_port
+            )
+            writer.write(self.REQUEST)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 10.0)
+            writer.close()
+            await writer.wait_closed()
+            return raw
+
+        raw = proxy_test(NetChaosSchedule(), scenario)
+        assert raw.endswith(b"hello")
+
+    def test_dropped_connection_yields_no_bytes(self):
+        async def scenario(proxy):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", proxy.bound_port
+            )
+            writer.write(self.REQUEST)
+            try:
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), 10.0)
+            except (ConnectionError, OSError):
+                raw = b""
+            writer.close()
+            # An aborted socket may refuse the FIN handshake; that is
+            # the point of the drop.
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            # Give the proxy's finally block a tick to run.
+            await asyncio.sleep(0.05)
+            return raw, dict(proxy.counters), proxy.open_connections
+
+        raw, counters, open_connections = proxy_test(
+            NetChaosSchedule(drop_fraction=1.0), scenario
+        )
+        assert raw == b""
+        assert counters["dropped"] == 1
+        assert counters["server_bytes"] == 0
+        assert open_connections == 0
+
+    def test_reset_truncates_the_response(self):
+        async def scenario(proxy):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", proxy.bound_port
+            )
+            writer.write(self.REQUEST)
+            await writer.drain()
+            received = b""
+            try:
+                while True:
+                    chunk = await asyncio.wait_for(reader.read(4096), 10.0)
+                    if not chunk:
+                        break
+                    received += chunk
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            await asyncio.sleep(0.05)
+            return received, dict(proxy.counters), proxy.open_connections
+
+        body = b"x" * 4096
+        response = b"HTTP/1.0 200 OK\r\n\r\n" + body
+        received, counters, open_connections = proxy_test(
+            NetChaosSchedule(reset_fraction=1.0, reset_after_bytes=64),
+            scenario, response=response,
+        )
+        # At most the reset budget crossed the wire; never the full body.
+        assert len(received) <= 64
+        assert counters["reset"] == 1
+        assert open_connections == 0
+
+    def test_counters_match_plan_counts(self):
+        schedule = NetChaosSchedule(seed=2, drop_fraction=0.3,
+                                    reset_fraction=0.3)
+        connections = 12
+        expected = schedule.plan_counts(connections)
+
+        async def scenario(proxy):
+            for _ in range(connections):
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", proxy.bound_port
+                    )
+                    writer.write(self.REQUEST)
+                    await writer.drain()
+                    await asyncio.wait_for(reader.read(), 10.0)
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            await asyncio.sleep(0.1)
+            return dict(proxy.counters), proxy.open_connections
+
+        counters, open_connections = proxy_test(schedule, scenario)
+        assert counters["connections"] == connections
+        assert counters["dropped"] == expected.get("drop", 0)
+        assert counters["reset"] == expected.get("reset", 0)
+        assert counters["clean"] == expected.get("clean", 0)
+        assert counters["closed"] == connections
+        assert open_connections == 0
